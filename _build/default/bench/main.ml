@@ -1,0 +1,991 @@
+(* Benchmark harness: regenerates every table and figure of the
+   reproduced evaluation (see DESIGN.md section 3 for the experiment
+   index). Each section prints the experiment id, the workload and the
+   measured rows; EXPERIMENTS.md records the comparison against the
+   paper's reported shapes.
+
+   Run with: dune exec bench/main.exe *)
+
+module Problem = Soctam_core.Problem
+module Architecture = Soctam_core.Architecture
+module Cost = Soctam_core.Cost
+module Exact = Soctam_core.Exact
+module Ilp = Soctam_core.Ilp_formulation
+module Heuristics = Soctam_core.Heuristics
+module Annealing = Soctam_core.Annealing
+module Dp_assign = Soctam_core.Dp_assign
+module Width_dp = Soctam_core.Width_dp
+module Verify = Soctam_core.Verify
+module Soc = Soctam_soc.Soc
+module Core_def = Soctam_soc.Core_def
+module Test_time = Soctam_soc.Test_time
+module Benchmarks = Soctam_soc.Benchmarks
+module Floorplan = Soctam_layout.Floorplan
+module Routing = Soctam_layout.Routing
+module Layout_conflicts = Soctam_layout.Conflicts
+module Power_conflicts = Soctam_power.Power_conflicts
+module Power_model = Soctam_power.Power_model
+module Schedule = Soctam_sched.Schedule
+module Profile = Soctam_sched.Profile
+module Power_sched = Soctam_sched.Power_sched
+module Gantt = Soctam_sched.Gantt
+module Table = Soctam_report.Table
+
+let section id title =
+  Printf.printf "\n=== %s: %s ===\n\n%!" id title
+
+let fmt_time_opt = function
+  | Some t -> string_of_int t
+  | None -> "infeasible"
+
+(* Exact solve with wall-clock measurement; also verifies the result. *)
+let exact_solve problem =
+  let start = Unix.gettimeofday () in
+  let r = Exact.solve problem in
+  let elapsed = Unix.gettimeofday () -. start in
+  (match r.Exact.solution with
+  | Some (arch, t) -> (
+      match Verify.check problem arch ~claimed_time:t with
+      | Ok () -> ()
+      | Error msg -> Printf.printf "!! verification failed: %s\n" msg)
+  | None -> ());
+  (r, elapsed)
+
+let ilp_solve ?formulation ?symmetry_breaking ?time_limit_s problem =
+  let r = Ilp.solve ?formulation ?symmetry_breaking ?time_limit_s problem in
+  (match r.Ilp.solution with
+  | Some (arch, t) -> (
+      match Verify.check problem arch ~claimed_time:t with
+      | Ok () -> ()
+      | Error msg -> Printf.printf "!! verification failed: %s\n" msg)
+  | None -> ());
+  r
+
+let check_agreement ~label exact_t ilp_r =
+  let ilp_t =
+    match ilp_r.Ilp.solution with Some (_, t) -> Some t | None -> None
+  in
+  if ilp_r.Ilp.optimal && ilp_t <> exact_t then
+    Printf.printf "!! %s: ILP (%s) and exact (%s) DISAGREE\n" label
+      (fmt_time_opt ilp_t) (fmt_time_opt exact_t)
+
+(* ------------------------------------------------------------------ *)
+(* E1: benchmark core test data.                                       *)
+
+let table_e1 () =
+  section "E1" "benchmark SOC core test data (Table 1)";
+  let dump soc =
+    Printf.printf "SOC %s:\n" (Soc.name soc);
+    let rows =
+      Soc.fold
+        (fun acc i core ->
+          acc
+          @ [ [ string_of_int i;
+                core.Core_def.name;
+                string_of_int core.Core_def.inputs;
+                string_of_int core.Core_def.outputs;
+                string_of_int (Core_def.flip_flops core);
+                string_of_int (Core_def.chains core);
+                string_of_int core.Core_def.patterns;
+                Table.fmt_float ~decimals:0 core.Core_def.power_mw;
+                string_of_int (Test_time.native_width core);
+                string_of_int (Test_time.base_cycles core) ] ])
+        [] soc
+    in
+    print_string
+      (Table.render
+         ~headers:
+           [ "#"; "core"; "in"; "out"; "ff"; "chains"; "patterns"; "mW";
+             "l_i"; "tau_i" ]
+         rows);
+    print_newline ()
+  in
+  dump (Benchmarks.s1 ());
+  dump (Benchmarks.s2 ())
+
+(* ------------------------------------------------------------------ *)
+(* E2-E4: optimal test time vs. total TAM width (Tables 2-4).          *)
+
+let width_sweep ~id ~soc ~num_buses ~widths ~ilp_time_limit =
+  section id
+    (Printf.sprintf
+       "optimal test time vs total width, SOC %s, %d buses" (Soc.name soc)
+       num_buses);
+  let rows =
+    List.map
+      (fun w ->
+        let problem = Problem.make soc ~num_buses ~total_width:w in
+        let exact, exact_s = exact_solve problem in
+        let exact_t =
+          match exact.Exact.solution with
+          | Some (_, t) -> Some t
+          | None -> None
+        in
+        let ilp = ilp_solve ~time_limit_s:ilp_time_limit problem in
+        check_agreement ~label:(Printf.sprintf "%s W=%d" id w) exact_t ilp;
+        let widths_str =
+          match exact.Exact.solution with
+          | Some (arch, _) ->
+              String.concat "+"
+                (List.map string_of_int
+                   (Array.to_list arch.Architecture.widths))
+          | None -> "-"
+        in
+        [ string_of_int w;
+          fmt_time_opt exact_t;
+          widths_str;
+          Table.fmt_float ~decimals:3 exact_s;
+          (match ilp.Ilp.solution with
+          | Some (_, t) ->
+              if ilp.Ilp.optimal then string_of_int t
+              else string_of_int t ^ "*"
+          | None -> if ilp.Ilp.optimal then "infeasible" else "t/o");
+          string_of_int ilp.Ilp.stats.Ilp.bb_nodes;
+          Table.fmt_float ilp.Ilp.stats.Ilp.elapsed_s ])
+      widths
+  in
+  print_string
+    (Table.render
+       ~headers:
+         [ "W"; "optimal T"; "widths"; "exact s"; "ILP T"; "ILP nodes";
+           "ILP s" ]
+       rows);
+  print_endline "(* = ILP budget expired; best found shown)"
+
+let table_e2 () =
+  width_sweep ~id:"E2" ~soc:(Benchmarks.s1 ()) ~num_buses:2
+    ~widths:[ 16; 20; 24; 28; 32 ] ~ilp_time_limit:30.0
+
+let table_e3 () =
+  width_sweep ~id:"E3" ~soc:(Benchmarks.s1 ()) ~num_buses:3
+    ~widths:[ 16; 20; 24; 28; 32 ] ~ilp_time_limit:30.0
+
+let table_e4 () =
+  width_sweep ~id:"E4a" ~soc:(Benchmarks.s2 ()) ~num_buses:2
+    ~widths:[ 24; 32; 40; 48 ] ~ilp_time_limit:45.0;
+  width_sweep ~id:"E4b" ~soc:(Benchmarks.s2 ()) ~num_buses:3
+    ~widths:[ 24; 32; 40; 48 ] ~ilp_time_limit:90.0
+
+(* ------------------------------------------------------------------ *)
+(* E5: place-and-route constraints (Table 5).                          *)
+
+let table_e5 () =
+  section "E5"
+    "effect of place-and-route constraints (routing budget sweep)";
+  let soc = Benchmarks.s2 () in
+  let fp = Floorplan.place soc in
+  let num_buses = 3 and total_width = 24 in
+  Printf.printf
+    "SOC S2, %d buses, W=%d; budget = distance quantile of the floorplan\n\n"
+    num_buses total_width;
+  let rows =
+    List.map
+      (fun q ->
+        let d_max = Layout_conflicts.distance_quantile fp q in
+        let exclusion_pairs =
+          Layout_conflicts.exclusion_pairs fp ~d_max_mm:d_max
+        in
+        let problem =
+          Problem.make soc
+            ~constraints:{ Problem.exclusion_pairs; co_pairs = [] }
+            ~num_buses ~total_width
+        in
+        let exact, exact_s = exact_solve problem in
+        let exact_t =
+          match exact.Exact.solution with Some (_, t) -> Some t | None -> None
+        in
+        let ilp = ilp_solve ~time_limit_s:30.0 problem in
+        check_agreement ~label:(Printf.sprintf "E5 q=%.2f" q) exact_t ilp;
+        let wire =
+          match exact.Exact.solution with
+          | Some (arch, _) ->
+              let w =
+                Routing.wiring fp
+                  ~assignment:arch.Architecture.assignment
+                  ~widths:arch.Architecture.widths
+              in
+              Table.fmt_float ~decimals:1 w.Routing.total_mm
+          | None -> "-"
+        in
+        [ Table.fmt_float q;
+          Table.fmt_float d_max;
+          string_of_int (List.length exclusion_pairs);
+          fmt_time_opt exact_t;
+          wire;
+          Table.fmt_float ~decimals:3 exact_s ])
+      [ 1.0; 0.9; 0.8; 0.7; 0.6; 0.5 ]
+  in
+  print_string
+    (Table.render
+       ~headers:
+         [ "quantile"; "d_max mm"; "excl pairs"; "optimal T"; "trunk mm";
+           "exact s" ]
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* E6: power constraints (Table 6).                                    *)
+
+let table_e6 () =
+  section "E6" "effect of power constraints (power budget sweep)";
+  let soc = Benchmarks.s2 () in
+  let num_buses = 3 and total_width = 24 in
+  let total = Power_model.total_power soc in
+  Printf.printf "SOC S2, %d buses, W=%d; total core power %.0f mW\n\n"
+    num_buses total_width total;
+  let rows =
+    List.map
+      (fun frac ->
+        let p_max = frac *. total in
+        let co_pairs =
+          Power_conflicts.co_assignment_pairs soc ~p_max_mw:p_max
+        in
+        let problem =
+          Problem.make soc
+            ~constraints:{ Problem.exclusion_pairs = []; co_pairs }
+            ~num_buses ~total_width
+        in
+        let exact, exact_s = exact_solve problem in
+        let exact_t =
+          match exact.Exact.solution with Some (_, t) -> Some t | None -> None
+        in
+        let ilp = ilp_solve ~time_limit_s:30.0 problem in
+        check_agreement ~label:(Printf.sprintf "E6 f=%.2f" frac) exact_t ilp;
+        let peak =
+          match exact.Exact.solution with
+          | Some (arch, _) ->
+              Table.fmt_float ~decimals:0
+                (Power_model.architecture_peak soc
+                   ~assignment:arch.Architecture.assignment ~num_buses)
+          | None -> "-"
+        in
+        [ Table.fmt_float frac;
+          Table.fmt_float ~decimals:0 p_max;
+          string_of_int (List.length co_pairs);
+          fmt_time_opt exact_t;
+          peak;
+          Table.fmt_float ~decimals:3 exact_s ])
+      [ 1.0; 0.8; 0.7; 0.6; 0.5; 0.45; 0.4 ]
+  in
+  print_string
+    (Table.render
+       ~headers:
+         [ "fraction"; "P_max mW"; "co pairs"; "optimal T"; "arch peak mW";
+           "exact s" ]
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* E7: combined constraints (Table 7).                                 *)
+
+let table_e7 () =
+  section "E7" "combined place-and-route + power constraints";
+  let soc = Benchmarks.s2 () in
+  let fp = Floorplan.place soc in
+  let num_buses = 3 and total_width = 24 in
+  let total = Power_model.total_power soc in
+  let rows =
+    List.concat_map
+      (fun q ->
+        List.map
+          (fun frac ->
+            let d_max = Layout_conflicts.distance_quantile fp q in
+            let exclusion_pairs =
+              Layout_conflicts.exclusion_pairs fp ~d_max_mm:d_max
+            in
+            let co_pairs =
+              Power_conflicts.co_assignment_pairs soc
+                ~p_max_mw:(frac *. total)
+            in
+            let problem =
+              Problem.make soc
+                ~constraints:{ Problem.exclusion_pairs; co_pairs }
+                ~num_buses ~total_width
+            in
+            let exact, _ = exact_solve problem in
+            [ Table.fmt_float q;
+              Table.fmt_float frac;
+              string_of_int (List.length exclusion_pairs);
+              string_of_int (List.length co_pairs);
+              (match exact.Exact.solution with
+              | Some (_, t) -> string_of_int t
+              | None -> "infeasible") ])
+          [ 1.0; 0.6; 0.45 ])
+      [ 1.0; 0.8; 0.6 ]
+  in
+  print_string
+    (Table.render
+       ~headers:[ "layout q"; "power frac"; "excl"; "co"; "optimal T" ]
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* F1: test time vs width curves.                                      *)
+
+let figure_f1 () =
+  section "F1" "test time vs total width curves (figure)";
+  let socs = [ Benchmarks.s1 (); Benchmarks.s2 () ] in
+  List.iter
+    (fun soc ->
+      Printf.printf "SOC %s:\n" (Soc.name soc);
+      let widths = List.init 12 (fun k -> 4 + (4 * k)) in
+      let headers =
+        "W" :: List.map (fun nb -> Printf.sprintf "T(nb=%d)" nb) [ 1; 2; 3 ]
+      in
+      let rows =
+        List.map
+          (fun w ->
+            string_of_int w
+            :: List.map
+                 (fun nb ->
+                   if w < nb then "-"
+                   else
+                     let problem =
+                       Problem.make soc ~num_buses:nb ~total_width:w
+                     in
+                     match (Exact.solve problem).Exact.solution with
+                     | Some (_, t) -> string_of_int t
+                     | None -> "-")
+                 [ 1; 2; 3 ])
+          widths
+      in
+      print_string (Table.render ~headers rows);
+      print_newline ())
+    socs
+
+(* ------------------------------------------------------------------ *)
+(* F2: power profile of a schedule before/after power constraints.     *)
+
+let figure_f2 () =
+  section "F2" "power profile before/after power constraints (figure)";
+  let soc = Benchmarks.s2 () in
+  let num_buses = 3 and total_width = 24 in
+  let total = Power_model.total_power soc in
+  let plot name constraints =
+    let problem = Problem.make soc ~constraints ~num_buses ~total_width in
+    match (Exact.solve problem).Exact.solution with
+    | None -> Printf.printf "%s: infeasible\n" name
+    | Some (arch, t) ->
+        let sched = Schedule.of_architecture problem arch in
+        let profile = Profile.of_schedule problem sched in
+        Printf.printf "%s: T=%d, schedule peak %.0f mW\n" name t
+          (Profile.peak profile);
+        print_string (Gantt.render_profile ~rows:8 profile);
+        print_newline ()
+  in
+  plot "unconstrained" Problem.no_constraints;
+  let p_max = 0.45 *. total in
+  plot
+    (Printf.sprintf "P_max = %.0f mW" p_max)
+    { Problem.exclusion_pairs = [];
+      co_pairs = Power_conflicts.co_assignment_pairs soc ~p_max_mw:p_max }
+
+(* ------------------------------------------------------------------ *)
+(* F3: TAM wirelength vs number of buses.                              *)
+
+let figure_f3 () =
+  section "F3" "TAM trunk wirelength vs number of buses (figure)";
+  List.iter
+    (fun soc ->
+      let fp = Floorplan.place soc in
+      let total_width = 24 in
+      Printf.printf "SOC %s, W=%d:\n" (Soc.name soc) total_width;
+      let rows =
+        List.filter_map
+          (fun nb ->
+            let problem = Problem.make soc ~num_buses:nb ~total_width in
+            match (Exact.solve problem).Exact.solution with
+            | None -> None
+            | Some (arch, t) ->
+                let w =
+                  Routing.wiring fp
+                    ~assignment:arch.Architecture.assignment
+                    ~widths:arch.Architecture.widths
+                in
+                Some
+                  [ string_of_int nb;
+                    string_of_int t;
+                    Table.fmt_float ~decimals:1 w.Routing.total_mm;
+                    Table.fmt_float ~decimals:1 w.Routing.wire_area ])
+          [ 1; 2; 3; 4 ]
+      in
+      print_string
+        (Table.render
+           ~headers:[ "buses"; "optimal T"; "trunk mm"; "wire area" ]
+           rows);
+      print_newline ())
+    [ Benchmarks.s1 (); Benchmarks.s2 () ]
+
+(* ------------------------------------------------------------------ *)
+(* A1: big-M vs product-linearized ILP formulation.                    *)
+
+let table_a1 () =
+  section "A1" "ablation: big-M vs product-linearized formulation";
+  let soc = Benchmarks.s1 () in
+  let rows =
+    List.concat_map
+      (fun w ->
+        let problem = Problem.make soc ~num_buses:2 ~total_width:w in
+        List.map
+          (fun (name, formulation) ->
+            let r = ilp_solve ~formulation ~time_limit_s:60.0 problem in
+            [ string_of_int w;
+              name;
+              (match r.Ilp.solution with
+              | Some (_, t) -> string_of_int t
+              | None -> "infeasible");
+              string_of_int r.Ilp.stats.Ilp.variables;
+              string_of_int r.Ilp.stats.Ilp.constraints;
+              string_of_int r.Ilp.stats.Ilp.bb_nodes;
+              string_of_int r.Ilp.stats.Ilp.lp_pivots;
+              Table.fmt_float r.Ilp.stats.Ilp.elapsed_s ])
+          [ ("big-M", Ilp.Big_m); ("linearized", Ilp.Linearized) ])
+      [ 10; 12; 14 ]
+  in
+  print_string
+    (Table.render
+       ~headers:
+         [ "W"; "formulation"; "T"; "vars"; "rows"; "nodes"; "pivots"; "s" ]
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* A2: symmetry breaking on/off.                                       *)
+
+let table_a2 () =
+  section "A2" "ablation: bus-width symmetry breaking";
+  let soc = Benchmarks.s1 () in
+  let rows =
+    List.concat_map
+      (fun w ->
+        let problem = Problem.make soc ~num_buses:3 ~total_width:w in
+        List.map
+          (fun (name, sym) ->
+            let r =
+              ilp_solve ~symmetry_breaking:sym ~time_limit_s:60.0 problem
+            in
+            [ string_of_int w;
+              name;
+              (match r.Ilp.solution with
+              | Some (_, t) -> string_of_int t
+              | None -> "infeasible");
+              string_of_int r.Ilp.stats.Ilp.bb_nodes;
+              Table.fmt_float r.Ilp.stats.Ilp.elapsed_s ])
+          [ ("on", true); ("off", false) ])
+      [ 12; 16; 20 ]
+  in
+  print_string
+    (Table.render ~headers:[ "W"; "symmetry"; "T"; "nodes"; "s" ] rows)
+
+(* ------------------------------------------------------------------ *)
+(* A3: serialization vs scan-distribution test-time model.             *)
+
+let table_a3 () =
+  section "A3" "ablation: serialization vs scan-distribution time model";
+  let soc = Benchmarks.s1 () in
+  let rows =
+    List.map
+      (fun w ->
+        let solve model =
+          let problem =
+            Problem.make ~time_model:model soc ~num_buses:2 ~total_width:w
+          in
+          match (Exact.solve problem).Exact.solution with
+          | Some (_, t) -> string_of_int t
+          | None -> "-"
+        in
+        [ string_of_int w;
+          solve Test_time.Serialization;
+          solve Test_time.Scan_distribution ])
+      [ 8; 12; 16; 20; 24; 28; 32 ]
+  in
+  print_string
+    (Table.render
+       ~headers:[ "W"; "T serialization"; "T scan-distribution" ]
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* A4: heuristic vs optimal gap.                                       *)
+
+let table_a4 () =
+  section "A4" "baselines: greedy+LS and annealing vs optimal (random SOCs)";
+  let rows =
+    List.map
+      (fun seed ->
+        let soc = Benchmarks.random ~seed ~num_cores:9 () in
+        let problem = Problem.make soc ~num_buses:2 ~total_width:16 in
+        let optimum =
+          match (Exact.solve problem).Exact.solution with
+          | Some (_, t) -> t
+          | None -> -1
+        in
+        let heuristic =
+          match Heuristics.solve ~seed problem with
+          | Some h -> h.Heuristics.test_time
+          | None -> -1
+        in
+        let annealed =
+          match Annealing.solve ~seed problem with
+          | Some a -> a.Annealing.test_time
+          | None -> -1
+        in
+        let descended =
+          match Heuristics.solve ~seed problem with
+          | Some h -> (
+              match
+                Width_dp.alternate problem ~start:h.Heuristics.architecture
+              with
+              | Some (_, t) -> t
+              | None -> -1)
+          | None -> -1
+        in
+        let gap v =
+          Table.fmt_float
+            (100.0 *. (float_of_int v /. float_of_int optimum -. 1.0))
+          ^ "%"
+        in
+        [ Printf.sprintf "rnd:%d" seed;
+          string_of_int optimum;
+          string_of_int heuristic;
+          gap heuristic;
+          string_of_int annealed;
+          gap annealed;
+          string_of_int descended;
+          gap descended ])
+      (List.init 10 (fun k -> 200 + k))
+  in
+  print_string
+    (Table.render
+       ~headers:
+         [ "soc"; "optimal"; "greedy+LS"; "gap"; "annealing"; "gap";
+           "alt-descent"; "gap" ]
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* A5: power handling: structural co-assignment vs staggered schedule. *)
+
+let table_a5 () =
+  section "A5" "extension: structural co-assignment vs staggered scheduling";
+  let soc = Benchmarks.s2 () in
+  let num_buses = 3 and total_width = 24 in
+  let total = Power_model.total_power soc in
+  let unconstrained = Problem.make soc ~num_buses ~total_width in
+  let free_arch, free_t =
+    match (Exact.solve unconstrained).Exact.solution with
+    | Some (arch, t) -> (arch, t)
+    | None -> assert false
+  in
+  Printf.printf "unconstrained optimum: %d cycles\n\n" free_t;
+  let rows =
+    List.map
+      (fun frac ->
+        let p_max = frac *. total in
+        let co_pairs =
+          Power_conflicts.co_assignment_pairs soc ~p_max_mw:p_max
+        in
+        let constrained =
+          Problem.make soc
+            ~constraints:{ Problem.exclusion_pairs = []; co_pairs }
+            ~num_buses ~total_width
+        in
+        let structural =
+          match (Exact.solve constrained).Exact.solution with
+          | Some (_, t) -> string_of_int t
+          | None -> "infeasible"
+        in
+        let staggered =
+          match
+            Power_sched.stagger unconstrained free_arch ~p_max_mw:p_max
+          with
+          | Some { Power_sched.makespan; _ } -> string_of_int makespan
+          | None -> "impossible"
+        in
+        [ Table.fmt_float frac;
+          Table.fmt_float ~decimals:0 p_max;
+          structural;
+          staggered ])
+      [ 0.8; 0.6; 0.5; 0.45; 0.4; 0.35 ]
+  in
+  print_string
+    (Table.render
+       ~headers:[ "fraction"; "P_max mW"; "T co-assignment"; "T staggered" ]
+       rows);
+  print_endline
+    "(neither strategy dominates: co-assignment re-optimizes the\n\
+    \ architecture but over-serializes; staggering keeps the width-optimal\n\
+    \ architecture but inserts idle time)"
+
+(* ------------------------------------------------------------------ *)
+(* B1: flexible-width rectangle scheduling vs the fixed-bus model.     *)
+
+let table_b1 () =
+  section "B1"
+    "extension: flexible-width rectangle scheduling vs fixed buses";
+  let module Rect_sched = Soctam_sched.Rect_sched in
+  List.iter
+    (fun (soc, time_model) ->
+      Printf.printf "SOC %s, %s model (2 fixed buses vs free rectangles):\n"
+        (Soc.name soc)
+        (Test_time.model_name time_model);
+      let rows =
+        List.map
+          (fun w ->
+            let problem =
+              Problem.make ~time_model soc ~num_buses:2 ~total_width:w
+            in
+            let fixed =
+              match (Exact.solve problem).Exact.solution with
+              | Some (_, t) -> t
+              | None -> -1
+            in
+            let flexible =
+              match Rect_sched.solve problem with
+              | Some sched -> (
+                  match Rect_sched.validate problem sched with
+                  | Ok () -> sched.Rect_sched.makespan
+                  | Error msg ->
+                      Printf.printf "!! B1 invalid schedule: %s\n" msg;
+                      -1)
+              | None -> -1
+            in
+            let lb = Rect_sched.lower_bound problem in
+            [ string_of_int w;
+              string_of_int fixed;
+              string_of_int flexible;
+              Table.fmt_float
+                (100.0
+                *. (1.0 -. (float_of_int flexible /. float_of_int fixed)))
+              ^ "%";
+              string_of_int lb ])
+          [ 8; 16; 24; 32; 40 ]
+      in
+      print_string
+        (Table.render
+           ~headers:
+             [ "W"; "T fixed-bus opt"; "T flexible"; "saved"; "area LB" ]
+           rows);
+      print_newline ())
+    [ (Benchmarks.s1 (), Test_time.Serialization);
+      (Benchmarks.s2 (), Test_time.Serialization);
+      (Benchmarks.s1 (), Test_time.Scan_distribution);
+      (Benchmarks.s2 (), Test_time.Scan_distribution) ];
+  print_endline
+    "(per-core width selection + rectangle packing generalizes the\n\
+    \ fixed-bus model; under the serialization staircase the fixed-bus\n\
+    \ optimum already sits on the area bound, while the wrapper-aware\n\
+    \ scan-distribution model leaves real room -- the gap the successor\n\
+    \ formulations of this paper series went after)"
+
+(* ------------------------------------------------------------------ *)
+(* A9: width sub-problem P2: polynomial DP and alternating descent.    *)
+
+let table_a9 () =
+  section "A9"
+    "sub-problem P2: polynomial width DP + alternating coordinate descent";
+  let rows =
+    List.map
+      (fun (soc, nb, w) ->
+        let problem = Problem.make soc ~num_buses:nb ~total_width:w in
+        (* Fixed round-robin assignment for the width sub-problem. *)
+        let n = Soc.num_cores soc in
+        let assignment = Array.init n (fun i -> i mod nb) in
+        let t0 = Unix.gettimeofday () in
+        let wdp = Width_dp.solve problem ~assignment in
+        let dp_s = Unix.gettimeofday () -. t0 in
+        let start =
+          Architecture.make
+            ~widths:(Array.make nb (w / nb) |> fun a ->
+                     a.(0) <- a.(0) + (w mod nb);
+                     a)
+            ~assignment
+        in
+        let descent =
+          match Width_dp.alternate problem ~start with
+          | Some (_, t) -> t
+          | None -> -1
+        in
+        let optimum =
+          match (Exact.solve problem).Exact.solution with
+          | Some (_, t) -> t
+          | None -> -1
+        in
+        [ Soc.name soc;
+          Printf.sprintf "%d/%d" nb w;
+          string_of_int (Cost.test_time problem start);
+          string_of_int wdp.Width_dp.test_time;
+          Table.fmt_float ~decimals:5 dp_s;
+          string_of_int descent;
+          string_of_int optimum ])
+      [ (Benchmarks.s1 (), 2, 16); (Benchmarks.s1 (), 3, 24);
+        (Benchmarks.s2 (), 2, 32); (Benchmarks.s2 (), 3, 48);
+        (Benchmarks.s3 (), 3, 32) ]
+  in
+  print_string
+    (Table.render
+       ~headers:
+         [ "soc"; "nb/W"; "T start"; "T width-DP"; "DP s";
+           "T alt-descent"; "T optimum" ]
+       rows);
+  print_endline
+    "(width DP optimizes widths for a fixed round-robin assignment;
+    \ alternating descent then re-optimizes both coordinates to a
+    \ fixpoint, which lands on or near the global optimum)"
+
+(* ------------------------------------------------------------------ *)
+(* A7: assignment-only sub-problem (P1): ILP vs subset-DP.             *)
+
+let table_a7 () =
+  section "A7" "assignment sub-problem P1: ILP vs assignment DP";
+  let rows =
+    List.filter_map
+      (fun (soc, widths) ->
+        let nb = Array.length widths in
+        let w = Array.fold_left ( + ) 0 widths in
+        let problem = Problem.make soc ~num_buses:nb ~total_width:w in
+        let t0 = Unix.gettimeofday () in
+        let dp = Dp_assign.solve problem ~widths in
+        let dp_s = Unix.gettimeofday () -. t0 in
+        let ilp = Ilp.solve_assignment ~time_limit_s:30.0 problem ~widths in
+        let dp_t =
+          match dp with Some o -> Some o.Dp_assign.test_time | None -> None
+        in
+        let ilp_t =
+          match ilp.Ilp.solution with Some (_, t) -> Some t | None -> None
+        in
+        if ilp.Ilp.optimal && dp_t <> ilp_t then
+          Printf.printf "!! A7 DISAGREE on %s %s\n" (Soc.name soc)
+            (String.concat "+"
+               (List.map string_of_int (Array.to_list widths)));
+        Some
+          [ Soc.name soc;
+            String.concat "+"
+              (List.map string_of_int (Array.to_list widths));
+            fmt_time_opt dp_t;
+            Table.fmt_float ~decimals:4 dp_s;
+            fmt_time_opt ilp_t;
+            string_of_int ilp.Ilp.stats.Ilp.bb_nodes;
+            Table.fmt_float ~decimals:3 ilp.Ilp.stats.Ilp.elapsed_s ])
+      [ (Benchmarks.s1 (), [| 11; 5 |]);
+        (Benchmarks.s1 (), [| 18; 4; 2 |]);
+        (Benchmarks.s2 (), [| 16; 8 |]);
+        (Benchmarks.s2 (), [| 16; 13; 3 |]);
+        (Benchmarks.s3 (), [| 12; 8; 4 |]) ]
+  in
+  print_string
+    (Table.render
+       ~headers:
+         [ "soc"; "widths"; "DP T"; "DP s"; "ILP T"; "ILP nodes"; "ILP s" ]
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* A8: wrapper balancing: LPT vs exact optimum.                        *)
+
+let table_a8 () =
+  section "A8" "ablation: LPT vs exact wrapper balancing";
+  let module Wrapper = Soctam_soc.Wrapper in
+  let rows =
+    List.concat_map
+      (fun name ->
+        let core = Benchmarks.core_by_name name in
+        List.filter_map
+          (fun width ->
+            let lpt = Wrapper.design core ~tam_width:width in
+            let opt = Wrapper.design_optimal core ~tam_width:width in
+            let p = core.Core_def.patterns in
+            let t d =
+              ((1 + max d.Wrapper.si d.Wrapper.so) * p)
+              + min d.Wrapper.si d.Wrapper.so
+            in
+            if lpt = opt then None
+            else
+              Some
+                [ name;
+                  string_of_int width;
+                  Printf.sprintf "%d/%d" lpt.Wrapper.si lpt.Wrapper.so;
+                  Printf.sprintf "%d/%d" opt.Wrapper.si opt.Wrapper.so;
+                  string_of_int (t lpt);
+                  string_of_int (t opt) ])
+          [ 2; 3; 4; 5; 6; 7; 8; 10; 12; 14 ])
+      Benchmarks.library_names
+  in
+  if rows = [] then
+    print_endline
+      "LPT is optimal for every library core and width in the sweep\n\
+       (internal chains are near-uniform, where LPT is provably exact);\n\
+       the classic counterexample lives in the unit tests."
+  else
+    print_string
+      (Table.render
+         ~headers:
+           [ "core"; "width"; "LPT si/so"; "opt si/so"; "T(LPT)"; "T(opt)" ]
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* F4: width/time trade-off curve with knee detection (extension).     *)
+
+let figure_f4 () =
+  section "F4" "extension: width/time trade-off curve and knee";
+  List.iter
+    (fun soc ->
+      let widths = List.init 23 (fun k -> 2 + (2 * k)) in
+      let curve =
+        Soctam_plan.Tradeoff.curve soc ~num_buses:2 ~widths
+      in
+      let pareto = Soctam_plan.Tradeoff.pareto curve in
+      Printf.printf "SOC %s: %d budgets, %d Pareto points\n" (Soc.name soc)
+        (List.length curve) (List.length pareto);
+      let rows =
+        List.map
+          (fun { Soctam_plan.Tradeoff.total_width; test_time } ->
+            [ string_of_int total_width; string_of_int test_time ])
+          pareto
+      in
+      print_string (Table.render ~headers:[ "W"; "T_opt" ] rows);
+      (match Soctam_plan.Tradeoff.knee curve with
+      | Some { Soctam_plan.Tradeoff.total_width; test_time } ->
+          Printf.printf "knee: W=%d (T=%d)\n\n" total_width test_time
+      | None -> print_newline ()))
+    [ Benchmarks.s1 (); Benchmarks.s2 () ]
+
+(* ------------------------------------------------------------------ *)
+(* A6: wirelength tie-breaking among time-optimal architectures.       *)
+
+let table_a6 () =
+  section "A6"
+    "extension: trunk wirelength tie-breaking among time-optimal designs";
+  let rows =
+    List.concat_map
+      (fun (soc, nb, w) ->
+        let fp = Floorplan.place soc in
+        let problem = Problem.make soc ~num_buses:nb ~total_width:w in
+        match (Exact.solve problem).Exact.solution with
+        | None -> []
+        | Some (first_arch, t) ->
+            let first_mm =
+              (Routing.wiring fp
+                 ~assignment:first_arch.Architecture.assignment
+                 ~widths:first_arch.Architecture.widths)
+                .Routing.total_mm
+            in
+            (match Soctam_plan.Wire_opt.solve problem fp with
+            | None -> []
+            | Some r ->
+                [ [ Soc.name soc;
+                    string_of_int nb;
+                    string_of_int w;
+                    string_of_int t;
+                    string_of_int r.Soctam_plan.Wire_opt.optima_enumerated
+                    ^ (if r.Soctam_plan.Wire_opt.capped then "+" else "");
+                    Table.fmt_float ~decimals:1 first_mm;
+                    Table.fmt_float ~decimals:1
+                      r.Soctam_plan.Wire_opt.trunk_mm;
+                    Table.fmt_float ~decimals:1
+                      (100.0
+                      *. (1.0
+                         -. (r.Soctam_plan.Wire_opt.trunk_mm /. first_mm)))
+                    ^ "%" ] ]))
+      [ (Benchmarks.s1 (), 2, 16);
+        (Benchmarks.s1 (), 3, 18);
+        (Benchmarks.s2 (), 2, 24);
+        (Benchmarks.s2 (), 3, 24) ]
+  in
+  print_string
+    (Table.render
+       ~headers:
+         [ "soc"; "nb"; "W"; "T_opt"; "optima"; "first mm"; "best mm";
+           "saved" ]
+       rows);
+  print_endline "(+ = enumeration cap reached; best-found wirelength shown)"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per experiment family.     *)
+
+let bechamel_section () =
+  section "TIMING" "bechamel micro-benchmarks";
+  let open Bechamel in
+  let s1 = Benchmarks.s1 () in
+  let s2 = Benchmarks.s2 () in
+  let p_small = Problem.make s1 ~num_buses:2 ~total_width:16 in
+  let p_mid = Problem.make s1 ~num_buses:3 ~total_width:24 in
+  let p_large = Problem.make s2 ~num_buses:3 ~total_width:24 in
+  let tests =
+    Test.make_grouped ~name:"soctam"
+      [ Test.make ~name:"E2:exact_s1_nb2_w16"
+          (Staged.stage (fun () -> ignore (Exact.solve p_small)));
+        Test.make ~name:"E3:exact_s1_nb3_w24"
+          (Staged.stage (fun () -> ignore (Exact.solve p_mid)));
+        Test.make ~name:"E4:exact_s2_nb3_w24"
+          (Staged.stage (fun () -> ignore (Exact.solve p_large)));
+        Test.make ~name:"E2:ilp_s1_nb2_w16"
+          (Staged.stage (fun () -> ignore (Ilp.solve p_small)));
+        Test.make ~name:"A4:heuristic_s1"
+          (Staged.stage (fun () -> ignore (Heuristics.solve p_small)));
+        Test.make ~name:"E5:floorplan_s2"
+          (Staged.stage (fun () -> ignore (Floorplan.place s2)));
+        Test.make ~name:"F3:wiring_s2"
+          (Staged.stage (fun () ->
+               let fp = Floorplan.place s2 in
+               ignore
+                 (Routing.wiring fp
+                    ~assignment:(Array.make (Soc.num_cores s2) 0)
+                    ~widths:[| 4 |])));
+        Test.make ~name:"F2:schedule_profile_s2"
+          (Staged.stage (fun () ->
+               let arch =
+                 Architecture.make ~widths:[| 12; 12 |]
+                   ~assignment:
+                     (Array.init (Soc.num_cores s2) (fun i -> i mod 2))
+               in
+               let p = Problem.make s2 ~num_buses:2 ~total_width:24 in
+               let sched = Schedule.of_architecture p arch in
+               ignore (Profile.of_schedule p sched))) ]
+  in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false
+      ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        let est =
+          match Analyze.OLS.estimates result with
+          | Some (v :: _) -> v
+          | Some [] | None -> Float.nan
+        in
+        [ name;
+          Table.fmt_float ~decimals:0 est;
+          Table.fmt_float ~decimals:6 (est /. 1e9) ]
+        :: acc)
+      results []
+    |> List.sort compare
+  in
+  print_string (Table.render ~headers:[ "benchmark"; "ns/run"; "s/run" ] rows)
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  print_endline
+    "soctam benchmark harness - reproduction of Chakrabarty, DAC 2000";
+  print_endline
+    "(see DESIGN.md for the experiment index, EXPERIMENTS.md for analysis)";
+  table_e1 ();
+  table_e2 ();
+  table_e3 ();
+  table_e4 ();
+  table_e5 ();
+  table_e6 ();
+  table_e7 ();
+  figure_f1 ();
+  figure_f2 ();
+  figure_f3 ();
+  table_a1 ();
+  table_a2 ();
+  table_a3 ();
+  table_a4 ();
+  table_a5 ();
+  table_a7 ();
+  table_a8 ();
+  table_a9 ();
+  table_b1 ();
+  figure_f4 ();
+  table_a6 ();
+  bechamel_section ();
+  Printf.printf "\ntotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,378 @@
+(* tamopt: command-line front end for SOC test access architecture
+   design under place-and-route and power constraints. *)
+
+module Problem = Soctam_core.Problem
+module Architecture = Soctam_core.Architecture
+module Cost = Soctam_core.Cost
+module Exact = Soctam_core.Exact
+module Ilp = Soctam_core.Ilp_formulation
+module Heuristics = Soctam_core.Heuristics
+module Verify = Soctam_core.Verify
+module Soc = Soctam_soc.Soc
+module Core_def = Soctam_soc.Core_def
+module Test_time = Soctam_soc.Test_time
+module Benchmarks = Soctam_soc.Benchmarks
+module Floorplan = Soctam_layout.Floorplan
+module Routing = Soctam_layout.Routing
+module Layout_conflicts = Soctam_layout.Conflicts
+module Power_conflicts = Soctam_power.Power_conflicts
+module Power_model = Soctam_power.Power_model
+module Schedule = Soctam_sched.Schedule
+module Gantt = Soctam_sched.Gantt
+module Table = Soctam_report.Table
+
+let lookup_soc = function
+  | "s1" | "S1" -> Benchmarks.s1 ()
+  | "s2" | "S2" -> Benchmarks.s2 ()
+  | "s3" | "S3" -> Benchmarks.s3 ()
+  | spec -> (
+      (* "rnd:<seed>:<cores>" builds a reproducible random SOC;
+         "file:<path>" loads a textual description (see Soc_file). *)
+      match String.split_on_char ':' spec with
+      | [ "rnd"; seed; n ] -> (
+          match (int_of_string_opt seed, int_of_string_opt n) with
+          | Some seed, Some n -> Benchmarks.random ~seed ~num_cores:n ()
+          | _ ->
+              raise
+                (Invalid_argument
+                   "rnd:<seed>:<n> takes two integers"))
+      | "file" :: rest -> (
+          let path = String.concat ":" rest in
+          match Soctam_soc.Soc_file.of_file path with
+          | Ok soc -> soc
+          | Error msg ->
+              raise
+                (Invalid_argument (Printf.sprintf "%s: %s" path msg)))
+      | _ ->
+          raise
+            (Invalid_argument
+               (Printf.sprintf
+                  "unknown SOC %S (use s1, s2, s3, rnd:<seed>:<n> or \
+                   file:<path>)" spec)))
+
+let build_problem soc ~num_buses ~total_width ~model ~d_max ~p_max =
+  let time_model =
+    match model with
+    | "serialization" -> Test_time.Serialization
+    | "scan" -> Test_time.Scan_distribution
+    | other ->
+        raise
+          (Invalid_argument
+             (Printf.sprintf "unknown time model %S" other))
+  in
+  let exclusion_pairs =
+    match d_max with
+    | None -> []
+    | Some budget ->
+        let fp = Floorplan.place soc in
+        Layout_conflicts.exclusion_pairs fp ~d_max_mm:budget
+  in
+  let co_pairs =
+    match p_max with
+    | None -> []
+    | Some budget -> Power_conflicts.co_assignment_pairs soc ~p_max_mw:budget
+  in
+  Problem.make ~time_model
+    ~constraints:{ Problem.exclusion_pairs; co_pairs }
+    soc ~num_buses ~total_width
+
+let print_solution problem soc solution ~show_gantt =
+  match solution with
+  | None ->
+      print_endline "No feasible architecture (constraints contradictory).";
+      1
+  | Some (arch, test_time) ->
+      (match Verify.check problem arch ~claimed_time:test_time with
+      | Ok () -> ()
+      | Error msg -> Printf.printf "WARNING: verifier complaint: %s\n" msg);
+      Printf.printf "Test time: %d cycles\n" test_time;
+      let nb = Architecture.num_buses arch in
+      let rows =
+        List.init nb (fun bus ->
+            let members = Architecture.bus_members arch ~bus in
+            [ string_of_int bus;
+              string_of_int arch.Architecture.widths.(bus);
+              string_of_int (Cost.bus_time problem arch ~bus);
+              String.concat " "
+                (List.map
+                   (fun i -> (Soc.core soc i).Core_def.name)
+                   members) ])
+      in
+      print_string
+        (Table.render
+           ~aligns:[ Table.Right; Table.Right; Table.Right; Table.Left ]
+           ~headers:[ "bus"; "width"; "time"; "cores" ]
+           rows);
+      if show_gantt then begin
+        print_newline ();
+        print_string (Gantt.render problem (Schedule.of_architecture problem arch))
+      end;
+      0
+
+open Cmdliner
+
+let soc_arg =
+  let doc =
+    "SOC to optimize: s1, s2, s3, rnd:<seed>:<cores> or file:<path>."
+  in
+  Arg.(value & opt string "s1" & info [ "soc" ] ~docv:"SOC" ~doc)
+
+let buses_arg =
+  let doc = "Number of test buses." in
+  Arg.(value & opt int 2 & info [ "b"; "buses" ] ~docv:"NB" ~doc)
+
+let width_arg =
+  let doc = "Total TAM width budget (wires)." in
+  Arg.(value & opt int 16 & info [ "w"; "width" ] ~docv:"W" ~doc)
+
+let model_arg =
+  let doc = "Test-time model: serialization (paper) or scan." in
+  Arg.(value & opt string "serialization" & info [ "model" ] ~docv:"MODEL" ~doc)
+
+let d_max_arg =
+  let doc =
+    "Place-and-route budget in mm: cores further apart than this may not \
+     share a bus."
+  in
+  Arg.(value & opt (some float) None & info [ "d-max" ] ~docv:"MM" ~doc)
+
+let p_max_arg =
+  let doc =
+    "Power budget in mW: core pairs exceeding it are forced onto one bus."
+  in
+  Arg.(value & opt (some float) None & info [ "p-max" ] ~docv:"MW" ~doc)
+
+let solver_arg =
+  let doc = "Solver: exact (enumeration+DP), ilp, or heuristic." in
+  Arg.(value & opt string "exact" & info [ "solver" ] ~docv:"SOLVER" ~doc)
+
+let gantt_arg =
+  let doc = "Print an ASCII Gantt chart of the resulting schedule." in
+  Arg.(value & flag & info [ "gantt" ] ~doc)
+
+let time_limit_arg =
+  let doc = "ILP time limit in seconds." in
+  Arg.(value & opt float 60.0 & info [ "time-limit" ] ~docv:"S" ~doc)
+
+let solve_cmd =
+  let run soc_name num_buses total_width model d_max p_max solver gantt
+      time_limit =
+    try
+      let soc = lookup_soc soc_name in
+      let problem =
+        build_problem soc ~num_buses ~total_width ~model ~d_max ~p_max
+      in
+      let solution =
+        match solver with
+        | "exact" -> (Exact.solve problem).Exact.solution
+        | "ilp" ->
+            let r = Ilp.solve ~time_limit_s:time_limit problem in
+            if not r.Ilp.optimal then
+              print_endline "note: ILP budget expired; best-found shown";
+            r.Ilp.solution
+        | "heuristic" -> (
+            match Heuristics.solve problem with
+            | Some { Heuristics.architecture; test_time } ->
+                Some (architecture, test_time)
+            | None -> None)
+        | other ->
+            raise
+              (Invalid_argument (Printf.sprintf "unknown solver %S" other))
+      in
+      print_solution problem soc solution ~show_gantt:gantt
+    with Invalid_argument msg ->
+      Printf.eprintf "error: %s\n" msg;
+      2
+  in
+  let term =
+    Term.(
+      const run $ soc_arg $ buses_arg $ width_arg $ model_arg $ d_max_arg
+      $ p_max_arg $ solver_arg $ gantt_arg $ time_limit_arg)
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Design one optimal test access architecture.")
+    term
+
+let sweep_cmd =
+  let widths_arg =
+    let doc = "Comma-separated list of total widths to sweep." in
+    Arg.(value & opt string "16,24,32" & info [ "widths" ] ~docv:"LIST" ~doc)
+  in
+  let run soc_name num_buses widths model d_max p_max =
+    try
+      let soc = lookup_soc soc_name in
+      let parse_width word =
+        match int_of_string_opt (String.trim word) with
+        | Some w -> w
+        | None ->
+            raise
+              (Invalid_argument
+                 (Printf.sprintf "%S is not a width" word))
+      in
+      let widths = List.map parse_width (String.split_on_char ',' widths) in
+      let rows =
+        List.map
+          (fun total_width ->
+            let problem =
+              build_problem soc ~num_buses ~total_width ~model ~d_max ~p_max
+            in
+            let start = Unix.gettimeofday () in
+            let result = Exact.solve problem in
+            let elapsed = Unix.gettimeofday () -. start in
+            match result.Exact.solution with
+            | Some (_, t) ->
+                [ string_of_int total_width; string_of_int t;
+                  Table.fmt_float ~decimals:3 elapsed ]
+            | None ->
+                [ string_of_int total_width; "infeasible";
+                  Table.fmt_float ~decimals:3 elapsed ])
+          widths
+      in
+      print_string
+        (Table.render ~headers:[ "W"; "test time"; "cpu (s)" ] rows);
+      0
+    with Invalid_argument msg ->
+      Printf.eprintf "error: %s\n" msg;
+      2
+  in
+  let term =
+    Term.(
+      const run $ soc_arg $ buses_arg $ widths_arg $ model_arg $ d_max_arg
+      $ p_max_arg)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Sweep total TAM width and report optimal test times.")
+    term
+
+let info_cmd =
+  let run soc_name =
+    try
+      let soc = lookup_soc soc_name in
+      let rows =
+        Soc.fold
+          (fun acc i core ->
+            acc
+            @ [ [ string_of_int i;
+                  core.Core_def.name;
+                  string_of_int core.Core_def.inputs;
+                  string_of_int core.Core_def.outputs;
+                  string_of_int (Core_def.flip_flops core);
+                  string_of_int (Core_def.chains core);
+                  string_of_int core.Core_def.patterns;
+                  Table.fmt_float ~decimals:0 core.Core_def.power_mw;
+                  string_of_int (Test_time.native_width core);
+                  string_of_int (Test_time.base_cycles core) ] ])
+          [] soc
+      in
+      Printf.printf "SOC %s (%d cores)\n" (Soc.name soc) (Soc.num_cores soc);
+      print_string
+        (Table.render
+           ~headers:
+             [ "#"; "core"; "in"; "out"; "ff"; "ch"; "pat"; "mW"; "l_i";
+               "tau_i" ]
+           rows);
+      let fp = Floorplan.place soc in
+      let dw, dh = Floorplan.die_mm fp in
+      Printf.printf "\nFloorplan %.1f x %.1f mm:\n%s" dw dh
+        (Floorplan.sketch fp soc);
+      Printf.printf "\nMax pairwise distance: %.2f mm; power budget floor: %.0f mW\n"
+        (Layout_conflicts.max_distance fp)
+        (Power_conflicts.feasible_p_max soc);
+      let wiring =
+        Routing.wiring fp
+          ~assignment:(Array.make (Soc.num_cores soc) 0)
+          ~widths:[| 1 |]
+      in
+      Printf.printf "Single-trunk tour over all cores: %.2f mm\n"
+        wiring.Routing.total_mm;
+      ignore (Power_model.total_power soc);
+      0
+    with Invalid_argument msg ->
+      Printf.eprintf "error: %s\n" msg;
+      2
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Describe an SOC: cores, floorplan, budgets.")
+    Term.(const run $ soc_arg)
+
+let plan_cmd =
+  let widths_arg =
+    let doc = "Comma-separated wire budgets for the trade-off curve." in
+    Arg.(
+      value
+      & opt string "4,8,12,16,20,24,28,32,36,40,44,48"
+      & info [ "widths" ] ~docv:"LIST" ~doc)
+  in
+  let run soc_name num_buses widths =
+    try
+      let soc = lookup_soc soc_name in
+      let parse_width word =
+        match int_of_string_opt (String.trim word) with
+        | Some w -> w
+        | None ->
+            raise
+              (Invalid_argument
+                 (Printf.sprintf "%S is not a width" word))
+      in
+      let widths = List.map parse_width (String.split_on_char ',' widths) in
+      let curve = Soctam_plan.Tradeoff.curve soc ~num_buses ~widths in
+      let pareto = Soctam_plan.Tradeoff.pareto curve in
+      print_string
+        (Table.render
+           ~headers:[ "W"; "optimal T" ]
+           (List.map
+              (fun pt ->
+                [ string_of_int pt.Soctam_plan.Tradeoff.total_width;
+                  string_of_int pt.Soctam_plan.Tradeoff.test_time ])
+              pareto));
+      (match Soctam_plan.Tradeoff.knee curve with
+      | None -> print_endline "no knee (curve too short or too flat)"
+      | Some knee ->
+          Printf.printf "knee: W=%d (T=%d)\n"
+            knee.Soctam_plan.Tradeoff.total_width
+            knee.Soctam_plan.Tradeoff.test_time;
+          let problem =
+            Problem.make soc ~num_buses
+              ~total_width:knee.Soctam_plan.Tradeoff.total_width
+          in
+          let fp = Floorplan.place soc in
+          match Soctam_plan.Wire_opt.solve problem fp with
+          | None -> print_endline "knee instance infeasible"
+          | Some r ->
+              Printf.printf
+                "cheapest time-optimal routing at the knee: %.1f mm trunk \
+                 (%d optima considered)\n"
+                r.Soctam_plan.Wire_opt.trunk_mm
+                r.Soctam_plan.Wire_opt.optima_enumerated;
+              ignore
+                (print_solution problem soc
+                   (Some
+                      ( r.Soctam_plan.Wire_opt.architecture,
+                        r.Soctam_plan.Wire_opt.test_time ))
+                   ~show_gantt:false));
+      0
+    with Invalid_argument msg ->
+      Printf.eprintf "error: %s\n" msg;
+      2
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:
+         "Width/test-time trade-off curve, knee pick and wirelength \
+          tie-breaking.")
+    Term.(const run $ soc_arg $ buses_arg $ widths_arg)
+
+let () =
+  let doc =
+    "SOC test access architecture design under place-and-route and power \
+     constraints (reproduction of Chakrabarty, DAC 2000)"
+  in
+  let default =
+    Term.(ret (const (`Help (`Pager, None))))
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default
+          (Cmd.info "tamopt" ~version:"1.0.0" ~doc)
+          [ solve_cmd; sweep_cmd; info_cmd; plan_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_soc.ml: List Printf Soctam_core Soctam_power Soctam_sched Soctam_soc

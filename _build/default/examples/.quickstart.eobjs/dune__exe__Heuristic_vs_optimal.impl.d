@@ -1,0 +1,1 @@
+examples/heuristic_vs_optimal.ml: Float List Printf Soctam_core Soctam_report Soctam_soc Unix

@@ -1,0 +1,1 @@
+examples/heuristic_vs_optimal.mli:

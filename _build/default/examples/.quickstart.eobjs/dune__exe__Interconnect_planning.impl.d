@@ -1,0 +1,1 @@
+examples/interconnect_planning.ml: Array List Printf Soctam_core Soctam_layout Soctam_plan Soctam_report Soctam_soc String

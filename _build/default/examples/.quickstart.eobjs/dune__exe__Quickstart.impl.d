@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Printf Soctam_core Soctam_soc String

@@ -1,0 +1,61 @@
+(* Baseline comparison: LPT-greedy + local search vs. the exact solver,
+   over a family of reproducible random SOCs.
+
+   Run with: dune exec examples/heuristic_vs_optimal.exe *)
+
+module Problem = Soctam_core.Problem
+module Exact = Soctam_core.Exact
+module Heuristics = Soctam_core.Heuristics
+module Benchmarks = Soctam_soc.Benchmarks
+module Table = Soctam_report.Table
+
+let () =
+  let num_buses = 2 and total_width = 16 in
+  let seeds = List.init 12 (fun k -> 100 + k) in
+  let gaps = ref [] in
+  let rows =
+    List.map
+      (fun seed ->
+        let soc = Benchmarks.random ~seed ~num_cores:9 () in
+        let problem = Problem.make soc ~num_buses ~total_width in
+        let t0 = Unix.gettimeofday () in
+        let optimum =
+          match (Exact.solve problem).Exact.solution with
+          | Some (_, t) -> t
+          | None -> assert false (* unconstrained instances are feasible *)
+        in
+        let t_exact = Unix.gettimeofday () -. t0 in
+        let t1 = Unix.gettimeofday () in
+        let heuristic =
+          match Heuristics.solve ~seed problem with
+          | Some h -> h.Heuristics.test_time
+          | None -> assert false
+        in
+        let t_heur = Unix.gettimeofday () -. t1 in
+        let gap =
+          100.0 *. (float_of_int heuristic /. float_of_int optimum -. 1.0)
+        in
+        gaps := gap :: !gaps;
+        [ Printf.sprintf "rnd:%d" seed;
+          string_of_int optimum;
+          string_of_int heuristic;
+          Table.fmt_float gap ^ "%";
+          Table.fmt_float ~decimals:4 t_exact;
+          Table.fmt_float ~decimals:4 t_heur ])
+      seeds
+  in
+  print_string
+    (Table.render
+       ~headers:
+         [ "soc"; "optimal"; "heuristic"; "gap"; "exact s"; "heur s" ]
+       rows);
+  let gaps = !gaps in
+  let n = float_of_int (List.length gaps) in
+  let mean = List.fold_left ( +. ) 0.0 gaps /. n in
+  let worst = List.fold_left Float.max 0.0 gaps in
+  Printf.printf "\nmean gap %.2f%%, worst gap %.2f%% over %d instances\n"
+    mean worst (List.length gaps);
+  (* The heuristic is the baseline the exact solvers are judged against:
+     it must stay feasible and close, but the optimal solvers win. *)
+  if worst > 25.0 then
+    print_endline "warning: heuristic drifted unusually far from optimal"

@@ -1,0 +1,73 @@
+(* Interconnect planning: how many TAM wires does this chip need, and
+   which of the equally-fast architectures should actually be routed?
+
+   1. Sweep the wire budget and compute the optimal-test-time staircase.
+   2. Pick the knee of the curve (diminishing returns).
+   3. At the knee budget, choose the time-optimal architecture with the
+      shortest estimated trunk wirelength.
+
+   Run with: dune exec examples/interconnect_planning.exe *)
+
+module Problem = Soctam_core.Problem
+module Architecture = Soctam_core.Architecture
+module Benchmarks = Soctam_soc.Benchmarks
+module Soc = Soctam_soc.Soc
+module Core_def = Soctam_soc.Core_def
+module Floorplan = Soctam_layout.Floorplan
+module Tradeoff = Soctam_plan.Tradeoff
+module Wire_opt = Soctam_plan.Wire_opt
+module Table = Soctam_report.Table
+
+let () =
+  let soc = Benchmarks.s2 () in
+  let num_buses = 2 in
+  Printf.printf "Planning TAM resources for SOC %s (%d buses)\n\n"
+    (Soc.name soc) num_buses;
+
+  (* 1. The whole trade-off curve, not one design point. *)
+  let widths = List.init 23 (fun k -> 2 + (2 * k)) in
+  let curve = Tradeoff.curve soc ~num_buses ~widths in
+  let pareto = Tradeoff.pareto curve in
+  print_string
+    (Table.render
+       ~headers:[ "W"; "optimal T (cycles)" ]
+       (List.map
+          (fun p ->
+            [ string_of_int p.Tradeoff.total_width;
+              string_of_int p.Tradeoff.test_time ])
+          pareto));
+
+  (* 2. Diminishing returns: the knee. *)
+  (match Tradeoff.knee curve with
+  | None -> print_endline "\ncurve too flat for a knee"
+  | Some knee ->
+      Printf.printf
+        "\nknee of the curve: W = %d wires (T = %d cycles) -- beyond this,\n\
+         extra wires buy little test time\n\n"
+        knee.Tradeoff.total_width knee.Tradeoff.test_time;
+
+      (* 3. Among all architectures that achieve the optimum at the knee
+         budget, route the cheapest one. *)
+      let problem =
+        Problem.make soc ~num_buses
+          ~total_width:knee.Tradeoff.total_width
+      in
+      let fp = Floorplan.place soc in
+      match Wire_opt.solve problem fp with
+      | None -> print_endline "infeasible"
+      | Some r ->
+          Printf.printf
+            "time-optimal architectures enumerated: %d%s\n"
+            r.Wire_opt.optima_enumerated
+            (if r.Wire_opt.capped then "+ (cap reached)" else "");
+          Printf.printf "shortest trunk wirelength: %.1f mm\n\n"
+            r.Wire_opt.trunk_mm;
+          let arch = r.Wire_opt.architecture in
+          for bus = 0 to Architecture.num_buses arch - 1 do
+            Printf.printf "  bus %d (width %2d): %s\n" bus
+              arch.Architecture.widths.(bus)
+              (String.concat ", "
+                 (List.map
+                    (fun i -> (Soc.core soc i).Core_def.name)
+                    (Architecture.bus_members arch ~bus)))
+          done)

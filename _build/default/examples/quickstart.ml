@@ -1,0 +1,50 @@
+(* Quickstart: design an optimal test access architecture for the S1
+   benchmark SOC and print it.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Problem = Soctam_core.Problem
+module Architecture = Soctam_core.Architecture
+module Cost = Soctam_core.Cost
+module Exact = Soctam_core.Exact
+module Verify = Soctam_core.Verify
+module Benchmarks = Soctam_soc.Benchmarks
+module Soc = Soctam_soc.Soc
+module Core_def = Soctam_soc.Core_def
+
+let () =
+  (* 1. Pick an SOC: six ISCAS cores, as in the paper's system S. *)
+  let soc = Benchmarks.s1 () in
+  Printf.printf "SOC %s with %d cores\n\n" (Soc.name soc) (Soc.num_cores soc);
+
+  (* 2. State the problem: 2 test buses sharing a 16-wire budget. *)
+  let problem = Problem.make soc ~num_buses:2 ~total_width:16 in
+
+  (* 3. Solve it exactly (width-partition enumeration + assignment DP). *)
+  match (Exact.solve problem).Exact.solution with
+  | None -> print_endline "no feasible architecture"
+  | Some (arch, test_time) ->
+      Printf.printf "Optimal test time: %d cycles\n" test_time;
+      for bus = 0 to Architecture.num_buses arch - 1 do
+        let members = Architecture.bus_members arch ~bus in
+        Printf.printf "  bus %d (width %2d, %7d cycles): %s\n" bus
+          arch.Architecture.widths.(bus)
+          (Cost.bus_time problem arch ~bus)
+          (String.concat ", "
+             (List.map (fun i -> (Soc.core soc i).Core_def.name) members))
+      done;
+
+      (* 4. Every solution can be independently re-checked. *)
+      (match Verify.check problem arch ~claimed_time:test_time with
+      | Ok () -> print_endline "verified: architecture is consistent"
+      | Error msg -> Printf.printf "verification failed: %s\n" msg);
+
+      (* 5. More wires help, with diminishing returns. *)
+      print_endline "\nWidth sweep (optimal test time):";
+      List.iter
+        (fun w ->
+          let p = Problem.make soc ~num_buses:2 ~total_width:w in
+          match (Exact.solve p).Exact.solution with
+          | Some (_, t) -> Printf.printf "  W = %2d -> %6d cycles\n" w t
+          | None -> ())
+        [ 8; 16; 24; 32 ]

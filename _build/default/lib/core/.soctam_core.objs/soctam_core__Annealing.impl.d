@@ -1,0 +1,1 @@
+lib/core/annealing.ml: Architecture Array Clustering Float Heuristics List Problem Random

@@ -1,0 +1,1 @@
+lib/core/architecture.ml: Array Format Fun List String

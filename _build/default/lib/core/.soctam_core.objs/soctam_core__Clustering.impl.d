@@ -1,0 +1,1 @@
+lib/core/clustering.ml: Array Fun Hashtbl List Printf Problem

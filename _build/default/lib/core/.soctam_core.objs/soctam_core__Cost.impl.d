@@ -1,0 +1,1 @@
+lib/core/cost.ml: Architecture Array List Printf Problem

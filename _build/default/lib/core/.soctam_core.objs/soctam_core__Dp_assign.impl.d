@@ -1,0 +1,1 @@
+lib/core/dp_assign.ml: Array Clustering Fun List Problem

@@ -1,0 +1,1 @@
+lib/core/exact.ml: Architecture Array Dp_assign List Problem Unix

@@ -1,0 +1,1 @@
+lib/core/heuristics.ml: Architecture Array Clustering Cost Fun List Problem Random

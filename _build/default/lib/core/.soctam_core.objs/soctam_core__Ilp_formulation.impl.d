@@ -1,0 +1,1 @@
+lib/core/ilp_formulation.ml: Architecture Array Cost Float Heuristics List Printf Problem Soctam_ilp Unix

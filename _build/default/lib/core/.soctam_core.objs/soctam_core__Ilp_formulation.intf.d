@@ -1,0 +1,1 @@
+lib/core/ilp_formulation.mli: Architecture Problem Soctam_ilp

@@ -1,0 +1,1 @@
+lib/core/problem.ml: Array List Soctam_soc

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Architecture Array Exact List Printf Problem Soctam_soc

@@ -1,0 +1,1 @@
+lib/core/width_dp.ml: Architecture Array Cost Dp_assign Problem

@@ -1,0 +1,1 @@
+lib/core/width_dp.mli: Architecture Problem

@@ -1,0 +1,24 @@
+(** Simulated-annealing baseline.
+
+    A second, stronger heuristic comparator for the exact solvers:
+    anneals over (width vector, cluster assignment) states with cluster
+    moves, cluster swaps and unit width transfers, accepting uphill moves
+    with the Metropolis rule under a geometric cooling schedule. Fully
+    deterministic for a given [seed]. Infeasible neighbours (violating an
+    exclusion constraint) are never entered; co-assignment constraints
+    are honoured by construction (annealing runs on clusters). *)
+
+type outcome = { architecture : Architecture.t; test_time : int }
+
+(** [solve ?seed ?iterations ?initial_temperature ?cooling problem] runs
+    the annealer from the greedy solution (or a trivial feasible one).
+    Defaults: seed 1, 20_000 iterations, initial temperature set to 5% of
+    the initial makespan, cooling factor 0.999. [None] when no feasible
+    starting point could be constructed. *)
+val solve :
+  ?seed:int ->
+  ?iterations:int ->
+  ?initial_temperature:float ->
+  ?cooling:float ->
+  Problem.t ->
+  outcome option

@@ -1,0 +1,76 @@
+type t = {
+  members : int list array;
+  cluster_of : int array;
+  exclusions : (int * int) list;
+}
+
+let build problem =
+  let n = Problem.num_cores problem in
+  let constraints = Problem.constraints problem in
+  let parent = Array.init n Fun.id in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      let r = find parent.(i) in
+      parent.(i) <- r;
+      r
+    end
+  in
+  List.iter
+    (fun (a, b) ->
+      let ra = find a and rb = find b in
+      if ra <> rb then parent.(max ra rb) <- min ra rb)
+    constraints.Problem.co_pairs;
+  (* Dense cluster ids in order of smallest member. *)
+  let cluster_of = Array.make n (-1) in
+  let next = ref 0 in
+  let root_to_cluster = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    let r = find i in
+    let c =
+      match Hashtbl.find_opt root_to_cluster r with
+      | Some c -> c
+      | None ->
+          let c = !next in
+          incr next;
+          Hashtbl.add root_to_cluster r c;
+          c
+    in
+    cluster_of.(i) <- c
+  done;
+  let members = Array.make !next [] in
+  for i = n - 1 downto 0 do
+    members.(cluster_of.(i)) <- i :: members.(cluster_of.(i))
+  done;
+  let conflict = ref None in
+  let exclusions =
+    List.filter_map
+      (fun (a, b) ->
+        let ca = cluster_of.(a) and cb = cluster_of.(b) in
+        if ca = cb then begin
+          if !conflict = None then
+            conflict :=
+              Some
+                (Printf.sprintf
+                   "cores %d and %d are forced together by power \
+                    constraints but apart by layout constraints"
+                   a b);
+          None
+        end
+        else Some (min ca cb, max ca cb))
+      constraints.Problem.exclusion_pairs
+    |> List.sort_uniq compare
+  in
+  match !conflict with
+  | Some msg -> Error msg
+  | None -> Ok { members; cluster_of; exclusions }
+
+let num_clusters t = Array.length t.members
+
+let time t problem ~cluster ~width =
+  List.fold_left
+    (fun acc core -> acc + Problem.time problem ~core ~width)
+    0 t.members.(cluster)
+
+let expand t cluster_assignment =
+  Array.map (fun c -> cluster_assignment.(c)) t.cluster_of

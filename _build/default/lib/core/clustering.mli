@@ -1,0 +1,30 @@
+(** Reduction of co-assignment constraints to cluster instances.
+
+    Power co-assignment pairs force groups of cores onto a common bus.
+    Merging each connected component into a single {e cluster} (whose
+    testing time at width [w] is the sum of member times) leaves only
+    exclusion constraints, now lifted to cluster level. The reduction
+    detects infeasibility: an exclusion pair inside one cluster admits no
+    architecture. *)
+
+type t = {
+  members : int list array;  (** [members.(c)] — cores of cluster [c]. *)
+  cluster_of : int array;  (** [cluster_of.(i)] — cluster of core [i]. *)
+  exclusions : (int * int) list;
+      (** Cluster-level exclusion pairs, [c1 < c2], deduplicated. *)
+}
+
+(** [build problem] performs the reduction. [Error msg] when a
+    co-assignment component contains an excluded pair. *)
+val build : Problem.t -> (t, string) result
+
+(** Number of clusters. *)
+val num_clusters : t -> int
+
+(** [time clustering problem ~cluster ~width] is the summed testing time
+    of the cluster's members at [width]. *)
+val time : t -> Problem.t -> cluster:int -> width:int -> int
+
+(** [expand clustering cluster_assignment] maps a per-cluster bus
+    assignment back to a per-core assignment. *)
+val expand : t -> int array -> int array

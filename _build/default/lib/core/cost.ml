@@ -1,0 +1,67 @@
+type evaluation = {
+  bus_times : int array;
+  test_time : int;
+  feasible : bool;
+  violations : string list;
+}
+
+let bus_time problem arch ~bus =
+  let acc = ref 0 in
+  let width = arch.Architecture.widths.(bus) in
+  Array.iteri
+    (fun i b ->
+      if b = bus then acc := !acc + Problem.time problem ~core:i ~width)
+    arch.Architecture.assignment;
+  !acc
+
+let test_time problem arch =
+  let nb = Architecture.num_buses arch in
+  let best = ref 0 in
+  for b = 0 to nb - 1 do
+    best := max !best (bus_time problem arch ~bus:b)
+  done;
+  !best
+
+let evaluate problem arch =
+  let violations = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let nb = Architecture.num_buses arch in
+  if nb <> Problem.num_buses problem then
+    note "architecture has %d buses, instance expects %d" nb
+      (Problem.num_buses problem);
+  if Architecture.num_cores arch <> Problem.num_cores problem then
+    note "architecture covers %d cores, instance has %d"
+      (Architecture.num_cores arch) (Problem.num_cores problem);
+  if Architecture.total_width arch <> Problem.total_width problem then
+    note "total width %d differs from budget %d"
+      (Architecture.total_width arch)
+      (Problem.total_width problem);
+  let assignment = arch.Architecture.assignment in
+  let constraints = Problem.constraints problem in
+  List.iter
+    (fun (a, b) ->
+      if
+        a < Array.length assignment
+        && b < Array.length assignment
+        && assignment.(a) = assignment.(b)
+      then note "exclusion pair (%d, %d) shares bus %d" a b assignment.(a))
+    constraints.Problem.exclusion_pairs;
+  List.iter
+    (fun (a, b) ->
+      if
+        a < Array.length assignment
+        && b < Array.length assignment
+        && assignment.(a) <> assignment.(b)
+      then note "co-assignment pair (%d, %d) split across buses" a b)
+    constraints.Problem.co_pairs;
+  let structurally_ok = !violations = [] in
+  let bus_times =
+    if structurally_ok then
+      Array.init nb (fun bus -> bus_time problem arch ~bus)
+    else Array.make nb 0
+  in
+  let test_time = Array.fold_left max 0 bus_times in
+  { bus_times;
+    test_time;
+    feasible = structurally_ok;
+    violations = List.rev !violations }

@@ -1,0 +1,21 @@
+(** Evaluation of architectures against problem instances. *)
+
+type evaluation = {
+  bus_times : int array;  (** Sequential test time of each bus. *)
+  test_time : int;  (** System test time: max over buses. *)
+  feasible : bool;  (** Structure and constraints all satisfied. *)
+  violations : string list;  (** Human-readable violation descriptions. *)
+}
+
+(** [bus_time problem arch ~bus] is the sum of member core times at the
+    bus's width. *)
+val bus_time : Problem.t -> Architecture.t -> bus:int -> int
+
+(** [test_time problem arch] is the system test time (max bus time),
+    ignoring feasibility. *)
+val test_time : Problem.t -> Architecture.t -> int
+
+(** [evaluate problem arch] computes bus times and checks: bus count and
+    core count match the instance, widths sum to the budget, and all
+    exclusion/co-assignment pairs hold. *)
+val evaluate : Problem.t -> Architecture.t -> evaluation

@@ -1,0 +1,53 @@
+type stats = { partitions : int; nodes : int; elapsed_s : float }
+type result = { solution : (Architecture.t * int) option; stats : stats }
+
+let width_partitions ~total ~parts =
+  if parts < 1 then invalid_arg "Exact.width_partitions: parts < 1";
+  if total < parts then invalid_arg "Exact.width_partitions: total < parts";
+  (* Non-increasing sequences; [cap] bounds the next part. *)
+  let rec go total parts cap =
+    if parts = 1 then if total <= cap then [ [ total ] ] else []
+    else begin
+      let upper = min cap (total - parts + 1) in
+      let lower = (total + parts - 1) / parts in
+      let acc = ref [] in
+      for first = upper downto lower do
+        List.iter
+          (fun rest -> acc := (first :: rest) :: !acc)
+          (go (total - first) (parts - 1) first)
+      done;
+      List.rev !acc
+    end
+  in
+  go total parts total
+
+let solve problem =
+  let start = Unix.gettimeofday () in
+  let nb = Problem.num_buses problem in
+  let w = Problem.total_width problem in
+  let partitions = width_partitions ~total:w ~parts:nb in
+  let best = ref None in
+  let best_time = ref max_int in
+  let nodes = ref 0 in
+  let count = ref 0 in
+  let try_partition widths_list =
+    incr count;
+    let widths = Array.of_list widths_list in
+    let outcome, s =
+      Dp_assign.solve_with_stats ~upper_bound:!best_time problem ~widths
+    in
+    nodes := !nodes + s.Dp_assign.nodes;
+    match outcome with
+    | Some { Dp_assign.assignment; test_time } ->
+        best_time := test_time;
+        best := Some (Architecture.make ~widths ~assignment, test_time)
+    | None -> ()
+  in
+  List.iter try_partition partitions;
+  (* [upper_bound] pruning is exclusive, so an unconstrained-feasible
+     instance that never improves on [max_int] is genuinely infeasible. *)
+  { solution = !best;
+    stats =
+      { partitions = !count;
+        nodes = !nodes;
+        elapsed_s = Unix.gettimeofday () -. start } }

@@ -1,0 +1,23 @@
+(** Heuristic baselines: LPT greedy construction and local search.
+
+    These are the fast, non-optimal comparators used by ablation A4. All
+    randomness is seeded and reproducible. *)
+
+type outcome = { architecture : Architecture.t; test_time : int }
+
+(** [greedy problem ~widths] assigns clusters largest-first to the bus
+    that minimizes the resulting load, honouring exclusion constraints
+    greedily. [None] when the greedy order gets stuck (the instance may
+    still be feasible) or the constraints are contradictory. *)
+val greedy : Problem.t -> widths:int array -> outcome option
+
+(** [improve problem outcome] runs first-improvement local search from an
+    initial solution: cluster moves, cluster swaps and unit width
+    transfers between buses, until a local optimum is reached. *)
+val improve : Problem.t -> outcome -> outcome
+
+(** [solve ?seed ?restarts problem] is the full heuristic: greedy over a
+    spread of width partitions plus [restarts] randomized starts
+    (default 8), each polished with {!improve}; returns the best feasible
+    solution found. *)
+val solve : ?seed:int -> ?restarts:int -> Problem.t -> outcome option

@@ -1,0 +1,373 @@
+module Model = Soctam_ilp.Model
+module Lin_expr = Soctam_ilp.Lin_expr
+module Branch_bound = Soctam_ilp.Branch_bound
+
+type formulation = Big_m | Linearized
+
+type solve_stats = {
+  variables : int;
+  constraints : int;
+  bb_nodes : int;
+  lp_pivots : int;
+  elapsed_s : float;
+}
+
+type result = {
+  solution : (Architecture.t * int) option;
+  optimal : bool;
+  stats : solve_stats;
+}
+
+let build ?(formulation = Big_m) ?(symmetry_breaking = true) problem =
+  let n = Problem.num_cores problem in
+  let nb = Problem.num_buses problem in
+  let w = Problem.total_width problem in
+  let kmax = w - nb + 1 in
+  let model = Model.create () in
+  let x =
+    Array.init n (fun i ->
+        Array.init nb (fun j ->
+            Model.add_binary model ~name:(Printf.sprintf "x_%d_%d" i j)))
+  in
+  let delta =
+    Array.init nb (fun j ->
+        Array.init kmax (fun k ->
+            Model.add_binary model
+              ~name:(Printf.sprintf "d_%d_%d" j (k + 1))))
+  in
+  let horizon =
+    (* Safe upper bound on T: all cores serialized on a width-1 bus. *)
+    let acc = ref 0 in
+    for i = 0 to n - 1 do
+      acc := !acc + Problem.time problem ~core:i ~width:1
+    done;
+    float_of_int !acc
+  in
+  let lower_bound = float_of_int (Problem.lower_bound problem) in
+  let t_var =
+    Model.add_continuous model ~name:"T" ~lb:lower_bound ~ub:horizon
+  in
+  (* Each core rides exactly one bus. *)
+  for i = 0 to n - 1 do
+    let row =
+      Lin_expr.of_terms (List.init nb (fun j -> (x.(i).(j), 1.0)))
+    in
+    Model.add_constr model ~name:(Printf.sprintf "assign_%d" i) row
+      Model.Eq 1.0
+  done;
+  (* Each bus takes exactly one width. *)
+  for j = 0 to nb - 1 do
+    let row =
+      Lin_expr.of_terms (List.init kmax (fun k -> (delta.(j).(k), 1.0)))
+    in
+    Model.add_constr model ~name:(Printf.sprintf "width_%d" j) row
+      Model.Eq 1.0
+  done;
+  (* Widths sum to the budget. *)
+  let width_sum =
+    Lin_expr.sum
+      (List.concat
+         (List.init nb (fun j ->
+              List.init kmax (fun k ->
+                  Lin_expr.var ~coeff:(float_of_int (k + 1)) delta.(j).(k)))))
+  in
+  Model.add_constr model ~name:"width_budget" width_sum Model.Eq
+    (float_of_int w);
+  let time i k = float_of_int (Problem.time problem ~core:i ~width:k) in
+  (match formulation with
+  | Big_m ->
+      (* Σ_i t_i(k) x_ij − T ≤ M_k (1 − delta_jk). *)
+      for j = 0 to nb - 1 do
+        for k = 1 to kmax do
+          (* T >= lower_bound holds in every feasible point (it is T's
+             lower bound), so M_k = Σ_i t_i(k) − LB is still valid. *)
+          let big_m = ref 0.0 in
+          for i = 0 to n - 1 do
+            big_m := !big_m +. time i k
+          done;
+          big_m := Float.max 0.0 (!big_m -. lower_bound);
+          let row =
+            Lin_expr.sum
+              (Lin_expr.var ~coeff:(-1.0) t_var
+              :: Lin_expr.var ~coeff:!big_m delta.(j).(k - 1)
+              :: List.init n (fun i ->
+                     Lin_expr.var ~coeff:(time i k) x.(i).(j)))
+          in
+          Model.add_constr model
+            ~name:(Printf.sprintf "load_%d_%d" j k)
+            row Model.Le !big_m
+        done
+      done
+  | Linearized ->
+      (* y_ijk = x_ij ∧ delta_jk, exact per-bus load rows. *)
+      let y =
+        Array.init n (fun i ->
+            Array.init nb (fun j ->
+                Array.init kmax (fun k ->
+                    Model.add_continuous model
+                      ~name:(Printf.sprintf "y_%d_%d_%d" i j (k + 1))
+                      ~lb:0.0 ~ub:1.0)))
+      in
+      for i = 0 to n - 1 do
+        for j = 0 to nb - 1 do
+          for k = 0 to kmax - 1 do
+            let name tag = Printf.sprintf "lin_%s_%d_%d_%d" tag i j (k + 1) in
+            Model.add_constr model ~name:(name "ge")
+              (Lin_expr.of_terms
+                 [ (y.(i).(j).(k), 1.0); (x.(i).(j), -1.0);
+                   (delta.(j).(k), -1.0) ])
+              Model.Ge (-1.0);
+            Model.add_constr model ~name:(name "lex")
+              (Lin_expr.of_terms [ (y.(i).(j).(k), 1.0); (x.(i).(j), -1.0) ])
+              Model.Le 0.0;
+            Model.add_constr model ~name:(name "led")
+              (Lin_expr.of_terms
+                 [ (y.(i).(j).(k), 1.0); (delta.(j).(k), -1.0) ])
+              Model.Le 0.0
+          done
+        done
+      done;
+      for j = 0 to nb - 1 do
+        let terms = ref [ (t_var, -1.0) ] in
+        for i = 0 to n - 1 do
+          for k = 0 to kmax - 1 do
+            terms := (y.(i).(j).(k), time i (k + 1)) :: !terms
+          done
+        done;
+        Model.add_constr model
+          ~name:(Printf.sprintf "load_%d" j)
+          (Lin_expr.of_terms !terms) Model.Le 0.0
+      done);
+  (* Structural constraints. *)
+  let constraints = Problem.constraints problem in
+  List.iter
+    (fun (a, b) ->
+      for j = 0 to nb - 1 do
+        Model.add_constr model
+          ~name:(Printf.sprintf "excl_%d_%d_%d" a b j)
+          (Lin_expr.of_terms [ (x.(a).(j), 1.0); (x.(b).(j), 1.0) ])
+          Model.Le 1.0
+      done)
+    constraints.Problem.exclusion_pairs;
+  List.iter
+    (fun (a, b) ->
+      for j = 0 to nb - 1 do
+        Model.add_constr model
+          ~name:(Printf.sprintf "co_%d_%d_%d" a b j)
+          (Lin_expr.of_terms [ (x.(a).(j), 1.0); (x.(b).(j), -1.0) ])
+          Model.Eq 0.0
+      done)
+    constraints.Problem.co_pairs;
+  if symmetry_breaking then
+    for j = 0 to nb - 2 do
+      let width_of j =
+        Lin_expr.sum
+          (List.init kmax (fun k ->
+               Lin_expr.var ~coeff:(float_of_int (k + 1)) delta.(j).(k)))
+      in
+      Model.add_constr model
+        ~name:(Printf.sprintf "sym_%d" j)
+        (Lin_expr.sub (width_of j) (width_of (j + 1)))
+        Model.Ge 0.0
+    done;
+  Model.set_objective model Model.Minimize (Lin_expr.var t_var);
+  (model, x, delta, t_var)
+
+let decode problem x delta point =
+  let n = Problem.num_cores problem in
+  let nb = Problem.num_buses problem in
+  let kmax = Array.length delta.(0) in
+  let widths =
+    Array.init nb (fun j ->
+        let chosen = ref 0 in
+        for k = 0 to kmax - 1 do
+          if point.(delta.(j).(k)) > 0.5 then chosen := k + 1
+        done;
+        !chosen)
+  in
+  let assignment =
+    Array.init n (fun i ->
+        let bus = ref 0 in
+        for j = 0 to nb - 1 do
+          if point.(x.(i).(j)) > 0.5 then bus := j
+        done;
+        !bus)
+  in
+  Architecture.make ~widths ~assignment
+
+let solve ?formulation ?symmetry_breaking ?(seed_incumbent = true)
+    ?(node_limit = 500_000) ?time_limit_s problem =
+  let start = Unix.gettimeofday () in
+  let model, x, delta, _ = build ?formulation ?symmetry_breaking problem in
+  (* Width-selection variables steer the whole load structure: branch on
+     them before the assignment variables. *)
+  let n = Problem.num_cores problem in
+  let nb = Problem.num_buses problem in
+  let num_x = n * nb in
+  let branch_priority v = if v >= num_x then 1 else 0 in
+  let incumbent =
+    if seed_incumbent then
+      match Heuristics.solve problem with
+      | Some { Heuristics.test_time; _ } ->
+          (* Branch-and-bound prunes nodes whose bound reaches the
+             incumbent, so pass a value one above the heuristic time to
+             keep an equal-valued optimum reachable. *)
+          Some (float_of_int (test_time + 1))
+      | None -> None
+    else None
+  in
+  let outcome =
+    Branch_bound.solve ~node_limit ?time_limit_s ~integral_objective:true
+      ?incumbent ~branch_priority model
+  in
+  let finish ?(optimal = true) bb_nodes lp_pivots solution =
+    { solution;
+      optimal;
+      stats =
+        { variables = Model.num_vars model;
+          constraints = Model.num_constrs model;
+          bb_nodes;
+          lp_pivots;
+          elapsed_s = Unix.gettimeofday () -. start } }
+  in
+  match outcome with
+  | Branch_bound.Optimal { point; objective; stats } ->
+      let arch = decode problem x delta point in
+      let test_time = Cost.test_time problem arch in
+      (* The decoded architecture's true cost must match the MILP
+         objective (up to rounding). *)
+      assert (Float.abs (float_of_int test_time -. objective) < 0.5);
+      finish stats.Branch_bound.nodes stats.Branch_bound.lp_pivots
+        (Some (arch, test_time))
+  | Branch_bound.Infeasible stats ->
+      finish stats.Branch_bound.nodes stats.Branch_bound.lp_pivots None
+  | Branch_bound.Unbounded stats ->
+      (* A bounded makespan objective cannot be unbounded. *)
+      ignore stats;
+      assert false
+  | Branch_bound.Node_limit { best; stats } -> (
+      match best with
+      | Some (point, _) ->
+          let arch = decode problem x delta point in
+          let test_time = Cost.test_time problem arch in
+          finish ~optimal:false stats.Branch_bound.nodes
+            stats.Branch_bound.lp_pivots
+            (Some (arch, test_time))
+      | None ->
+          finish ~optimal:false stats.Branch_bound.nodes
+            stats.Branch_bound.lp_pivots None)
+
+(* Assignment-only formulation (P1): widths fixed, so each bus's load row
+   is exact — no width indicators, no big-M. *)
+let build_assignment problem ~widths =
+  let n = Problem.num_cores problem in
+  let nb = Problem.num_buses problem in
+  if Array.length widths <> nb then
+    invalid_arg "Ilp_formulation.solve_assignment: widths/bus-count mismatch";
+  if Array.fold_left ( + ) 0 widths <> Problem.total_width problem then
+    invalid_arg "Ilp_formulation.solve_assignment: width budget mismatch";
+  Array.iter
+    (fun w ->
+      if w < 1 then
+        invalid_arg "Ilp_formulation.solve_assignment: width < 1")
+    widths;
+  let model = Model.create () in
+  let x =
+    Array.init n (fun i ->
+        Array.init nb (fun j ->
+            Model.add_binary model ~name:(Printf.sprintf "x_%d_%d" i j)))
+  in
+  let horizon = ref 0 in
+  for i = 0 to n - 1 do
+    horizon := !horizon + Problem.time problem ~core:i ~width:1
+  done;
+  let t_var =
+    Model.add_continuous model ~name:"T" ~lb:0.0
+      ~ub:(float_of_int !horizon)
+  in
+  for i = 0 to n - 1 do
+    Model.add_constr model
+      ~name:(Printf.sprintf "assign_%d" i)
+      (Lin_expr.of_terms (List.init nb (fun j -> (x.(i).(j), 1.0))))
+      Model.Eq 1.0
+  done;
+  for j = 0 to nb - 1 do
+    let terms = ref [ (t_var, -1.0) ] in
+    for i = 0 to n - 1 do
+      terms :=
+        (x.(i).(j), float_of_int (Problem.time problem ~core:i ~width:widths.(j)))
+        :: !terms
+    done;
+    Model.add_constr model
+      ~name:(Printf.sprintf "load_%d" j)
+      (Lin_expr.of_terms !terms) Model.Le 0.0
+  done;
+  let constraints = Problem.constraints problem in
+  List.iter
+    (fun (a, b) ->
+      for j = 0 to nb - 1 do
+        Model.add_constr model
+          ~name:(Printf.sprintf "excl_%d_%d_%d" a b j)
+          (Lin_expr.of_terms [ (x.(a).(j), 1.0); (x.(b).(j), 1.0) ])
+          Model.Le 1.0
+      done)
+    constraints.Problem.exclusion_pairs;
+  List.iter
+    (fun (a, b) ->
+      for j = 0 to nb - 1 do
+        Model.add_constr model
+          ~name:(Printf.sprintf "co_%d_%d_%d" a b j)
+          (Lin_expr.of_terms [ (x.(a).(j), 1.0); (x.(b).(j), -1.0) ])
+          Model.Eq 0.0
+      done)
+    constraints.Problem.co_pairs;
+  Model.set_objective model Model.Minimize (Lin_expr.var t_var);
+  (model, x)
+
+let solve_assignment ?(node_limit = 500_000) ?time_limit_s problem ~widths =
+  let start = Unix.gettimeofday () in
+  let model, x = build_assignment problem ~widths in
+  let outcome =
+    Branch_bound.solve ~node_limit ?time_limit_s ~integral_objective:true
+      model
+  in
+  let n = Problem.num_cores problem in
+  let nb = Problem.num_buses problem in
+  let decode point =
+    let assignment =
+      Array.init n (fun i ->
+          let bus = ref 0 in
+          for j = 0 to nb - 1 do
+            if point.(x.(i).(j)) > 0.5 then bus := j
+          done;
+          !bus)
+    in
+    Architecture.make ~widths ~assignment
+  in
+  let finish ?(optimal = true) (stats : Branch_bound.stats) solution =
+    { solution;
+      optimal;
+      stats =
+        { variables = Model.num_vars model;
+          constraints = Model.num_constrs model;
+          bb_nodes = stats.Branch_bound.nodes;
+          lp_pivots = stats.Branch_bound.lp_pivots;
+          elapsed_s = Unix.gettimeofday () -. start } }
+  in
+  match outcome with
+  | Branch_bound.Optimal { point; objective; stats } ->
+      let arch = decode point in
+      let test_time = Cost.test_time problem arch in
+      assert (Float.abs (float_of_int test_time -. objective) < 0.5);
+      finish stats (Some (arch, test_time))
+  | Branch_bound.Infeasible stats -> finish stats None
+  | Branch_bound.Unbounded _ ->
+      (* T is bounded above by the horizon. *)
+      assert false
+  | Branch_bound.Node_limit { best; stats } -> (
+      match best with
+      | Some (point, _) ->
+          let arch = decode point in
+          finish ~optimal:false stats
+            (Some (arch, Cost.test_time problem arch))
+      | None -> finish ~optimal:false stats None)

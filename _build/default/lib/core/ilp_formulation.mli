@@ -1,0 +1,76 @@
+(** The DAC 2000 integer linear programming formulation.
+
+    Decision variables: [x_ij] (core [i] rides bus [j]), [delta_jk] (bus
+    [j] has width [k]), and the makespan [T]. Every bus takes exactly one
+    width, widths sum to the budget, every core takes exactly one bus,
+    and each bus's summed core time at its selected width is at most [T].
+    Exclusion pairs add [x_aj + x_bj ≤ 1]; co-assignment pairs add
+    [x_aj = x_bj].
+
+    The width/time product is linearized in one of two ways:
+    - {b Big_m} (default): per (bus, width) row
+      [Σ_i t_i(k) x_ij − T ≤ M_k (1 − delta_jk)] with
+      [M_k = Σ_i t_i(k)]; compact but with a weaker LP relaxation.
+    - {b Linearized}: explicit products [y_ijk = x_ij ∧ delta_jk] and
+      exact per-bus rows; tighter but much larger (used on small
+      instances for ablation A1).
+
+    The MILP is solved with {!Soctam_ilp.Branch_bound}, optionally seeded
+    with a heuristic incumbent and with symmetry-breaking rows ordering
+    bus widths non-increasingly. *)
+
+type formulation = Big_m | Linearized
+
+type solve_stats = {
+  variables : int;
+  constraints : int;
+  bb_nodes : int;
+  lp_pivots : int;
+  elapsed_s : float;
+}
+
+type result = {
+  solution : (Architecture.t * int) option;
+      (** Best architecture and its test time; [None] when infeasible. *)
+  optimal : bool;
+      (** [true] when the solution is proven optimal; [false] when a node
+          or time budget expired first. *)
+  stats : solve_stats;
+}
+
+(** [build ?formulation ?symmetry_breaking problem] constructs the MILP.
+    Returns the model together with the variable index maps
+    [(x, delta, t)] needed to decode a solution: [x.(i).(j)],
+    [delta.(j).(k-1)] for widths [k] in [1..kmax]. Symmetry breaking
+    defaults to [true] (it is disabled for ablation A2). *)
+val build :
+  ?formulation:formulation ->
+  ?symmetry_breaking:bool ->
+  Problem.t ->
+  Soctam_ilp.Model.t * int array array * int array array * int
+
+(** [solve ?formulation ?symmetry_breaking ?seed_incumbent ?node_limit
+    problem] builds and solves the MILP to optimality.
+    [seed_incumbent] (default [true]) primes branch and bound with the
+    heuristic solution's value. *)
+val solve :
+  ?formulation:formulation ->
+  ?symmetry_breaking:bool ->
+  ?seed_incumbent:bool ->
+  ?node_limit:int ->
+  ?time_limit_s:float ->
+  Problem.t ->
+  result
+
+(** [solve_assignment ?node_limit ?time_limit_s problem ~widths] solves
+    the assignment-only sub-problem (problem [P1] of the VTS 2000
+    companion formulation): bus widths are fixed and only the core
+    assignment [x_ij] and the makespan [T] remain. The returned
+    architecture uses exactly [widths]. Raises [Invalid_argument] when
+    [widths] does not match the instance's bus count or width budget. *)
+val solve_assignment :
+  ?node_limit:int ->
+  ?time_limit_s:float ->
+  Problem.t ->
+  widths:int array ->
+  result

@@ -1,0 +1,84 @@
+module Soc = Soctam_soc.Soc
+module Test_time = Soctam_soc.Test_time
+
+type constraints = {
+  exclusion_pairs : (int * int) list;
+  co_pairs : (int * int) list;
+}
+
+let no_constraints = { exclusion_pairs = []; co_pairs = [] }
+
+type t = {
+  soc : Soc.t;
+  num_buses : int;
+  total_width : int;
+  time_model : Test_time.model;
+  constraints : constraints;
+  times : int array array;  (** [times.(i).(w-1)] for w in 1..total_width. *)
+}
+
+let normalize_pairs ~num_cores pairs =
+  let norm (a, b) =
+    if a = b then invalid_arg "Problem.make: constraint pair with a = b";
+    if a < 0 || b < 0 || a >= num_cores || b >= num_cores then
+      invalid_arg "Problem.make: constraint pair out of range";
+    (min a b, max a b)
+  in
+  List.sort_uniq compare (List.map norm pairs)
+
+let make ?(time_model = Test_time.Serialization)
+    ?(constraints = no_constraints) soc ~num_buses ~total_width =
+  if num_buses < 1 then invalid_arg "Problem.make: num_buses < 1";
+  if total_width < num_buses then
+    invalid_arg "Problem.make: total_width < num_buses";
+  let n = Soc.num_cores soc in
+  let constraints =
+    { exclusion_pairs =
+        normalize_pairs ~num_cores:n constraints.exclusion_pairs;
+      co_pairs = normalize_pairs ~num_cores:n constraints.co_pairs }
+  in
+  let times =
+    Array.init n (fun i ->
+        Test_time.table time_model (Soc.core soc i) ~max_width:total_width)
+  in
+  { soc; num_buses; total_width; time_model; constraints; times }
+
+let soc t = t.soc
+let num_cores t = Soc.num_cores t.soc
+let num_buses t = t.num_buses
+let total_width t = t.total_width
+let time_model t = t.time_model
+let constraints t = t.constraints
+
+let time t ~core ~width =
+  if width < 1 || width > t.total_width then
+    invalid_arg "Problem.time: width outside [1, total_width]";
+  t.times.(core).(width - 1)
+
+let max_useful_width t =
+  let n = num_cores t in
+  let widest = ref 1 in
+  for i = 0 to n - 1 do
+    widest := max !widest (Test_time.native_width (Soc.core t.soc i))
+  done;
+  min !widest t.total_width
+
+let with_constraints t constraints =
+  let n = num_cores t in
+  { t with
+    constraints =
+      { exclusion_pairs =
+          normalize_pairs ~num_cores:n constraints.exclusion_pairs;
+        co_pairs = normalize_pairs ~num_cores:n constraints.co_pairs } }
+
+let lower_bound t =
+  let n = num_cores t in
+  let w = t.total_width - t.num_buses + 1 in
+  (* Widest width any single bus can take. *)
+  let single = ref 0 in
+  let work = ref 0 in
+  for i = 0 to n - 1 do
+    single := max !single (time t ~core:i ~width:w);
+    work := !work + time t ~core:i ~width:w
+  done;
+  max !single ((!work + t.num_buses - 1) / t.num_buses)

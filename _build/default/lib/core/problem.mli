@@ -1,0 +1,70 @@
+(** Problem instances for test access architecture design.
+
+    An instance bundles an SOC, the bus count [num_buses], the total TAM
+    width budget [total_width], the test-time model, and the structural
+    constraints of the DAC 2000 formulation:
+
+    - {b exclusion pairs} (place-and-route): the two cores must not share
+      a bus;
+    - {b co-assignment pairs} (power): the two cores must share a bus, so
+      their tests are serialized. *)
+
+type constraints = {
+  exclusion_pairs : (int * int) list;
+  co_pairs : (int * int) list;
+}
+
+(** No structural constraints. *)
+val no_constraints : constraints
+
+type t
+
+(** [make ?time_model ?constraints soc ~num_buses ~total_width] validates
+    and builds an instance. Requirements: [1 ≤ num_buses ≤ total_width];
+    constraint pairs must reference distinct in-range cores. Pairs are
+    normalized to [i < j] and deduplicated. The default time model is
+    [Serialization]; the default constraints are {!no_constraints}.
+    Raises [Invalid_argument] on violation. *)
+val make :
+  ?time_model:Soctam_soc.Test_time.model ->
+  ?constraints:constraints ->
+  Soctam_soc.Soc.t ->
+  num_buses:int ->
+  total_width:int ->
+  t
+
+(** The instance's SOC. *)
+val soc : t -> Soctam_soc.Soc.t
+
+(** Number of cores (shorthand for [Soc.num_cores (soc t)]). *)
+val num_cores : t -> int
+
+(** Number of buses. *)
+val num_buses : t -> int
+
+(** Total TAM width budget. *)
+val total_width : t -> int
+
+(** Test-time model in force. *)
+val time_model : t -> Soctam_soc.Test_time.model
+
+(** Structural constraints (normalized). *)
+val constraints : t -> constraints
+
+(** [time t ~core ~width] is the testing time of [core] on a bus of
+    [width] under the instance's model. Values are memoized per instance;
+    [width] must lie in [1, total_width]. *)
+val time : t -> core:int -> width:int -> int
+
+(** Maximum useful bus width: test times are constant beyond it. *)
+val max_useful_width : t -> int
+
+(** [with_constraints t constraints] is a copy of [t] with different
+    structural constraints (memoized times are shared). *)
+val with_constraints : t -> constraints -> t
+
+(** A trivially-valid lower bound on the optimal test time. With
+    [w' = total_width − num_buses + 1] the widest width any bus can take,
+    the bound is the larger of [max_i t_i(w')] and the total-work bound
+    [ceil (Σ_i t_i(w') / num_buses)]. *)
+val lower_bound : t -> int

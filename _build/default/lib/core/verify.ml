@@ -1,0 +1,59 @@
+module Soc = Soctam_soc.Soc
+module Test_time = Soctam_soc.Test_time
+
+let check problem arch ~claimed_time =
+  let soc = Problem.soc problem in
+  let n = Soc.num_cores soc in
+  let nb = Problem.num_buses problem in
+  let widths = arch.Architecture.widths in
+  let assignment = arch.Architecture.assignment in
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if Array.length widths <> nb then fail "bus count mismatch"
+  else if Array.length assignment <> n then fail "core count mismatch"
+  else if Array.exists (fun w -> w < 1) widths then fail "width below 1"
+  else if Array.fold_left ( + ) 0 widths <> Problem.total_width problem
+  then fail "width budget not met"
+  else begin
+    let constraints = Problem.constraints problem in
+    let excl_bad =
+      List.find_opt
+        (fun (a, b) -> assignment.(a) = assignment.(b))
+        constraints.Problem.exclusion_pairs
+    in
+    let co_bad =
+      List.find_opt
+        (fun (a, b) -> assignment.(a) <> assignment.(b))
+        constraints.Problem.co_pairs
+    in
+    match (excl_bad, co_bad) with
+    | Some (a, b), _ -> fail "exclusion pair (%d, %d) shares a bus" a b
+    | None, Some (a, b) -> fail "co-assignment pair (%d, %d) split" a b
+    | None, None ->
+        (* Recompute the test time straight from the time model. *)
+        let loads = Array.make nb 0 in
+        for i = 0 to n - 1 do
+          let bus = assignment.(i) in
+          loads.(bus) <-
+            loads.(bus)
+            + Test_time.cycles (Problem.time_model problem) (Soc.core soc i)
+                ~width:widths.(bus)
+        done;
+        let recomputed = Array.fold_left max 0 loads in
+        if recomputed <> claimed_time then
+          fail "claimed time %d but recomputed %d" claimed_time recomputed
+        else Ok ()
+  end
+
+let check_optimal problem arch ~claimed_time =
+  match check problem arch ~claimed_time with
+  | Error _ as e -> e
+  | Ok () -> (
+      let { Exact.solution; _ } = Exact.solve problem in
+      match solution with
+      | None -> Error "claimed solution exists but exact solver says infeasible"
+      | Some (_, optimum) ->
+          if optimum <> claimed_time then
+            Error
+              (Printf.sprintf "claimed %d is not optimal (optimum %d)"
+                 claimed_time optimum)
+          else Ok ())

@@ -1,0 +1,22 @@
+(** Independent solution checker.
+
+    Recomputes everything from the SOC description and the raw test-time
+    model — deliberately not reusing {!Problem}'s memoized tables or
+    {!Cost} — so that solver bugs and evaluation bugs cannot mask each
+    other. *)
+
+(** [check problem arch ~claimed_time] validates that:
+    - bus and core counts match the instance and widths are ≥ 1;
+    - widths sum to the instance budget;
+    - every exclusion / co-assignment pair is honoured;
+    - the recomputed system test time equals [claimed_time].
+
+    Returns [Error msg] describing the first failed check. *)
+val check :
+  Problem.t -> Architecture.t -> claimed_time:int -> (unit, string) result
+
+(** [check_optimal problem arch ~claimed_time] additionally verifies
+    optimality against the independent exact solver (expensive; used in
+    tests). *)
+val check_optimal :
+  Problem.t -> Architecture.t -> claimed_time:int -> (unit, string) result

@@ -1,0 +1,1 @@
+lib/ilp/lin_expr.ml: Array Float Format Int List Map

@@ -1,0 +1,1 @@
+lib/ilp/lp_format.ml: Array Buffer Float Fun Lin_expr List Model Printf String

@@ -1,0 +1,1 @@
+lib/ilp/model.ml: Array Float Lin_expr List Printf

@@ -1,0 +1,1 @@
+lib/ilp/simplex.ml: Array Float Lin_expr List Model

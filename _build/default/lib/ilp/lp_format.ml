@@ -1,0 +1,85 @@
+let sanitize name =
+  let ok c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '.'
+  in
+  String.map (fun c -> if ok c then c else '_') name
+
+let pp_expr model buf expr =
+  let first = ref true in
+  let term v c =
+    let sign =
+      if c < 0.0 then " - " else if !first then "" else " + "
+    in
+    first := false;
+    Buffer.add_string buf sign;
+    let mag = Float.abs c in
+    if Float.abs (mag -. 1.0) > 1e-12 then
+      Buffer.add_string buf (Printf.sprintf "%.12g " mag);
+    Buffer.add_string buf (sanitize (Model.var_name model v))
+  in
+  Lin_expr.iter_terms term expr;
+  if !first then Buffer.add_string buf "0"
+
+let to_string model =
+  let buf = Buffer.create 4096 in
+  let direction, obj = Model.objective model in
+  Buffer.add_string buf
+    (match direction with
+    | Model.Minimize -> "Minimize\n obj: "
+    | Model.Maximize -> "Maximize\n obj: ");
+  pp_expr model buf obj;
+  Buffer.add_string buf "\nSubject To\n";
+  Array.iteri
+    (fun i c ->
+      let name =
+        if c.Model.cname = "" then Printf.sprintf "c%d" i
+        else sanitize c.Model.cname
+      in
+      Buffer.add_string buf (Printf.sprintf " %s: " name);
+      pp_expr model buf c.Model.expr;
+      let op =
+        match c.Model.sense with
+        | Model.Le -> " <= "
+        | Model.Ge -> " >= "
+        | Model.Eq -> " = "
+      in
+      Buffer.add_string buf op;
+      Buffer.add_string buf (Printf.sprintf "%.12g\n" c.Model.rhs))
+    (Model.constrs model);
+  Buffer.add_string buf "Bounds\n";
+  Array.iteri
+    (fun v info ->
+      let name = sanitize info.Model.name in
+      if Float.is_finite info.Model.ub then
+        Buffer.add_string buf
+          (Printf.sprintf " %.12g <= %s <= %.12g\n" info.Model.lb name
+             info.Model.ub)
+      else
+        Buffer.add_string buf
+          (Printf.sprintf " %s >= %.12g\n" name info.Model.lb);
+      ignore v)
+    (Model.vars model);
+  let ints =
+    List.filter
+      (fun v ->
+        match (Model.var_info model v).Model.kind with
+        | Model.Integer | Model.Binary -> true
+        | Model.Continuous -> false)
+      (List.init (Model.num_vars model) Fun.id)
+  in
+  if ints <> [] then begin
+    Buffer.add_string buf "General\n";
+    List.iter
+      (fun v ->
+        Buffer.add_string buf " ";
+        Buffer.add_string buf (sanitize (Model.var_name model v)))
+      ints;
+    Buffer.add_string buf "\n"
+  end;
+  Buffer.add_string buf "End\n";
+  Buffer.contents buf
+
+let to_channel oc model = output_string oc (to_string model)

@@ -1,0 +1,10 @@
+(** Export of {!Model} instances to the textual CPLEX LP format.
+
+    Useful for debugging formulations and for cross-checking against
+    external solvers outside this repository. *)
+
+(** [to_string model] renders the model in LP format. *)
+val to_string : Model.t -> string
+
+(** [to_channel oc model] writes the LP-format rendering to [oc]. *)
+val to_channel : out_channel -> Model.t -> unit

@@ -1,0 +1,122 @@
+type var_kind = Continuous | Integer | Binary
+type sense = Le | Ge | Eq
+type direction = Minimize | Maximize
+
+type var_info = { name : string; kind : var_kind; lb : float; ub : float }
+
+type constr = {
+  cname : string;
+  expr : Lin_expr.t;
+  sense : sense;
+  rhs : float;
+}
+
+type t = {
+  mutable var_tbl : var_info array;
+  mutable nvars : int;
+  mutable constr_rev : constr list;
+  mutable nconstrs : int;
+  mutable obj : direction * Lin_expr.t;
+}
+
+let create () =
+  { var_tbl = [||];
+    nvars = 0;
+    constr_rev = [];
+    nconstrs = 0;
+    obj = (Minimize, Lin_expr.zero) }
+
+let grow t =
+  let cap = Array.length t.var_tbl in
+  if t.nvars >= cap then begin
+    let ncap = max 16 (2 * cap) in
+    let fresh =
+      Array.make ncap { name = ""; kind = Continuous; lb = 0.0; ub = 0.0 }
+    in
+    Array.blit t.var_tbl 0 fresh 0 t.nvars;
+    t.var_tbl <- fresh
+  end
+
+let add_var t ~name ~kind ~lb ~ub =
+  if not (Float.is_finite lb) then
+    invalid_arg "Model.add_var: lower bound must be finite";
+  if lb > ub then invalid_arg "Model.add_var: lb > ub";
+  (match kind with
+  | Binary ->
+      if lb < 0.0 || ub > 1.0 then
+        invalid_arg "Model.add_var: binary bounds outside [0, 1]"
+  | Continuous | Integer -> ());
+  grow t;
+  let v = t.nvars in
+  t.var_tbl.(v) <- { name; kind; lb; ub };
+  t.nvars <- v + 1;
+  v
+
+let add_binary t ~name = add_var t ~name ~kind:Binary ~lb:0.0 ~ub:1.0
+
+let add_continuous t ~name ~lb ~ub =
+  add_var t ~name ~kind:Continuous ~lb ~ub
+
+let add_constr t ~name expr sense rhs =
+  let c = Lin_expr.constant expr in
+  let body = Lin_expr.sub expr (Lin_expr.const c) in
+  t.constr_rev <-
+    { cname = name; expr = body; sense; rhs = rhs -. c } :: t.constr_rev;
+  t.nconstrs <- t.nconstrs + 1
+
+let set_objective t direction expr = t.obj <- (direction, expr)
+let num_vars t = t.nvars
+let num_constrs t = t.nconstrs
+
+let var_info t v =
+  if v < 0 || v >= t.nvars then invalid_arg "Model.var_info: bad index";
+  t.var_tbl.(v)
+
+let vars t = Array.sub t.var_tbl 0 t.nvars
+let constrs t = Array.of_list (List.rev t.constr_rev)
+let objective t = t.obj
+let var_name t v = (var_info t v).name
+
+let integer_vars t =
+  let rec loop v acc =
+    if v < 0 then acc
+    else
+      match t.var_tbl.(v).kind with
+      | Integer | Binary -> loop (v - 1) (v :: acc)
+      | Continuous -> loop (v - 1) acc
+  in
+  loop (t.nvars - 1) []
+
+let check_point ?(tol = 1e-6) t x =
+  if Array.length x <> t.nvars then Error "point has wrong dimension"
+  else begin
+    let error = ref None in
+    let fail msg = if !error = None then error := Some msg in
+    for v = 0 to t.nvars - 1 do
+      let info = t.var_tbl.(v) in
+      if x.(v) < info.lb -. tol then
+        fail (Printf.sprintf "%s below lower bound" info.name);
+      if x.(v) > info.ub +. tol then
+        fail (Printf.sprintf "%s above upper bound" info.name);
+      match info.kind with
+      | Integer | Binary ->
+          if Float.abs (x.(v) -. Float.round x.(v)) > tol then
+            fail (Printf.sprintf "%s not integral" info.name)
+      | Continuous -> ()
+    done;
+    let check_constr c =
+      let lhs = Lin_expr.eval c.expr x in
+      let ok =
+        match c.sense with
+        | Le -> lhs <= c.rhs +. tol
+        | Ge -> lhs >= c.rhs -. tol
+        | Eq -> Float.abs (lhs -. c.rhs) <= tol
+      in
+      if not ok then
+        fail
+          (Printf.sprintf "constraint %s violated (lhs=%g rhs=%g)" c.cname
+             lhs c.rhs)
+    in
+    List.iter check_constr (List.rev t.constr_rev);
+    match !error with None -> Ok () | Some msg -> Error msg
+  end

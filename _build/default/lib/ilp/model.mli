@@ -1,0 +1,83 @@
+(** Mutable MILP model builder.
+
+    A model owns a set of named variables (continuous, integer or binary,
+    each with bounds), a list of linear constraints and a linear objective.
+    Variables are identified by the dense integer index returned at
+    creation time. *)
+
+(** Variable domain kind. *)
+type var_kind = Continuous | Integer | Binary
+
+(** Constraint sense. *)
+type sense = Le | Ge | Eq
+
+(** Objective direction. *)
+type direction = Minimize | Maximize
+
+type var_info = {
+  name : string;
+  kind : var_kind;
+  lb : float;  (** Lower bound; must be finite. *)
+  ub : float;  (** Upper bound; may be [infinity]. *)
+}
+
+type constr = {
+  cname : string;
+  expr : Lin_expr.t;  (** Left-hand side (its constant is folded into [rhs]). *)
+  sense : sense;
+  rhs : float;
+}
+
+type t
+
+(** [create ()] is a fresh empty model (minimization by default). *)
+val create : unit -> t
+
+(** [add_var t ~name ~kind ~lb ~ub] registers a variable and returns its
+    index. Binary variables must have bounds within [0, 1]; a negative or
+    infinite lower bound, or [lb > ub], raises [Invalid_argument]. *)
+val add_var :
+  t -> name:string -> kind:var_kind -> lb:float -> ub:float -> int
+
+(** [add_binary t ~name] is [add_var t ~name ~kind:Binary ~lb:0. ~ub:1.]. *)
+val add_binary : t -> name:string -> int
+
+(** [add_continuous t ~name ~lb ~ub] adds a continuous variable. *)
+val add_continuous : t -> name:string -> lb:float -> ub:float -> int
+
+(** [add_constr t ~name expr sense rhs] adds the constraint
+    [expr sense rhs]. The expression's constant term is moved to the
+    right-hand side. *)
+val add_constr : t -> name:string -> Lin_expr.t -> sense -> float -> unit
+
+(** [set_objective t direction expr] installs the objective. *)
+val set_objective : t -> direction -> Lin_expr.t -> unit
+
+(** Number of variables. *)
+val num_vars : t -> int
+
+(** Number of constraints. *)
+val num_constrs : t -> int
+
+(** [var_info t v] is the metadata of variable [v]. *)
+val var_info : t -> int -> var_info
+
+(** All variables, in index order. *)
+val vars : t -> var_info array
+
+(** All constraints, in insertion order. *)
+val constrs : t -> constr array
+
+(** Objective direction and expression ([Minimize Lin_expr.zero] if unset). *)
+val objective : t -> direction * Lin_expr.t
+
+(** [var_name t v] is the display name of variable [v]. *)
+val var_name : t -> int -> string
+
+(** Indices of variables whose kind is [Integer] or [Binary]. *)
+val integer_vars : t -> int list
+
+(** [check_point t x ?tol] is [Ok ()] when [x] satisfies all bounds and
+    constraints within [tol] (default 1e-6), otherwise [Error msg] naming
+    the first violation. Integrality of integer variables is also checked. *)
+val check_point : ?tol:float -> t -> float array -> (unit, string) result

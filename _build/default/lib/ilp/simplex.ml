@@ -1,0 +1,352 @@
+type result =
+  | Optimal of { point : float array; objective : float; pivots : int }
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+
+let price_tol = 1e-7
+let pivot_tol = 1e-9
+let feas_tol = 1e-7
+
+(* Internal tableau: rows are constraints, columns are variables
+   (structural, then slack/surplus, then artificial) plus a rhs column.
+   [obj] is the reduced-cost row; [obj_rhs] holds the negated objective
+   value. [basis.(r)] is the column basic in row [r]. *)
+type tableau = {
+  rows : float array array;
+  rhs : float array;
+  obj : float array;
+  mutable obj_rhs : float;
+  basis : int array;
+  ncols : int;
+}
+
+let pivot tab ~row ~col =
+  let piv = tab.rows.(row).(col) in
+  let inv = 1.0 /. piv in
+  let prow = tab.rows.(row) in
+  for j = 0 to tab.ncols - 1 do
+    prow.(j) <- prow.(j) *. inv
+  done;
+  tab.rhs.(row) <- tab.rhs.(row) *. inv;
+  let eliminate target trhs set_rhs =
+    let factor = target.(col) in
+    if Float.abs factor > 0.0 then begin
+      for j = 0 to tab.ncols - 1 do
+        target.(j) <- target.(j) -. (factor *. prow.(j))
+      done;
+      set_rhs (trhs -. (factor *. tab.rhs.(row)))
+    end
+  in
+  for r = 0 to Array.length tab.rows - 1 do
+    if r <> row then
+      eliminate tab.rows.(r) tab.rhs.(r) (fun v -> tab.rhs.(r) <- v)
+  done;
+  eliminate tab.obj tab.obj_rhs (fun v -> tab.obj_rhs <- v);
+  tab.basis.(row) <- col
+
+(* Entering column: most negative reduced cost among [allowed] columns
+   (Dantzig), or the lowest-index eligible column under Bland's rule. *)
+let entering tab ~allowed ~bland =
+  let best = ref (-1) in
+  let best_cost = ref (-.price_tol) in
+  let n = tab.ncols in
+  let rec bland_scan j =
+    if j >= n then -1
+    else if allowed j && tab.obj.(j) < -.price_tol then j
+    else bland_scan (j + 1)
+  in
+  if bland then bland_scan 0
+  else begin
+    for j = 0 to n - 1 do
+      if allowed j && tab.obj.(j) < !best_cost then begin
+        best_cost := tab.obj.(j);
+        best := j
+      end
+    done;
+    !best
+  end
+
+(* Leaving row: standard minimum-ratio test; ties broken by the smallest
+   basic variable index (helps against cycling). *)
+let leaving tab ~col =
+  let m = Array.length tab.rows in
+  let best = ref (-1) in
+  let best_ratio = ref infinity in
+  for r = 0 to m - 1 do
+    let a = tab.rows.(r).(col) in
+    if a > pivot_tol then begin
+      let ratio = tab.rhs.(r) /. a in
+      if
+        ratio < !best_ratio -. pivot_tol
+        || (Float.abs (ratio -. !best_ratio) <= pivot_tol
+           && !best >= 0
+           && tab.basis.(r) < tab.basis.(!best))
+      then begin
+        best_ratio := ratio;
+        best := r
+      end
+    end
+  done;
+  !best
+
+type phase_outcome = Phase_done | Phase_unbounded | Phase_iter_limit
+
+(* Run simplex iterations until optimality of the current objective row.
+   Switches to Bland's rule after [stall_limit] non-improving pivots. *)
+let iterate tab ~allowed ~budget ~pivots =
+  let stall_limit = 200 in
+  let stall = ref 0 in
+  let last_obj = ref tab.obj_rhs in
+  let rec loop () =
+    if !pivots > budget then Phase_iter_limit
+    else begin
+      let bland = !stall > stall_limit in
+      let col = entering tab ~allowed ~bland in
+      if col < 0 then Phase_done
+      else begin
+        let row = leaving tab ~col in
+        if row < 0 then Phase_unbounded
+        else begin
+          pivot tab ~row ~col;
+          incr pivots;
+          if tab.obj_rhs > !last_obj +. 1e-10 then begin
+            stall := 0;
+            last_obj := tab.obj_rhs
+          end
+          else incr stall;
+          loop ()
+        end
+      end
+    end
+  in
+  loop ()
+
+(* Nearest power of two: scaling by these is exact in binary floating
+   point, so equilibration introduces no rounding of its own. *)
+let pow2_near x =
+  if x <= 0.0 || not (Float.is_finite x) then 1.0
+  else Float.pow 2.0 (Float.round (Float.log2 x))
+
+(* A raw row before slack/artificial augmentation. *)
+type raw_row = {
+  mutable coeffs : (int * float) list;
+  mutable sense : Model.sense;
+  mutable rhs_val : float;
+}
+
+let solve ?(bound_overrides = []) ?(max_pivots = 200_000) model =
+  let nstruct = Model.num_vars model in
+  let lb = Array.make nstruct 0.0 and ub = Array.make nstruct infinity in
+  for v = 0 to nstruct - 1 do
+    let info = Model.var_info model v in
+    lb.(v) <- info.Model.lb;
+    ub.(v) <- info.Model.ub
+  done;
+  List.iter
+    (fun (v, l, u) ->
+      lb.(v) <- Float.max lb.(v) l;
+      ub.(v) <- Float.min ub.(v) u)
+    bound_overrides;
+  let infeasible_bounds = ref false in
+  for v = 0 to nstruct - 1 do
+    if lb.(v) > ub.(v) +. feas_tol then infeasible_bounds := true
+  done;
+  if !infeasible_bounds then Infeasible
+  else begin
+    (* Assemble raw rows in the shifted space x' = x − lb: model
+       constraints first, then upper-bound rows x' ≤ ub − lb. *)
+    let constrs = Model.constrs model in
+    let raw = ref [] in
+    Array.iter
+      (fun c ->
+        let shift = ref 0.0 in
+        Lin_expr.iter_terms
+          (fun v coef -> shift := !shift +. (coef *. lb.(v)))
+          c.Model.expr;
+        raw :=
+          { coeffs = Lin_expr.terms c.Model.expr;
+            sense = c.Model.sense;
+            rhs_val = c.Model.rhs -. !shift }
+          :: !raw)
+      constrs;
+    for v = nstruct - 1 downto 0 do
+      if Float.is_finite ub.(v) then
+        raw :=
+          { coeffs = [ (v, 1.0) ];
+            sense = Model.Le;
+            rhs_val = ub.(v) -. lb.(v) }
+          :: !raw
+    done;
+    let raw_rows = Array.of_list (List.rev !raw) in
+    let m = Array.length raw_rows in
+    (* Column equilibration: x'' = cscale_v * x'. *)
+    let cscale = Array.make nstruct 1.0 in
+    let cmax = Array.make nstruct 0.0 in
+    Array.iter
+      (fun row ->
+        List.iter
+          (fun (v, c) -> cmax.(v) <- Float.max cmax.(v) (Float.abs c))
+          row.coeffs)
+      raw_rows;
+    for v = 0 to nstruct - 1 do
+      if cmax.(v) > 0.0 then cscale.(v) <- 1.0 /. pow2_near cmax.(v)
+    done;
+    (* Row equilibration after column scaling. *)
+    Array.iter
+      (fun row ->
+        let scaled =
+          List.map (fun (v, c) -> (v, c *. cscale.(v))) row.coeffs
+        in
+        let rmax =
+          List.fold_left
+            (fun acc (_, c) -> Float.max acc (Float.abs c))
+            0.0 scaled
+        in
+        let rscale = 1.0 /. pow2_near rmax in
+        row.coeffs <- List.map (fun (v, c) -> (v, c *. rscale)) scaled;
+        row.rhs_val <- row.rhs_val *. rscale)
+      raw_rows;
+    (* Column layout: structural | one slack/surplus per row | one
+       artificial slot per row. *)
+    let slack_base = nstruct in
+    let art_base = slack_base + m in
+    let ncols = art_base + m in
+    let rows = Array.init m (fun _ -> Array.make ncols 0.0) in
+    let rhs = Array.make m 0.0 in
+    let basis = Array.make m (-1) in
+    let art_cols = ref [] in
+    Array.iteri
+      (fun r row ->
+        (* Normalize to rhs >= 0 by negating the row when needed. In the
+           doubly-scaled space the variable value x''_v multiplies
+           coefficient c; x'' = cscale_v * (x_v − lb_v) ≥ 0. *)
+        let coeffs, sense, b =
+          if row.rhs_val < 0.0 then
+            ( List.map (fun (v, c) -> (v, -.c)) row.coeffs,
+              (match row.sense with
+              | Model.Le -> Model.Ge
+              | Model.Ge -> Model.Le
+              | Model.Eq -> Model.Eq),
+              -.row.rhs_val )
+          else (row.coeffs, row.sense, row.rhs_val)
+        in
+        (* Stored coefficients are c * cscale_v, so the tableau variable
+           is x'' = x' / cscale_v (still non-negative); bounds, objective
+           and extraction are transformed consistently below. *)
+        List.iter
+          (fun (v, c) -> rows.(r).(v) <- rows.(r).(v) +. c)
+          coeffs;
+        rhs.(r) <- b;
+        let slack = slack_base + r in
+        let art = art_base + r in
+        match sense with
+        | Model.Le ->
+            rows.(r).(slack) <- 1.0;
+            basis.(r) <- slack
+        | Model.Ge ->
+            rows.(r).(slack) <- -1.0;
+            rows.(r).(art) <- 1.0;
+            basis.(r) <- art;
+            art_cols := art :: !art_cols
+        | Model.Eq ->
+            rows.(r).(art) <- 1.0;
+            basis.(r) <- art;
+            art_cols := art :: !art_cols)
+      raw_rows;
+    let is_artificial j = j >= art_base in
+    let tab =
+      { rows; rhs; obj = Array.make ncols 0.0; obj_rhs = 0.0; basis; ncols }
+    in
+    let pivots = ref 0 in
+    (* Captured before any pivot mutates the tableau. *)
+    let rhs_norm =
+      Array.fold_left (fun acc b -> Float.max acc (Float.abs b)) 1.0 rhs
+    in
+    (* Phase 1: minimize the sum of artificials. *)
+    let phase1_needed = !art_cols <> [] in
+    let outcome1 =
+      if not phase1_needed then Phase_done
+      else begin
+        List.iter (fun j -> tab.obj.(j) <- 1.0) !art_cols;
+        for r = 0 to m - 1 do
+          if is_artificial tab.basis.(r) then begin
+            for j = 0 to ncols - 1 do
+              tab.obj.(j) <- tab.obj.(j) -. tab.rows.(r).(j)
+            done;
+            tab.obj_rhs <- tab.obj_rhs -. tab.rhs.(r)
+          end
+        done;
+        iterate tab ~allowed:(fun _ -> true) ~budget:max_pivots ~pivots
+      end
+    in
+    match outcome1 with
+    | Phase_iter_limit -> Iteration_limit
+    | Phase_unbounded ->
+        (* A phase-1 objective bounded below by zero cannot be unbounded. *)
+        assert false
+    | Phase_done ->
+        let phase1_obj = -.tab.obj_rhs in
+        (* Artificial values live in row-scaled units; compare against a
+           norm-relative threshold. *)
+        if phase1_needed && phase1_obj > feas_tol *. rhs_norm then Infeasible
+        else begin
+          (* Drive any artificial still basic (at value 0) out of the
+             basis; rows with no eligible pivot are redundant. *)
+          for r = 0 to m - 1 do
+            if is_artificial tab.basis.(r) then begin
+              let found = ref (-1) in
+              let j = ref 0 in
+              while !found < 0 && !j < art_base do
+                if Float.abs tab.rows.(r).(!j) > 1e-7 then found := !j;
+                incr j
+              done;
+              if !found >= 0 then begin
+                pivot tab ~row:r ~col:!found;
+                incr pivots
+              end
+            end
+          done;
+          (* Phase 2: install the real objective (always minimized;
+             maximization negates costs). Objective coefficients live in
+             the doubly-scaled space: c_v x_v = (c_v / cscale_v) x''. *)
+          Array.fill tab.obj 0 ncols 0.0;
+          tab.obj_rhs <- 0.0;
+          let direction, obj_expr = Model.objective model in
+          let sign =
+            match direction with
+            | Model.Minimize -> 1.0
+            | Model.Maximize -> -1.0
+          in
+          Lin_expr.iter_terms
+            (fun v c ->
+              tab.obj.(v) <- tab.obj.(v) +. (sign *. c *. cscale.(v)))
+            obj_expr;
+          for r = 0 to m - 1 do
+            let b = tab.basis.(r) in
+            let cost = tab.obj.(b) in
+            if Float.abs cost > 0.0 then begin
+              for j = 0 to ncols - 1 do
+                tab.obj.(j) <- tab.obj.(j) -. (cost *. tab.rows.(r).(j))
+              done;
+              tab.obj_rhs <- tab.obj_rhs -. (cost *. tab.rhs.(r))
+            end
+          done;
+          let allowed j = not (is_artificial j) in
+          match iterate tab ~allowed ~budget:max_pivots ~pivots with
+          | Phase_iter_limit -> Iteration_limit
+          | Phase_unbounded -> Unbounded
+          | Phase_done ->
+              let point = Array.copy lb in
+              for r = 0 to m - 1 do
+                let b = tab.basis.(r) in
+                if b < nstruct then
+                  point.(b) <- lb.(b) +. (tab.rhs.(r) *. cscale.(b))
+              done;
+              let objective =
+                let _, expr = Model.objective model in
+                Lin_expr.eval expr point
+              in
+              Optimal { point; objective; pivots = !pivots }
+        end
+  end

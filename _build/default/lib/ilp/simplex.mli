@@ -1,0 +1,25 @@
+(** Two-phase primal simplex for linear programs built with {!Model}.
+
+    Integrality information in the model is ignored: this module solves the
+    continuous relaxation. Variables must have finite lower bounds (the
+    model enforces this); finite upper bounds are handled as explicit rows.
+    Dantzig pricing is used with an automatic switch to Bland's rule when
+    the objective stalls, which guarantees termination. *)
+
+type result =
+  | Optimal of { point : float array; objective : float; pivots : int }
+      (** Optimal solution in the original variable space. *)
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+      (** The pivot budget was exhausted (pathological instance). *)
+
+(** [solve ?bound_overrides ?max_pivots model] solves the LP relaxation of
+    [model]. [bound_overrides] temporarily replaces the bounds of selected
+    variables (used by branch and bound); entries are [(var, lb, ub)].
+    Default pivot budget is 200_000. *)
+val solve :
+  ?bound_overrides:(int * float * float) list ->
+  ?max_pivots:int ->
+  Model.t ->
+  result

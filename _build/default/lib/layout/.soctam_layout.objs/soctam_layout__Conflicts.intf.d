@@ -1,0 +1,1 @@
+lib/layout/conflicts.mli: Floorplan

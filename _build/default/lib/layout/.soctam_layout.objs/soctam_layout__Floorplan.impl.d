@@ -1,0 +1,1 @@
+lib/layout/floorplan.ml: Array Buffer Float Fun Geom Printf Soctam_soc String

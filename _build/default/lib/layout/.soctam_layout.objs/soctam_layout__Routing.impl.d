@@ -1,0 +1,1 @@
+lib/layout/routing.ml: Array Floorplan Geom List

@@ -1,0 +1,1 @@
+lib/layout/routing.mli: Floorplan

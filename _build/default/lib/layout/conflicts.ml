@@ -1,0 +1,35 @@
+let all_distances fp =
+  let n = Floorplan.num_cores fp in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      acc := (i, j, Floorplan.distance fp i j) :: !acc
+    done
+  done;
+  !acc
+
+let exclusion_pairs fp ~d_max_mm =
+  all_distances fp
+  |> List.filter_map (fun (i, j, d) ->
+         if d > d_max_mm then Some (i, j) else None)
+  |> List.sort compare
+
+let max_distance fp =
+  List.fold_left (fun acc (_, _, d) -> Float.max acc d) 0.0
+    (all_distances fp)
+
+let distance_quantile fp q =
+  if q < 0.0 || q > 1.0 then
+    invalid_arg "Conflicts.distance_quantile: q outside [0, 1]";
+  let ds =
+    all_distances fp |> List.map (fun (_, _, d) -> d) |> List.sort compare
+  in
+  match ds with
+  | [] -> invalid_arg "Conflicts.distance_quantile: fewer than two cores"
+  | _ ->
+      let n = List.length ds in
+      let rank =
+        min (n - 1)
+          (max 0 (int_of_float (Float.ceil (q *. float_of_int n)) - 1))
+      in
+      List.nth ds rank

@@ -1,0 +1,18 @@
+(** Derivation of place-and-route exclusion pairs.
+
+    The DAC 2000 formulation models routability as pairwise exclusions:
+    two cores whose separation exceeds the per-bus routing budget must
+    not share a test bus. *)
+
+(** [exclusion_pairs fp ~d_max_mm] lists all pairs [(i, j)] with [i < j]
+    whose Manhattan centre distance strictly exceeds [d_max_mm]. *)
+val exclusion_pairs : Floorplan.t -> d_max_mm:float -> (int * int) list
+
+(** [max_distance fp] is the largest pairwise core distance (0 for a
+    single-core floorplan); useful for choosing [d_max_mm] sweeps. *)
+val max_distance : Floorplan.t -> float
+
+(** [distance_quantile fp q] is the [q]-quantile (0 ≤ q ≤ 1) of the
+    pairwise distance distribution, by nearest-rank. Raises
+    [Invalid_argument] for [q] outside [0, 1] or a single-core plan. *)
+val distance_quantile : Floorplan.t -> float -> float

@@ -1,0 +1,36 @@
+(** Deterministic shelf floorplanner.
+
+    The DAC 2000 formulation consumes a placement only through pairwise
+    core distances; any fixed placement suffices. This module packs cores
+    into rows (tallest-first), sizes the die to the resulting extents and
+    exposes Manhattan centre-to-centre distances. *)
+
+type t
+
+(** [place ?spacing_mm ?row_width_mm soc] computes a placement.
+    [spacing_mm] is the margin kept around every core (default 0.5);
+    [row_width_mm] caps row width (default: chosen to make the die
+    roughly square). *)
+val place : ?spacing_mm:float -> ?row_width_mm:float -> Soctam_soc.Soc.t -> t
+
+(** Die dimensions (width, height) in millimetres. *)
+val die_mm : t -> float * float
+
+(** Placed rectangle of core [i]. *)
+val rect : t -> int -> Geom.rect
+
+(** Centre of core [i]. *)
+val position : t -> int -> Geom.point
+
+(** Number of placed cores. *)
+val num_cores : t -> int
+
+(** Manhattan distance between the centres of cores [i] and [j]. *)
+val distance : t -> int -> int -> float
+
+(** [validate fp] is [Ok ()] when no two cores overlap and all lie inside
+    the die; [Error msg] names the first violation. *)
+val validate : t -> (unit, string) result
+
+(** ASCII sketch of the floorplan (for examples and reports). *)
+val sketch : ?columns:int -> t -> Soctam_soc.Soc.t -> string

@@ -1,0 +1,18 @@
+type point = { x : float; y : float }
+
+let manhattan p q = Float.abs (p.x -. q.x) +. Float.abs (p.y -. q.y)
+
+type rect = { ll : point; w : float; h : float }
+
+let center r = { x = r.ll.x +. (r.w /. 2.0); y = r.ll.y +. (r.h /. 2.0) }
+
+let overlap r1 r2 =
+  r1.ll.x < r2.ll.x +. r2.w
+  && r2.ll.x < r1.ll.x +. r1.w
+  && r1.ll.y < r2.ll.y +. r2.h
+  && r2.ll.y < r1.ll.y +. r1.h
+
+let inside ~outer r =
+  r.ll.x >= 0.0 && r.ll.y >= 0.0
+  && r.ll.x +. r.w <= outer.x
+  && r.ll.y +. r.h <= outer.y

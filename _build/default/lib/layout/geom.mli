@@ -1,0 +1,20 @@
+(** Planar geometry helpers (millimetre units, Manhattan metric). *)
+
+type point = { x : float; y : float }
+
+(** [manhattan p q] is |p.x − q.x| + |p.y − q.y|. *)
+val manhattan : point -> point -> float
+
+(** Axis-aligned rectangle given by its lower-left corner and size. *)
+type rect = { ll : point; w : float; h : float }
+
+(** Centre of a rectangle. *)
+val center : rect -> point
+
+(** [overlap r1 r2] is [true] when the two rectangles intersect with
+    positive area. *)
+val overlap : rect -> rect -> bool
+
+(** [inside ~outer r] is [true] when [r] lies entirely within the
+    rectangle from the origin to [outer]. *)
+val inside : outer:point -> rect -> bool

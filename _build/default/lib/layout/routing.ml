@@ -1,0 +1,109 @@
+type tour = { order : int list; length_mm : float }
+
+let tour_length src dst points order =
+  let rec loop prev total = function
+    | [] -> total +. Geom.manhattan prev dst
+    | p :: rest -> loop points.(p) (total +. Geom.manhattan prev points.(p)) rest
+  in
+  loop src 0.0 order
+
+(* Nearest-neighbour construction from the source pad. *)
+let nearest_neighbour src points cores =
+  let remaining = ref cores in
+  let order = ref [] in
+  let cursor = ref src in
+  while !remaining <> [] do
+    let best, _ =
+      List.fold_left
+        (fun (bi, bd) i ->
+          let d = Geom.manhattan !cursor points.(i) in
+          if d < bd then (i, d) else (bi, bd))
+        (-1, infinity) !remaining
+    in
+    order := best :: !order;
+    cursor := points.(best);
+    remaining := List.filter (fun i -> i <> best) !remaining
+  done;
+  List.rev !order
+
+(* 2-opt: reverse segments while the tour length improves. *)
+let two_opt src dst points order =
+  let arr = Array.of_list order in
+  let n = Array.length arr in
+  if n < 3 then order
+  else begin
+    let improved = ref true in
+    let rounds = ref 0 in
+    while !improved && !rounds < 50 do
+      improved := false;
+      incr rounds;
+      for i = 0 to n - 2 do
+        for j = i + 1 to n - 1 do
+          let before_i = if i = 0 then src else points.(arr.(i - 1)) in
+          let after_j = if j = n - 1 then dst else points.(arr.(j + 1)) in
+          let current =
+            Geom.manhattan before_i points.(arr.(i))
+            +. Geom.manhattan points.(arr.(j)) after_j
+          in
+          let swapped =
+            Geom.manhattan before_i points.(arr.(j))
+            +. Geom.manhattan points.(arr.(i)) after_j
+          in
+          if swapped +. 1e-9 < current then begin
+            (* Reverse arr[i..j]. *)
+            let lo = ref i and hi = ref j in
+            while !lo < !hi do
+              let tmp = arr.(!lo) in
+              arr.(!lo) <- arr.(!hi);
+              arr.(!hi) <- tmp;
+              incr lo;
+              decr hi
+            done;
+            improved := true
+          end
+        done
+      done
+    done;
+    Array.to_list arr
+  end
+
+let pads fp =
+  let dw, dh = Floorplan.die_mm fp in
+  ({ Geom.x = 0.0; y = dh /. 2.0 }, { Geom.x = dw; y = dh /. 2.0 })
+
+let trunk_tour fp ~cores =
+  let src, dst = pads fp in
+  let n = Floorplan.num_cores fp in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= n then invalid_arg "Routing.trunk_tour: bad core")
+    cores;
+  let points = Array.init n (Floorplan.position fp) in
+  let order = nearest_neighbour src points cores in
+  let order = two_opt src dst points order in
+  { order; length_mm = tour_length src dst points order }
+
+type wiring = { tours : tour array; total_mm : float; wire_area : float }
+
+let wiring fp ~assignment ~widths =
+  let nb = Array.length widths in
+  Array.iter
+    (fun b ->
+      if b < 0 || b >= nb then
+        invalid_arg "Routing.wiring: assignment outside bus range")
+    assignment;
+  let members b =
+    let acc = ref [] in
+    Array.iteri (fun i bi -> if bi = b then acc := i :: !acc) assignment;
+    List.rev !acc
+  in
+  let tours = Array.init nb (fun b -> trunk_tour fp ~cores:(members b)) in
+  let total_mm =
+    Array.fold_left (fun acc t -> acc +. t.length_mm) 0.0 tours
+  in
+  let wire_area =
+    Array.to_list tours
+    |> List.mapi (fun b t -> float_of_int widths.(b) *. t.length_mm)
+    |> List.fold_left ( +. ) 0.0
+  in
+  { tours; total_mm; wire_area }

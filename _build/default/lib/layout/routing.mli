@@ -1,0 +1,28 @@
+(** TAM trunk wirelength estimation.
+
+    A test bus is routed as a trunk that starts at the source pad on the
+    west die edge, visits every core assigned to the bus, and terminates
+    at the sink pad on the east edge. The trunk length is estimated as a
+    Manhattan tour (nearest-neighbour construction + 2-opt improvement);
+    the wiring cost of a bus is its trunk length times its width. *)
+
+type tour = {
+  order : int list;  (** Core indices in visiting order. *)
+  length_mm : float;  (** Pad-to-pad Manhattan trunk length. *)
+}
+
+(** [trunk_tour fp ~cores] computes the estimated trunk for the given
+    core set. With an empty core set the trunk runs pad to pad. *)
+val trunk_tour : Floorplan.t -> cores:int list -> tour
+
+(** Per-bus trunks and aggregate wiring cost for a full architecture. *)
+type wiring = {
+  tours : tour array;  (** Indexed by bus. *)
+  total_mm : float;  (** Sum of trunk lengths. *)
+  wire_area : float;  (** Σ bus_width × trunk length (wire·mm). *)
+}
+
+(** [wiring fp ~assignment ~widths] evaluates all buses of an
+    architecture; [assignment.(core) = bus]. Raises [Invalid_argument]
+    when an assignment entry is outside [0, Array.length widths). *)
+val wiring : Floorplan.t -> assignment:int array -> widths:int array -> wiring

@@ -1,0 +1,1 @@
+lib/plan/tradeoff.ml: Array List Soctam_core

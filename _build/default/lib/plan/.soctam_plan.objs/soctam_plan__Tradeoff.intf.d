@@ -1,0 +1,1 @@
+lib/plan/tradeoff.mli: Soctam_core Soctam_soc

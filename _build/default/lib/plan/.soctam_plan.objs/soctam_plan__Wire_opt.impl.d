@@ -1,0 +1,1 @@
+lib/plan/wire_opt.ml: Array Fun List Soctam_core Soctam_layout

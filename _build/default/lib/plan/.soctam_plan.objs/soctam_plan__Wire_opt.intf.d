@@ -1,0 +1,1 @@
+lib/plan/wire_opt.mli: Soctam_core Soctam_layout

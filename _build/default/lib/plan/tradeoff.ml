@@ -1,0 +1,59 @@
+module Problem = Soctam_core.Problem
+module Exact = Soctam_core.Exact
+
+type point = { total_width : int; test_time : int }
+
+let curve ?time_model ?constraints soc ~num_buses ~widths =
+  List.sort compare widths
+  |> List.filter_map (fun total_width ->
+         if total_width < num_buses then None
+         else begin
+           let problem =
+             Problem.make ?time_model ?constraints soc ~num_buses
+               ~total_width
+           in
+           match (Exact.solve problem).Exact.solution with
+           | Some (_, test_time) -> Some { total_width; test_time }
+           | None -> None
+         end)
+
+let pareto points =
+  let sorted = List.sort compare points in
+  let rec keep best = function
+    | [] -> []
+    | p :: rest ->
+        if p.test_time < best then p :: keep p.test_time rest
+        else keep best rest
+  in
+  keep max_int sorted
+
+(* Knee of the staircase: the classic "kneedle" pick — normalize both
+   axes to [0, 1] and take the interior point farthest below the chord
+   joining the curve's endpoints. *)
+let knee points =
+  let pts = Array.of_list (pareto points) in
+  let n = Array.length pts in
+  if n < 3 then None
+  else begin
+    let w0 = float_of_int pts.(0).total_width in
+    let w1 = float_of_int pts.(n - 1).total_width in
+    let t0 = float_of_int pts.(0).test_time in
+    let t1 = float_of_int pts.(n - 1).test_time in
+    let norm p =
+      ( (float_of_int p.total_width -. w0) /. (w1 -. w0),
+        (float_of_int p.test_time -. t1) /. (t0 -. t1) )
+    in
+    let best = ref None in
+    for i = 1 to n - 2 do
+      let x, y = norm pts.(i) in
+      (* Chord runs from (0, 1) to (1, 0); distance below it grows with
+         1 - x - y. *)
+      let gap = 1.0 -. x -. y in
+      match !best with
+      | Some (_, g) when g >= gap -> ()
+      | Some _ | None -> best := Some (pts.(i), gap)
+    done;
+    match !best with
+    | Some (p, gap) when gap > 0.0 -> Some p
+    | Some _ | None -> None
+  end

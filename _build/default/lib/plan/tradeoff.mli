@@ -1,0 +1,28 @@
+(** Width/test-time trade-off curves for interconnect planning.
+
+    During early design planning the architect needs the whole
+    [W -> T_opt(W)] staircase, not one design point: it shows where an
+    extra TAM wire stops paying for itself. *)
+
+type point = { total_width : int; test_time : int }
+
+(** [curve ?time_model ?constraints soc ~num_buses ~widths] computes the
+    optimal test time for every budget in [widths] (infeasible budgets
+    are omitted). The result is sorted by width. *)
+val curve :
+  ?time_model:Soctam_soc.Test_time.model ->
+  ?constraints:Soctam_core.Problem.constraints ->
+  Soctam_soc.Soc.t ->
+  num_buses:int ->
+  widths:int list ->
+  point list
+
+(** [pareto points] removes dominated points: the result is strictly
+    increasing in width and strictly decreasing in test time. *)
+val pareto : point list -> point list
+
+(** [knee points] is the interior Pareto point farthest below the chord
+    joining the curve's endpoints on normalized axes (the classic
+    "kneedle" elbow pick); [None] for fewer than three Pareto points or
+    a curve with no interior point below the chord. *)
+val knee : point list -> point option

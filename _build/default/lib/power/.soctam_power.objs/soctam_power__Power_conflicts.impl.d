@@ -1,0 +1,1 @@
+lib/power/power_conflicts.ml: Array Fun Hashtbl List Power_model Soctam_soc

@@ -1,0 +1,1 @@
+lib/power/power_conflicts.mli: Soctam_soc

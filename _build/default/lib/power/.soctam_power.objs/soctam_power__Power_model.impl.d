@@ -1,0 +1,1 @@
+lib/power/power_model.ml: Array Float Soctam_soc

@@ -1,0 +1,50 @@
+module Soc = Soctam_soc.Soc
+
+let co_assignment_pairs soc ~p_max_mw =
+  let n = Soc.num_cores soc in
+  let power i = Power_model.core_power (Soc.core soc i) in
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto i + 1 do
+      if power i +. power j > p_max_mw then acc := (i, j) :: !acc
+    done
+  done;
+  !acc
+
+(* Union-find over core indices. *)
+let clusters soc ~p_max_mw =
+  let n = Soc.num_cores soc in
+  let parent = Array.init n Fun.id in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      let r = find parent.(i) in
+      parent.(i) <- r;
+      r
+    end
+  in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(max ri rj) <- min ri rj
+  in
+  List.iter (fun (i, j) -> union i j) (co_assignment_pairs soc ~p_max_mw);
+  let buckets = Hashtbl.create 16 in
+  for i = n - 1 downto 0 do
+    let r = find i in
+    let existing =
+      match Hashtbl.find_opt buckets r with Some l -> l | None -> []
+    in
+    Hashtbl.replace buckets r (i :: existing)
+  done;
+  Hashtbl.fold (fun _ members acc -> members :: acc) buckets []
+  |> List.sort compare
+
+let feasible_p_max soc =
+  let powers =
+    Soc.fold (fun acc _ c -> Power_model.core_power c :: acc) [] soc
+    |> List.sort (fun a b -> compare b a)
+  in
+  match powers with
+  | a :: b :: _ -> a +. b
+  | [ a ] -> a
+  | [] -> 0.0

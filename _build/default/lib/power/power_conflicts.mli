@@ -1,0 +1,22 @@
+(** Derivation of power co-assignment pairs.
+
+    Under a system power budget [p_max], two cores whose combined ratings
+    exceed the budget must never be tested concurrently. Cores on the
+    same test bus are tested sequentially, so the DAC 2000 formulation
+    enforces such pairs to share a bus. *)
+
+(** [co_assignment_pairs soc ~p_max_mw] lists pairs [(i, j)], [i < j],
+    with [power i + power j > p_max_mw]. *)
+val co_assignment_pairs :
+  Soctam_soc.Soc.t -> p_max_mw:float -> (int * int) list
+
+(** [clusters soc ~p_max_mw ~num_cores] partitions core indices into the
+    connected components induced by {!co_assignment_pairs}: cores in one
+    component are forced onto a common bus. Singleton components are
+    included. *)
+val clusters : Soctam_soc.Soc.t -> p_max_mw:float -> int list list
+
+(** [feasible_p_max soc ~num_buses] is the smallest budget under which no
+    pair conflicts, i.e. the sum of the two largest core ratings; budgets
+    at or above this make the constraint vacuous. *)
+val feasible_p_max : Soctam_soc.Soc.t -> float

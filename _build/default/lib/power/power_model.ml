@@ -1,0 +1,23 @@
+module Soc = Soctam_soc.Soc
+module Core_def = Soctam_soc.Core_def
+
+let core_power core = core.Core_def.power_mw
+
+let bus_peak soc ~assignment ~bus =
+  Soc.fold
+    (fun acc i core ->
+      if assignment.(i) = bus then Float.max acc (core_power core) else acc)
+    0.0 soc
+
+let architecture_peak soc ~assignment ~num_buses =
+  let acc = ref 0.0 in
+  for b = 0 to num_buses - 1 do
+    acc := !acc +. bus_peak soc ~assignment ~bus:b
+  done;
+  !acc
+
+let max_core_power soc =
+  Soc.fold (fun acc _ core -> Float.max acc (core_power core)) 0.0 soc
+
+let total_power soc =
+  Soc.fold (fun acc _ core -> acc +. core_power core) 0.0 soc

@@ -1,0 +1,29 @@
+(** Test power accounting.
+
+    Each core carries a peak test power rating (mW); scan shifting
+    toggles every scan cell each cycle, so ratings are dominated by
+    flip-flop counts (see {!Soctam_soc.Benchmarks.derived_power_mw}).
+    Test buses run concurrently, so the conservative peak power of an
+    architecture is the sum over buses of the largest rating on each
+    bus. *)
+
+(** Peak test power rating of a core (mW). *)
+val core_power : Soctam_soc.Core_def.t -> float
+
+(** [bus_peak soc ~assignment ~bus] is the maximum rating among cores of
+    [bus] (0 if the bus is empty). *)
+val bus_peak : Soctam_soc.Soc.t -> assignment:int array -> bus:int -> float
+
+(** [architecture_peak soc ~assignment ~num_buses] is the conservative
+    system peak: the sum of per-bus maxima (any cross-bus overlap of the
+    per-bus worst cores is possible). *)
+val architecture_peak :
+  Soctam_soc.Soc.t -> assignment:int array -> num_buses:int -> float
+
+(** Largest single-core rating in the SOC: a lower bound on any
+    achievable [p_max] budget. *)
+val max_core_power : Soctam_soc.Soc.t -> float
+
+(** Sum of all core ratings: with this budget no power constraint ever
+    binds. *)
+val total_power : Soctam_soc.Soc.t -> float

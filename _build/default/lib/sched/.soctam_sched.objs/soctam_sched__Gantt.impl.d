@@ -1,0 +1,1 @@
+lib/sched/gantt.ml: Array Buffer Bytes Char Float List Printf Profile Schedule Soctam_core Soctam_soc String

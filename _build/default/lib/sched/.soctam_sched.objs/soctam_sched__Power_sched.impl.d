@@ -1,0 +1,1 @@
+lib/sched/power_sched.ml: Array List Schedule Soctam_core Soctam_soc

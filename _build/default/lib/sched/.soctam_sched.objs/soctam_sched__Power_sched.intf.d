@@ -1,0 +1,1 @@
+lib/sched/power_sched.mli: Schedule Soctam_core

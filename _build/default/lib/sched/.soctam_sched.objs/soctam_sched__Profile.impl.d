@@ -1,0 +1,1 @@
+lib/sched/profile.ml: Float List Schedule Soctam_core Soctam_soc

@@ -1,0 +1,1 @@
+lib/sched/rect_sched.ml: Array Fun List Printf Soctam_core Soctam_soc

@@ -1,0 +1,1 @@
+lib/sched/rect_sched.mli: Soctam_core

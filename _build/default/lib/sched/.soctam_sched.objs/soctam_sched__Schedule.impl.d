@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array List Printf Soctam_core

@@ -1,0 +1,11 @@
+(** ASCII rendering of schedules and power profiles. *)
+
+(** [render ?columns problem sched] draws one row per bus; each core's
+    test interval is filled with a distinguishing letter and labelled
+    with the core name where it fits. *)
+val render : ?columns:int -> Soctam_core.Problem.t -> Schedule.t -> string
+
+(** [render_profile ?columns ?rows profile] draws the power profile as a
+    vertical bar chart over time. *)
+val render_profile :
+  ?columns:int -> ?rows:int -> Profile.step list -> string

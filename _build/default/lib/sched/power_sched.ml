@@ -1,0 +1,78 @@
+module Problem = Soctam_core.Problem
+module Architecture = Soctam_core.Architecture
+module Cost = Soctam_core.Cost
+module Soc = Soctam_soc.Soc
+module Core_def = Soctam_soc.Core_def
+
+type result = { schedule : Schedule.t; makespan : int }
+
+type running = { finish : int; power : float; bus : int }
+
+let stagger problem arch ~p_max_mw =
+  let soc = Problem.soc problem in
+  let power core = (Soc.core soc core).Core_def.power_mw in
+  let nb = Architecture.num_buses arch in
+  let over_budget =
+    Soc.fold (fun acc _ c -> acc || c.Core_def.power_mw > p_max_mw +. 1e-9)
+      false soc
+  in
+  if over_budget then None
+  else begin
+    let queues =
+      Array.init nb (fun bus -> ref (Architecture.bus_members arch ~bus))
+    in
+    let running = ref ([] : running list) in
+    let entries = ref [] in
+    let clock = ref 0 in
+    let makespan = ref 0 in
+    let busy bus = List.exists (fun r -> r.bus = bus) !running in
+    let load () = List.fold_left (fun acc r -> acc +. r.power) 0.0 !running in
+    let try_starts () =
+      for bus = 0 to nb - 1 do
+        if not (busy bus) then
+          match !(queues.(bus)) with
+          | [] -> ()
+          | core :: rest ->
+              if load () +. power core <= p_max_mw +. 1e-9 then begin
+                let d =
+                  Problem.time problem ~core
+                    ~width:arch.Architecture.widths.(bus)
+                in
+                let finish = !clock + d in
+                entries :=
+                  { Schedule.core; bus; start = !clock; finish } :: !entries;
+                running := { finish; power = power core; bus } :: !running;
+                queues.(bus) := rest;
+                makespan := max !makespan finish
+              end
+      done
+    in
+    let all_done () =
+      !running = [] && Array.for_all (fun q -> !q = []) queues
+    in
+    while not (all_done ()) do
+      try_starts ();
+      if not (all_done ()) then begin
+        (* Advance to the next completion. When nothing is running, a
+           start is always possible (no core exceeds the budget), so the
+           running set is non-empty here. *)
+        assert (!running <> []);
+        let next =
+          List.fold_left (fun acc r -> min acc r.finish) max_int !running
+        in
+        clock := next;
+        running := List.filter (fun r -> r.finish > next) !running
+      end
+    done;
+    let sorted =
+      List.sort
+        (fun a b ->
+          compare
+            (a.Schedule.bus, a.Schedule.start, a.Schedule.core)
+            (b.Schedule.bus, b.Schedule.start, b.Schedule.core))
+        !entries
+    in
+    Some
+      { schedule = { Schedule.entries = sorted; makespan = !makespan };
+        makespan = !makespan }
+  end

@@ -1,0 +1,206 @@
+module Problem = Soctam_core.Problem
+module Architecture = Soctam_core.Architecture
+module Cost = Soctam_core.Cost
+module Exact = Soctam_core.Exact
+module Test_time = Soctam_soc.Test_time
+module Soc = Soctam_soc.Soc
+
+type placement = {
+  core : int;
+  width : int;
+  wire_lo : int;
+  start : int;
+  finish : int;
+}
+
+type t = { placements : placement list; makespan : int }
+
+let lower_bound problem =
+  let n = Problem.num_cores problem in
+  let w = Problem.total_width problem in
+  let area = ref 0 in
+  let single = ref 0 in
+  for i = 0 to n - 1 do
+    (* The cheapest area any width achieves for core i. *)
+    let best_area = ref max_int in
+    let best_time = ref max_int in
+    for k = 1 to w do
+      let t = Problem.time problem ~core:i ~width:k in
+      best_area := min !best_area (k * t);
+      best_time := min !best_time t
+    done;
+    area := !area + !best_area;
+    single := max !single !best_time
+  done;
+  max !single ((!area + w - 1) / w)
+
+let of_architecture problem arch =
+  let nb = Architecture.num_buses arch in
+  let offsets = Array.make nb 0 in
+  for j = 1 to nb - 1 do
+    offsets.(j) <- offsets.(j - 1) + arch.Architecture.widths.(j - 1)
+  done;
+  let placements = ref [] in
+  let makespan = ref 0 in
+  for bus = 0 to nb - 1 do
+    let width = arch.Architecture.widths.(bus) in
+    let clock = ref 0 in
+    List.iter
+      (fun core ->
+        let d = Problem.time problem ~core ~width in
+        placements :=
+          { core; width; wire_lo = offsets.(bus); start = !clock;
+            finish = !clock + d }
+          :: !placements;
+        clock := !clock + d)
+      (Architecture.bus_members arch ~bus);
+    makespan := max !makespan !clock
+  done;
+  { placements = List.rev !placements; makespan = !makespan }
+
+(* Skyline packer: [free.(x)] is the first cycle at which wire [x] is
+   idle. A rectangle of width [w] starting no earlier than [floor_time]
+   goes to the wire offset minimizing its start. *)
+let place_skyline free ~width ~floor_time =
+  let total = Array.length free in
+  let best_x = ref 0 in
+  let best_start = ref max_int in
+  for x = 0 to total - width do
+    let start = ref floor_time in
+    for k = x to x + width - 1 do
+      start := max !start free.(k)
+    done;
+    if !start < !best_start then begin
+      best_start := !start;
+      best_x := x
+    end
+  done;
+  (!best_x, !best_start)
+
+let co_partners problem =
+  let n = Problem.num_cores problem in
+  let partners = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      partners.(a) <- b :: partners.(a);
+      partners.(b) <- a :: partners.(b))
+    (Problem.constraints problem).Problem.co_pairs;
+  partners
+
+let greedy_with_policy problem ~pick_width =
+  let n = Problem.num_cores problem in
+  let w = Problem.total_width problem in
+  let free = Array.make w 0 in
+  let partners = co_partners problem in
+  let done_intervals = Array.make n None in
+  (* Longest-first placement order under this policy. *)
+  let order = Array.init n Fun.id in
+  let duration i = Problem.time problem ~core:i ~width:(pick_width i) in
+  Array.sort (fun a b -> compare (duration b) (duration a)) order;
+  let placements = ref [] in
+  let makespan = ref 0 in
+  Array.iter
+    (fun core ->
+      let width = pick_width core in
+      let floor_time =
+        (* Serialize after already-placed co-partners. *)
+        List.fold_left
+          (fun acc p ->
+            match done_intervals.(p) with
+            | Some (_, finish) -> max acc finish
+            | None -> acc)
+          0 partners.(core)
+      in
+      let wire_lo, start = place_skyline free ~width ~floor_time in
+      let finish = start + Problem.time problem ~core ~width in
+      for k = wire_lo to wire_lo + width - 1 do
+        free.(k) <- finish
+      done;
+      done_intervals.(core) <- Some (start, finish);
+      placements := { core; width; wire_lo; start; finish } :: !placements;
+      makespan := max !makespan finish)
+    order;
+  { placements = List.rev !placements; makespan = !makespan }
+
+let greedy problem =
+  let w = Problem.total_width problem in
+  let soc = Problem.soc problem in
+  let native i = Test_time.native_width (Soc.core soc i) in
+  let clamp width = max 1 (min w width) in
+  let policies =
+    [ (fun _ -> clamp w);
+      (fun _ -> clamp ((w + 1) / 2));
+      (fun _ -> clamp ((w + 2) / 3));
+      (fun _ -> clamp ((w + 3) / 4));
+      (fun i -> clamp (native i));
+      (fun i -> clamp ((native i + 1) / 2)) ]
+  in
+  let candidates = List.map (fun p -> greedy_with_policy problem ~pick_width:p) policies in
+  List.fold_left
+    (fun best c -> if c.makespan < best.makespan then c else best)
+    (List.hd candidates) (List.tl candidates)
+
+let solve problem =
+  let flexible = greedy problem in
+  match (Exact.solve problem).Exact.solution with
+  | Some (arch, _) ->
+      let fixed = of_architecture problem arch in
+      Some (if fixed.makespan <= flexible.makespan then fixed else flexible)
+  | None -> Some flexible
+
+let validate problem sched =
+  let n = Problem.num_cores problem in
+  let w = Problem.total_width problem in
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let seen = Array.make n 0 in
+  List.iter (fun p -> seen.(p.core) <- seen.(p.core) + 1) sched.placements;
+  if Array.exists (fun c -> c <> 1) seen then
+    fail "every core must be placed exactly once"
+  else begin
+    let bad =
+      List.find_opt
+        (fun p ->
+          p.width < 1 || p.wire_lo < 0
+          || p.wire_lo + p.width > w
+          || p.finish - p.start <> Problem.time problem ~core:p.core ~width:p.width)
+        sched.placements
+    in
+    match bad with
+    | Some p -> fail "placement of core %d is malformed" p.core
+    | None ->
+        let overlap p q =
+          p.start < q.finish && q.start < p.finish
+          && p.wire_lo < q.wire_lo + q.width
+          && q.wire_lo < p.wire_lo + p.width
+        in
+        let clash =
+          List.exists
+            (fun p ->
+              List.exists (fun q -> p != q && overlap p q) sched.placements)
+            sched.placements
+        in
+        if clash then fail "rectangles overlap in wire x time space"
+        else begin
+          let find core =
+            List.find (fun p -> p.core = core) sched.placements
+          in
+          let co_violation =
+            List.find_opt
+              (fun (a, b) ->
+                let pa = find a and pb = find b in
+                pa.start < pb.finish && pb.start < pa.finish)
+              (Problem.constraints problem).Problem.co_pairs
+          in
+          match co_violation with
+          | Some (a, b) -> fail "co-pair (%d, %d) overlaps in time" a b
+          | None ->
+              let latest =
+                List.fold_left (fun acc p -> max acc p.finish) 0
+                  sched.placements
+              in
+              if latest <> sched.makespan then
+                fail "makespan %d differs from latest finish %d"
+                  sched.makespan latest
+              else Ok ()
+        end
+  end

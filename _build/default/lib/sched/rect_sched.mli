@@ -1,0 +1,51 @@
+(** Flexible-width rectangle scheduling (extension).
+
+    The DAC 2000 architecture fixes bus widths for the whole session. Its
+    successor formulations let every core pick its own TAM width, packing
+    core tests as rectangles (width × test time) into the W-wire strip.
+    This module implements that model: a skyline-based greedy packer over
+    several width policies, conversion of fixed-bus architectures into
+    rectangle schedules (so the flexible model provably never loses to
+    the paper's model), a validator, and an area lower bound. *)
+
+type placement = {
+  core : int;
+  width : int;  (** TAM wires given to this core's test. *)
+  wire_lo : int;  (** First wire of the contiguous interval. *)
+  start : int;
+  finish : int;  (** [start + t_core(width)]. *)
+}
+
+type t = { placements : placement list; makespan : int }
+
+(** [lower_bound problem] is the classic bound:
+    max(total area / W, fastest possible single-core time). *)
+val lower_bound : Soctam_core.Problem.t -> int
+
+(** [of_architecture problem arch] converts a fixed-bus architecture into
+    the equivalent rectangle schedule (bus j occupies a fixed wire
+    interval; members run back-to-back). Its makespan equals the
+    architecture's test time. *)
+val of_architecture : Soctam_core.Problem.t -> Soctam_core.Architecture.t -> t
+
+(** [greedy problem] packs all cores with a skyline best-fit heuristic
+    for a spread of width policies (fractions of the budget, plus each
+    core's native width) and returns the best schedule found.
+
+    Constraint mapping: power co-assignment pairs are serialized (their
+    rectangles never overlap in time). Place-and-route exclusion pairs
+    are vacuous in this model — every test gets dedicated wires, so no
+    two cores ever share a trunk — and are therefore ignored. *)
+val greedy : Soctam_core.Problem.t -> t
+
+(** [solve problem] is the better of {!greedy} and the converted exact
+    fixed-bus optimum — hence never worse than the paper's model on
+    instances the paper's model can solve. *)
+val solve : Soctam_core.Problem.t -> t option
+
+(** [validate problem sched] checks: every core placed exactly once,
+    rectangle wire intervals within the strip, durations matching the
+    time model, no two rectangles overlapping in wire × time space, no
+    co-assignment pair overlapping in time, and the makespan equal to
+    the latest finish. *)
+val validate : Soctam_core.Problem.t -> t -> (unit, string) result

@@ -1,0 +1,68 @@
+module Problem = Soctam_core.Problem
+module Architecture = Soctam_core.Architecture
+module Cost = Soctam_core.Cost
+type entry = { core : int; bus : int; start : int; finish : int }
+type t = { entries : entry list; makespan : int }
+
+let of_architecture problem arch =
+  let nb = Architecture.num_buses arch in
+  let entries = ref [] in
+  let makespan = ref 0 in
+  for bus = 0 to nb - 1 do
+    let width = arch.Architecture.widths.(bus) in
+    let clock = ref 0 in
+    List.iter
+      (fun core ->
+        let d = Problem.time problem ~core ~width in
+        entries :=
+          { core; bus; start = !clock; finish = !clock + d } :: !entries;
+        clock := !clock + d)
+      (Architecture.bus_members arch ~bus);
+    makespan := max !makespan !clock
+  done;
+  let sorted =
+    List.sort
+      (fun a b -> compare (a.bus, a.start, a.core) (b.bus, b.start, b.core))
+      !entries
+  in
+  { entries = sorted; makespan = !makespan }
+
+let validate problem arch sched =
+  let n = Problem.num_cores problem in
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let seen = Array.make n 0 in
+  List.iter (fun e -> seen.(e.core) <- seen.(e.core) + 1) sched.entries;
+  if Array.exists (fun c -> c <> 1) seen then
+    fail "some core is scheduled %s"
+      (if Array.exists (fun c -> c = 0) seen then "never" else "twice")
+  else begin
+    let bad_duration =
+      List.find_opt
+        (fun e ->
+          let width = arch.Architecture.widths.(e.bus) in
+          e.finish - e.start <> Problem.time problem ~core:e.core ~width
+          || arch.Architecture.assignment.(e.core) <> e.bus)
+        sched.entries
+    in
+    match bad_duration with
+    | Some e -> fail "entry for core %d is inconsistent" e.core
+    | None ->
+        let overlap =
+          List.exists
+            (fun (e1 : entry) ->
+              List.exists
+                (fun (e2 : entry) ->
+                  e1 != e2 && e1.bus = e2.bus && e1.start < e2.finish
+                  && e2.start < e1.finish)
+                sched.entries)
+            sched.entries
+        in
+        if overlap then fail "overlapping tests on one bus"
+        else begin
+          let expected = Cost.test_time problem arch in
+          if sched.makespan <> expected then
+            fail "makespan %d differs from evaluation %d" sched.makespan
+              expected
+          else Ok ()
+        end
+  end

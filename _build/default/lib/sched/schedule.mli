@@ -1,0 +1,28 @@
+(** Expansion of architectures into explicit test schedules.
+
+    Cores on a bus are tested back-to-back starting at cycle 0, in
+    increasing core-index order; buses run concurrently. A schedule
+    entry records the half-open execution interval of one core test. *)
+
+type entry = {
+  core : int;
+  bus : int;
+  start : int;  (** First cycle of the core's test. *)
+  finish : int;  (** One past the last cycle. *)
+}
+
+type t = {
+  entries : entry list;  (** Sorted by (bus, start). *)
+  makespan : int;
+}
+
+(** [of_architecture problem arch] expands the architecture into its
+    sequential-per-bus schedule. *)
+val of_architecture : Soctam_core.Problem.t -> Soctam_core.Architecture.t -> t
+
+(** [validate problem arch sched] checks the schedule: every core
+    appears exactly once, durations match the time model at the bus
+    width, entries of one bus do not overlap, and the makespan equals
+    the cost evaluation. *)
+val validate :
+  Soctam_core.Problem.t -> Soctam_core.Architecture.t -> t -> (unit, string) result

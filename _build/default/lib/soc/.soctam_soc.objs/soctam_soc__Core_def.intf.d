@@ -1,0 +1,1 @@
+lib/soc/core_def.mli: Format

@@ -1,0 +1,1 @@
+lib/soc/soc.ml: Array Core_def Format List

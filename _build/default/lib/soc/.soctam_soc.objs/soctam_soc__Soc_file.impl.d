@@ -1,0 +1,1 @@
+lib/soc/soc_file.ml: Benchmarks Buffer Core_def In_channel List Printf Result Soc String

@@ -1,0 +1,1 @@
+lib/soc/soc_file.mli: Soc

@@ -1,0 +1,1 @@
+lib/soc/test_time.ml: Array Core_def Wrapper

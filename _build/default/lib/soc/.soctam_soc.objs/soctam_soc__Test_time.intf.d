@@ -1,0 +1,1 @@
+lib/soc/test_time.mli: Core_def

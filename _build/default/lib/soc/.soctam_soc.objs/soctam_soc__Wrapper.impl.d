@@ -1,0 +1,1 @@
+lib/soc/wrapper.ml: Array Core_def Hashtbl List

@@ -1,0 +1,1 @@
+lib/soc/wrapper.mli: Core_def

@@ -1,0 +1,99 @@
+let derived_power_mw ~inputs ~outputs ~flip_flops =
+  (0.5 *. float_of_int flip_flops)
+  +. (0.25 *. float_of_int (inputs + outputs))
+  +. 4.0
+
+let derived_dim_mm ~inputs ~outputs ~flip_flops =
+  let area =
+    (0.0015 *. float_of_int flip_flops)
+    +. (0.0008 *. float_of_int (inputs + outputs))
+    +. 0.25
+  in
+  let side = Float.sqrt area in
+  (side, side)
+
+let comb ~name ~inputs ~outputs ~patterns =
+  Core_def.make ~name ~inputs ~outputs ~scan:Core_def.Combinational
+    ~patterns
+    ~power_mw:(derived_power_mw ~inputs ~outputs ~flip_flops:0)
+    ~dim_mm:(derived_dim_mm ~inputs ~outputs ~flip_flops:0)
+
+let scan ~name ~inputs ~outputs ~flip_flops ~chains ~patterns =
+  Core_def.make ~name ~inputs ~outputs
+    ~scan:(Core_def.Scan { flip_flops; chains })
+    ~patterns
+    ~power_mw:(derived_power_mw ~inputs ~outputs ~flip_flops)
+    ~dim_mm:(derived_dim_mm ~inputs ~outputs ~flip_flops)
+
+(* ISCAS-85 combinational and ISCAS-89 full-scan profiles; pattern counts
+   are representative compacted ATPG set sizes. *)
+let library =
+  [ comb ~name:"c432" ~inputs:36 ~outputs:7 ~patterns:52;
+    comb ~name:"c880" ~inputs:60 ~outputs:26 ~patterns:59;
+    comb ~name:"c1355" ~inputs:41 ~outputs:32 ~patterns:84;
+    comb ~name:"c2670" ~inputs:233 ~outputs:140 ~patterns:107;
+    comb ~name:"c3540" ~inputs:50 ~outputs:22 ~patterns:150;
+    comb ~name:"c5315" ~inputs:178 ~outputs:123 ~patterns:106;
+    comb ~name:"c6288" ~inputs:32 ~outputs:32 ~patterns:34;
+    comb ~name:"c7552" ~inputs:207 ~outputs:108 ~patterns:234;
+    scan ~name:"s953" ~inputs:16 ~outputs:23 ~flip_flops:29 ~chains:1
+      ~patterns:76;
+    scan ~name:"s1196" ~inputs:14 ~outputs:14 ~flip_flops:18 ~chains:1
+      ~patterns:113;
+    scan ~name:"s5378" ~inputs:35 ~outputs:49 ~flip_flops:179 ~chains:4
+      ~patterns:97;
+    scan ~name:"s9234" ~inputs:36 ~outputs:39 ~flip_flops:211 ~chains:4
+      ~patterns:105;
+    scan ~name:"s13207" ~inputs:62 ~outputs:152 ~flip_flops:638 ~chains:8
+      ~patterns:236;
+    scan ~name:"s15850" ~inputs:77 ~outputs:150 ~flip_flops:534 ~chains:8
+      ~patterns:97;
+    scan ~name:"s35932" ~inputs:35 ~outputs:320 ~flip_flops:1728
+      ~chains:16 ~patterns:12;
+    scan ~name:"s38417" ~inputs:28 ~outputs:106 ~flip_flops:1636
+      ~chains:16 ~patterns:68;
+    scan ~name:"s38584" ~inputs:38 ~outputs:304 ~flip_flops:1426
+      ~chains:16 ~patterns:110 ]
+
+let library_names = List.map (fun c -> c.Core_def.name) library
+
+let core_by_name name =
+  match List.find_opt (fun c -> c.Core_def.name = name) library with
+  | Some c -> c
+  | None -> raise Not_found
+
+let of_names soc_name names =
+  Soc.make ~name:soc_name (List.map core_by_name names)
+
+let s1 () =
+  of_names "S1" [ "c880"; "c2670"; "c7552"; "s953"; "s5378"; "s1196" ]
+
+let s2 () =
+  of_names "S2"
+    [ "s13207"; "s15850"; "s38417"; "s38584"; "s9234"; "s35932"; "c6288";
+      "c7552"; "s5378"; "c3540" ]
+
+let s3 () =
+  of_names "S3"
+    [ "c432"; "c880"; "c1355"; "c2670"; "c3540"; "c5315"; "c6288";
+      "c7552"; "s953"; "s1196"; "s5378"; "s9234"; "s13207"; "s15850" ]
+
+let random ~seed ~num_cores () =
+  if num_cores < 1 then invalid_arg "Benchmarks.random: num_cores < 1";
+  let state = Random.State.make [| seed; 0x50c7a |] in
+  let int_in lo hi = lo + Random.State.int state (hi - lo + 1) in
+  let make_core i =
+    let name = Printf.sprintf "rnd%d_%d" seed i in
+    let inputs = int_in 10 250 and outputs = int_in 7 250 in
+    let patterns = int_in 20 250 in
+    if Random.State.bool state then
+      comb ~name ~inputs ~outputs ~patterns
+    else begin
+      let flip_flops = int_in 18 1800 in
+      let chains = min flip_flops (1 lsl int_in 0 4) in
+      scan ~name ~inputs ~outputs ~flip_flops ~chains ~patterns
+    end
+  in
+  Soc.make
+    ~name:(Printf.sprintf "RND(seed=%d,n=%d)" seed num_cores)
+    (List.init num_cores make_core)

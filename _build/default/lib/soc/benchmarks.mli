@@ -1,0 +1,47 @@
+(** Benchmark SOCs.
+
+    The DAC 2000 evaluation used hypothetical SOCs assembled from
+    ISCAS-85/89 benchmark circuits. The exact per-core test sets are not
+    available in this reproduction, so the circuit statistics (terminal
+    counts, scan flip-flops, internal chains) follow the published ISCAS
+    profiles and the pattern counts are representative compacted-ATPG
+    sizes. Power ratings and footprints are synthesized with the
+    documented formulas {!derived_power_mw} and {!derived_dim_mm} so that
+    relative core ordering — the only thing the optimization observes —
+    is realistic. *)
+
+(** [core_by_name n] looks up one of the predefined library cores
+    (e.g. "c880", "s5378").
+    @raise Not_found for unknown names. *)
+val core_by_name : string -> Core_def.t
+
+(** Names of all predefined library cores. *)
+val library_names : string list
+
+(** SOC [S1]: six cores — c880, c2670, c7552, s953, s5378, s1196 —
+    mirroring the "system S" of the companion VTS 2000 paper. *)
+val s1 : unit -> Soc.t
+
+(** SOC [S2]: ten cores including the large ISCAS-89 circuits (s13207,
+    s15850, s38417, s38584, ...). *)
+val s2 : unit -> Soc.t
+
+(** SOC [S3]: fourteen cores; a stress instance for scalability
+    experiments. *)
+val s3 : unit -> Soc.t
+
+(** [random ~seed ~num_cores ()] generates a reproducible synthetic SOC:
+    a mix of combinational and full-scan cores with parameter ranges
+    matching the ISCAS profiles. Raises [Invalid_argument] when
+    [num_cores < 1]. *)
+val random : seed:int -> num_cores:int -> unit -> Soc.t
+
+(** Synthesized peak test power (mW) for a circuit profile:
+    [0.5 * ff + 0.25 * (inputs + outputs) + 4]. Scan shifting toggles
+    every scan cell each cycle, hence the flip-flop-dominated form. *)
+val derived_power_mw : inputs:int -> outputs:int -> flip_flops:int -> float
+
+(** Synthesized square footprint (mm) with side
+    [sqrt (0.0015 * ff + 0.0008 * (inputs + outputs) + 0.25)]. *)
+val derived_dim_mm :
+  inputs:int -> outputs:int -> flip_flops:int -> float * float

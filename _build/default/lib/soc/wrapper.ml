@@ -1,0 +1,157 @@
+type item = { label : string; length : int }
+
+let balance ~bins items =
+  if bins < 1 then invalid_arg "Wrapper.balance: bins < 1";
+  List.iter
+    (fun it ->
+      if it.length < 0 then
+        invalid_arg "Wrapper.balance: negative item length")
+    items;
+  let loads = Array.make bins 0 in
+  let sorted = List.sort (fun a b -> compare b.length a.length) items in
+  let place it =
+    let best = ref 0 in
+    for b = 1 to bins - 1 do
+      if loads.(b) < loads.(!best) then best := b
+    done;
+    loads.(!best) <- loads.(!best) + it.length
+  in
+  List.iter place sorted;
+  loads
+
+let max_load ~bins items = Array.fold_left max 0 (balance ~bins items)
+
+type design = { si : int; so : int }
+
+(* Adding [cells] unit-length items greedily (always into the least-loaded
+   bin) on top of loads [loads] yields a maximum load of
+   max (current max) (least level λ with Σ max(0, λ − load_i) ≥ cells).
+   We find λ by binary search. *)
+let fill_units loads cells =
+  let bins = Array.length loads in
+  let top = Array.fold_left max 0 loads in
+  if cells = 0 then top
+  else begin
+    let capacity level =
+      Array.fold_left
+        (fun acc load -> acc + max 0 (level - load))
+        0 loads
+    in
+    let lo = ref 0 and hi = ref (top + ((cells + bins - 1) / bins) + 1) in
+    (* Invariant: capacity !hi >= cells, capacity !lo < cells. *)
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if capacity mid >= cells then hi := mid else lo := mid
+    done;
+    max top !hi
+  end
+
+let side_length ~tam_width ~internal_chains ~cells =
+  let items =
+    List.map (fun len -> { label = "chain"; length = len }) internal_chains
+  in
+  let loads = balance ~bins:tam_width items in
+  fill_units loads cells
+
+let design core ~tam_width =
+  if tam_width < 1 then invalid_arg "Wrapper.design: tam_width < 1";
+  let internal =
+    match core.Core_def.scan with
+    | Core_def.Combinational -> []
+    | Core_def.Scan { flip_flops; chains } ->
+        let base = flip_flops / chains and extra = flip_flops mod chains in
+        List.init chains (fun k -> if k < extra then base + 1 else base)
+  in
+  let si =
+    side_length ~tam_width ~internal_chains:internal
+      ~cells:core.Core_def.inputs
+  in
+  let so =
+    side_length ~tam_width ~internal_chains:internal
+      ~cells:core.Core_def.outputs
+  in
+  { si; so }
+
+(* Exact balancing. For a target level L the decision problem is: can
+   the unsplittable items be packed with every bin load at most L while
+   leaving at least [cells] units of headroom (Σ (L − load_b) ≥ cells,
+   i.e. Σ items + cells ≤ bins·L)? Unit cells are individually placeable
+   so headroom is the only condition on them. The packing decision is a
+   depth-first search placing items largest-first, skipping bins with
+   equal residual capacity (symmetry). The optimum is found by binary
+   search on L. *)
+let can_pack ~bins ~level items_desc =
+  let loads = Array.make bins 0 in
+  let rec place = function
+    | [] -> true
+    | len :: rest ->
+        let seen = Hashtbl.create 8 in
+        let rec try_bin b =
+          if b >= bins then false
+          else if loads.(b) + len > level || Hashtbl.mem seen loads.(b)
+          then begin
+            Hashtbl.replace seen loads.(b) ();
+            try_bin (b + 1)
+          end
+          else begin
+            Hashtbl.replace seen loads.(b) ();
+            loads.(b) <- loads.(b) + len;
+            if place rest then true
+            else begin
+              loads.(b) <- loads.(b) - len;
+              try_bin (b + 1)
+            end
+          end
+        in
+        try_bin 0
+  in
+  place items_desc
+
+let optimal_max_load ~bins items ~cells =
+  if bins < 1 then invalid_arg "Wrapper.optimal_max_load: bins < 1";
+  if cells < 0 then invalid_arg "Wrapper.optimal_max_load: cells < 0";
+  List.iter
+    (fun it ->
+      if it.length < 0 then
+        invalid_arg "Wrapper.optimal_max_load: negative item length")
+    items;
+  let lengths =
+    List.filter (fun l -> l > 0) (List.map (fun it -> it.length) items)
+    |> List.sort (fun a b -> compare b a)
+  in
+  let total = List.fold_left ( + ) 0 lengths + cells in
+  let longest = match lengths with [] -> 0 | l :: _ -> l in
+  let lower = max longest ((total + bins - 1) / bins) in
+  let upper =
+    let loads = balance ~bins items in
+    fill_units loads cells
+  in
+  let feasible level =
+    bins * level >= total && can_pack ~bins ~level lengths
+  in
+  (* Invariant: [upper] (the LPT value) is always feasible. *)
+  let lo = ref lower and hi = ref upper in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if feasible mid then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let design_optimal core ~tam_width =
+  if tam_width < 1 then invalid_arg "Wrapper.design: tam_width < 1";
+  let internal =
+    match core.Core_def.scan with
+    | Core_def.Combinational -> []
+    | Core_def.Scan { flip_flops; chains } ->
+        let base = flip_flops / chains and extra = flip_flops mod chains in
+        List.init chains (fun k ->
+            { label = "chain";
+              length = (if k < extra then base + 1 else base) })
+  in
+  let si =
+    optimal_max_load ~bins:tam_width internal ~cells:core.Core_def.inputs
+  in
+  let so =
+    optimal_max_load ~bins:tam_width internal ~cells:core.Core_def.outputs
+  in
+  { si; so }

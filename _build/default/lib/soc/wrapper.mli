@@ -1,0 +1,43 @@
+(** Test wrapper design: balancing scan elements over TAM wires.
+
+    When a core is attached to a TAM of width [w], its wrapper
+    concatenates wrapper boundary cells and internal scan chains into [w]
+    wrapper scan chains. The scan-in and scan-out times of the core are
+    governed by the longest wrapper chain on the input and output sides.
+    Internal scan chains are fixed by the provider and cannot be split;
+    boundary cells are individually placeable. This module implements the
+    classic LPT (longest processing time first) balancing used throughout
+    the TAM literature. *)
+
+(** An unsplittable item to place into a wrapper chain. *)
+type item = { label : string; length : int }
+
+(** [balance ~bins items] distributes [items] over [bins] wrapper chains
+    with the LPT rule and returns the resulting bin loads (length
+    [bins], unsorted). Raises [Invalid_argument] when [bins < 1] or an
+    item has negative length. *)
+val balance : bins:int -> item list -> int array
+
+(** [max_load ~bins items] is the maximum load after {!balance}. *)
+val max_load : bins:int -> item list -> int
+
+(** Wrapper scan-in/scan-out lengths for [core] on a TAM of width
+    [tam_width]. [si] counts internal chains plus input boundary cells;
+    [so] counts internal chains plus output boundary cells. *)
+type design = { si : int; so : int }
+
+(** [design core ~tam_width] computes the balanced wrapper design.
+    Raises [Invalid_argument] when [tam_width < 1]. *)
+val design : Core_def.t -> tam_width:int -> design
+
+(** [optimal_max_load ~bins items ~cells] is the smallest achievable
+    maximum bin load when the unsplittable [items] and [cells] additional
+    unit-length cells are distributed over [bins] wrapper chains —
+    the exact optimum that LPT approximates. Exponential in the worst
+    case; intended for the small item counts of real wrappers (≤ ~20
+    internal chains). Raises [Invalid_argument] like {!balance}. *)
+val optimal_max_load : bins:int -> item list -> cells:int -> int
+
+(** [design_optimal core ~tam_width] is {!design} with exact balancing
+    instead of LPT on both sides. *)
+val design_optimal : Core_def.t -> tam_width:int -> design

@@ -1,0 +1,1 @@
+test/gen.ml: List Printf QCheck Soctam_core Soctam_soc String

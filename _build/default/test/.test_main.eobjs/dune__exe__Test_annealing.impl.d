@@ -1,0 +1,1 @@
+test/test_annealing.ml: Alcotest Gen QCheck QCheck_alcotest Soctam_core Soctam_soc

@@ -1,0 +1,1 @@
+test/test_architecture.ml: Alcotest Array Gen QCheck QCheck_alcotest Soctam_core

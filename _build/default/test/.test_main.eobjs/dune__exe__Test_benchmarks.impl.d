@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest List QCheck QCheck_alcotest Soctam_soc

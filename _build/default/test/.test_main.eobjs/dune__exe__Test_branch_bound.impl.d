@@ -1,0 +1,1 @@
+test/test_branch_bound.ml: Alcotest Array Float Gen List Printf QCheck QCheck_alcotest Soctam_ilp

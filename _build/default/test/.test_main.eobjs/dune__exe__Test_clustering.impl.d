@@ -1,0 +1,1 @@
+test/test_clustering.ml: Alcotest Array Fun Gen List QCheck QCheck_alcotest Soctam_core Soctam_soc

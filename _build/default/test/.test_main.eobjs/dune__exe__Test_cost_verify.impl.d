@@ -1,0 +1,1 @@
+test/test_cost_verify.ml: Alcotest Array List Soctam_core Soctam_soc String

@@ -1,0 +1,1 @@
+test/test_dp_assign.ml: Alcotest Array Gen QCheck QCheck_alcotest Random Soctam_core Soctam_soc

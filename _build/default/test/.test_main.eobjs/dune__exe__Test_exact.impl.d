@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Array Gen List Printf QCheck QCheck_alcotest Soctam_core Soctam_soc

@@ -1,0 +1,1 @@
+test/test_heuristics.ml: Alcotest Array Gen QCheck QCheck_alcotest Soctam_core Soctam_soc

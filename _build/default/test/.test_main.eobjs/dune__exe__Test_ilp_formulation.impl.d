@@ -1,0 +1,1 @@
+test/test_ilp_formulation.ml: Alcotest Array Gen List Printf QCheck QCheck_alcotest Random Soctam_core Soctam_ilp Soctam_soc

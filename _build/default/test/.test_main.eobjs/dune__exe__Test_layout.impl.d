@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Fun List QCheck QCheck_alcotest Soctam_layout Soctam_soc String

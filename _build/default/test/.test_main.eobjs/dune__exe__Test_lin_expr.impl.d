@@ -1,0 +1,1 @@
+test/test_lin_expr.ml: Alcotest Array Float List QCheck QCheck_alcotest Soctam_ilp

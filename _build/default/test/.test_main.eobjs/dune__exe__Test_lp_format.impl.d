@@ -1,0 +1,1 @@
+test/test_lp_format.ml: Alcotest List Printf Soctam_ilp String

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Soctam_ilp

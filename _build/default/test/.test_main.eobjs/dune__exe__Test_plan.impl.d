@@ -1,0 +1,1 @@
+test/test_plan.ml: Alcotest Gen List QCheck QCheck_alcotest Soctam_core Soctam_layout Soctam_plan Soctam_soc

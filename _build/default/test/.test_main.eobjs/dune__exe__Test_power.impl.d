@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Array Fun List QCheck QCheck_alcotest Soctam_power Soctam_soc

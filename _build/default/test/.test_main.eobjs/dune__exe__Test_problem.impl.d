@@ -1,0 +1,1 @@
+test/test_problem.ml: Alcotest Gen Printf QCheck QCheck_alcotest Soctam_core Soctam_soc

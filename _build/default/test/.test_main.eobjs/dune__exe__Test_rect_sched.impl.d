@@ -1,0 +1,1 @@
+test/test_rect_sched.ml: Alcotest Gen List Printf QCheck QCheck_alcotest Soctam_core Soctam_sched Soctam_soc

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Gen List QCheck QCheck_alcotest Soctam_core Soctam_power Soctam_sched Soctam_soc String

@@ -1,0 +1,1 @@
+test/test_simplex.ml: Alcotest Array Float Gen List Printf QCheck QCheck_alcotest Soctam_ilp

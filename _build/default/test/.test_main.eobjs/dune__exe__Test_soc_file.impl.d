@@ -1,0 +1,1 @@
+test/test_soc_file.ml: Alcotest Filename Out_channel Printf QCheck QCheck_alcotest Soctam_soc String Sys

@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest List Soctam_report String

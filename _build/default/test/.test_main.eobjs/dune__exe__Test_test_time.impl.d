@@ -1,0 +1,1 @@
+test/test_test_time.ml: Alcotest Array Gen Printf QCheck QCheck_alcotest Soctam_soc

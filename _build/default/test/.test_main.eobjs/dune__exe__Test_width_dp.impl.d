@@ -1,0 +1,1 @@
+test/test_width_dp.ml: Alcotest Array Gen List QCheck QCheck_alcotest Random Soctam_core Soctam_soc

@@ -1,0 +1,1 @@
+test/test_wrapper.ml: Alcotest Array Gen List QCheck QCheck_alcotest Soctam_soc

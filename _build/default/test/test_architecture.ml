@@ -1,0 +1,66 @@
+module Architecture = Soctam_core.Architecture
+
+let test_make_validation () =
+  Alcotest.check_raises "no buses"
+    (Invalid_argument "Architecture.make: no buses") (fun () ->
+      ignore (Architecture.make ~widths:[||] ~assignment:[||]));
+  Alcotest.check_raises "width < 1"
+    (Invalid_argument "Architecture.make: width < 1") (fun () ->
+      ignore (Architecture.make ~widths:[| 0 |] ~assignment:[| 0 |]));
+  Alcotest.check_raises "assignment range"
+    (Invalid_argument "Architecture.make: assignment outside bus range")
+    (fun () -> ignore (Architecture.make ~widths:[| 4 |] ~assignment:[| 1 |]))
+
+let test_accessors () =
+  let arch =
+    Architecture.make ~widths:[| 8; 4 |] ~assignment:[| 0; 1; 0; 1; 1 |]
+  in
+  Alcotest.(check int) "buses" 2 (Architecture.num_buses arch);
+  Alcotest.(check int) "cores" 5 (Architecture.num_cores arch);
+  Alcotest.(check int) "total width" 12 (Architecture.total_width arch);
+  Alcotest.(check (list int)) "bus 0 members" [ 0; 2 ]
+    (Architecture.bus_members arch ~bus:0);
+  Alcotest.(check (list int)) "bus 1 members" [ 1; 3; 4 ]
+    (Architecture.bus_members arch ~bus:1)
+
+let test_defensive_copies () =
+  let widths = [| 4; 4 |] and assignment = [| 0; 1 |] in
+  let arch = Architecture.make ~widths ~assignment in
+  widths.(0) <- 99;
+  assignment.(0) <- 1;
+  Alcotest.(check int) "widths copied" 4 arch.Architecture.widths.(0);
+  Alcotest.(check int) "assignment copied" 0 arch.Architecture.assignment.(0)
+
+let test_equivalent_under_relabel () =
+  let a = Architecture.make ~widths:[| 8; 4 |] ~assignment:[| 0; 1; 0 |] in
+  let b = Architecture.make ~widths:[| 4; 8 |] ~assignment:[| 1; 0; 1 |] in
+  let c = Architecture.make ~widths:[| 8; 4 |] ~assignment:[| 1; 0; 1 |] in
+  Alcotest.(check bool) "a ~ b" true (Architecture.equivalent a b);
+  Alcotest.(check bool) "a !~ c" false (Architecture.equivalent a c)
+
+let prop_canonicalize_idempotent =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* nb = 1 -- 4 in
+      let* n = 1 -- 8 in
+      let* widths = list_size (return nb) (1 -- 16) in
+      let* assignment = list_size (return n) (0 -- (nb - 1)) in
+      return (Array.of_list widths, Array.of_list assignment))
+  in
+  QCheck.Test.make ~name:"canonicalize is idempotent and equivalent"
+    ~count:300 (QCheck.make gen) (fun (widths, assignment) ->
+      let arch = Architecture.make ~widths ~assignment in
+      let c1 = Architecture.canonicalize arch in
+      let c2 = Architecture.canonicalize c1 in
+      c1.Architecture.widths = c2.Architecture.widths
+      && c1.Architecture.assignment = c2.Architecture.assignment
+      && Architecture.equivalent arch c1
+      && Architecture.total_width arch = Architecture.total_width c1)
+
+let suite =
+  [ Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "defensive copies" `Quick test_defensive_copies;
+    Alcotest.test_case "equivalence" `Quick test_equivalent_under_relabel;
+    QCheck_alcotest.to_alcotest prop_canonicalize_idempotent ]

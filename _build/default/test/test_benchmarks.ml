@@ -1,0 +1,64 @@
+module Soc = Soctam_soc.Soc
+module Core_def = Soctam_soc.Core_def
+module Benchmarks = Soctam_soc.Benchmarks
+
+let test_library () =
+  let names = Benchmarks.library_names in
+  Alcotest.(check int) "library size" 17 (List.length names);
+  Alcotest.(check int)
+    "names unique"
+    (List.length names)
+    (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun n ->
+      let c = Benchmarks.core_by_name n in
+      Alcotest.(check string) "lookup returns same core" n c.Core_def.name)
+    names;
+  Alcotest.check_raises "unknown core" Not_found (fun () ->
+      ignore (Benchmarks.core_by_name "c0"))
+
+let test_predefined_socs () =
+  Alcotest.(check int) "S1" 6 (Soc.num_cores (Benchmarks.s1 ()));
+  Alcotest.(check int) "S2" 10 (Soc.num_cores (Benchmarks.s2 ()));
+  Alcotest.(check int) "S3" 14 (Soc.num_cores (Benchmarks.s3 ()))
+
+let test_derived_formulas () =
+  let p = Benchmarks.derived_power_mw ~inputs:10 ~outputs:10 ~flip_flops:100 in
+  Alcotest.(check (float 1e-9)) "power formula" ((0.5 *. 100.) +. (0.25 *. 20.) +. 4.0) p;
+  let w, h = Benchmarks.derived_dim_mm ~inputs:10 ~outputs:10 ~flip_flops:100 in
+  Alcotest.(check (float 1e-9)) "square footprint" w h;
+  Alcotest.(check bool) "positive" true (w > 0.0)
+
+let test_power_ordering () =
+  (* Scan-heavy cores must out-rank small combinational ones. *)
+  let p name = (Benchmarks.core_by_name name).Core_def.power_mw in
+  Alcotest.(check bool) "s38417 > c880" true (p "s38417" > p "c880");
+  Alcotest.(check bool) "s35932 > s953" true (p "s35932" > p "s953")
+
+let test_random_determinism () =
+  let a = Benchmarks.random ~seed:42 ~num_cores:8 () in
+  let b = Benchmarks.random ~seed:42 ~num_cores:8 () in
+  let c = Benchmarks.random ~seed:43 ~num_cores:8 () in
+  Alcotest.(check bool) "same seed same cores" true
+    (Soc.cores a = Soc.cores b);
+  Alcotest.(check bool) "different seed differs" true
+    (Soc.cores a <> Soc.cores c)
+
+let prop_random_socs_valid =
+  QCheck.Test.make ~name:"random SOCs are structurally valid" ~count:60
+    QCheck.(pair (int_bound 1000) (int_range 1 12))
+    (fun (seed, n) ->
+      let soc = Benchmarks.random ~seed ~num_cores:n () in
+      Soc.num_cores soc = n
+      && Soc.fold
+           (fun acc _ c ->
+             acc && c.Core_def.patterns >= 1 && c.Core_def.power_mw > 0.0)
+           true soc)
+
+let suite =
+  [ Alcotest.test_case "library" `Quick test_library;
+    Alcotest.test_case "predefined SOCs" `Quick test_predefined_socs;
+    Alcotest.test_case "derived formulas" `Quick test_derived_formulas;
+    Alcotest.test_case "power ordering" `Quick test_power_ordering;
+    Alcotest.test_case "random determinism" `Quick test_random_determinism;
+    QCheck_alcotest.to_alcotest prop_random_socs_valid ]

@@ -1,0 +1,185 @@
+module Model = Soctam_ilp.Model
+module Lin_expr = Soctam_ilp.Lin_expr
+module Branch_bound = Soctam_ilp.Branch_bound
+
+let optimal = function
+  | Branch_bound.Optimal { point; objective; _ } -> (point, objective)
+  | Branch_bound.Infeasible _ -> Alcotest.fail "unexpected infeasible"
+  | Branch_bound.Unbounded _ -> Alcotest.fail "unexpected unbounded"
+  | Branch_bound.Node_limit _ -> Alcotest.fail "unexpected node limit"
+
+let knapsack_model values weights capacity =
+  let n = Array.length values in
+  let m = Model.create () in
+  let xs =
+    Array.init n (fun i -> Model.add_binary m ~name:(Printf.sprintf "x%d" i))
+  in
+  Model.add_constr m ~name:"cap"
+    (Lin_expr.of_terms
+       (List.init n (fun i -> (xs.(i), float_of_int weights.(i)))))
+    Model.Le (float_of_int capacity);
+  Model.set_objective m Model.Maximize
+    (Lin_expr.of_terms
+       (List.init n (fun i -> (xs.(i), float_of_int values.(i)))));
+  m
+
+let knapsack_brute values weights capacity =
+  let n = Array.length values in
+  let best = ref 0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let value = ref 0 and weight = ref 0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        value := !value + values.(i);
+        weight := !weight + weights.(i)
+      end
+    done;
+    if !weight <= capacity then best := max !best !value
+  done;
+  !best
+
+let test_knapsack_known () =
+  let m = knapsack_model [| 60; 100; 120 |] [| 10; 20; 30 |] 50 in
+  let _, obj = optimal (Branch_bound.solve m) in
+  Alcotest.(check (float 0.5)) "optimum" 220.0 obj
+
+let test_infeasible () =
+  let m = Model.create () in
+  let x = Model.add_binary m ~name:"x" in
+  let y = Model.add_binary m ~name:"y" in
+  Model.add_constr m ~name:"c"
+    (Lin_expr.of_terms [ (x, 1.0); (y, 1.0) ])
+    Model.Ge 3.0;
+  Model.set_objective m Model.Minimize (Lin_expr.var x);
+  match Branch_bound.solve m with
+  | Branch_bound.Infeasible _ -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_fractional_lp_integral_milp () =
+  (* max x + y st 2x + 2y <= 3, binaries: LP gives 1.5, MILP 1. *)
+  let m = Model.create () in
+  let x = Model.add_binary m ~name:"x" in
+  let y = Model.add_binary m ~name:"y" in
+  Model.add_constr m ~name:"c"
+    (Lin_expr.of_terms [ (x, 2.0); (y, 2.0) ])
+    Model.Le 3.0;
+  Model.set_objective m Model.Maximize
+    (Lin_expr.of_terms [ (x, 1.0); (y, 1.0) ]);
+  let point, obj = optimal (Branch_bound.solve m) in
+  Alcotest.(check (float 1e-6)) "optimum" 1.0 obj;
+  Alcotest.(check bool) "point integral" true
+    (Array.for_all
+       (fun v -> Float.abs (v -. Float.round v) < 1e-6)
+       point)
+
+let test_incumbent_does_not_cut_optimum () =
+  let values = [| 7; 9; 5; 12 |] and weights = [| 3; 4; 2; 6 |] in
+  let m = knapsack_model values weights 9 in
+  let expected = float_of_int (knapsack_brute values weights 9) in
+  let _, base = optimal (Branch_bound.solve m) in
+  Alcotest.(check (float 0.5)) "no incumbent" expected base;
+  (* For maximization the incumbent is a lower bound; passing the true
+     optimum minus one must not lose it. *)
+  let _, seeded =
+    optimal (Branch_bound.solve ~incumbent:(expected -. 1.0) m)
+  in
+  Alcotest.(check (float 0.5)) "seeded incumbent" expected seeded
+
+let test_node_limit () =
+  let values = Array.init 12 (fun i -> 10 + (i * 3 mod 7)) in
+  let weights = Array.init 12 (fun i -> 5 + (i * 2 mod 5)) in
+  let m = knapsack_model values weights 30 in
+  match Branch_bound.solve ~node_limit:1 m with
+  | Branch_bound.Node_limit _ -> ()
+  | Branch_bound.Optimal _ ->
+      (* A single node can be enough when the LP relaxation is integral;
+         accept but do not require it. *)
+      ()
+  | _ -> Alcotest.fail "expected node limit or optimal"
+
+let prop_random_knapsack =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* n = 1 -- 8 in
+      let* values = list_size (return n) (1 -- 50) in
+      let* weights = list_size (return n) (1 -- 20) in
+      let* capacity = 1 -- 60 in
+      return (Array.of_list values, Array.of_list weights, capacity))
+  in
+  QCheck.Test.make ~name:"random knapsack matches brute force" ~count:120
+    (QCheck.make gen) (fun (values, weights, capacity) ->
+      let m = knapsack_model values weights capacity in
+      let expected = knapsack_brute values weights capacity in
+      match Branch_bound.solve ~integral_objective:true m with
+      | Branch_bound.Optimal { objective; point; _ } ->
+          (match Model.check_point ~tol:1e-5 m point with
+          | Ok () -> ()
+          | Error msg -> QCheck.Test.fail_reportf "bad point: %s" msg);
+          Float.abs (objective -. float_of_int expected) < 0.5
+      | _ -> false)
+
+let prop_random_integer_program =
+  (* min c.x over small random integer boxes with random Ge covers:
+     compare against exhaustive enumeration. *)
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* n = 1 -- 3 in
+      let* costs = list_size (return n) (1 -- 9) in
+      let* coeffs = list_size (return n) (1 -- 5) in
+      let* rhs = 1 -- 12 in
+      return (Array.of_list costs, Array.of_list coeffs, rhs))
+  in
+  QCheck.Test.make ~name:"random covering IP matches brute force" ~count:120
+    (QCheck.make gen) (fun (costs, coeffs, rhs) ->
+      let n = Array.length costs in
+      let ub = 4 in
+      let m = Model.create () in
+      let xs =
+        Array.init n (fun i ->
+            Model.add_var m ~name:(Printf.sprintf "x%d" i)
+              ~kind:Model.Integer ~lb:0.0 ~ub:(float_of_int ub))
+      in
+      Model.add_constr m ~name:"cover"
+        (Lin_expr.of_terms
+           (List.init n (fun i -> (xs.(i), float_of_int coeffs.(i)))))
+        Model.Ge (float_of_int rhs);
+      Model.set_objective m Model.Minimize
+        (Lin_expr.of_terms
+           (List.init n (fun i -> (xs.(i), float_of_int costs.(i)))));
+      (* Brute force. *)
+      let best = ref max_int in
+      let x = Array.make n 0 in
+      let rec loop i =
+        if i = n then begin
+          let lhs = ref 0 and cost = ref 0 in
+          for k = 0 to n - 1 do
+            lhs := !lhs + (coeffs.(k) * x.(k));
+            cost := !cost + (costs.(k) * x.(k))
+          done;
+          if !lhs >= rhs then best := min !best !cost
+        end
+        else
+          for v = 0 to ub do
+            x.(i) <- v;
+            loop (i + 1)
+          done
+      in
+      loop 0;
+      match Branch_bound.solve ~integral_objective:true m with
+      | Branch_bound.Optimal { objective; _ } ->
+          !best < max_int && Float.abs (objective -. float_of_int !best) < 0.5
+      | Branch_bound.Infeasible _ -> !best = max_int
+      | _ -> false)
+
+let suite =
+  [ Alcotest.test_case "knapsack known" `Quick test_knapsack_known;
+    Alcotest.test_case "infeasible" `Quick test_infeasible;
+    Alcotest.test_case "fractional LP, integral MILP" `Quick
+      test_fractional_lp_integral_milp;
+    Alcotest.test_case "incumbent keeps optimum" `Quick
+      test_incumbent_does_not_cut_optimum;
+    Alcotest.test_case "node limit" `Quick test_node_limit;
+    QCheck_alcotest.to_alcotest prop_random_knapsack;
+    QCheck_alcotest.to_alcotest prop_random_integer_program ]

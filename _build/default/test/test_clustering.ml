@@ -1,0 +1,105 @@
+module Problem = Soctam_core.Problem
+module Clustering = Soctam_core.Clustering
+module Benchmarks = Soctam_soc.Benchmarks
+
+let s1 = Benchmarks.s1 ()
+
+let build constraints =
+  Clustering.build
+    (Problem.make s1 ~constraints ~num_buses:2 ~total_width:8)
+
+let test_no_constraints_singletons () =
+  match build Problem.no_constraints with
+  | Error msg -> Alcotest.fail msg
+  | Ok c ->
+      Alcotest.(check int) "six singletons" 6 (Clustering.num_clusters c);
+      Array.iteri
+        (fun i members ->
+          Alcotest.(check (list int)) "singleton" [ i ] members)
+        c.Clustering.members
+
+let test_chain_merging () =
+  (* 0-1 and 1-2 merge into one cluster of three. *)
+  match
+    build { Problem.exclusion_pairs = []; co_pairs = [ (0, 1); (1, 2) ] }
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok c ->
+      Alcotest.(check int) "four clusters" 4 (Clustering.num_clusters c);
+      Alcotest.(check (list int)) "merged members" [ 0; 1; 2 ]
+        c.Clustering.members.(c.Clustering.cluster_of.(0));
+      Alcotest.(check int) "same cluster"
+        c.Clustering.cluster_of.(0)
+        c.Clustering.cluster_of.(2)
+
+let test_exclusions_lifted () =
+  match
+    build
+      { Problem.exclusion_pairs = [ (2, 0) ]; co_pairs = [ (0, 1) ] }
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok c ->
+      let c0 = c.Clustering.cluster_of.(0) and c2 = c.Clustering.cluster_of.(2) in
+      Alcotest.(check (list (pair int int)))
+        "lifted pair"
+        [ (min c0 c2, max c0 c2) ]
+        c.Clustering.exclusions
+
+let test_contradiction_detected () =
+  match
+    build
+      { Problem.exclusion_pairs = [ (0, 2) ]; co_pairs = [ (0, 1); (1, 2) ] }
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected contradiction"
+
+let test_cluster_time_sums () =
+  match build { Problem.exclusion_pairs = []; co_pairs = [ (0, 3) ] } with
+  | Error msg -> Alcotest.fail msg
+  | Ok c ->
+      let p =
+        Problem.make s1
+          ~constraints:{ Problem.exclusion_pairs = []; co_pairs = [ (0, 3) ] }
+          ~num_buses:2 ~total_width:8
+      in
+      let cluster = c.Clustering.cluster_of.(0) in
+      Alcotest.(check int) "summed time"
+        (Problem.time p ~core:0 ~width:5 + Problem.time p ~core:3 ~width:5)
+        (Clustering.time c p ~cluster ~width:5)
+
+let test_expand () =
+  match build { Problem.exclusion_pairs = []; co_pairs = [ (1, 4) ] } with
+  | Error msg -> Alcotest.fail msg
+  | Ok c ->
+      let m = Clustering.num_clusters c in
+      let cluster_assignment = Array.init m (fun k -> k mod 2) in
+      let per_core = Clustering.expand c cluster_assignment in
+      Alcotest.(check int) "co-assigned cores share bus" per_core.(1)
+        per_core.(4);
+      Array.iteri
+        (fun i bus ->
+          Alcotest.(check int) "consistent with cluster" bus
+            cluster_assignment.(c.Clustering.cluster_of.(i)))
+        per_core
+
+let prop_clusters_cover =
+  QCheck.Test.make ~name:"clusters cover all cores exactly once" ~count:100
+    Gen.spec_arbitrary (fun spec ->
+      let p = Gen.problem_of_spec spec in
+      match Clustering.build p with
+      | Error _ -> true (* contradiction is a legal outcome *)
+      | Ok c ->
+          let all =
+            Array.to_list c.Clustering.members |> List.concat |> List.sort compare
+          in
+          all = List.init spec.Gen.num_cores Fun.id)
+
+let suite =
+  [ Alcotest.test_case "singletons" `Quick test_no_constraints_singletons;
+    Alcotest.test_case "chain merging" `Quick test_chain_merging;
+    Alcotest.test_case "exclusions lifted" `Quick test_exclusions_lifted;
+    Alcotest.test_case "contradiction detected" `Quick
+      test_contradiction_detected;
+    Alcotest.test_case "cluster time sums" `Quick test_cluster_time_sums;
+    Alcotest.test_case "expand" `Quick test_expand;
+    QCheck_alcotest.to_alcotest prop_clusters_cover ]

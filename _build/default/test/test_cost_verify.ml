@@ -1,0 +1,107 @@
+module Problem = Soctam_core.Problem
+module Architecture = Soctam_core.Architecture
+module Cost = Soctam_core.Cost
+module Verify = Soctam_core.Verify
+module Exact = Soctam_core.Exact
+module Benchmarks = Soctam_soc.Benchmarks
+
+let s1 = Benchmarks.s1 ()
+let problem = Problem.make s1 ~num_buses:2 ~total_width:16
+
+let sample_arch =
+  Architecture.make ~widths:[| 10; 6 |] ~assignment:[| 0; 1; 0; 1; 0; 1 |]
+
+let test_bus_time_additive () =
+  let t0 = Cost.bus_time problem sample_arch ~bus:0 in
+  let expected =
+    Problem.time problem ~core:0 ~width:10
+    + Problem.time problem ~core:2 ~width:10
+    + Problem.time problem ~core:4 ~width:10
+  in
+  Alcotest.(check int) "bus 0 time" expected t0;
+  let e = Cost.evaluate problem sample_arch in
+  Alcotest.(check int) "test time is max"
+    (max e.Cost.bus_times.(0) e.Cost.bus_times.(1))
+    e.Cost.test_time;
+  Alcotest.(check bool) "feasible" true e.Cost.feasible
+
+let test_structure_violations () =
+  let bad_width =
+    Architecture.make ~widths:[| 9; 6 |] ~assignment:[| 0; 1; 0; 1; 0; 1 |]
+  in
+  let e = Cost.evaluate problem bad_width in
+  Alcotest.(check bool) "width budget violation" false e.Cost.feasible;
+  let bad_buses =
+    Architecture.make ~widths:[| 16 |] ~assignment:(Array.make 6 0)
+  in
+  let e = Cost.evaluate problem bad_buses in
+  Alcotest.(check bool) "bus count violation" false e.Cost.feasible
+
+let constrained =
+  Problem.with_constraints problem
+    { Problem.exclusion_pairs = [ (0, 2) ]; co_pairs = [ (1, 3) ] }
+
+let test_constraint_violations () =
+  (* 0 and 2 share bus 0 -> exclusion violated. *)
+  let e = Cost.evaluate constrained sample_arch in
+  Alcotest.(check bool) "exclusion violated" false e.Cost.feasible;
+  Alcotest.(check bool) "violation mentioned" true
+    (List.exists
+       (fun v -> String.length v > 0)
+       e.Cost.violations);
+  let fixed =
+    Architecture.make ~widths:[| 10; 6 |] ~assignment:[| 0; 1; 1; 1; 0; 1 |]
+  in
+  let e = Cost.evaluate constrained fixed in
+  Alcotest.(check bool) "fixed arrangement feasible" true e.Cost.feasible
+
+let test_verify_accepts_valid () =
+  let t = Cost.test_time problem sample_arch in
+  match Verify.check problem sample_arch ~claimed_time:t with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "verify rejected valid solution: %s" msg
+
+let test_verify_rejections () =
+  let t = Cost.test_time problem sample_arch in
+  let expect_error arch ~claimed_time =
+    match Verify.check problem arch ~claimed_time with
+    | Ok () -> Alcotest.fail "verify accepted an invalid solution"
+    | Error _ -> ()
+  in
+  expect_error sample_arch ~claimed_time:(t + 1);
+  expect_error
+    (Architecture.make ~widths:[| 9; 6 |] ~assignment:[| 0; 1; 0; 1; 0; 1 |])
+    ~claimed_time:t;
+  expect_error
+    (Architecture.make ~widths:[| 16 |] ~assignment:(Array.make 6 0))
+    ~claimed_time:t;
+  (* Constraint violations. *)
+  (match
+     Verify.check constrained sample_arch
+       ~claimed_time:(Cost.test_time constrained sample_arch)
+   with
+  | Ok () -> Alcotest.fail "verify accepted an exclusion violation"
+  | Error _ -> ())
+
+let test_verify_optimal () =
+  let { Exact.solution; _ } = Exact.solve problem in
+  match solution with
+  | None -> Alcotest.fail "instance is feasible"
+  | Some (arch, t) -> (
+      (match Verify.check_optimal problem arch ~claimed_time:t with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "optimal solution rejected: %s" msg);
+      match Verify.check_optimal problem arch ~claimed_time:(t + 1) with
+      | Ok () -> Alcotest.fail "accepted a non-optimal claim"
+      | Error _ -> ())
+
+let suite =
+  [ Alcotest.test_case "bus time additive" `Quick test_bus_time_additive;
+    Alcotest.test_case "structure violations" `Quick
+      test_structure_violations;
+    Alcotest.test_case "constraint violations" `Quick
+      test_constraint_violations;
+    Alcotest.test_case "verify accepts valid" `Quick
+      test_verify_accepts_valid;
+    Alcotest.test_case "verify rejections" `Quick test_verify_rejections;
+    Alcotest.test_case "verify optimality" `Quick test_verify_optimal ]

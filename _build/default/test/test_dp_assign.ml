@@ -1,0 +1,120 @@
+module Problem = Soctam_core.Problem
+module Dp_assign = Soctam_core.Dp_assign
+module Cost = Soctam_core.Cost
+module Architecture = Soctam_core.Architecture
+module Benchmarks = Soctam_soc.Benchmarks
+
+let s1 = Benchmarks.s1 ()
+
+let widths_of_spec spec =
+  (* A deterministic pseudo-random positive composition of the width. *)
+  let nb = spec.Gen.num_buses and w = spec.Gen.total_width in
+  let widths = Array.make nb 1 in
+  let state = Random.State.make [| spec.Gen.seed; 77 |] in
+  for _ = 1 to w - nb do
+    let b = Random.State.int state nb in
+    widths.(b) <- widths.(b) + 1
+  done;
+  widths
+
+let check_outcome problem widths = function
+  | None -> ()
+  | Some { Dp_assign.assignment; test_time } ->
+      let arch = Architecture.make ~widths ~assignment in
+      let e = Cost.evaluate problem arch in
+      Alcotest.(check bool) "feasible" true e.Cost.feasible;
+      Alcotest.(check int) "time correct" e.Cost.test_time test_time
+
+let test_two_bus_known () =
+  let problem = Problem.make s1 ~num_buses:2 ~total_width:16 in
+  let widths = [| 11; 5 |] in
+  match Dp_assign.solve problem ~widths with
+  | None -> Alcotest.fail "feasible instance"
+  | Some { Dp_assign.test_time; _ } as outcome ->
+      check_outcome problem widths outcome;
+      (* Cross-check against brute force. *)
+      let brute = Dp_assign.brute_force problem ~widths in
+      (match brute with
+      | Some b -> Alcotest.(check int) "matches brute force"
+                    b.Dp_assign.test_time test_time
+      | None -> Alcotest.fail "brute force disagrees on feasibility")
+
+let test_upper_bound_exclusive () =
+  let problem = Problem.make s1 ~num_buses:2 ~total_width:16 in
+  let widths = [| 11; 5 |] in
+  match Dp_assign.solve problem ~widths with
+  | None -> Alcotest.fail "feasible instance"
+  | Some { Dp_assign.test_time = opt; _ } ->
+      (match Dp_assign.solve ~upper_bound:opt problem ~widths with
+      | None -> ()
+      | Some _ -> Alcotest.fail "upper bound is exclusive");
+      (match Dp_assign.solve ~upper_bound:(opt + 1) problem ~widths with
+      | Some { Dp_assign.test_time; _ } ->
+          Alcotest.(check int) "optimum reachable" opt test_time
+      | None -> Alcotest.fail "optimum must be found below opt+1")
+
+let test_widths_mismatch () =
+  let problem = Problem.make s1 ~num_buses:2 ~total_width:16 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Dp_assign.solve: widths/bus-count mismatch")
+    (fun () -> ignore (Dp_assign.solve problem ~widths:[| 16 |]))
+
+let test_infeasible_exclusions () =
+  (* Three mutually-excluded cores on two buses. *)
+  let constraints =
+    { Problem.exclusion_pairs = [ (0, 1); (0, 2); (1, 2) ]; co_pairs = [] }
+  in
+  let problem = Problem.make s1 ~constraints ~num_buses:2 ~total_width:8 in
+  (match Dp_assign.solve problem ~widths:[| 4; 4 |] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected infeasible");
+  (match Dp_assign.brute_force problem ~widths:[| 4; 4 |] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "brute force agrees infeasible")
+
+let test_co_assignment_respected () =
+  let constraints =
+    { Problem.exclusion_pairs = []; co_pairs = [ (1, 2); (3, 4) ] }
+  in
+  let problem = Problem.make s1 ~constraints ~num_buses:3 ~total_width:12 in
+  match Dp_assign.solve problem ~widths:[| 6; 3; 3 |] with
+  | None -> Alcotest.fail "feasible instance"
+  | Some { Dp_assign.assignment; _ } ->
+      Alcotest.(check int) "1 with 2" assignment.(1) assignment.(2);
+      Alcotest.(check int) "3 with 4" assignment.(3) assignment.(4)
+
+let prop_matches_brute_force =
+  QCheck.Test.make ~name:"exact assignment matches brute force" ~count:80
+    Gen.spec_arbitrary (fun spec ->
+      let problem = Gen.problem_of_spec spec in
+      let widths = widths_of_spec spec in
+      let fast = Dp_assign.solve problem ~widths in
+      let brute = Dp_assign.brute_force problem ~widths in
+      match (fast, brute) with
+      | None, None -> true
+      | Some a, Some b -> a.Dp_assign.test_time = b.Dp_assign.test_time
+      | Some _, None | None, Some _ -> false)
+
+let prop_solution_is_feasible =
+  QCheck.Test.make ~name:"returned assignment is always feasible" ~count:80
+    Gen.spec_arbitrary (fun spec ->
+      let problem = Gen.problem_of_spec spec in
+      let widths = widths_of_spec spec in
+      match Dp_assign.solve problem ~widths with
+      | None -> true
+      | Some { Dp_assign.assignment; test_time } ->
+          let arch = Architecture.make ~widths ~assignment in
+          let e = Cost.evaluate problem arch in
+          e.Cost.feasible && e.Cost.test_time = test_time)
+
+let suite =
+  [ Alcotest.test_case "two-bus known" `Quick test_two_bus_known;
+    Alcotest.test_case "upper bound exclusive" `Quick
+      test_upper_bound_exclusive;
+    Alcotest.test_case "widths mismatch" `Quick test_widths_mismatch;
+    Alcotest.test_case "infeasible exclusions" `Quick
+      test_infeasible_exclusions;
+    Alcotest.test_case "co-assignment respected" `Quick
+      test_co_assignment_respected;
+    QCheck_alcotest.to_alcotest prop_matches_brute_force;
+    QCheck_alcotest.to_alcotest prop_solution_is_feasible ]

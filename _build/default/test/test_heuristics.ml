@@ -1,0 +1,91 @@
+module Problem = Soctam_core.Problem
+module Heuristics = Soctam_core.Heuristics
+module Exact = Soctam_core.Exact
+module Cost = Soctam_core.Cost
+module Benchmarks = Soctam_soc.Benchmarks
+
+let s1 = Benchmarks.s1 ()
+
+let test_greedy_feasible () =
+  let problem = Problem.make s1 ~num_buses:2 ~total_width:16 in
+  match Heuristics.greedy problem ~widths:[| 8; 8 |] with
+  | None -> Alcotest.fail "greedy should succeed unconstrained"
+  | Some { Heuristics.architecture; test_time } ->
+      let e = Cost.evaluate problem architecture in
+      Alcotest.(check bool) "feasible" true e.Cost.feasible;
+      Alcotest.(check int) "time consistent" e.Cost.test_time test_time
+
+let test_greedy_respects_exclusions () =
+  let constraints =
+    { Problem.exclusion_pairs = [ (0, 1); (2, 3) ]; co_pairs = [] }
+  in
+  let problem = Problem.make s1 ~constraints ~num_buses:2 ~total_width:16 in
+  match Heuristics.greedy problem ~widths:[| 8; 8 |] with
+  | None -> Alcotest.fail "greedy should place these"
+  | Some { Heuristics.architecture; _ } ->
+      let a = architecture.Soctam_core.Architecture.assignment in
+      Alcotest.(check bool) "0 and 1 split" true (a.(0) <> a.(1));
+      Alcotest.(check bool) "2 and 3 split" true (a.(2) <> a.(3))
+
+let test_improve_never_worsens () =
+  let problem = Problem.make s1 ~num_buses:2 ~total_width:16 in
+  match Heuristics.greedy problem ~widths:[| 15; 1 |] with
+  | None -> Alcotest.fail "greedy should succeed"
+  | Some start ->
+      let better = Heuristics.improve problem start in
+      Alcotest.(check bool) "no regression" true
+        (better.Heuristics.test_time <= start.Heuristics.test_time);
+      let e = Cost.evaluate problem better.Heuristics.architecture in
+      Alcotest.(check bool) "still feasible" true e.Cost.feasible
+
+let test_solve_deterministic () =
+  let problem = Problem.make s1 ~num_buses:3 ~total_width:18 in
+  match (Heuristics.solve ~seed:7 problem, Heuristics.solve ~seed:7 problem) with
+  | Some a, Some b ->
+      Alcotest.(check int) "same seed, same value" a.Heuristics.test_time
+        b.Heuristics.test_time
+  | _ -> Alcotest.fail "heuristic should find something"
+
+let prop_heuristic_bounded_by_optimum =
+  QCheck.Test.make
+    ~name:"heuristic is feasible and no better than the optimum" ~count:60
+    Gen.spec_arbitrary (fun spec ->
+      let problem = Gen.problem_of_spec spec in
+      let optimum =
+        match (Exact.solve problem).Exact.solution with
+        | Some (_, t) -> Some t
+        | None -> None
+      in
+      match (Heuristics.solve problem, optimum) with
+      | None, _ -> true (* heuristic may fail on constrained instances *)
+      | Some _, None -> false (* cannot beat an infeasible instance *)
+      | Some h, Some opt ->
+          let e = Cost.evaluate problem h.Heuristics.architecture in
+          e.Cost.feasible
+          && e.Cost.test_time = h.Heuristics.test_time
+          && h.Heuristics.test_time >= opt)
+
+let prop_heuristic_often_optimal_unconstrained =
+  (* Not a guarantee, but on tiny unconstrained instances with generous
+     restarts the gap must close; this guards against silent regressions
+     that would make the baseline useless. *)
+  QCheck.Test.make ~name:"heuristic within 30% on tiny instances" ~count:40
+    Gen.spec_arbitrary (fun spec ->
+      let spec = { spec with Gen.num_cores = min spec.Gen.num_cores 4 } in
+      let problem = Gen.problem_of_spec ~constrained:false spec in
+      match
+        ((Exact.solve problem).Exact.solution, Heuristics.solve ~restarts:16 problem)
+      with
+      | Some (_, opt), Some h ->
+          float_of_int h.Heuristics.test_time <= 1.3 *. float_of_int opt
+      | _, _ -> false)
+
+let suite =
+  [ Alcotest.test_case "greedy feasible" `Quick test_greedy_feasible;
+    Alcotest.test_case "greedy respects exclusions" `Quick
+      test_greedy_respects_exclusions;
+    Alcotest.test_case "improve never worsens" `Quick
+      test_improve_never_worsens;
+    Alcotest.test_case "solve deterministic" `Quick test_solve_deterministic;
+    QCheck_alcotest.to_alcotest prop_heuristic_bounded_by_optimum;
+    QCheck_alcotest.to_alcotest prop_heuristic_often_optimal_unconstrained ]

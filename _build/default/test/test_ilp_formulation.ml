@@ -1,0 +1,209 @@
+module Problem = Soctam_core.Problem
+module Ilp = Soctam_core.Ilp_formulation
+module Exact = Soctam_core.Exact
+module Verify = Soctam_core.Verify
+module Model = Soctam_ilp.Model
+module Benchmarks = Soctam_soc.Benchmarks
+
+let s1 = Benchmarks.s1 ()
+
+let ilp_time ?formulation ?symmetry_breaking ?seed_incumbent problem =
+  let r = Ilp.solve ?formulation ?symmetry_breaking ?seed_incumbent problem in
+  Alcotest.(check bool) "proven optimal" true r.Ilp.optimal;
+  match r.Ilp.solution with Some (_, t) -> Some t | None -> None
+
+let exact_time problem =
+  match (Exact.solve problem).Exact.solution with
+  | Some (_, t) -> Some t
+  | None -> None
+
+let test_matches_exact_s1 () =
+  List.iter
+    (fun (nb, w) ->
+      let problem = Problem.make s1 ~num_buses:nb ~total_width:w in
+      Alcotest.(check (option int))
+        (Printf.sprintf "S1 nb=%d W=%d" nb w)
+        (exact_time problem) (ilp_time problem))
+    [ (1, 6); (2, 10); (2, 16); (3, 12) ]
+
+let test_matches_exact_constrained () =
+  let constraints =
+    { Problem.exclusion_pairs = [ (0, 2); (1, 5) ]; co_pairs = [ (3, 4) ] }
+  in
+  let problem =
+    Problem.make s1 ~constraints ~num_buses:2 ~total_width:12
+  in
+  Alcotest.(check (option int)) "constrained optimum" (exact_time problem)
+    (ilp_time problem)
+
+let test_infeasible_detected () =
+  (* A 3-clique of exclusions on 2 buses. *)
+  let constraints =
+    { Problem.exclusion_pairs = [ (0, 1); (0, 2); (1, 2) ]; co_pairs = [] }
+  in
+  let problem = Problem.make s1 ~constraints ~num_buses:2 ~total_width:8 in
+  Alcotest.(check (option int)) "ilp infeasible" None (ilp_time problem);
+  Alcotest.(check (option int)) "exact agrees" None (exact_time problem)
+
+let test_contradictory_constraints () =
+  (* Same pair excluded and co-assigned. *)
+  let constraints =
+    { Problem.exclusion_pairs = [ (0, 1) ]; co_pairs = [ (0, 1) ] }
+  in
+  let problem = Problem.make s1 ~constraints ~num_buses:2 ~total_width:8 in
+  Alcotest.(check (option int)) "ilp infeasible" None (ilp_time problem)
+
+let test_formulations_agree () =
+  let problem = Problem.make s1 ~num_buses:2 ~total_width:10 in
+  Alcotest.(check (option int))
+    "big-M = linearized"
+    (ilp_time ~formulation:Ilp.Big_m problem)
+    (ilp_time ~formulation:Ilp.Linearized problem)
+
+let test_symmetry_breaking_agrees () =
+  let problem = Problem.make s1 ~num_buses:3 ~total_width:12 in
+  Alcotest.(check (option int))
+    "symmetry on = off"
+    (ilp_time ~symmetry_breaking:true problem)
+    (ilp_time ~symmetry_breaking:false problem)
+
+let test_no_incumbent_agrees () =
+  let problem = Problem.make s1 ~num_buses:2 ~total_width:12 in
+  Alcotest.(check (option int))
+    "seeded = unseeded"
+    (ilp_time ~seed_incumbent:true problem)
+    (ilp_time ~seed_incumbent:false problem)
+
+let test_model_shape () =
+  let problem = Problem.make s1 ~num_buses:2 ~total_width:10 in
+  let model, x, delta, _ = Ilp.build problem in
+  (* 6 cores x 2 buses + 2 buses x 9 widths + T. *)
+  Alcotest.(check int) "variables" ((6 * 2) + (2 * 9) + 1)
+    (Model.num_vars model);
+  Alcotest.(check int) "x rows" 6 (Array.length x);
+  Alcotest.(check int) "delta cols" 9 (Array.length delta.(0));
+  Alcotest.(check bool) "constraints present" true
+    (Model.num_constrs model > 6 + 2 + 1)
+
+let test_solutions_verified () =
+  let problem = Problem.make s1 ~num_buses:2 ~total_width:14 in
+  match (Ilp.solve problem).Ilp.solution with
+  | None -> Alcotest.fail "feasible"
+  | Some (arch, t) -> (
+      match Verify.check problem arch ~claimed_time:t with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "verifier rejected ILP solution: %s" msg)
+
+let prop_ilp_matches_exact_random =
+  QCheck.Test.make ~name:"ILP matches exact solver on random instances"
+    ~count:25 Gen.spec_arbitrary (fun spec ->
+      (* Cap the width so each MILP stays small. *)
+      let spec = { spec with Gen.total_width = min spec.Gen.total_width 8 } in
+      let problem = Gen.problem_of_spec spec in
+      let r = Ilp.solve problem in
+      let i = match r.Ilp.solution with Some (_, t) -> Some t | None -> None in
+      r.Ilp.optimal && i = exact_time problem)
+
+let suite =
+  [ Alcotest.test_case "matches exact on S1" `Slow test_matches_exact_s1;
+    Alcotest.test_case "matches exact constrained" `Quick
+      test_matches_exact_constrained;
+    Alcotest.test_case "infeasible detected" `Quick test_infeasible_detected;
+    Alcotest.test_case "contradictory constraints" `Quick
+      test_contradictory_constraints;
+    Alcotest.test_case "formulations agree" `Slow test_formulations_agree;
+    Alcotest.test_case "symmetry toggling agrees" `Slow
+      test_symmetry_breaking_agrees;
+    Alcotest.test_case "incumbent seeding agrees" `Quick
+      test_no_incumbent_agrees;
+    Alcotest.test_case "model shape" `Quick test_model_shape;
+    Alcotest.test_case "solutions verified" `Quick test_solutions_verified;
+    QCheck_alcotest.to_alcotest prop_ilp_matches_exact_random ]
+
+(* --- assignment-only sub-problem (P1) --- *)
+
+let test_assignment_matches_dp () =
+  let problem = Problem.make s1 ~num_buses:2 ~total_width:16 in
+  List.iter
+    (fun widths ->
+      let dp = Soctam_core.Dp_assign.solve problem ~widths in
+      let ilp = Ilp.solve_assignment problem ~widths in
+      Alcotest.(check bool) "proven optimal" true ilp.Ilp.optimal;
+      let dp_t =
+        match dp with
+        | Some o -> Some o.Soctam_core.Dp_assign.test_time
+        | None -> None
+      in
+      let ilp_t =
+        match ilp.Ilp.solution with Some (_, t) -> Some t | None -> None
+      in
+      Alcotest.(check (option int)) "P1 agreement" dp_t ilp_t;
+      match ilp.Ilp.solution with
+      | Some (arch, t) -> (
+          Alcotest.(check (list int))
+            "uses the given widths"
+            (Array.to_list widths)
+            (Array.to_list arch.Soctam_core.Architecture.widths);
+          match Verify.check problem arch ~claimed_time:t with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "verify: %s" msg)
+      | None -> ())
+    [ [| 11; 5 |]; [| 8; 8 |]; [| 15; 1 |] ]
+
+let test_assignment_constrained () =
+  let constraints =
+    { Problem.exclusion_pairs = [ (0, 2) ]; co_pairs = [ (3, 5) ] }
+  in
+  let problem = Problem.make s1 ~constraints ~num_buses:2 ~total_width:12 in
+  let widths = [| 7; 5 |] in
+  let dp = Soctam_core.Dp_assign.solve problem ~widths in
+  let ilp = Ilp.solve_assignment problem ~widths in
+  let dp_t =
+    match dp with
+    | Some o -> Some o.Soctam_core.Dp_assign.test_time
+    | None -> None
+  in
+  let ilp_t =
+    match ilp.Ilp.solution with Some (_, t) -> Some t | None -> None
+  in
+  Alcotest.(check (option int)) "constrained agreement" dp_t ilp_t
+
+let test_assignment_validation () =
+  let problem = Problem.make s1 ~num_buses:2 ~total_width:12 in
+  Alcotest.check_raises "bus count"
+    (Invalid_argument
+       "Ilp_formulation.solve_assignment: widths/bus-count mismatch")
+    (fun () -> ignore (Ilp.solve_assignment problem ~widths:[| 12 |]));
+  Alcotest.check_raises "budget"
+    (Invalid_argument
+       "Ilp_formulation.solve_assignment: width budget mismatch")
+    (fun () -> ignore (Ilp.solve_assignment problem ~widths:[| 6; 5 |]))
+
+let prop_assignment_matches_dp_random =
+  QCheck.Test.make ~name:"P1 ILP matches assignment DP on random instances"
+    ~count:25 Gen.spec_arbitrary (fun spec ->
+      let problem = Gen.problem_of_spec spec in
+      let nb = spec.Gen.num_buses and w = spec.Gen.total_width in
+      let widths = Array.make nb 1 in
+      let state = Random.State.make [| spec.Gen.seed; 11 |] in
+      for _ = 1 to w - nb do
+        let b = Random.State.int state nb in
+        widths.(b) <- widths.(b) + 1
+      done;
+      let dp = Soctam_core.Dp_assign.solve problem ~widths in
+      let ilp = Ilp.solve_assignment problem ~widths in
+      let dp_t =
+        match dp with
+        | Some o -> Some o.Soctam_core.Dp_assign.test_time
+        | None -> None
+      in
+      let ilp_t =
+        match ilp.Ilp.solution with Some (_, t) -> Some t | None -> None
+      in
+      ilp.Ilp.optimal && dp_t = ilp_t)
+
+let assignment_suite =
+  [ Alcotest.test_case "P1 matches DP" `Quick test_assignment_matches_dp;
+    Alcotest.test_case "P1 constrained" `Quick test_assignment_constrained;
+    Alcotest.test_case "P1 validation" `Quick test_assignment_validation;
+    QCheck_alcotest.to_alcotest prop_assignment_matches_dp_random ]

@@ -1,0 +1,178 @@
+module Geom = Soctam_layout.Geom
+module Floorplan = Soctam_layout.Floorplan
+module Routing = Soctam_layout.Routing
+module Conflicts = Soctam_layout.Conflicts
+module Benchmarks = Soctam_soc.Benchmarks
+module Soc = Soctam_soc.Soc
+
+let test_manhattan () =
+  let p = { Geom.x = 1.0; y = 2.0 } and q = { Geom.x = 4.0; y = 0.0 } in
+  Alcotest.(check (float 1e-9)) "distance" 5.0 (Geom.manhattan p q);
+  Alcotest.(check (float 1e-9)) "symmetric" (Geom.manhattan q p)
+    (Geom.manhattan p q);
+  Alcotest.(check (float 1e-9)) "identity" 0.0 (Geom.manhattan p p)
+
+let test_rect () =
+  let r1 = { Geom.ll = { x = 0.; y = 0. }; w = 2.; h = 2. } in
+  let r2 = { Geom.ll = { x = 1.; y = 1. }; w = 2.; h = 2. } in
+  let r3 = { Geom.ll = { x = 2.; y = 0. }; w = 1.; h = 1. } in
+  Alcotest.(check bool) "overlap" true (Geom.overlap r1 r2);
+  Alcotest.(check bool) "touching edges do not overlap" false
+    (Geom.overlap r1 r3);
+  Alcotest.(check (float 1e-9)) "center x" 1.0 (Geom.center r1).Geom.x;
+  Alcotest.(check bool) "inside" true
+    (Geom.inside ~outer:{ Geom.x = 5.; y = 5. } r2);
+  Alcotest.(check bool) "not inside" false
+    (Geom.inside ~outer:{ Geom.x = 2.; y = 2. } r2)
+
+let test_place_predefined () =
+  List.iter
+    (fun soc ->
+      let fp = Floorplan.place soc in
+      (match Floorplan.validate fp with
+      | Ok () -> ()
+      | Error msg ->
+          Alcotest.failf "floorplan of %s invalid: %s" (Soc.name soc) msg);
+      Alcotest.(check int) "one rect per core" (Soc.num_cores soc)
+        (Floorplan.num_cores fp))
+    [ Benchmarks.s1 (); Benchmarks.s2 (); Benchmarks.s3 () ]
+
+let test_distance_metric () =
+  let fp = Floorplan.place (Benchmarks.s2 ()) in
+  let n = Floorplan.num_cores fp in
+  for i = 0 to n - 1 do
+    Alcotest.(check (float 1e-9)) "self distance" 0.0
+      (Floorplan.distance fp i i);
+    for j = 0 to n - 1 do
+      Alcotest.(check (float 1e-9))
+        "symmetry"
+        (Floorplan.distance fp i j)
+        (Floorplan.distance fp j i)
+    done
+  done
+
+let test_sketch () =
+  let soc = Benchmarks.s1 () in
+  let fp = Floorplan.place soc in
+  let s = Floorplan.sketch fp soc in
+  Alcotest.(check bool) "sketch mentions a core" true
+    (let rec contains i =
+       i + 4 <= String.length s && (String.sub s i 4 = "c880" || contains (i + 1))
+     in
+     contains 0)
+
+let tour_is_permutation tour cores =
+  List.sort compare tour.Routing.order = List.sort compare cores
+
+let test_trunk_tour () =
+  let fp = Floorplan.place (Benchmarks.s2 ()) in
+  let cores = [ 0; 3; 5; 8 ] in
+  let tour = Routing.trunk_tour fp ~cores in
+  Alcotest.(check bool) "visits each core once" true
+    (tour_is_permutation tour cores);
+  let dw, _ = Floorplan.die_mm fp in
+  Alcotest.(check bool) "at least pad-to-pad" true
+    (tour.Routing.length_mm >= dw -. 1e-9);
+  let empty = Routing.trunk_tour fp ~cores:[] in
+  Alcotest.(check (float 1e-9)) "empty trunk is pad-to-pad" dw
+    empty.Routing.length_mm
+
+let test_wiring () =
+  let soc = Benchmarks.s1 () in
+  let fp = Floorplan.place soc in
+  let assignment = [| 0; 1; 0; 1; 0; 1 |] in
+  let widths = [| 10; 6 |] in
+  let w = Routing.wiring fp ~assignment ~widths in
+  Alcotest.(check int) "one tour per bus" 2 (Array.length w.Routing.tours);
+  let expected_total =
+    Array.fold_left (fun acc t -> acc +. t.Routing.length_mm) 0.0
+      w.Routing.tours
+  in
+  Alcotest.(check (float 1e-9)) "total" expected_total w.Routing.total_mm;
+  let expected_area =
+    (10.0 *. w.Routing.tours.(0).Routing.length_mm)
+    +. (6.0 *. w.Routing.tours.(1).Routing.length_mm)
+  in
+  Alcotest.(check (float 1e-9)) "area" expected_area w.Routing.wire_area
+
+let test_exclusion_pairs () =
+  let fp = Floorplan.place (Benchmarks.s2 ()) in
+  let all = Conflicts.exclusion_pairs fp ~d_max_mm:(-1.0) in
+  let n = Floorplan.num_cores fp in
+  Alcotest.(check int) "negative budget excludes every pair"
+    (n * (n - 1) / 2)
+    (List.length all);
+  let none =
+    Conflicts.exclusion_pairs fp ~d_max_mm:(Conflicts.max_distance fp)
+  in
+  Alcotest.(check int) "max distance budget excludes none" 0
+    (List.length none);
+  List.iter
+    (fun (i, j) ->
+      Alcotest.(check bool) "ordered pair" true (i < j);
+      Alcotest.(check bool) "distance really exceeds" true
+        (Floorplan.distance fp i j > -1.0))
+    all
+
+let test_distance_quantile () =
+  let fp = Floorplan.place (Benchmarks.s2 ()) in
+  let q0 = Conflicts.distance_quantile fp 0.0 in
+  let q5 = Conflicts.distance_quantile fp 0.5 in
+  let q1 = Conflicts.distance_quantile fp 1.0 in
+  Alcotest.(check bool) "quantiles ordered" true (q0 <= q5 && q5 <= q1);
+  Alcotest.(check (float 1e-9)) "q1 is max" (Conflicts.max_distance fp) q1;
+  Alcotest.check_raises "bad q"
+    (Invalid_argument "Conflicts.distance_quantile: q outside [0, 1]")
+    (fun () -> ignore (Conflicts.distance_quantile fp 1.5))
+
+let prop_random_floorplans_valid =
+  QCheck.Test.make ~name:"random SOC floorplans have no overlaps" ~count:40
+    QCheck.(pair (int_bound 500) (int_range 1 14))
+    (fun (seed, n) ->
+      let soc = Benchmarks.random ~seed ~num_cores:n () in
+      let fp = Floorplan.place soc in
+      match Floorplan.validate fp with Ok () -> true | Error _ -> false)
+
+let prop_two_opt_no_worse_than_nn =
+  (* trunk_tour applies 2-opt on top of nearest-neighbour: its length must
+     never exceed a straightforward NN tour recomputed here. *)
+  QCheck.Test.make ~name:"2-opt never worse than nearest neighbour"
+    ~count:60
+    QCheck.(pair (int_bound 500) (int_range 2 10))
+    (fun (seed, n) ->
+      let soc = Benchmarks.random ~seed ~num_cores:n () in
+      let fp = Floorplan.place soc in
+      let cores = List.init n Fun.id in
+      let tour = Routing.trunk_tour fp ~cores in
+      (* Recompute plain NN. *)
+      let dw, dh = Floorplan.die_mm fp in
+      let src = { Geom.x = 0.0; y = dh /. 2.0 } in
+      let dst = { Geom.x = dw; y = dh /. 2.0 } in
+      let remaining = ref cores and cursor = ref src and len = ref 0.0 in
+      while !remaining <> [] do
+        let best, d =
+          List.fold_left
+            (fun (bi, bd) i ->
+              let d = Geom.manhattan !cursor (Floorplan.position fp i) in
+              if d < bd then (i, d) else (bi, bd))
+            (-1, infinity) !remaining
+        in
+        len := !len +. d;
+        cursor := Floorplan.position fp best;
+        remaining := List.filter (fun i -> i <> best) !remaining
+      done;
+      len := !len +. Geom.manhattan !cursor dst;
+      tour.Routing.length_mm <= !len +. 1e-6)
+
+let suite =
+  [ Alcotest.test_case "manhattan" `Quick test_manhattan;
+    Alcotest.test_case "rect" `Quick test_rect;
+    Alcotest.test_case "place predefined SOCs" `Quick test_place_predefined;
+    Alcotest.test_case "distance metric" `Quick test_distance_metric;
+    Alcotest.test_case "sketch" `Quick test_sketch;
+    Alcotest.test_case "trunk tour" `Quick test_trunk_tour;
+    Alcotest.test_case "wiring" `Quick test_wiring;
+    Alcotest.test_case "exclusion pairs" `Quick test_exclusion_pairs;
+    Alcotest.test_case "distance quantile" `Quick test_distance_quantile;
+    QCheck_alcotest.to_alcotest prop_random_floorplans_valid;
+    QCheck_alcotest.to_alcotest prop_two_opt_no_worse_than_nn ]

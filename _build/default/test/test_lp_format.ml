@@ -1,0 +1,53 @@
+module Model = Soctam_ilp.Model
+module Lin_expr = Soctam_ilp.Lin_expr
+module Lp_format = Soctam_ilp.Lp_format
+
+let build_sample () =
+  let m = Model.create () in
+  let x = Model.add_binary m ~name:"x[0]" in
+  let y = Model.add_continuous m ~name:"y" ~lb:1.0 ~ub:infinity in
+  Model.add_constr m ~name:"row one"
+    (Lin_expr.of_terms [ (x, 2.0); (y, -1.0) ])
+    Model.Le 3.0;
+  Model.set_objective m Model.Minimize (Lin_expr.var y);
+  m
+
+let contains haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec loop i =
+    i + ln <= lh && (String.sub haystack i ln = needle || loop (i + 1))
+  in
+  loop 0
+
+let test_sections () =
+  let s = Lp_format.to_string (build_sample ()) in
+  List.iter
+    (fun section ->
+      Alcotest.(check bool)
+        (Printf.sprintf "has %s" section)
+        true (contains s section))
+    [ "Minimize"; "Subject To"; "Bounds"; "General"; "End" ]
+
+let test_sanitized_names () =
+  let s = Lp_format.to_string (build_sample ()) in
+  Alcotest.(check bool) "brackets sanitized" true (contains s "x_0_");
+  Alcotest.(check bool) "space in row name sanitized" true
+    (contains s "row_one");
+  Alcotest.(check bool) "unbounded var rendered with >=" true
+    (contains s "y >= 1")
+
+let test_senses () =
+  let m = Model.create () in
+  let x = Model.add_continuous m ~name:"x" ~lb:0.0 ~ub:1.0 in
+  Model.add_constr m ~name:"ge" (Lin_expr.var x) Model.Ge 0.5;
+  Model.add_constr m ~name:"eq" (Lin_expr.var x) Model.Eq 0.75;
+  Model.set_objective m Model.Maximize (Lin_expr.var x);
+  let s = Lp_format.to_string m in
+  Alcotest.(check bool) "ge" true (contains s ">= 0.5");
+  Alcotest.(check bool) "eq" true (contains s "= 0.75");
+  Alcotest.(check bool) "maximize" true (contains s "Maximize")
+
+let suite =
+  [ Alcotest.test_case "sections present" `Quick test_sections;
+    Alcotest.test_case "names sanitized" `Quick test_sanitized_names;
+    Alcotest.test_case "constraint senses" `Quick test_senses ]

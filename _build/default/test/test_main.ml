@@ -1,0 +1,29 @@
+let () =
+  Alcotest.run "soctam"
+    [ ("lin_expr", Test_lin_expr.suite);
+      ("model", Test_model.suite);
+      ("simplex", Test_simplex.suite);
+      ("branch_bound", Test_branch_bound.suite);
+      ("lp_format", Test_lp_format.suite);
+      ("wrapper", Test_wrapper.suite);
+      ("test_time", Test_test_time.suite);
+      ("soc", Test_soc.suite);
+      ("soc_file", Test_soc_file.suite);
+      ("benchmarks", Test_benchmarks.suite);
+      ("layout", Test_layout.suite);
+      ("power", Test_power.suite);
+      ("architecture", Test_architecture.suite);
+      ("problem", Test_problem.suite);
+      ("cost_verify", Test_cost_verify.suite);
+      ("clustering", Test_clustering.suite);
+      ("dp_assign", Test_dp_assign.suite);
+      ("width_dp", Test_width_dp.suite);
+      ("exact", Test_exact.suite);
+      ("heuristics", Test_heuristics.suite);
+      ("annealing", Test_annealing.suite);
+      ("ilp", Test_ilp_formulation.suite);
+      ("ilp_p1", Test_ilp_formulation.assignment_suite);
+      ("sched", Test_sched.suite);
+      ("plan", Test_plan.suite);
+      ("rect_sched", Test_rect_sched.suite);
+      ("table", Test_table.suite) ]

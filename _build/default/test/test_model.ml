@@ -1,0 +1,78 @@
+module Model = Soctam_ilp.Model
+module Lin_expr = Soctam_ilp.Lin_expr
+
+let test_add_var_validation () =
+  let m = Model.create () in
+  Alcotest.check_raises "infinite lb"
+    (Invalid_argument "Model.add_var: lower bound must be finite") (fun () ->
+      ignore
+        (Model.add_var m ~name:"x" ~kind:Model.Continuous ~lb:neg_infinity
+           ~ub:0.0));
+  Alcotest.check_raises "lb > ub" (Invalid_argument "Model.add_var: lb > ub")
+    (fun () ->
+      ignore
+        (Model.add_var m ~name:"x" ~kind:Model.Continuous ~lb:2.0 ~ub:1.0));
+  Alcotest.check_raises "binary bounds"
+    (Invalid_argument "Model.add_var: binary bounds outside [0, 1]")
+    (fun () ->
+      ignore (Model.add_var m ~name:"b" ~kind:Model.Binary ~lb:0.0 ~ub:2.0))
+
+let test_indices_dense () =
+  let m = Model.create () in
+  let a = Model.add_binary m ~name:"a" in
+  let b = Model.add_continuous m ~name:"b" ~lb:0.0 ~ub:5.0 in
+  Alcotest.(check int) "first index" 0 a;
+  Alcotest.(check int) "second index" 1 b;
+  Alcotest.(check int) "num_vars" 2 (Model.num_vars m);
+  Alcotest.(check string) "name" "b" (Model.var_name m b)
+
+let test_constr_constant_folding () =
+  let m = Model.create () in
+  let x = Model.add_continuous m ~name:"x" ~lb:0.0 ~ub:10.0 in
+  (* x + 3 <= 5 becomes x <= 2. *)
+  Model.add_constr m ~name:"c"
+    (Lin_expr.of_terms ~constant:3.0 [ (x, 1.0) ])
+    Model.Le 5.0;
+  let c =
+    match Array.to_list (Model.constrs m) with
+    | [ c ] -> c
+    | _ -> Alcotest.fail "expected one constraint"
+  in
+  Alcotest.(check (float 1e-9)) "rhs folded" 2.0 c.Model.rhs;
+  Alcotest.(check (float 1e-9))
+    "constant removed" 0.0
+    (Lin_expr.constant c.Model.expr)
+
+let test_integer_vars () =
+  let m = Model.create () in
+  let _a = Model.add_binary m ~name:"a" in
+  let _x = Model.add_continuous m ~name:"x" ~lb:0.0 ~ub:1.0 in
+  let _k = Model.add_var m ~name:"k" ~kind:Model.Integer ~lb:0.0 ~ub:9.0 in
+  Alcotest.(check (list int)) "integer vars" [ 0; 2 ] (Model.integer_vars m)
+
+let test_check_point () =
+  let m = Model.create () in
+  let x = Model.add_continuous m ~name:"x" ~lb:0.0 ~ub:4.0 in
+  let b = Model.add_binary m ~name:"b" in
+  Model.add_constr m ~name:"cap"
+    (Lin_expr.of_terms [ (x, 1.0); (b, 1.0) ])
+    Model.Le 4.0;
+  let ok r = match r with Ok () -> true | Error _ -> false in
+  Alcotest.(check bool) "valid point" true
+    (ok (Model.check_point m [| 3.0; 1.0 |]));
+  Alcotest.(check bool) "bound violation" false
+    (ok (Model.check_point m [| 5.0; 0.0 |]));
+  Alcotest.(check bool) "constraint violation" false
+    (ok (Model.check_point m [| 4.0; 1.0 |]));
+  Alcotest.(check bool) "integrality violation" false
+    (ok (Model.check_point m [| 1.0; 0.5 |]));
+  Alcotest.(check bool) "dimension mismatch" false
+    (ok (Model.check_point m [| 1.0 |]))
+
+let suite =
+  [ Alcotest.test_case "add_var validation" `Quick test_add_var_validation;
+    Alcotest.test_case "dense indices" `Quick test_indices_dense;
+    Alcotest.test_case "constraint constant folding" `Quick
+      test_constr_constant_folding;
+    Alcotest.test_case "integer_vars" `Quick test_integer_vars;
+    Alcotest.test_case "check_point" `Quick test_check_point ]

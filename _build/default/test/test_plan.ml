@@ -1,0 +1,153 @@
+module Problem = Soctam_core.Problem
+module Exact = Soctam_core.Exact
+module Verify = Soctam_core.Verify
+module Benchmarks = Soctam_soc.Benchmarks
+module Floorplan = Soctam_layout.Floorplan
+module Routing = Soctam_layout.Routing
+module Wire_opt = Soctam_plan.Wire_opt
+module Tradeoff = Soctam_plan.Tradeoff
+
+let s1 = Benchmarks.s1 ()
+
+let test_wire_opt_keeps_optimum () =
+  let problem = Problem.make s1 ~num_buses:2 ~total_width:12 in
+  let fp = Floorplan.place s1 in
+  let expected =
+    match (Exact.solve problem).Exact.solution with
+    | Some (_, t) -> t
+    | None -> Alcotest.fail "feasible"
+  in
+  match Wire_opt.solve problem fp with
+  | None -> Alcotest.fail "feasible"
+  | Some r ->
+      Alcotest.(check int) "same optimum" expected r.Wire_opt.test_time;
+      (match
+         Verify.check problem r.Wire_opt.architecture
+           ~claimed_time:r.Wire_opt.test_time
+       with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "verifier rejected: %s" msg);
+      Alcotest.(check bool) "enumerated at least one optimum" true
+        (r.Wire_opt.optima_enumerated >= 1)
+
+let test_wire_opt_no_worse_than_first () =
+  let problem = Problem.make s1 ~num_buses:2 ~total_width:16 in
+  let fp = Floorplan.place s1 in
+  match ((Exact.solve problem).Exact.solution, Wire_opt.solve problem fp) with
+  | Some (first, _), Some r ->
+      let first_mm =
+        (Routing.wiring fp
+           ~assignment:first.Soctam_core.Architecture.assignment
+           ~widths:first.Soctam_core.Architecture.widths)
+          .Routing.total_mm
+      in
+      Alcotest.(check bool) "tie-break never hurts" true
+        (r.Wire_opt.trunk_mm <= first_mm +. 1e-9)
+  | _ -> Alcotest.fail "feasible"
+
+let test_wire_opt_trunk_consistent () =
+  let problem = Problem.make s1 ~num_buses:3 ~total_width:12 in
+  let fp = Floorplan.place s1 in
+  match Wire_opt.solve problem fp with
+  | None -> Alcotest.fail "feasible"
+  | Some r ->
+      let recomputed =
+        (Routing.wiring fp
+           ~assignment:r.Wire_opt.architecture.Soctam_core.Architecture.assignment
+           ~widths:r.Wire_opt.architecture.Soctam_core.Architecture.widths)
+          .Routing.total_mm
+      in
+      Alcotest.(check (float 1e-9)) "reported trunk length" recomputed
+        r.Wire_opt.trunk_mm
+
+let test_wire_opt_infeasible () =
+  let constraints =
+    { Problem.exclusion_pairs = [ (0, 1); (0, 2); (1, 2) ]; co_pairs = [] }
+  in
+  let problem = Problem.make s1 ~constraints ~num_buses:2 ~total_width:8 in
+  let fp = Floorplan.place s1 in
+  match Wire_opt.solve problem fp with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected infeasible"
+
+let prop_wire_opt_matches_exact =
+  QCheck.Test.make ~name:"wire_opt preserves the optimal test time"
+    ~count:25 Gen.spec_arbitrary (fun spec ->
+      let problem = Gen.problem_of_spec spec in
+      let soc = Problem.soc problem in
+      let fp = Floorplan.place soc in
+      let expected =
+        match (Exact.solve problem).Exact.solution with
+        | Some (_, t) -> Some t
+        | None -> None
+      in
+      match (Wire_opt.solve problem fp, expected) with
+      | None, None -> true
+      | Some r, Some t -> r.Wire_opt.test_time = t
+      | Some _, None | None, Some _ -> false)
+
+let test_curve_matches_exact () =
+  let widths = [ 6; 10; 14 ] in
+  let curve = Tradeoff.curve s1 ~num_buses:2 ~widths in
+  Alcotest.(check int) "all budgets feasible" 3 (List.length curve);
+  List.iter
+    (fun { Tradeoff.total_width; test_time } ->
+      let problem = Problem.make s1 ~num_buses:2 ~total_width in
+      match (Exact.solve problem).Exact.solution with
+      | Some (_, t) -> Alcotest.(check int) "curve point" t test_time
+      | None -> Alcotest.fail "feasible")
+    curve
+
+let test_curve_skips_undersized_budgets () =
+  let curve = Tradeoff.curve s1 ~num_buses:3 ~widths:[ 1; 2; 3; 4 ] in
+  Alcotest.(check (list int)) "widths below NB dropped" [ 3; 4 ]
+    (List.map (fun p -> p.Tradeoff.total_width) curve)
+
+let test_pareto () =
+  let pt w t = { Tradeoff.total_width = w; test_time = t } in
+  let pareto = Tradeoff.pareto [ pt 4 100; pt 6 100; pt 8 80; pt 10 90 ] in
+  Alcotest.(check (list (pair int int)))
+    "dominated points removed"
+    [ (4, 100); (8, 80) ]
+    (List.map (fun p -> (p.Tradeoff.total_width, p.Tradeoff.test_time)) pareto)
+
+let test_knee () =
+  let pt w t = { Tradeoff.total_width = w; test_time = t } in
+  (* Sharp elbow at W=8. *)
+  let points = [ pt 4 1000; pt 8 100; pt 12 90; pt 16 85 ] in
+  (match Tradeoff.knee points with
+  | Some p -> Alcotest.(check int) "elbow" 8 p.Tradeoff.total_width
+  | None -> Alcotest.fail "knee expected");
+  Alcotest.(check bool) "too few points" true
+    (Tradeoff.knee [ pt 4 10; pt 8 5 ] = None)
+
+let prop_curve_monotone =
+  QCheck.Test.make ~name:"trade-off curve is non-increasing" ~count:20
+    QCheck.(int_bound 400)
+    (fun seed ->
+      let soc = Benchmarks.random ~seed ~num_cores:5 () in
+      let widths = [ 2; 4; 6; 8; 10 ] in
+      let curve = Tradeoff.curve soc ~num_buses:2 ~widths in
+      let rec non_increasing = function
+        | a :: (b :: _ as rest) ->
+            a.Tradeoff.test_time >= b.Tradeoff.test_time
+            && non_increasing rest
+        | [ _ ] | [] -> true
+      in
+      non_increasing curve)
+
+let suite =
+  [ Alcotest.test_case "wire_opt keeps optimum" `Quick
+      test_wire_opt_keeps_optimum;
+    Alcotest.test_case "wire_opt no worse than first" `Quick
+      test_wire_opt_no_worse_than_first;
+    Alcotest.test_case "wire_opt trunk consistent" `Quick
+      test_wire_opt_trunk_consistent;
+    Alcotest.test_case "wire_opt infeasible" `Quick test_wire_opt_infeasible;
+    Alcotest.test_case "curve matches exact" `Quick test_curve_matches_exact;
+    Alcotest.test_case "curve skips undersized budgets" `Quick
+      test_curve_skips_undersized_budgets;
+    Alcotest.test_case "pareto" `Quick test_pareto;
+    Alcotest.test_case "knee" `Quick test_knee;
+    QCheck_alcotest.to_alcotest prop_wire_opt_matches_exact;
+    QCheck_alcotest.to_alcotest prop_curve_monotone ]

@@ -1,0 +1,95 @@
+module Power_model = Soctam_power.Power_model
+module Power_conflicts = Soctam_power.Power_conflicts
+module Benchmarks = Soctam_soc.Benchmarks
+module Soc = Soctam_soc.Soc
+module Core_def = Soctam_soc.Core_def
+
+let s2 = Benchmarks.s2 ()
+
+let test_aggregates () =
+  let total = Power_model.total_power s2 in
+  let biggest = Power_model.max_core_power s2 in
+  Alcotest.(check bool) "total exceeds max" true (total > biggest);
+  let sum =
+    Soc.fold (fun acc _ c -> acc +. c.Core_def.power_mw) 0.0 s2
+  in
+  Alcotest.(check (float 1e-9)) "total is the sum" sum total
+
+let test_bus_peak () =
+  let assignment = Array.init (Soc.num_cores s2) (fun i -> i mod 2) in
+  let p0 = Power_model.bus_peak s2 ~assignment ~bus:0 in
+  let p1 = Power_model.bus_peak s2 ~assignment ~bus:1 in
+  let peak = Power_model.architecture_peak s2 ~assignment ~num_buses:2 in
+  Alcotest.(check (float 1e-9)) "architecture peak is the sum" (p0 +. p1) peak;
+  let empty_bus =
+    Power_model.bus_peak s2 ~assignment:(Array.make (Soc.num_cores s2) 0)
+      ~bus:1
+  in
+  Alcotest.(check (float 1e-9)) "empty bus has zero peak" 0.0 empty_bus
+
+let test_pair_threshold () =
+  let p i = Power_model.core_power (Soc.core s2 i) in
+  let pairs = Power_conflicts.co_assignment_pairs s2 ~p_max_mw:0.0 in
+  let n = Soc.num_cores s2 in
+  Alcotest.(check int) "zero budget conflicts all pairs"
+    (n * (n - 1) / 2)
+    (List.length pairs);
+  let none =
+    Power_conflicts.co_assignment_pairs s2
+      ~p_max_mw:(Power_conflicts.feasible_p_max s2)
+  in
+  Alcotest.(check int) "feasible budget conflicts none" 0 (List.length none);
+  let budget = Power_conflicts.feasible_p_max s2 -. 1.0 in
+  let some = Power_conflicts.co_assignment_pairs s2 ~p_max_mw:budget in
+  List.iter
+    (fun (i, j) ->
+      Alcotest.(check bool) "pair really exceeds" true
+        (p i +. p j > budget))
+    some;
+  Alcotest.(check bool) "at least the top pair conflicts" true
+    (List.length some >= 1)
+
+let test_feasible_p_max () =
+  (* Sum of the two largest ratings. *)
+  let powers =
+    Soc.fold (fun acc _ c -> c.Core_def.power_mw :: acc) [] s2
+    |> List.sort (fun a b -> compare b a)
+  in
+  match powers with
+  | a :: b :: _ ->
+      Alcotest.(check (float 1e-9)) "two largest" (a +. b)
+        (Power_conflicts.feasible_p_max s2)
+  | _ -> Alcotest.fail "S2 has at least two cores"
+
+let test_clusters () =
+  (* With a budget of zero every pair conflicts: one big cluster. *)
+  let all = Power_conflicts.clusters s2 ~p_max_mw:0.0 in
+  Alcotest.(check int) "single cluster" 1 (List.length all);
+  (* With a vacuous budget: all singletons. *)
+  let singles =
+    Power_conflicts.clusters s2
+      ~p_max_mw:(Power_conflicts.feasible_p_max s2)
+  in
+  Alcotest.(check int) "all singletons" (Soc.num_cores s2)
+    (List.length singles);
+  List.iter
+    (fun cluster ->
+      Alcotest.(check int) "singleton" 1 (List.length cluster))
+    singles
+
+let prop_clusters_partition =
+  QCheck.Test.make ~name:"clusters partition the cores" ~count:100
+    QCheck.(pair (int_bound 300) (float_bound_inclusive 2000.0))
+    (fun (seed, p_max_mw) ->
+      let soc = Benchmarks.random ~seed ~num_cores:9 () in
+      let clusters = Power_conflicts.clusters soc ~p_max_mw in
+      let all = List.concat clusters |> List.sort compare in
+      all = List.init (Soc.num_cores soc) Fun.id)
+
+let suite =
+  [ Alcotest.test_case "aggregates" `Quick test_aggregates;
+    Alcotest.test_case "bus peak" `Quick test_bus_peak;
+    Alcotest.test_case "pair threshold" `Quick test_pair_threshold;
+    Alcotest.test_case "feasible p_max" `Quick test_feasible_p_max;
+    Alcotest.test_case "clusters" `Quick test_clusters;
+    QCheck_alcotest.to_alcotest prop_clusters_partition ]

@@ -1,0 +1,108 @@
+module Problem = Soctam_core.Problem
+module Exact = Soctam_core.Exact
+module Benchmarks = Soctam_soc.Benchmarks
+module Test_time = Soctam_soc.Test_time
+module Soc = Soctam_soc.Soc
+
+let s1 = Benchmarks.s1 ()
+
+let test_make_validation () =
+  Alcotest.check_raises "num_buses"
+    (Invalid_argument "Problem.make: num_buses < 1") (fun () ->
+      ignore (Problem.make s1 ~num_buses:0 ~total_width:4));
+  Alcotest.check_raises "width budget"
+    (Invalid_argument "Problem.make: total_width < num_buses") (fun () ->
+      ignore (Problem.make s1 ~num_buses:3 ~total_width:2));
+  Alcotest.check_raises "self pair"
+    (Invalid_argument "Problem.make: constraint pair with a = b") (fun () ->
+      ignore
+        (Problem.make s1
+           ~constraints:
+             { Problem.exclusion_pairs = [ (1, 1) ]; co_pairs = [] }
+           ~num_buses:2 ~total_width:4));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Problem.make: constraint pair out of range")
+    (fun () ->
+      ignore
+        (Problem.make s1
+           ~constraints:{ Problem.exclusion_pairs = []; co_pairs = [ (0, 9) ] }
+           ~num_buses:2 ~total_width:4))
+
+let test_pair_normalization () =
+  let p =
+    Problem.make s1
+      ~constraints:
+        { Problem.exclusion_pairs = [ (3, 1); (1, 3); (0, 2) ];
+          co_pairs = [ (5, 4) ] }
+      ~num_buses:2 ~total_width:8
+  in
+  let c = Problem.constraints p in
+  Alcotest.(check (list (pair int int)))
+    "deduplicated and ordered"
+    [ (0, 2); (1, 3) ]
+    c.Problem.exclusion_pairs;
+  Alcotest.(check (list (pair int int))) "co ordered" [ (4, 5) ]
+    c.Problem.co_pairs
+
+let test_time_memo_matches_model () =
+  let p = Problem.make s1 ~num_buses:2 ~total_width:16 in
+  for i = 0 to Soc.num_cores s1 - 1 do
+    for w = 1 to 16 do
+      Alcotest.(check int)
+        (Printf.sprintf "core %d width %d" i w)
+        (Test_time.cycles Test_time.Serialization (Soc.core s1 i) ~width:w)
+        (Problem.time p ~core:i ~width:w)
+    done
+  done;
+  Alcotest.check_raises "width out of range"
+    (Invalid_argument "Problem.time: width outside [1, total_width]")
+    (fun () -> ignore (Problem.time p ~core:0 ~width:17))
+
+let test_scan_distribution_model () =
+  let p =
+    Problem.make ~time_model:Test_time.Scan_distribution s1 ~num_buses:2
+      ~total_width:8
+  in
+  Alcotest.(check int) "model time"
+    (Test_time.cycles Test_time.Scan_distribution (Soc.core s1 4) ~width:3)
+    (Problem.time p ~core:4 ~width:3)
+
+let test_max_useful_width () =
+  let p = Problem.make s1 ~num_buses:2 ~total_width:16 in
+  (* Capped by the budget. *)
+  Alcotest.(check int) "capped" 16 (Problem.max_useful_width p);
+  let p = Problem.make s1 ~num_buses:2 ~total_width:400 in
+  (* c2670 has the largest native width: max(233,140) + 0 = 233. *)
+  Alcotest.(check int) "native" 233 (Problem.max_useful_width p)
+
+let test_with_constraints () =
+  let p = Problem.make s1 ~num_buses:2 ~total_width:8 in
+  let q =
+    Problem.with_constraints p
+      { Problem.exclusion_pairs = [ (2, 0) ]; co_pairs = [] }
+  in
+  Alcotest.(check (list (pair int int)))
+    "original unchanged" []
+    (Problem.constraints p).Problem.exclusion_pairs;
+  Alcotest.(check (list (pair int int)))
+    "copy updated" [ (0, 2) ]
+    (Problem.constraints q).Problem.exclusion_pairs
+
+let prop_lower_bound_sound =
+  QCheck.Test.make ~name:"lower_bound never exceeds the optimum" ~count:40
+    Gen.spec_arbitrary (fun spec ->
+      let p = Gen.problem_of_spec ~constrained:false spec in
+      let { Exact.solution; _ } = Exact.solve p in
+      match solution with
+      | Some (_, optimum) -> Problem.lower_bound p <= optimum
+      | None -> QCheck.Test.fail_report "unconstrained must be feasible")
+
+let suite =
+  [ Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "pair normalization" `Quick test_pair_normalization;
+    Alcotest.test_case "time memo" `Quick test_time_memo_matches_model;
+    Alcotest.test_case "scan-distribution model" `Quick
+      test_scan_distribution_model;
+    Alcotest.test_case "max useful width" `Quick test_max_useful_width;
+    Alcotest.test_case "with_constraints" `Quick test_with_constraints;
+    QCheck_alcotest.to_alcotest prop_lower_bound_sound ]

@@ -1,0 +1,120 @@
+module Problem = Soctam_core.Problem
+module Architecture = Soctam_core.Architecture
+module Cost = Soctam_core.Cost
+module Exact = Soctam_core.Exact
+module Rect_sched = Soctam_sched.Rect_sched
+module Benchmarks = Soctam_soc.Benchmarks
+
+let s1 = Benchmarks.s1 ()
+
+let test_of_architecture () =
+  let problem = Problem.make s1 ~num_buses:2 ~total_width:16 in
+  let arch =
+    Architecture.make ~widths:[| 10; 6 |] ~assignment:[| 0; 1; 0; 1; 0; 1 |]
+  in
+  let sched = Rect_sched.of_architecture problem arch in
+  Alcotest.(check int) "same makespan" (Cost.test_time problem arch)
+    sched.Rect_sched.makespan;
+  (match Rect_sched.validate problem sched with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "invalid conversion: %s" msg);
+  Alcotest.(check int) "one rectangle per core" 6
+    (List.length sched.Rect_sched.placements)
+
+let test_greedy_valid () =
+  let problem = Problem.make s1 ~num_buses:2 ~total_width:16 in
+  let sched = Rect_sched.greedy problem in
+  match Rect_sched.validate problem sched with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "greedy invalid: %s" msg
+
+let test_solve_never_worse_than_fixed () =
+  List.iter
+    (fun w ->
+      let problem = Problem.make s1 ~num_buses:2 ~total_width:w in
+      let fixed =
+        match (Exact.solve problem).Exact.solution with
+        | Some (_, t) -> t
+        | None -> Alcotest.fail "feasible"
+      in
+      match Rect_sched.solve problem with
+      | None -> Alcotest.fail "solve must succeed"
+      | Some sched ->
+          Alcotest.(check bool)
+            (Printf.sprintf "flexible <= fixed at W=%d" w)
+            true
+            (sched.Rect_sched.makespan <= fixed))
+    [ 8; 16; 24 ]
+
+let test_lower_bound_sound () =
+  let problem = Problem.make s1 ~num_buses:2 ~total_width:16 in
+  match Rect_sched.solve problem with
+  | None -> Alcotest.fail "solve must succeed"
+  | Some sched ->
+      Alcotest.(check bool) "lb <= achieved" true
+        (Rect_sched.lower_bound problem <= sched.Rect_sched.makespan)
+
+let test_co_pairs_serialized () =
+  let constraints =
+    { Problem.exclusion_pairs = []; co_pairs = [ (2, 4) ] }
+  in
+  let problem = Problem.make s1 ~constraints ~num_buses:2 ~total_width:16 in
+  let sched = Rect_sched.greedy problem in
+  (match Rect_sched.validate problem sched with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "co-pair violated: %s" msg);
+  let find core =
+    List.find
+      (fun p -> p.Rect_sched.core = core)
+      sched.Rect_sched.placements
+  in
+  let p2 = find 2 and p4 = find 4 in
+  Alcotest.(check bool) "no time overlap" true
+    (p2.Rect_sched.finish <= p4.Rect_sched.start
+    || p4.Rect_sched.finish <= p2.Rect_sched.start)
+
+let test_validate_catches_overlap () =
+  let problem = Problem.make s1 ~num_buses:2 ~total_width:16 in
+  let sched = Rect_sched.greedy problem in
+  let corrupted =
+    { sched with
+      Rect_sched.placements =
+        List.map
+          (fun p -> { p with Rect_sched.wire_lo = 0; start = 0;
+                      finish = p.Rect_sched.finish - p.Rect_sched.start })
+          sched.Rect_sched.placements }
+  in
+  match Rect_sched.validate problem corrupted with
+  | Ok () -> Alcotest.fail "overlap not caught"
+  | Error _ -> ()
+
+let prop_greedy_always_valid =
+  QCheck.Test.make ~name:"greedy rectangle schedules always validate"
+    ~count:60 Gen.spec_arbitrary (fun spec ->
+      let problem = Gen.problem_of_spec spec in
+      let sched = Rect_sched.greedy problem in
+      match Rect_sched.validate problem sched with
+      | Ok () -> true
+      | Error _ -> false)
+
+let prop_flexible_never_worse =
+  QCheck.Test.make
+    ~name:"flexible scheduling never loses to the fixed-bus optimum"
+    ~count:40 Gen.spec_arbitrary (fun spec ->
+      let problem = Gen.problem_of_spec ~constrained:false spec in
+      match ((Exact.solve problem).Exact.solution, Rect_sched.solve problem) with
+      | Some (_, fixed), Some sched -> sched.Rect_sched.makespan <= fixed
+      | None, _ -> true
+      | Some _, None -> false)
+
+let suite =
+  [ Alcotest.test_case "of_architecture" `Quick test_of_architecture;
+    Alcotest.test_case "greedy valid" `Quick test_greedy_valid;
+    Alcotest.test_case "never worse than fixed" `Quick
+      test_solve_never_worse_than_fixed;
+    Alcotest.test_case "lower bound sound" `Quick test_lower_bound_sound;
+    Alcotest.test_case "co-pairs serialized" `Quick test_co_pairs_serialized;
+    Alcotest.test_case "validate catches overlap" `Quick
+      test_validate_catches_overlap;
+    QCheck_alcotest.to_alcotest prop_greedy_always_valid;
+    QCheck_alcotest.to_alcotest prop_flexible_never_worse ]

@@ -1,0 +1,187 @@
+module Model = Soctam_ilp.Model
+module Lin_expr = Soctam_ilp.Lin_expr
+module Simplex = Soctam_ilp.Simplex
+
+let optimal = function
+  | Simplex.Optimal { point; objective; _ } -> (point, objective)
+  | Simplex.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Simplex.Unbounded -> Alcotest.fail "unexpected unbounded"
+  | Simplex.Iteration_limit -> Alcotest.fail "unexpected iteration limit"
+
+let test_textbook_max () =
+  (* max 3x + 5y st x<=4, 2y<=12, 3x+2y<=18 -> 36 at (2,6). *)
+  let m = Model.create () in
+  let x = Model.add_continuous m ~name:"x" ~lb:0.0 ~ub:infinity in
+  let y = Model.add_continuous m ~name:"y" ~lb:0.0 ~ub:infinity in
+  Model.add_constr m ~name:"c1" (Lin_expr.var x) Model.Le 4.0;
+  Model.add_constr m ~name:"c2" (Lin_expr.var ~coeff:2.0 y) Model.Le 12.0;
+  Model.add_constr m ~name:"c3"
+    (Lin_expr.of_terms [ (x, 3.0); (y, 2.0) ])
+    Model.Le 18.0;
+  Model.set_objective m Model.Maximize
+    (Lin_expr.of_terms [ (x, 3.0); (y, 5.0) ]);
+  let point, obj = optimal (Simplex.solve m) in
+  Alcotest.(check (float 1e-6)) "objective" 36.0 obj;
+  Alcotest.(check (float 1e-6)) "x" 2.0 point.(x);
+  Alcotest.(check (float 1e-6)) "y" 6.0 point.(y)
+
+let test_minimize_with_ge () =
+  (* min 2x + 3y st x + y >= 10, x <= 6 -> x=6, y=4, obj=24. *)
+  let m = Model.create () in
+  let x = Model.add_continuous m ~name:"x" ~lb:0.0 ~ub:6.0 in
+  let y = Model.add_continuous m ~name:"y" ~lb:0.0 ~ub:infinity in
+  Model.add_constr m ~name:"cover"
+    (Lin_expr.of_terms [ (x, 1.0); (y, 1.0) ])
+    Model.Ge 10.0;
+  Model.set_objective m Model.Minimize
+    (Lin_expr.of_terms [ (x, 2.0); (y, 3.0) ]);
+  let _, obj = optimal (Simplex.solve m) in
+  Alcotest.(check (float 1e-6)) "objective" 24.0 obj
+
+let test_equality () =
+  (* min x + y st x + 2y = 8, x - y = 2 -> x=4, y=2, obj=6. *)
+  let m = Model.create () in
+  let x = Model.add_continuous m ~name:"x" ~lb:0.0 ~ub:infinity in
+  let y = Model.add_continuous m ~name:"y" ~lb:0.0 ~ub:infinity in
+  Model.add_constr m ~name:"e1"
+    (Lin_expr.of_terms [ (x, 1.0); (y, 2.0) ])
+    Model.Eq 8.0;
+  Model.add_constr m ~name:"e2"
+    (Lin_expr.of_terms [ (x, 1.0); (y, -1.0) ])
+    Model.Eq 2.0;
+  Model.set_objective m Model.Minimize
+    (Lin_expr.of_terms [ (x, 1.0); (y, 1.0) ]);
+  let point, obj = optimal (Simplex.solve m) in
+  Alcotest.(check (float 1e-6)) "objective" 6.0 obj;
+  Alcotest.(check (float 1e-6)) "x" 4.0 point.(x);
+  Alcotest.(check (float 1e-6)) "y" 2.0 point.(y)
+
+let test_infeasible () =
+  let m = Model.create () in
+  let x = Model.add_continuous m ~name:"x" ~lb:0.0 ~ub:3.0 in
+  Model.add_constr m ~name:"low" (Lin_expr.var x) Model.Ge 5.0;
+  Model.set_objective m Model.Minimize (Lin_expr.var x);
+  match Simplex.solve m with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_unbounded () =
+  let m = Model.create () in
+  let x = Model.add_continuous m ~name:"x" ~lb:0.0 ~ub:infinity in
+  Model.set_objective m Model.Maximize (Lin_expr.var x);
+  match Simplex.solve m with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_nonzero_lower_bounds () =
+  (* min x + y with x >= 2, y >= 3, x + y >= 7 -> 7. *)
+  let m = Model.create () in
+  let x = Model.add_continuous m ~name:"x" ~lb:2.0 ~ub:infinity in
+  let y = Model.add_continuous m ~name:"y" ~lb:3.0 ~ub:infinity in
+  Model.add_constr m ~name:"c"
+    (Lin_expr.of_terms [ (x, 1.0); (y, 1.0) ])
+    Model.Ge 7.0;
+  Model.set_objective m Model.Minimize
+    (Lin_expr.of_terms [ (x, 1.0); (y, 1.0) ]);
+  let point, obj = optimal (Simplex.solve m) in
+  Alcotest.(check (float 1e-6)) "objective" 7.0 obj;
+  Alcotest.(check bool) "x within bounds" true (point.(x) >= 2.0 -. 1e-9)
+
+let test_bound_overrides () =
+  (* Same model; overriding x's lower bound to 5 shifts the optimum. *)
+  let m = Model.create () in
+  let x = Model.add_continuous m ~name:"x" ~lb:0.0 ~ub:10.0 in
+  Model.set_objective m Model.Minimize (Lin_expr.var x);
+  let _, obj = optimal (Simplex.solve m) in
+  Alcotest.(check (float 1e-6)) "base optimum" 0.0 obj;
+  let _, obj =
+    optimal (Simplex.solve ~bound_overrides:[ (x, 5.0, 10.0) ] m)
+  in
+  Alcotest.(check (float 1e-6)) "overridden optimum" 5.0 obj;
+  (match Simplex.solve ~bound_overrides:[ (x, 5.0, 4.0) ] m with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "contradictory override must be infeasible")
+
+let test_degenerate () =
+  (* Klee-Minty-ish degenerate corner; checks anti-cycling simply
+     terminates with the right value. *)
+  let m = Model.create () in
+  let x = Array.init 3 (fun i ->
+      Model.add_continuous m ~name:(Printf.sprintf "x%d" i) ~lb:0.0
+        ~ub:infinity)
+  in
+  Model.add_constr m ~name:"c1" (Lin_expr.var x.(0)) Model.Le 1.0;
+  Model.add_constr m ~name:"c2"
+    (Lin_expr.of_terms [ (x.(0), 4.0); (x.(1), 1.0) ])
+    Model.Le 8.0;
+  Model.add_constr m ~name:"c3"
+    (Lin_expr.of_terms [ (x.(0), 8.0); (x.(1), 4.0); (x.(2), 1.0) ])
+    Model.Le 64.0;
+  Model.set_objective m Model.Maximize
+    (Lin_expr.of_terms [ (x.(0), 4.0); (x.(1), 2.0); (x.(2), 1.0) ]);
+  let _, obj = optimal (Simplex.solve m) in
+  Alcotest.(check (float 1e-6)) "objective" 64.0 obj
+
+(* Random boxed LPs with Le rows and non-negative rhs are always feasible
+   (origin) and bounded (box): the solver must return a feasible optimal
+   point at least as good as the origin. *)
+let prop_random_boxed_lp =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* nvars = 1 -- 4 in
+      let* nrows = 0 -- 4 in
+      let* obj = list_size (return nvars) (float_bound_inclusive 10.0) in
+      let* signs = list_size (return nvars) bool in
+      let* rows =
+        list_size (return nrows)
+          (pair
+             (list_size (return nvars) (float_bound_inclusive 5.0))
+             (float_bound_inclusive 20.0))
+      in
+      return (nvars, obj, signs, rows))
+  in
+  QCheck.Test.make ~name:"random boxed LP is solved feasibly" ~count:200
+    (QCheck.make gen) (fun (nvars, obj, signs, rows) ->
+      let m = Model.create () in
+      let xs =
+        Array.init nvars (fun i ->
+            Model.add_continuous m ~name:(Printf.sprintf "x%d" i) ~lb:0.0
+              ~ub:10.0)
+      in
+      let objective =
+        Lin_expr.of_terms
+          (List.mapi
+             (fun i (c, s) -> (xs.(i), if s then c else -.c))
+             (List.combine obj signs))
+      in
+      Model.set_objective m Model.Minimize objective;
+      List.iteri
+        (fun r (coeffs, rhs) ->
+          Model.add_constr m ~name:(Printf.sprintf "c%d" r)
+            (Lin_expr.of_terms (List.mapi (fun i c -> (xs.(i), c)) coeffs))
+            Model.Le rhs)
+        rows;
+      match Simplex.solve m with
+      | Simplex.Optimal { point; objective = v; _ } ->
+          (match Model.check_point ~tol:1e-5 m point with
+          | Ok () -> ()
+          | Error msg -> QCheck.Test.fail_reportf "infeasible point: %s" msg);
+          (* Origin is feasible, so the optimum is at most the origin's
+             objective (0 after removing constants). *)
+          v <= 1e-6
+          && Float.abs (Lin_expr.eval objective point -. v) < 1e-5
+      | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iteration_limit ->
+          false)
+
+let suite =
+  [ Alcotest.test_case "textbook max" `Quick test_textbook_max;
+    Alcotest.test_case "minimize with >=" `Quick test_minimize_with_ge;
+    Alcotest.test_case "equality system" `Quick test_equality;
+    Alcotest.test_case "infeasible" `Quick test_infeasible;
+    Alcotest.test_case "unbounded" `Quick test_unbounded;
+    Alcotest.test_case "nonzero lower bounds" `Quick
+      test_nonzero_lower_bounds;
+    Alcotest.test_case "bound overrides" `Quick test_bound_overrides;
+    Alcotest.test_case "degenerate corner" `Quick test_degenerate;
+    QCheck_alcotest.to_alcotest prop_random_boxed_lp ]

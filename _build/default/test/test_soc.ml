@@ -1,0 +1,64 @@
+module Soc = Soctam_soc.Soc
+module Core_def = Soctam_soc.Core_def
+module Benchmarks = Soctam_soc.Benchmarks
+
+let test_make_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Soc.make: no cores")
+    (fun () -> ignore (Soc.make ~name:"empty" []));
+  let c = Benchmarks.core_by_name "c880" in
+  Alcotest.check_raises "duplicates"
+    (Invalid_argument "Soc.make: duplicate core names") (fun () ->
+      ignore (Soc.make ~name:"dup" [ c; c ]))
+
+let test_core_lookup () =
+  let soc = Benchmarks.s1 () in
+  Alcotest.(check int) "num cores" 6 (Soc.num_cores soc);
+  Alcotest.(check string) "core 0" "c880" (Soc.core soc 0).Core_def.name;
+  Alcotest.(check int) "index_of" 4 (Soc.index_of soc "s5378");
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Soc.index_of soc "nope"));
+  Alcotest.check_raises "bad index" (Invalid_argument "Soc.core: bad index")
+    (fun () -> ignore (Soc.core soc 6))
+
+let test_fold_and_area () =
+  let soc = Benchmarks.s1 () in
+  let count = Soc.fold (fun acc _ _ -> acc + 1) 0 soc in
+  Alcotest.(check int) "fold visits all" 6 count;
+  let sum =
+    Soc.fold (fun acc _ c -> acc +. Core_def.area_mm2 c) 0.0 soc
+  in
+  Alcotest.(check (float 1e-9)) "total area" sum (Soc.total_area_mm2 soc)
+
+let test_core_def_validation () =
+  let make_scan chains ff =
+    Core_def.make ~name:"x" ~inputs:1 ~outputs:1
+      ~scan:(Core_def.Scan { flip_flops = ff; chains })
+      ~patterns:1 ~power_mw:1.0 ~dim_mm:(1.0, 1.0)
+  in
+  Alcotest.check_raises "chains > ff"
+    (Invalid_argument "Core_def.make: chains outside [1, flip_flops]")
+    (fun () -> ignore (make_scan 5 2));
+  Alcotest.check_raises "patterns"
+    (Invalid_argument "Core_def.make: patterns < 1") (fun () ->
+      ignore
+        (Core_def.make ~name:"x" ~inputs:1 ~outputs:1
+           ~scan:Core_def.Combinational ~patterns:0 ~power_mw:1.0
+           ~dim_mm:(1.0, 1.0)))
+
+let test_longest_chain () =
+  let core =
+    Core_def.make ~name:"x" ~inputs:1 ~outputs:1
+      ~scan:(Core_def.Scan { flip_flops = 10; chains = 3 })
+      ~patterns:1 ~power_mw:1.0 ~dim_mm:(1.0, 1.0)
+  in
+  Alcotest.(check int) "ceil(10/3)" 4 (Core_def.longest_chain core);
+  Alcotest.(check int) "comb" 0
+    (Core_def.longest_chain (Benchmarks.core_by_name "c880"))
+
+let suite =
+  [ Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "core lookup" `Quick test_core_lookup;
+    Alcotest.test_case "fold and area" `Quick test_fold_and_area;
+    Alcotest.test_case "core_def validation" `Quick
+      test_core_def_validation;
+    Alcotest.test_case "longest chain" `Quick test_longest_chain ]

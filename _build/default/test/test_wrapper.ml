@@ -1,0 +1,186 @@
+module Wrapper = Soctam_soc.Wrapper
+module Core_def = Soctam_soc.Core_def
+module Benchmarks = Soctam_soc.Benchmarks
+
+let item length = { Wrapper.label = "i"; length }
+
+let test_balance_conserves_load () =
+  let items = List.map item [ 5; 3; 8; 1; 1 ] in
+  let loads = Wrapper.balance ~bins:3 items in
+  Alcotest.(check int) "total conserved" 18 (Array.fold_left ( + ) 0 loads);
+  Alcotest.(check int) "bins" 3 (Array.length loads)
+
+let test_lpt_example () =
+  (* LPT on {8,5,3,1,1} over 3 bins: 8 | 5+1 | 3+1 -> max 8. *)
+  Alcotest.(check int) "max load" 8
+    (Wrapper.max_load ~bins:3 (List.map item [ 5; 3; 8; 1; 1 ]))
+
+let test_validation () =
+  Alcotest.check_raises "bins < 1"
+    (Invalid_argument "Wrapper.balance: bins < 1") (fun () ->
+      ignore (Wrapper.balance ~bins:0 []));
+  Alcotest.check_raises "negative length"
+    (Invalid_argument "Wrapper.balance: negative item length") (fun () ->
+      ignore (Wrapper.balance ~bins:1 [ item (-1) ]));
+  Alcotest.check_raises "tam_width < 1"
+    (Invalid_argument "Wrapper.design: tam_width < 1") (fun () ->
+      ignore
+        (Wrapper.design (Benchmarks.core_by_name "s953") ~tam_width:0))
+
+let test_width_one_design () =
+  (* At width 1 everything chains up: si = inputs + ff, so = outputs + ff. *)
+  let core = Benchmarks.core_by_name "s5378" in
+  let { Wrapper.si; so } = Wrapper.design core ~tam_width:1 in
+  Alcotest.(check int) "si" (35 + 179) si;
+  Alcotest.(check int) "so" (49 + 179) so
+
+let test_combinational_design () =
+  let core = Benchmarks.core_by_name "c880" in
+  let { Wrapper.si; so } = Wrapper.design core ~tam_width:8 in
+  Alcotest.(check int) "si = ceil(60/8)" 8 si;
+  Alcotest.(check int) "so = ceil(26/8)" 4 so
+
+let prop_max_load_lower_bounds =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* bins = 1 -- 6 in
+      let* lengths = list_size (1 -- 12) (0 -- 40) in
+      return (bins, lengths))
+  in
+  QCheck.Test.make ~name:"LPT max load respects both lower bounds"
+    ~count:300 (QCheck.make gen) (fun (bins, lengths) ->
+      let items = List.map item lengths in
+      let total = List.fold_left ( + ) 0 lengths in
+      let longest = List.fold_left max 0 lengths in
+      let got = Wrapper.max_load ~bins items in
+      got >= (total + bins - 1) / bins
+      && got >= longest
+      (* LPT guarantee: within 4/3 OPT + 1 item; a loose sanity cap. *)
+      && got <= longest + (total / bins) + 1)
+
+let prop_design_monotone_in_width =
+  let open QCheck in
+  let cores = Array.of_list Benchmarks.library_names in
+  let gen =
+    Gen.(
+      let* idx = 0 -- (Array.length cores - 1) in
+      let* width = 1 -- 40 in
+      return (cores.(idx), width))
+  in
+  QCheck.Test.make ~name:"wider TAM never lengthens wrapper chains"
+    ~count:300 (QCheck.make gen) (fun (name, width) ->
+      let core = Benchmarks.core_by_name name in
+      let d1 = Wrapper.design core ~tam_width:width in
+      let d2 = Wrapper.design core ~tam_width:(width + 1) in
+      d2.Wrapper.si <= d1.Wrapper.si && d2.Wrapper.so <= d1.Wrapper.so)
+
+let prop_unit_fill_matches_balance =
+  (* Filling [cells] unit items with no internal chains must equal plain
+     LPT over unit items. *)
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* bins = 1 -- 5 in
+      let* cells = 0 -- 30 in
+      return (bins, cells))
+  in
+  QCheck.Test.make ~name:"unit fill equals LPT on unit items" ~count:200
+    (QCheck.make gen) (fun (bins, cells) ->
+      let core =
+        Core_def.make ~name:"tmp" ~inputs:cells ~outputs:0
+          ~scan:Core_def.Combinational ~patterns:1 ~power_mw:1.0
+          ~dim_mm:(1.0, 1.0)
+      in
+      let d = Wrapper.design core ~tam_width:bins in
+      let expected =
+        Wrapper.max_load ~bins (List.init cells (fun _ -> item 1))
+      in
+      d.Wrapper.si = expected)
+
+(* --- exact balancing --- *)
+
+let test_optimal_beats_lpt_classic () =
+  (* {3,3,2,2,2} over 2 bins: LPT gives 7, the optimum is 6. *)
+  let items = List.map item [ 3; 3; 2; 2; 2 ] in
+  Alcotest.(check int) "LPT value" 7 (Wrapper.max_load ~bins:2 items);
+  Alcotest.(check int) "optimal value" 6
+    (Wrapper.optimal_max_load ~bins:2 items ~cells:0)
+
+let brute_force_max_load ~bins lengths cells =
+  (* Reference: try every item placement, then water-fill the cells. *)
+  let loads = Array.make bins 0 in
+  let best = ref max_int in
+  let rec place = function
+    | [] ->
+        let sorted = Array.copy loads in
+        Array.sort compare sorted;
+        (* Water-fill cells greedily. *)
+        let remaining = ref cells in
+        let l = Array.to_list sorted in
+        let level = ref (List.fold_left max 0 l) in
+        (* Cheap exact fill: raise the minimum one unit at a time. *)
+        let arr = Array.of_list l in
+        while !remaining > 0 do
+          let mi = ref 0 in
+          Array.iteri (fun i v -> if v < arr.(!mi) then mi := i) arr;
+          arr.(!mi) <- arr.(!mi) + 1;
+          decr remaining
+        done;
+        Array.iter (fun v -> level := max !level v) arr;
+        best := min !best !level
+    | len :: rest ->
+        for b = 0 to bins - 1 do
+          loads.(b) <- loads.(b) + len;
+          place rest;
+          loads.(b) <- loads.(b) - len
+        done
+  in
+  place lengths;
+  !best
+
+let prop_optimal_matches_brute_force =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* bins = 1 -- 3 in
+      let* lengths = list_size (0 -- 5) (1 -- 9) in
+      let* cells = 0 -- 10 in
+      return (bins, lengths, cells))
+  in
+  QCheck.Test.make ~name:"optimal balancing matches brute force" ~count:150
+    (QCheck.make gen) (fun (bins, lengths, cells) ->
+      Wrapper.optimal_max_load ~bins (List.map item lengths) ~cells
+      = brute_force_max_load ~bins lengths cells)
+
+let prop_optimal_never_above_lpt =
+  let open QCheck in
+  let cores = Array.of_list Benchmarks.library_names in
+  let gen =
+    Gen.(
+      let* idx = 0 -- (Array.length cores - 1) in
+      let* width = 1 -- 24 in
+      return (cores.(idx), width))
+  in
+  QCheck.Test.make ~name:"optimal wrapper design never worse than LPT"
+    ~count:150 (QCheck.make gen) (fun (name, width) ->
+      let core = Benchmarks.core_by_name name in
+      let lpt = Wrapper.design core ~tam_width:width in
+      let opt = Wrapper.design_optimal core ~tam_width:width in
+      opt.Wrapper.si <= lpt.Wrapper.si && opt.Wrapper.so <= lpt.Wrapper.so)
+
+let suite =
+  [ Alcotest.test_case "balance conserves load" `Quick
+      test_balance_conserves_load;
+    Alcotest.test_case "LPT example" `Quick test_lpt_example;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "width-1 design" `Quick test_width_one_design;
+    Alcotest.test_case "combinational design" `Quick
+      test_combinational_design;
+    Alcotest.test_case "optimal beats LPT (classic)" `Quick
+      test_optimal_beats_lpt_classic;
+    QCheck_alcotest.to_alcotest prop_max_load_lower_bounds;
+    QCheck_alcotest.to_alcotest prop_design_monotone_in_width;
+    QCheck_alcotest.to_alcotest prop_unit_fill_matches_balance;
+    QCheck_alcotest.to_alcotest prop_optimal_matches_brute_force;
+    QCheck_alcotest.to_alcotest prop_optimal_never_above_lpt ]
