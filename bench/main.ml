@@ -4,7 +4,12 @@
    measured rows; EXPERIMENTS.md records the comparison against the
    paper's reported shapes.
 
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe
+   Options:
+     --quick        reduced width ranges / skip the slow ablations (CI)
+     --sweep-only   run only the E8 parallel-sweep speedup section
+     --jobs N       domains for the parallel side of E8 (0 = all cores)
+     --json PATH    write the E8 sequential-vs-parallel timings as JSON *)
 
 module Problem = Soctam_core.Problem
 module Architecture = Soctam_core.Architecture
@@ -30,6 +35,32 @@ module Profile = Soctam_sched.Profile
 module Power_sched = Soctam_sched.Power_sched
 module Gantt = Soctam_sched.Gantt
 module Table = Soctam_report.Table
+module Pool = Soctam_engine.Pool
+module Sweep = Soctam_engine.Sweep
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+let sweep_only = Array.exists (( = ) "--sweep-only") Sys.argv
+
+let flag_value name =
+  let value = ref None in
+  Array.iteri
+    (fun i a -> if a = name && i + 1 < Array.length Sys.argv then
+        value := Some Sys.argv.(i + 1))
+    Sys.argv;
+  !value
+
+let json_path = flag_value "--json"
+
+let jobs =
+  match flag_value "--jobs" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> n
+      | Some 0 | None | Some _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* [pick full reduced] selects the workload for the current mode. *)
+let pick full reduced = if quick then reduced else full
 
 let section id title =
   Printf.printf "\n=== %s: %s ===\n\n%!" id title
@@ -154,11 +185,11 @@ let width_sweep ~id ~soc ~num_buses ~widths ~ilp_time_limit =
 
 let table_e2 () =
   width_sweep ~id:"E2" ~soc:(Benchmarks.s1 ()) ~num_buses:2
-    ~widths:[ 16; 20; 24; 28; 32 ] ~ilp_time_limit:30.0
+    ~widths:(pick [ 16; 20; 24; 28; 32 ] [ 16; 24 ]) ~ilp_time_limit:30.0
 
 let table_e3 () =
   width_sweep ~id:"E3" ~soc:(Benchmarks.s1 ()) ~num_buses:3
-    ~widths:[ 16; 20; 24; 28; 32 ] ~ilp_time_limit:30.0
+    ~widths:(pick [ 16; 20; 24; 28; 32 ] [ 16; 24 ]) ~ilp_time_limit:30.0
 
 let table_e4 () =
   width_sweep ~id:"E4a" ~soc:(Benchmarks.s2 ()) ~num_buses:2
@@ -493,7 +524,7 @@ let table_a3 () =
         [ string_of_int w;
           solve Test_time.Serialization;
           solve Test_time.Scan_distribution ])
-      [ 8; 12; 16; 20; 24; 28; 32 ]
+      (pick [ 8; 12; 16; 20; 24; 28; 32 ] [ 8; 16; 32 ])
   in
   print_string
     (Table.render
@@ -894,6 +925,135 @@ let table_a6 () =
   print_endline "(+ = enumeration cap reached; best-found wirelength shown)"
 
 (* ------------------------------------------------------------------ *)
+(* E8: parallel sweep engine — sequential vs parallel wall-clock.      *)
+
+type sweep_measurement = {
+  sm_soc : string;
+  sm_num_buses : int;
+  sm_solver : string;
+  sm_cells : int;
+  sm_nodes : int;
+  sm_seq_s : float;
+  sm_par_s : float;
+  sm_identical : bool;
+}
+
+let table_e8 () =
+  section "E8"
+    (Printf.sprintf
+       "parallel sweep engine: sequential vs %d-domain wall-clock" jobs);
+  (* Exact cells cover the full width staircase (memo reuse dominates);
+     ILP cells — the paper's CPU statistic — are the coarse-grained
+     work that the domain fan-out is for. No ILP time limit: budget
+     expiry depends on wall-clock load and would break the determinism
+     guarantee. *)
+  let exact = Sweep.Exact in
+  let ilp = Sweep.Ilp { time_limit_s = None } in
+  let workloads =
+    pick
+      [ (Benchmarks.s1 (), 2, List.init 12 (fun k -> 4 + (4 * k)), exact);
+        (Benchmarks.s1 (), 3, List.init 12 (fun k -> 4 + (4 * k)), exact);
+        (Benchmarks.s2 (), 2, List.init 12 (fun k -> 4 + (4 * k)), exact);
+        (Benchmarks.s2 (), 3, List.init 8 (fun k -> 6 + (6 * k)), exact);
+        (Benchmarks.s3 (), 3, List.init 6 (fun k -> 8 + (4 * k)), exact);
+        (Benchmarks.s1 (), 2, [ 16; 20; 24; 28; 32 ], ilp);
+        (Benchmarks.s1 (), 3, [ 16; 20; 24 ], ilp);
+        (Benchmarks.s2 (), 2, [ 16; 24; 32 ], ilp) ]
+      [ (Benchmarks.s1 (), 2, [ 8; 16; 24; 32 ], exact);
+        (Benchmarks.s1 (), 2, [ 12; 16 ], ilp) ]
+  in
+  let solver_name = function
+    | Sweep.Exact -> "exact"
+    | Sweep.Ilp _ -> "ilp"
+    | Sweep.Heuristic -> "heuristic"
+  in
+  let measurements =
+    Pool.with_pool ~num_domains:jobs (fun pool ->
+        List.map
+          (fun (soc, num_buses, widths, solver) ->
+            let cells = Sweep.cells ~solver soc ~num_buses ~widths in
+            let t0 = Unix.gettimeofday () in
+            let seq_rows = Sweep.run cells in
+            let seq_s = Unix.gettimeofday () -. t0 in
+            let t1 = Unix.gettimeofday () in
+            let par_rows = Sweep.run ~pool cells in
+            let par_s = Unix.gettimeofday () -. t1 in
+            let totals = Sweep.totals seq_rows in
+            { sm_soc = Soc.name soc;
+              sm_num_buses = num_buses;
+              sm_solver = solver_name solver;
+              sm_cells = totals.Sweep.cells;
+              sm_nodes = totals.Sweep.nodes;
+              sm_seq_s = seq_s;
+              sm_par_s = par_s;
+              sm_identical = Sweep.equal_rows seq_rows par_rows })
+          workloads)
+  in
+  let rows =
+    List.map
+      (fun m ->
+        [ m.sm_soc;
+          string_of_int m.sm_num_buses;
+          m.sm_solver;
+          string_of_int m.sm_cells;
+          string_of_int m.sm_nodes;
+          Table.fmt_float ~decimals:3 m.sm_seq_s;
+          Table.fmt_float ~decimals:3 m.sm_par_s;
+          Table.fmt_float (m.sm_seq_s /. m.sm_par_s) ^ "x";
+          (if m.sm_identical then "yes" else "NO") ])
+      measurements
+  in
+  print_string
+    (Table.render
+       ~headers:
+         [ "soc"; "nb"; "solver"; "cells"; "nodes"; "seq s"; "par s";
+           "speedup"; "identical" ]
+       rows);
+  let seq_total = List.fold_left (fun a m -> a +. m.sm_seq_s) 0.0 measurements in
+  let par_total = List.fold_left (fun a m -> a +. m.sm_par_s) 0.0 measurements in
+  let all_identical = List.for_all (fun m -> m.sm_identical) measurements in
+  Printf.printf
+    "\nspeedup summary: %.3f s sequential vs %.3f s on %d domain(s) — \
+     %.2fx; rows identical across job counts: %s\n"
+    seq_total par_total jobs
+    (seq_total /. par_total)
+    (if all_identical then "yes" else "NO");
+  if not all_identical then
+    print_endline "!! parallel sweep diverged from the sequential loop";
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      let t = Unix.gmtime (Unix.time ()) in
+      Printf.fprintf oc
+        "{\n  \"recorded_utc\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\",\n\
+        \  \"domains_available\": %d,\n  \"jobs\": %d,\n  \"quick\": %b,\n\
+        \  \"sweeps\": [\n"
+        (t.Unix.tm_year + 1900) (t.Unix.tm_mon + 1) t.Unix.tm_mday
+        t.Unix.tm_hour t.Unix.tm_min t.Unix.tm_sec
+        (Domain.recommended_domain_count ())
+        jobs quick;
+      List.iteri
+        (fun i m ->
+          Printf.fprintf oc
+            "    {\"soc\": %S, \"num_buses\": %d, \"solver\": %S, \
+             \"cells\": %d, \"nodes\": %d, \"seq_s\": %.4f, \
+             \"par_s\": %.4f, \"speedup\": %.3f, \"identical\": %b}%s\n"
+            m.sm_soc m.sm_num_buses m.sm_solver m.sm_cells m.sm_nodes
+            m.sm_seq_s m.sm_par_s
+            (m.sm_seq_s /. m.sm_par_s)
+            m.sm_identical
+            (if i = List.length measurements - 1 then "" else ","))
+        measurements;
+      Printf.fprintf oc
+        "  ],\n  \"seq_total_s\": %.4f,\n  \"par_total_s\": %.4f,\n\
+        \  \"speedup\": %.3f\n}\n"
+        seq_total par_total
+        (seq_total /. par_total);
+      close_out oc;
+      Printf.printf "wrote %s\n" path)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment family.     *)
 
 let bechamel_section () =
@@ -966,26 +1126,39 @@ let () =
     "soctam benchmark harness - reproduction of Chakrabarty, DAC 2000";
   print_endline
     "(see DESIGN.md for the experiment index, EXPERIMENTS.md for analysis)";
-  table_e1 ();
-  table_e2 ();
-  table_e3 ();
-  table_e4 ();
-  table_e5 ();
-  table_e6 ();
-  table_e7 ();
-  figure_f1 ();
-  figure_f2 ();
-  figure_f3 ();
-  table_a1 ();
-  table_a2 ();
-  table_a3 ();
-  table_a4 ();
-  table_a5 ();
-  table_a7 ();
-  table_a8 ();
-  table_a9 ();
-  table_b1 ();
-  figure_f4 ();
-  table_a6 ();
-  bechamel_section ();
+  if quick then
+    print_endline "(--quick: reduced width ranges, slow ablations skipped)";
+  if sweep_only then table_e8 ()
+  else if quick then begin
+    table_e1 ();
+    table_e2 ();
+    table_e3 ();
+    table_a3 ();
+    table_e8 ()
+  end
+  else begin
+    table_e1 ();
+    table_e2 ();
+    table_e3 ();
+    table_e4 ();
+    table_e5 ();
+    table_e6 ();
+    table_e7 ();
+    figure_f1 ();
+    figure_f2 ();
+    figure_f3 ();
+    table_a1 ();
+    table_a2 ();
+    table_a3 ();
+    table_a4 ();
+    table_a5 ();
+    table_a7 ();
+    table_a8 ();
+    table_a9 ();
+    table_b1 ();
+    figure_f4 ();
+    table_a6 ();
+    table_e8 ();
+    bechamel_section ()
+  end;
   Printf.printf "\ntotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -20,6 +20,8 @@ module Power_model = Soctam_power.Power_model
 module Schedule = Soctam_sched.Schedule
 module Gantt = Soctam_sched.Gantt
 module Table = Soctam_report.Table
+module Pool = Soctam_engine.Pool
+module Sweep = Soctam_engine.Sweep
 
 let lookup_soc = function
   | "s1" | "S1" -> Benchmarks.s1 ()
@@ -193,12 +195,25 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Design one optimal test access architecture.")
     term
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the sweep: 0 (the default) uses every core; 1 \
+     reproduces the sequential loop bit-for-bit. Results are identical for \
+     every job count — only the wall-clock changes."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let resolve_jobs jobs =
+  if jobs < 0 then
+    raise (Invalid_argument (Printf.sprintf "--jobs %d: negative" jobs));
+  if jobs = 0 then Domain.recommended_domain_count () else jobs
+
 let sweep_cmd =
   let widths_arg =
     let doc = "Comma-separated list of total widths to sweep." in
     Arg.(value & opt string "16,24,32" & info [ "widths" ] ~docv:"LIST" ~doc)
   in
-  let run soc_name num_buses widths model d_max p_max =
+  let run soc_name num_buses widths model d_max p_max jobs =
     try
       let soc = lookup_soc soc_name in
       let parse_width word =
@@ -210,23 +225,32 @@ let sweep_cmd =
                  (Printf.sprintf "%S is not a width" word))
       in
       let widths = List.map parse_width (String.split_on_char ',' widths) in
+      (* Reuse the constraint/model plumbing of [build_problem] for the
+         sweep cells: derive pairs once, sweep over widths in parallel. *)
+      let probe =
+        build_problem soc ~num_buses
+          ~total_width:(List.fold_left max num_buses widths)
+          ~model ~d_max ~p_max
+      in
+      let cells =
+        Sweep.cells
+          ~time_model:(Problem.time_model probe)
+          ~constraints:(Problem.constraints probe)
+          soc ~num_buses ~widths
+      in
+      let rows =
+        Pool.with_pool ~num_domains:(resolve_jobs jobs) (fun pool ->
+            Sweep.run ~pool cells)
+      in
       let rows =
         List.map
-          (fun total_width ->
-            let problem =
-              build_problem soc ~num_buses ~total_width ~model ~d_max ~p_max
-            in
-            let start = Unix.gettimeofday () in
-            let result = Exact.solve problem in
-            let elapsed = Unix.gettimeofday () -. start in
-            match result.Exact.solution with
-            | Some (_, t) ->
-                [ string_of_int total_width; string_of_int t;
-                  Table.fmt_float ~decimals:3 elapsed ]
-            | None ->
-                [ string_of_int total_width; "infeasible";
-                  Table.fmt_float ~decimals:3 elapsed ])
-          widths
+          (fun row ->
+            [ string_of_int row.Sweep.total_width;
+              (match row.Sweep.solution with
+              | Some (_, t) -> string_of_int t
+              | None -> "infeasible");
+              Table.fmt_float ~decimals:3 row.Sweep.elapsed_s ])
+          rows
       in
       print_string
         (Table.render ~headers:[ "W"; "test time"; "cpu (s)" ] rows);
@@ -238,11 +262,12 @@ let sweep_cmd =
   let term =
     Term.(
       const run $ soc_arg $ buses_arg $ widths_arg $ model_arg $ d_max_arg
-      $ p_max_arg)
+      $ p_max_arg $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "sweep"
-       ~doc:"Sweep total TAM width and report optimal test times.")
+       ~doc:
+         "Sweep total TAM width in parallel and report optimal test times.")
     term
 
 let info_cmd =

@@ -9,6 +9,7 @@ type solve_stats = {
   constraints : int;
   bb_nodes : int;
   lp_pivots : int;
+  max_depth : int;
   elapsed_s : float;
 }
 
@@ -220,14 +221,15 @@ let solve ?formulation ?symmetry_breaking ?(seed_incumbent = true)
     Branch_bound.solve ~node_limit ?time_limit_s ~integral_objective:true
       ?incumbent ~branch_priority model
   in
-  let finish ?(optimal = true) bb_nodes lp_pivots solution =
+  let finish ?(optimal = true) (stats : Branch_bound.stats) solution =
     { solution;
       optimal;
       stats =
         { variables = Model.num_vars model;
           constraints = Model.num_constrs model;
-          bb_nodes;
-          lp_pivots;
+          bb_nodes = stats.Branch_bound.nodes;
+          lp_pivots = stats.Branch_bound.lp_pivots;
+          max_depth = stats.Branch_bound.max_depth;
           elapsed_s = Unix.gettimeofday () -. start } }
   in
   match outcome with
@@ -237,10 +239,8 @@ let solve ?formulation ?symmetry_breaking ?(seed_incumbent = true)
       (* The decoded architecture's true cost must match the MILP
          objective (up to rounding). *)
       assert (Float.abs (float_of_int test_time -. objective) < 0.5);
-      finish stats.Branch_bound.nodes stats.Branch_bound.lp_pivots
-        (Some (arch, test_time))
-  | Branch_bound.Infeasible stats ->
-      finish stats.Branch_bound.nodes stats.Branch_bound.lp_pivots None
+      finish stats (Some (arch, test_time))
+  | Branch_bound.Infeasible stats -> finish stats None
   | Branch_bound.Unbounded stats ->
       (* A bounded makespan objective cannot be unbounded. *)
       ignore stats;
@@ -250,12 +250,8 @@ let solve ?formulation ?symmetry_breaking ?(seed_incumbent = true)
       | Some (point, _) ->
           let arch = decode problem x delta point in
           let test_time = Cost.test_time problem arch in
-          finish ~optimal:false stats.Branch_bound.nodes
-            stats.Branch_bound.lp_pivots
-            (Some (arch, test_time))
-      | None ->
-          finish ~optimal:false stats.Branch_bound.nodes
-            stats.Branch_bound.lp_pivots None)
+          finish ~optimal:false stats (Some (arch, test_time))
+      | None -> finish ~optimal:false stats None)
 
 (* Assignment-only formulation (P1): widths fixed, so each bus's load row
    is exact — no width indicators, no big-M. *)
@@ -352,6 +348,7 @@ let solve_assignment ?(node_limit = 500_000) ?time_limit_s problem ~widths =
           constraints = Model.num_constrs model;
           bb_nodes = stats.Branch_bound.nodes;
           lp_pivots = stats.Branch_bound.lp_pivots;
+          max_depth = stats.Branch_bound.max_depth;
           elapsed_s = Unix.gettimeofday () -. start } }
   in
   match outcome with

@@ -26,6 +26,7 @@ type solve_stats = {
   constraints : int;
   bb_nodes : int;
   lp_pivots : int;
+  max_depth : int;  (** Deepest branch-and-bound node expanded. *)
   elapsed_s : float;
 }
 

@@ -1,5 +1,6 @@
 module Soc = Soctam_soc.Soc
 module Test_time = Soctam_soc.Test_time
+module Memo = Soctam_soc.Memo
 
 type constraints = {
   exclusion_pairs : (int * int) list;
@@ -27,7 +28,7 @@ let normalize_pairs ~num_cores pairs =
   List.sort_uniq compare (List.map norm pairs)
 
 let make ?(time_model = Test_time.Serialization)
-    ?(constraints = no_constraints) soc ~num_buses ~total_width =
+    ?(constraints = no_constraints) ?memo soc ~num_buses ~total_width =
   if num_buses < 1 then invalid_arg "Problem.make: num_buses < 1";
   if total_width < num_buses then
     invalid_arg "Problem.make: total_width < num_buses";
@@ -38,8 +39,21 @@ let make ?(time_model = Test_time.Serialization)
       co_pairs = normalize_pairs ~num_cores:n constraints.co_pairs }
   in
   let times =
-    Array.init n (fun i ->
-        Test_time.table time_model (Soc.core soc i) ~max_width:total_width)
+    match memo with
+    | Some m ->
+        if Memo.soc m != soc then
+          invalid_arg "Problem.make: memo built for a different SOC";
+        if Memo.model m <> time_model then
+          invalid_arg "Problem.make: memo built under a different time model";
+        if Memo.max_width m < total_width then
+          invalid_arg "Problem.make: memo narrower than total_width";
+        (* Rows are aliased, not copied: [time] only reads indices below
+           [total_width], and memo rows are immutable after build. *)
+        Array.init n (fun i -> Memo.row m ~core:i)
+    | None ->
+        Array.init n (fun i ->
+            Test_time.table time_model (Soc.core soc i)
+              ~max_width:total_width)
   in
   { soc; num_buses; total_width; time_model; constraints; times }
 

@@ -19,15 +19,24 @@ val no_constraints : constraints
 
 type t
 
-(** [make ?time_model ?constraints soc ~num_buses ~total_width] validates
-    and builds an instance. Requirements: [1 ≤ num_buses ≤ total_width];
-    constraint pairs must reference distinct in-range cores. Pairs are
-    normalized to [i < j] and deduplicated. The default time model is
-    [Serialization]; the default constraints are {!no_constraints}.
+(** [make ?time_model ?constraints ?memo soc ~num_buses ~total_width]
+    validates and builds an instance. Requirements:
+    [1 ≤ num_buses ≤ total_width]; constraint pairs must reference
+    distinct in-range cores. Pairs are normalized to [i < j] and
+    deduplicated. The default time model is [Serialization]; the default
+    constraints are {!no_constraints}.
+
+    When [memo] is supplied the instance aliases the precomputed
+    staircases instead of re-tabulating them — this is what makes a
+    width sweep incremental: one [Soctam_soc.Memo.build] at the widest
+    point serves every sweep cell, across domains. The memo must have
+    been built from this very [soc] value (physical equality), under
+    [time_model], and cover at least [total_width].
     Raises [Invalid_argument] on violation. *)
 val make :
   ?time_model:Soctam_soc.Test_time.model ->
   ?constraints:constraints ->
+  ?memo:Soctam_soc.Memo.t ->
   Soctam_soc.Soc.t ->
   num_buses:int ->
   total_width:int ->

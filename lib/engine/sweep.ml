@@ -1,0 +1,147 @@
+module Problem = Soctam_core.Problem
+module Architecture = Soctam_core.Architecture
+module Exact = Soctam_core.Exact
+module Ilp = Soctam_core.Ilp_formulation
+module Heuristics = Soctam_core.Heuristics
+module Soc = Soctam_soc.Soc
+module Test_time = Soctam_soc.Test_time
+module Memo = Soctam_soc.Memo
+
+type solver = Exact | Ilp of { time_limit_s : float option } | Heuristic
+
+type cell = {
+  soc : Soc.t;
+  num_buses : int;
+  total_width : int;
+  time_model : Test_time.model;
+  constraints : Problem.constraints;
+  solver : solver;
+}
+
+type row = {
+  total_width : int;
+  num_buses : int;
+  solution : (Architecture.t * int) option;
+  optimal : bool;
+  nodes : int;
+  lp_pivots : int;
+  max_depth : int;
+  elapsed_s : float;
+}
+
+type totals = {
+  cells : int;
+  feasible : int;
+  nodes : int;
+  lp_pivots : int;
+  solve_s : float;
+}
+
+let cells ?(time_model = Test_time.Serialization)
+    ?(constraints = Problem.no_constraints) ?(solver = Exact) soc ~num_buses
+    ~widths =
+  List.map
+    (fun total_width ->
+      { soc; num_buses; total_width; time_model; constraints; solver })
+    widths
+
+(* One memo per distinct (SOC value, time model) among the cells, each
+   built at that group's widest point. Identity is physical: a memo is
+   only valid for the very SOC value it was built from. *)
+let build_memos cells =
+  let groups = ref [] in
+  List.iter
+    (fun c ->
+      match
+        List.find_opt
+          (fun (soc, model, _) -> soc == c.soc && model = c.time_model)
+          !groups
+      with
+      | Some (_, _, widest) -> widest := max !widest c.total_width
+      | None -> groups := (c.soc, c.time_model, ref c.total_width) :: !groups)
+    cells;
+  List.map
+    (fun (soc, model, widest) ->
+      (soc, model, Memo.build ~model soc ~max_width:!widest))
+    !groups
+
+let solve_cell memos cell =
+  let memo =
+    match
+      List.find_opt
+        (fun (soc, model, _) -> soc == cell.soc && model = cell.time_model)
+        memos
+    with
+    | Some (_, _, memo) -> memo
+    | None -> assert false
+  in
+  let problem =
+    Problem.make ~time_model:cell.time_model ~constraints:cell.constraints
+      ~memo cell.soc ~num_buses:cell.num_buses
+      ~total_width:cell.total_width
+  in
+  let start = Unix.gettimeofday () in
+  let solution, optimal, nodes, lp_pivots, max_depth =
+    match cell.solver with
+    | Exact ->
+        let r = Soctam_core.Exact.solve problem in
+        (r.Soctam_core.Exact.solution, true,
+         r.Soctam_core.Exact.stats.Soctam_core.Exact.nodes, 0, 0)
+    | Ilp { time_limit_s } ->
+        let r = Ilp.solve ?time_limit_s problem in
+        ( r.Ilp.solution,
+          r.Ilp.optimal,
+          r.Ilp.stats.Ilp.bb_nodes,
+          r.Ilp.stats.Ilp.lp_pivots,
+          r.Ilp.stats.Ilp.max_depth )
+    | Heuristic ->
+        let solution =
+          match Heuristics.solve problem with
+          | Some { Heuristics.architecture; test_time } ->
+              Some (architecture, test_time)
+          | None -> None
+        in
+        (solution, false, 0, 0, 0)
+  in
+  { total_width = cell.total_width;
+    num_buses = cell.num_buses;
+    solution;
+    optimal;
+    nodes;
+    lp_pivots;
+    max_depth;
+    elapsed_s = Unix.gettimeofday () -. start }
+
+let run ?pool cells =
+  let memos = build_memos cells in
+  let arr = Array.of_list cells in
+  let rows =
+    match pool with
+    | None -> Array.map (solve_cell memos) arr
+    | Some pool -> Pool.map pool ~f:(solve_cell memos) arr
+  in
+  Array.to_list rows
+
+let totals rows =
+  List.fold_left
+    (fun acc r ->
+      { cells = acc.cells + 1;
+        feasible = (acc.feasible + if r.solution = None then 0 else 1);
+        nodes = acc.nodes + r.nodes;
+        lp_pivots = acc.lp_pivots + r.lp_pivots;
+        solve_s = acc.solve_s +. r.elapsed_s })
+    { cells = 0; feasible = 0; nodes = 0; lp_pivots = 0; solve_s = 0.0 }
+    rows
+
+let equal_rows a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun x y ->
+         x.total_width = y.total_width
+         && x.num_buses = y.num_buses
+         && x.solution = y.solution
+         && x.optimal = y.optimal
+         && x.nodes = y.nodes
+         && x.lp_pivots = y.lp_pivots
+         && x.max_depth = y.max_depth)
+       a b

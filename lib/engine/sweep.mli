@@ -1,0 +1,78 @@
+(** Parallel width sweeps: the paper's outer evaluation loop.
+
+    The DAC 2000 evaluation re-runs the architecture optimizer at every
+    total-width point [W], for several SOCs, constraint sets and
+    solvers. Each such {!cell} is independent, so the sweep fans the
+    cells out over a {!Pool} of domains; each cell's test-time
+    staircases come from a per-(SOC, model) {!Soctam_soc.Memo} built
+    once at the widest point of the sweep and shared read-only by every
+    domain.
+
+    Determinism: {!run} returns rows in cell order, and every solver
+    the sweep drives is deterministic, so the rows (test times,
+    architectures, node counts) are independent of the pool size — only
+    [elapsed_s] varies. [Ilp] cells given a [time_limit_s] are the one
+    exception: a budget expiry depends on wall-clock load. *)
+
+type solver =
+  | Exact  (** Width-partition enumeration + assignment DP. *)
+  | Ilp of { time_limit_s : float option }
+      (** The paper's MILP via the in-repo branch and bound. *)
+  | Heuristic  (** Seeded LPT greedy + local search. *)
+
+type cell = {
+  soc : Soctam_soc.Soc.t;
+  num_buses : int;
+  total_width : int;
+  time_model : Soctam_soc.Test_time.model;
+  constraints : Soctam_core.Problem.constraints;
+  solver : solver;
+}
+
+type row = {
+  total_width : int;
+  num_buses : int;
+  solution : (Soctam_core.Architecture.t * int) option;
+  optimal : bool;  (** [false] only when an [Ilp] budget expired. *)
+  nodes : int;
+      (** Search nodes: assignment-DP/B&B nodes for [Exact], MILP
+          branch-and-bound nodes for [Ilp], [0] for [Heuristic]. *)
+  lp_pivots : int;  (** Simplex pivots ([Ilp] only). *)
+  max_depth : int;  (** Deepest MILP node ([Ilp] only). *)
+  elapsed_s : float;  (** Wall-clock spent solving this cell. *)
+}
+
+(** Aggregated per-sweep search effort, for CPU-statistics tables. *)
+type totals = {
+  cells : int;
+  feasible : int;
+  nodes : int;
+  lp_pivots : int;
+  solve_s : float;  (** Sum of per-cell [elapsed_s] (CPU-ish, not wall). *)
+}
+
+(** [cells ?time_model ?constraints ?solver soc ~num_buses ~widths]
+    builds one cell per width, with defaults [Serialization],
+    {!Soctam_core.Problem.no_constraints} and [Exact]. *)
+val cells :
+  ?time_model:Soctam_soc.Test_time.model ->
+  ?constraints:Soctam_core.Problem.constraints ->
+  ?solver:solver ->
+  Soctam_soc.Soc.t ->
+  num_buses:int ->
+  widths:int list ->
+  cell list
+
+(** [run ?pool cells] evaluates every cell and returns rows in cell
+    order. Without a pool the cells run sequentially in the caller —
+    bit-for-bit the behavior of the pre-engine loop; with a pool they
+    are fanned out as independent tasks. Staircase memos are built
+    up-front, one per distinct (SOC, time model) among the cells. *)
+val run : ?pool:Pool.t -> cell list -> row list
+
+val totals : row list -> totals
+
+(** [equal_rows a b] compares two sweeps for result equality —
+    everything except the wall-clock [elapsed_s] fields. Used by the
+    [--jobs] equivalence checks. *)
+val equal_rows : row list -> row list -> bool

@@ -1,0 +1,32 @@
+type t = {
+  soc : Soc.t;
+  model : Test_time.model;
+  max_width : int;
+  tables : int array array;  (** [tables.(i).(w-1)] for w in 1..max_width. *)
+}
+
+let build ?(model = Test_time.Serialization) soc ~max_width =
+  if max_width < 1 then invalid_arg "Memo.build: max_width < 1";
+  let tables =
+    Array.init (Soc.num_cores soc) (fun i ->
+        Test_time.table model (Soc.core soc i) ~max_width)
+  in
+  { soc; model; max_width; tables }
+
+let soc t = t.soc
+let model t = t.model
+let max_width t = t.max_width
+
+let row t ~core =
+  if core < 0 || core >= Array.length t.tables then
+    invalid_arg "Memo.row: core out of range";
+  t.tables.(core)
+
+let time t ~core ~width =
+  if width < 1 || width > t.max_width then
+    invalid_arg "Memo.time: width outside [1, max_width]";
+  (row t ~core).(width - 1)
+
+let widen t ~max_width =
+  if max_width <= t.max_width then t
+  else build ~model:t.model t.soc ~max_width

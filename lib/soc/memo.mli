@@ -1,0 +1,43 @@
+(** Memoized test-time staircases, shared across problem instances.
+
+    A width sweep re-runs the optimizer at many total-width points [W]
+    over the same SOC; without memoization every point recomputes each
+    core's [t_i(w)] staircase (which, under the scan-distribution model,
+    runs a wrapper chain-balancing design per width). A {!t} tabulates
+    every core's full staircase for [w = 1 .. max_width] {e once} per
+    SOC and is then shared — read-only — by every problem instance of
+    the sweep, including instances evaluated concurrently on different
+    domains: the table is immutable after {!build}, so cross-domain
+    sharing is safe without locks. *)
+
+type t
+
+(** [build ?model soc ~max_width] tabulates [Test_time.cycles] for every
+    core of [soc] and every width in [1 .. max_width]. The default model
+    is [Serialization]. Raises [Invalid_argument] when [max_width < 1]. *)
+val build : ?model:Test_time.model -> Soc.t -> max_width:int -> t
+
+(** The SOC the table was built for. Consumers match on physical
+    equality: a memo is only valid for the very SOC value it was built
+    from. *)
+val soc : t -> Soc.t
+
+(** Time model the staircases were tabulated under. *)
+val model : t -> Test_time.model
+
+(** Largest tabulated width. *)
+val max_width : t -> int
+
+(** [time t ~core ~width] is the memoized [Test_time.cycles] value.
+    Raises [Invalid_argument] when [core] or [width] is out of range. *)
+val time : t -> core:int -> width:int -> int
+
+(** [row t ~core] is the core's staircase [t_i(1) .. t_i(max_width)] as
+    the {e internal} array — shared, not copied, so that problem
+    instances can alias it without duplicating the table per sweep
+    point. Callers must treat it as read-only. *)
+val row : t -> core:int -> int array
+
+(** [widen t ~max_width] is [t] itself when it already covers
+    [max_width], otherwise a fresh table rebuilt to the larger width. *)
+val widen : t -> max_width:int -> t

@@ -7,6 +7,7 @@ let () =
       ("lp_format", Test_lp_format.suite);
       ("wrapper", Test_wrapper.suite);
       ("test_time", Test_test_time.suite);
+      ("memo", Test_memo.suite);
       ("soc", Test_soc.suite);
       ("soc_file", Test_soc_file.suite);
       ("benchmarks", Test_benchmarks.suite);
@@ -26,4 +27,6 @@ let () =
       ("sched", Test_sched.suite);
       ("plan", Test_plan.suite);
       ("rect_sched", Test_rect_sched.suite);
-      ("table", Test_table.suite) ]
+      ("table", Test_table.suite);
+      ("engine_pool", Test_sweep.pool_suite);
+      ("engine_sweep", Test_sweep.suite) ]

@@ -1,0 +1,143 @@
+module Soc = Soctam_soc.Soc
+module Core_def = Soctam_soc.Core_def
+module Test_time = Soctam_soc.Test_time
+module Memo = Soctam_soc.Memo
+module Benchmarks = Soctam_soc.Benchmarks
+module Problem = Soctam_core.Problem
+
+let socs () =
+  [ Benchmarks.s1 (); Benchmarks.s2 (); Benchmarks.s3 () ]
+
+let models = [ Test_time.Serialization; Test_time.Scan_distribution ]
+
+(* The memoized staircase must equal the direct computation for every
+   core and width of every built-in benchmark SOC, under both models. *)
+let test_table_matches_direct () =
+  let max_width = 40 in
+  List.iter
+    (fun soc ->
+      List.iter
+        (fun model ->
+          let memo = Memo.build ~model soc ~max_width in
+          for core = 0 to Soc.num_cores soc - 1 do
+            for width = 1 to max_width do
+              Alcotest.(check int)
+                (Printf.sprintf "%s %s core %d width %d" (Soc.name soc)
+                   (Test_time.model_name model) core width)
+                (Test_time.cycles model (Soc.core soc core) ~width)
+                (Memo.time memo ~core ~width)
+            done
+          done)
+        models)
+    (socs ())
+
+let test_accessors () =
+  let soc = Benchmarks.s1 () in
+  let memo = Memo.build ~model:Test_time.Scan_distribution soc ~max_width:24 in
+  Alcotest.(check bool) "soc identity" true (Memo.soc memo == soc);
+  Alcotest.(check int) "max width" 24 (Memo.max_width memo);
+  Alcotest.(check bool) "model" true
+    (Memo.model memo = Test_time.Scan_distribution)
+
+let test_widen () =
+  let soc = Benchmarks.s1 () in
+  let memo = Memo.build soc ~max_width:16 in
+  Alcotest.(check bool) "no-op widen is physical identity" true
+    (Memo.widen memo ~max_width:12 == memo);
+  let wider = Memo.widen memo ~max_width:32 in
+  Alcotest.(check int) "widened" 32 (Memo.max_width wider);
+  for core = 0 to Soc.num_cores soc - 1 do
+    for width = 1 to 16 do
+      Alcotest.(check int)
+        (Printf.sprintf "widened core %d width %d" core width)
+        (Memo.time memo ~core ~width)
+        (Memo.time wider ~core ~width)
+    done
+  done
+
+(* A memoized problem instance must answer [Problem.time] exactly like a
+   freshly-tabulated one. *)
+let test_problem_routing () =
+  let soc = Benchmarks.s2 () in
+  List.iter
+    (fun model ->
+      let memo = Memo.build ~model soc ~max_width:48 in
+      let direct =
+        Problem.make ~time_model:model soc ~num_buses:3 ~total_width:24
+      in
+      let memoized =
+        Problem.make ~time_model:model ~memo soc ~num_buses:3 ~total_width:24
+      in
+      for core = 0 to Soc.num_cores soc - 1 do
+        for width = 1 to 24 do
+          Alcotest.(check int)
+            (Printf.sprintf "%s core %d width %d"
+               (Test_time.model_name model) core width)
+            (Problem.time direct ~core ~width)
+            (Problem.time memoized ~core ~width)
+        done
+      done)
+    models
+
+let test_validation () =
+  let soc = Benchmarks.s1 () in
+  let other = Benchmarks.s1 () in
+  (* Benchmarks.s1 () allocates a fresh SOC per call, so [other] is
+     structurally equal but physically distinct — exactly the aliasing
+     bug the physical-equality check exists to catch. *)
+  let memo = Memo.build soc ~max_width:16 in
+  Alcotest.check_raises "different SOC value"
+    (Invalid_argument "Problem.make: memo built for a different SOC")
+    (fun () ->
+      ignore (Problem.make ~memo other ~num_buses:2 ~total_width:16));
+  Alcotest.check_raises "model mismatch"
+    (Invalid_argument "Problem.make: memo built under a different time model")
+    (fun () ->
+      ignore
+        (Problem.make ~time_model:Test_time.Scan_distribution ~memo soc
+           ~num_buses:2 ~total_width:16));
+  Alcotest.check_raises "too narrow"
+    (Invalid_argument "Problem.make: memo narrower than total_width")
+    (fun () ->
+      ignore (Problem.make ~memo soc ~num_buses:2 ~total_width:20));
+  Alcotest.check_raises "bad width"
+    (Invalid_argument "Memo.time: width outside [1, max_width]")
+    (fun () -> ignore (Memo.time memo ~core:0 ~width:0));
+  Alcotest.check_raises "zero max width"
+    (Invalid_argument "Memo.build: max_width < 1")
+    (fun () -> ignore (Memo.build soc ~max_width:0))
+
+let prop_memo_matches_random_socs =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* seed = 0 -- 1000 in
+      let* num_cores = 2 -- 10 in
+      let* width = 1 -- 32 in
+      let* model =
+        oneofl [ Test_time.Serialization; Test_time.Scan_distribution ]
+      in
+      return (seed, num_cores, width, model))
+  in
+  QCheck.Test.make ~name:"memo = direct on random SOCs" ~count:100
+    (QCheck.make gen) (fun (seed, num_cores, width, model) ->
+      let soc = Benchmarks.random ~seed ~num_cores () in
+      let memo = Memo.build ~model soc ~max_width:32 in
+      let ok = ref true in
+      for core = 0 to Soc.num_cores soc - 1 do
+        if
+          Memo.time memo ~core ~width
+          <> Test_time.cycles model (Soc.core soc core) ~width
+        then ok := false
+      done;
+      !ok)
+
+let suite =
+  [ Alcotest.test_case "memo table = direct computation" `Quick
+      test_table_matches_direct;
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "widen" `Quick test_widen;
+    Alcotest.test_case "problem routed through memo" `Quick
+      test_problem_routing;
+    Alcotest.test_case "validation" `Quick test_validation;
+    QCheck_alcotest.to_alcotest prop_memo_matches_random_socs ]
