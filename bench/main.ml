@@ -933,6 +933,9 @@ type sweep_measurement = {
   sm_solver : string;
   sm_cells : int;
   sm_nodes : int;
+  sm_lp_pivots : int;
+  sm_warm : int;
+  sm_cold : int;
   sm_seq_s : float;
   sm_par_s : float;
   sm_identical : bool;
@@ -984,6 +987,9 @@ let table_e8 () =
               sm_solver = solver_name solver;
               sm_cells = totals.Sweep.cells;
               sm_nodes = totals.Sweep.nodes;
+              sm_lp_pivots = totals.Sweep.lp_pivots;
+              sm_warm = totals.Sweep.warm_starts;
+              sm_cold = totals.Sweep.cold_solves;
               sm_seq_s = seq_s;
               sm_par_s = par_s;
               sm_identical = Sweep.equal_rows seq_rows par_rows })
@@ -997,6 +1003,9 @@ let table_e8 () =
           m.sm_solver;
           string_of_int m.sm_cells;
           string_of_int m.sm_nodes;
+          string_of_int m.sm_lp_pivots;
+          string_of_int m.sm_warm;
+          string_of_int m.sm_cold;
           Table.fmt_float ~decimals:3 m.sm_seq_s;
           Table.fmt_float ~decimals:3 m.sm_par_s;
           Table.fmt_float (m.sm_seq_s /. m.sm_par_s) ^ "x";
@@ -1006,11 +1015,14 @@ let table_e8 () =
   print_string
     (Table.render
        ~headers:
-         [ "soc"; "nb"; "solver"; "cells"; "nodes"; "seq s"; "par s";
-           "speedup"; "identical" ]
+         [ "soc"; "nb"; "solver"; "cells"; "nodes"; "pivots"; "warm";
+           "cold"; "seq s"; "par s"; "speedup"; "identical" ]
        rows);
   let seq_total = List.fold_left (fun a m -> a +. m.sm_seq_s) 0.0 measurements in
   let par_total = List.fold_left (fun a m -> a +. m.sm_par_s) 0.0 measurements in
+  let total_pivots = List.fold_left (fun a m -> a + m.sm_lp_pivots) 0 measurements in
+  let total_warm = List.fold_left (fun a m -> a + m.sm_warm) 0 measurements in
+  let total_cold = List.fold_left (fun a m -> a + m.sm_cold) 0 measurements in
   let all_identical = List.for_all (fun m -> m.sm_identical) measurements in
   Printf.printf
     "\nspeedup summary: %.3f s sequential vs %.3f s on %d domain(s) — \
@@ -1018,6 +1030,9 @@ let table_e8 () =
     seq_total par_total jobs
     (seq_total /. par_total)
     (if all_identical then "yes" else "NO");
+  Printf.printf
+    "LP work: %d pivots total; %d warm-started node LPs vs %d cold solves\n"
+    total_pivots total_warm total_cold;
   if not all_identical then
     print_endline "!! parallel sweep diverged from the sequential loop";
   (match json_path with
@@ -1037,9 +1052,12 @@ let table_e8 () =
         (fun i m ->
           Printf.fprintf oc
             "    {\"soc\": %S, \"num_buses\": %d, \"solver\": %S, \
-             \"cells\": %d, \"nodes\": %d, \"seq_s\": %.4f, \
+             \"cells\": %d, \"nodes\": %d, \"lp_pivots\": %d, \
+             \"warm_starts\": %d, \"cold_solves\": %d, \
+             \"seq_s\": %.4f, \
              \"par_s\": %.4f, \"speedup\": %.3f, \"identical\": %b}%s\n"
             m.sm_soc m.sm_num_buses m.sm_solver m.sm_cells m.sm_nodes
+            m.sm_lp_pivots m.sm_warm m.sm_cold
             m.sm_seq_s m.sm_par_s
             (m.sm_seq_s /. m.sm_par_s)
             m.sm_identical
@@ -1047,9 +1065,11 @@ let table_e8 () =
         measurements;
       Printf.fprintf oc
         "  ],\n  \"seq_total_s\": %.4f,\n  \"par_total_s\": %.4f,\n\
-        \  \"speedup\": %.3f\n}\n"
+        \  \"speedup\": %.3f,\n  \"total_lp_pivots\": %d,\n\
+        \  \"total_warm_starts\": %d,\n  \"total_cold_solves\": %d\n}\n"
         seq_total par_total
-        (seq_total /. par_total);
+        (seq_total /. par_total)
+        total_pivots total_warm total_cold;
       close_out oc;
       Printf.printf "wrote %s\n" path)
 

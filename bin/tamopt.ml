@@ -171,6 +171,12 @@ let solve_cmd =
             let r = Ilp.solve ~time_limit_s:time_limit problem in
             if not r.Ilp.optimal then
               print_endline "note: ILP budget expired; best-found shown";
+            let st = r.Ilp.stats in
+            Printf.printf
+              "ILP search: %d nodes, %d LP pivots (%d warm-started, %d \
+               cold), depth %d, %.3f s\n"
+              st.Ilp.bb_nodes st.Ilp.lp_pivots st.Ilp.warm_starts
+              st.Ilp.cold_solves st.Ilp.max_depth st.Ilp.elapsed_s;
             r.Ilp.solution
         | "heuristic" -> (
             match Heuristics.solve problem with
@@ -213,7 +219,7 @@ let sweep_cmd =
     let doc = "Comma-separated list of total widths to sweep." in
     Arg.(value & opt string "16,24,32" & info [ "widths" ] ~docv:"LIST" ~doc)
   in
-  let run soc_name num_buses widths model d_max p_max jobs =
+  let run soc_name num_buses widths model d_max p_max solver jobs =
     try
       let soc = lookup_soc soc_name in
       let parse_width word =
@@ -232,28 +238,47 @@ let sweep_cmd =
           ~total_width:(List.fold_left max num_buses widths)
           ~model ~d_max ~p_max
       in
+      let solver =
+        match solver with
+        | "exact" -> Sweep.Exact
+        | "ilp" -> Sweep.Ilp { time_limit_s = None }
+        | "heuristic" -> Sweep.Heuristic
+        | other ->
+            raise
+              (Invalid_argument (Printf.sprintf "unknown solver %S" other))
+      in
       let cells =
         Sweep.cells
           ~time_model:(Problem.time_model probe)
           ~constraints:(Problem.constraints probe)
-          soc ~num_buses ~widths
+          ~solver soc ~num_buses ~widths
       in
       let rows =
         Pool.with_pool ~num_domains:(resolve_jobs jobs) (fun pool ->
             Sweep.run ~pool cells)
       in
-      let rows =
+      let totals = Sweep.totals rows in
+      let table_rows =
         List.map
           (fun row ->
             [ string_of_int row.Sweep.total_width;
               (match row.Sweep.solution with
               | Some (_, t) -> string_of_int t
               | None -> "infeasible");
+              string_of_int row.Sweep.nodes;
+              string_of_int row.Sweep.lp_pivots;
               Table.fmt_float ~decimals:3 row.Sweep.elapsed_s ])
           rows
       in
       print_string
-        (Table.render ~headers:[ "W"; "test time"; "cpu (s)" ] rows);
+        (Table.render
+           ~headers:[ "W"; "test time"; "nodes"; "pivots"; "cpu (s)" ]
+           table_rows);
+      if totals.Sweep.lp_pivots > 0 then
+        Printf.printf
+          "LP work: %d pivots; %d warm-started node LPs, %d cold solves\n"
+          totals.Sweep.lp_pivots totals.Sweep.warm_starts
+          totals.Sweep.cold_solves;
       0
     with Invalid_argument msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -262,7 +287,7 @@ let sweep_cmd =
   let term =
     Term.(
       const run $ soc_arg $ buses_arg $ widths_arg $ model_arg $ d_max_arg
-      $ p_max_arg $ jobs_arg)
+      $ p_max_arg $ solver_arg $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "sweep"

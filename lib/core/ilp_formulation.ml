@@ -10,6 +10,9 @@ type solve_stats = {
   bb_nodes : int;
   lp_pivots : int;
   max_depth : int;
+  warm_starts : int;
+  cold_solves : int;
+  dropped_nodes : int;
   elapsed_s : float;
 }
 
@@ -230,6 +233,9 @@ let solve ?formulation ?symmetry_breaking ?(seed_incumbent = true)
           bb_nodes = stats.Branch_bound.nodes;
           lp_pivots = stats.Branch_bound.lp_pivots;
           max_depth = stats.Branch_bound.max_depth;
+          warm_starts = stats.Branch_bound.warm_starts;
+          cold_solves = stats.Branch_bound.cold_solves;
+          dropped_nodes = stats.Branch_bound.dropped_nodes;
           elapsed_s = Unix.gettimeofday () -. start } }
   in
   match outcome with
@@ -349,6 +355,9 @@ let solve_assignment ?(node_limit = 500_000) ?time_limit_s problem ~widths =
           bb_nodes = stats.Branch_bound.nodes;
           lp_pivots = stats.Branch_bound.lp_pivots;
           max_depth = stats.Branch_bound.max_depth;
+          warm_starts = stats.Branch_bound.warm_starts;
+          cold_solves = stats.Branch_bound.cold_solves;
+          dropped_nodes = stats.Branch_bound.dropped_nodes;
           elapsed_s = Unix.gettimeofday () -. start } }
   in
   match outcome with

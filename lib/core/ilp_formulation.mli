@@ -27,6 +27,11 @@ type solve_stats = {
   bb_nodes : int;
   lp_pivots : int;
   max_depth : int;  (** Deepest branch-and-bound node expanded. *)
+  warm_starts : int;  (** Node LPs warm-started from the parent basis. *)
+  cold_solves : int;  (** Cold two-phase LP solves, fallbacks included. *)
+  dropped_nodes : int;
+      (** Nodes abandoned on an LP pivot budget; nonzero forfeits the
+          optimality claim ([optimal] is [false]). *)
   elapsed_s : float;
 }
 

@@ -26,6 +26,8 @@ type row = {
   nodes : int;
   lp_pivots : int;
   max_depth : int;
+  warm_starts : int;
+  cold_solves : int;
   elapsed_s : float;
 }
 
@@ -34,6 +36,8 @@ type totals = {
   feasible : int;
   nodes : int;
   lp_pivots : int;
+  warm_starts : int;
+  cold_solves : int;
   solve_s : float;
 }
 
@@ -81,19 +85,22 @@ let solve_cell memos cell =
       ~total_width:cell.total_width
   in
   let start = Unix.gettimeofday () in
-  let solution, optimal, nodes, lp_pivots, max_depth =
+  let solution, optimal, nodes, lp_pivots, max_depth, warm_starts, cold_solves
+      =
     match cell.solver with
     | Exact ->
         let r = Soctam_core.Exact.solve problem in
         (r.Soctam_core.Exact.solution, true,
-         r.Soctam_core.Exact.stats.Soctam_core.Exact.nodes, 0, 0)
+         r.Soctam_core.Exact.stats.Soctam_core.Exact.nodes, 0, 0, 0, 0)
     | Ilp { time_limit_s } ->
         let r = Ilp.solve ?time_limit_s problem in
         ( r.Ilp.solution,
           r.Ilp.optimal,
           r.Ilp.stats.Ilp.bb_nodes,
           r.Ilp.stats.Ilp.lp_pivots,
-          r.Ilp.stats.Ilp.max_depth )
+          r.Ilp.stats.Ilp.max_depth,
+          r.Ilp.stats.Ilp.warm_starts,
+          r.Ilp.stats.Ilp.cold_solves )
     | Heuristic ->
         let solution =
           match Heuristics.solve problem with
@@ -101,7 +108,7 @@ let solve_cell memos cell =
               Some (architecture, test_time)
           | None -> None
         in
-        (solution, false, 0, 0, 0)
+        (solution, false, 0, 0, 0, 0, 0)
   in
   { total_width = cell.total_width;
     num_buses = cell.num_buses;
@@ -110,6 +117,8 @@ let solve_cell memos cell =
     nodes;
     lp_pivots;
     max_depth;
+    warm_starts;
+    cold_solves;
     elapsed_s = Unix.gettimeofday () -. start }
 
 let run ?pool cells =
@@ -129,8 +138,16 @@ let totals rows =
         feasible = (acc.feasible + if r.solution = None then 0 else 1);
         nodes = acc.nodes + r.nodes;
         lp_pivots = acc.lp_pivots + r.lp_pivots;
+        warm_starts = acc.warm_starts + r.warm_starts;
+        cold_solves = acc.cold_solves + r.cold_solves;
         solve_s = acc.solve_s +. r.elapsed_s })
-    { cells = 0; feasible = 0; nodes = 0; lp_pivots = 0; solve_s = 0.0 }
+    { cells = 0;
+      feasible = 0;
+      nodes = 0;
+      lp_pivots = 0;
+      warm_starts = 0;
+      cold_solves = 0;
+      solve_s = 0.0 }
     rows
 
 let equal_rows a b =
@@ -143,5 +160,7 @@ let equal_rows a b =
          && x.optimal = y.optimal
          && x.nodes = y.nodes
          && x.lp_pivots = y.lp_pivots
-         && x.max_depth = y.max_depth)
+         && x.max_depth = y.max_depth
+         && x.warm_starts = y.warm_starts
+         && x.cold_solves = y.cold_solves)
        a b

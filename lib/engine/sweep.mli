@@ -39,6 +39,8 @@ type row = {
           branch-and-bound nodes for [Ilp], [0] for [Heuristic]. *)
   lp_pivots : int;  (** Simplex pivots ([Ilp] only). *)
   max_depth : int;  (** Deepest MILP node ([Ilp] only). *)
+  warm_starts : int;  (** Warm-started node LPs ([Ilp] only). *)
+  cold_solves : int;  (** Cold two-phase LP solves ([Ilp] only). *)
   elapsed_s : float;  (** Wall-clock spent solving this cell. *)
 }
 
@@ -48,6 +50,8 @@ type totals = {
   feasible : int;
   nodes : int;
   lp_pivots : int;
+  warm_starts : int;
+  cold_solves : int;
   solve_s : float;  (** Sum of per-cell [elapsed_s] (CPU-ish, not wall). *)
 }
 

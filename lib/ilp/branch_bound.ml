@@ -2,6 +2,9 @@ type stats = {
   nodes : int;
   lp_pivots : int;
   max_depth : int;
+  warm_starts : int;
+  cold_solves : int;
+  dropped_nodes : int;
   elapsed_s : float;
 }
 
@@ -15,6 +18,9 @@ type node = {
   overrides : (int * float * float) list;
   depth : int;
   bound : float;  (** LP bound in minimization space. *)
+  parent : Simplex.Incremental.basis option;
+      (** Optimal basis of the parent node's relaxation; the LP warm
+          starts from it with the dual simplex. [None] at the root. *)
 }
 
 (* Array-backed binary min-heap on the node bound (best-first search). *)
@@ -88,7 +94,7 @@ let most_fractional ~int_tol ~priority int_vars (point : float array) =
   List.iter consider int_vars;
   !best
 
-let solve ?(node_limit = 500_000) ?time_limit_s
+let solve ?(node_limit = 500_000) ?time_limit_s ?max_lp_pivots
     ?(integral_objective = false) ?incumbent
     ?(branch_priority = fun _ -> 0) ?(int_tol = 1e-6) model =
   let start = Unix.gettimeofday () in
@@ -100,9 +106,14 @@ let solve ?(node_limit = 500_000) ?time_limit_s
     match direction with Model.Minimize -> s | Model.Maximize -> -.s
   in
   let int_vars = Model.integer_vars model in
+  (* One incremental LP handle for the whole tree: the scaled tableau is
+     built once, and every node solve reuses it with its own bound
+     overrides, warm-starting from the parent basis where possible. *)
+  let lp = Simplex.Incremental.create ?max_pivots:max_lp_pivots model in
   let heap = Heap.create () in
   let nodes = ref 0 in
   let pivots = ref 0 in
+  let dropped = ref 0 in
   let max_depth = ref 0 in
   let best_point = ref None in
   let best_score =
@@ -123,9 +134,12 @@ let solve ?(node_limit = 500_000) ?time_limit_s
     { nodes = !nodes;
       lp_pivots = !pivots;
       max_depth = !max_depth;
+      warm_starts = Simplex.Incremental.warm_starts lp;
+      cold_solves = Simplex.Incremental.cold_solves lp;
+      dropped_nodes = !dropped;
       elapsed_s = Unix.gettimeofday () -. start }
   in
-  Heap.push heap { overrides = []; depth = 0; bound = neg_infinity };
+  Heap.push heap { overrides = []; depth = 0; bound = neg_infinity; parent = None };
   let budget_hit = ref false in
   while (not (Heap.is_empty heap)) && not !budget_hit do
     let node = Heap.pop heap in
@@ -140,14 +154,16 @@ let solve ?(node_limit = 500_000) ?time_limit_s
       if !nodes > node_limit || out_of_time then budget_hit := true
       else begin
         if node.depth > !max_depth then max_depth := node.depth;
-        match Simplex.solve ~bound_overrides:node.overrides model with
+        match
+          Simplex.Incremental.solve ?basis:node.parent
+            ~bound_overrides:node.overrides lp
+        with
         | Simplex.Infeasible -> ()
         | Simplex.Iteration_limit ->
-            (* Treat as unexplorable: drop the node (sound only for
-               pruning an optimum we might miss; flagged via stats by the
-               pathological pivot count). This does not occur on the
-               model sizes in this repository. *)
-            ()
+            (* Unexplorable subtree: the optimum may hide in it, so the
+               final verdict is downgraded to best-found (Node_limit)
+               rather than claiming proven optimality. *)
+            incr dropped
         | Simplex.Unbounded ->
             if node.depth = 0 && int_vars = [] then saw_unbounded := true
             else if node.depth = 0 then
@@ -178,8 +194,11 @@ let solve ?(node_limit = 500_000) ?time_limit_s
                   let x = point.(v) in
                   let info = Model.var_info model v in
                   let lo_ub = Float.floor x and hi_lb = Float.ceil x in
+                  (* Both children restart from this node's optimal
+                     basis; one snapshot is shared between them. *)
+                  let parent = Some (Simplex.Incremental.basis lp) in
                   let child overrides =
-                    { overrides; depth = node.depth + 1; bound = score }
+                    { overrides; depth = node.depth + 1; bound = score; parent }
                   in
                   if lo_ub >= info.Model.lb -. 1e-9 then
                     Heap.push heap
@@ -191,7 +210,7 @@ let solve ?(node_limit = 500_000) ?time_limit_s
     end
   done;
   let stats = mk_stats () in
-  if !budget_hit then
+  if !budget_hit || !dropped > 0 then
     Node_limit
       { best =
           (match !best_point with

@@ -1,16 +1,25 @@
 (** Branch-and-bound MILP solver on top of {!Simplex}.
 
     Best-first search on the LP relaxation bound, branching on the most
-    fractional integer variable. An initial incumbent (e.g. from a
-    heuristic) can be supplied to prune early. When [integral_objective]
-    is set, LP bounds are rounded towards the objective's integrality,
-    which tightens pruning for models whose optimum value is known to be
-    integral (such as makespans of integer task times). *)
+    fractional integer variable. One {!Simplex.Incremental} handle is
+    shared by the whole tree: each heap node carries its parent's
+    optimal basis, and the node relaxation is reoptimized from it with
+    the dual simplex, falling back to a cold solve when the warm start
+    fails. An initial incumbent (e.g. from a heuristic) can be supplied
+    to prune early. When [integral_objective] is set, LP bounds are
+    rounded towards the objective's integrality, which tightens pruning
+    for models whose optimum value is known to be integral (such as
+    makespans of integer task times). *)
 
 type stats = {
   nodes : int;  (** Branch-and-bound nodes processed. *)
   lp_pivots : int;  (** Total simplex pivots over all nodes. *)
   max_depth : int;  (** Deepest node expanded. *)
+  warm_starts : int;  (** Node LPs answered from the parent basis. *)
+  cold_solves : int;  (** Cold two-phase LP solves, fallbacks included. *)
+  dropped_nodes : int;
+      (** Nodes abandoned because their LP hit the pivot budget. Any
+          dropped node downgrades the result to [Node_limit]. *)
   elapsed_s : float;  (** Wall-clock time spent in [solve]. *)
 }
 
@@ -20,7 +29,8 @@ type result =
   | Unbounded of stats
   | Node_limit of {
       best : (float array * float) option;
-          (** Best incumbent found before hitting the node budget. *)
+          (** Best incumbent found before the search was cut short (node
+              budget, time budget, or a dropped node). *)
       stats : stats;
     }
 
@@ -29,6 +39,10 @@ type result =
     @param node_limit maximum nodes to expand (default 500_000).
     @param time_limit_s wall-clock budget; on expiry the best incumbent is
       returned as [Node_limit] (default: none).
+    @param max_lp_pivots per-node LP pivot budget (default 200_000). A
+      node whose LP exhausts it is dropped, counted in [dropped_nodes],
+      and the final result is reported as [Node_limit] — never as a
+      proven [Optimal].
     @param integral_objective round LP bounds to integers when pruning
       (default [false]).
     @param incumbent initial upper bound for minimization (lower bound for
@@ -40,6 +54,7 @@ type result =
 val solve :
   ?node_limit:int ->
   ?time_limit_s:float ->
+  ?max_lp_pivots:int ->
   ?integral_objective:bool ->
   ?incumbent:float ->
   ?branch_priority:(int -> int) ->

@@ -8,345 +8,730 @@ let price_tol = 1e-7
 let pivot_tol = 1e-9
 let feas_tol = 1e-7
 
-(* Internal tableau: rows are constraints, columns are variables
-   (structural, then slack/surplus, then artificial) plus a rhs column.
-   [obj] is the reduced-cost row; [obj_rhs] holds the negated objective
-   value. [basis.(r)] is the column basic in row [r]. *)
-type tableau = {
-  rows : float array array;
-  rhs : float array;
-  obj : float array;
-  mutable obj_rhs : float;
-  basis : int array;
-  ncols : int;
-}
-
-let pivot tab ~row ~col =
-  let piv = tab.rows.(row).(col) in
-  let inv = 1.0 /. piv in
-  let prow = tab.rows.(row) in
-  for j = 0 to tab.ncols - 1 do
-    prow.(j) <- prow.(j) *. inv
-  done;
-  tab.rhs.(row) <- tab.rhs.(row) *. inv;
-  let eliminate target trhs set_rhs =
-    let factor = target.(col) in
-    if Float.abs factor > 0.0 then begin
-      for j = 0 to tab.ncols - 1 do
-        target.(j) <- target.(j) -. (factor *. prow.(j))
-      done;
-      set_rhs (trhs -. (factor *. tab.rhs.(row)))
-    end
-  in
-  for r = 0 to Array.length tab.rows - 1 do
-    if r <> row then
-      eliminate tab.rows.(r) tab.rhs.(r) (fun v -> tab.rhs.(r) <- v)
-  done;
-  eliminate tab.obj tab.obj_rhs (fun v -> tab.obj_rhs <- v);
-  tab.basis.(row) <- col
-
-(* Entering column: most negative reduced cost among [allowed] columns
-   (Dantzig), or the lowest-index eligible column under Bland's rule. *)
-let entering tab ~allowed ~bland =
-  let best = ref (-1) in
-  let best_cost = ref (-.price_tol) in
-  let n = tab.ncols in
-  let rec bland_scan j =
-    if j >= n then -1
-    else if allowed j && tab.obj.(j) < -.price_tol then j
-    else bland_scan (j + 1)
-  in
-  if bland then bland_scan 0
-  else begin
-    for j = 0 to n - 1 do
-      if allowed j && tab.obj.(j) < !best_cost then begin
-        best_cost := tab.obj.(j);
-        best := j
-      end
-    done;
-    !best
-  end
-
-(* Leaving row: standard minimum-ratio test; ties broken by the smallest
-   basic variable index (helps against cycling). *)
-let leaving tab ~col =
-  let m = Array.length tab.rows in
-  let best = ref (-1) in
-  let best_ratio = ref infinity in
-  for r = 0 to m - 1 do
-    let a = tab.rows.(r).(col) in
-    if a > pivot_tol then begin
-      let ratio = tab.rhs.(r) /. a in
-      if
-        ratio < !best_ratio -. pivot_tol
-        || (Float.abs (ratio -. !best_ratio) <= pivot_tol
-           && !best >= 0
-           && tab.basis.(r) < tab.basis.(!best))
-      then begin
-        best_ratio := ratio;
-        best := r
-      end
-    end
-  done;
-  !best
-
-type phase_outcome = Phase_done | Phase_unbounded | Phase_iter_limit
-
-(* Run simplex iterations until optimality of the current objective row.
-   Switches to Bland's rule after [stall_limit] non-improving pivots. *)
-let iterate tab ~allowed ~budget ~pivots =
-  let stall_limit = 200 in
-  let stall = ref 0 in
-  let last_obj = ref tab.obj_rhs in
-  let rec loop () =
-    if !pivots > budget then Phase_iter_limit
-    else begin
-      let bland = !stall > stall_limit in
-      let col = entering tab ~allowed ~bland in
-      if col < 0 then Phase_done
-      else begin
-        let row = leaving tab ~col in
-        if row < 0 then Phase_unbounded
-        else begin
-          pivot tab ~row ~col;
-          incr pivots;
-          if tab.obj_rhs > !last_obj +. 1e-10 then begin
-            stall := 0;
-            last_obj := tab.obj_rhs
-          end
-          else incr stall;
-          loop ()
-        end
-      end
-    end
-  in
-  loop ()
-
 (* Nearest power of two: scaling by these is exact in binary floating
    point, so equilibration introduces no rounding of its own. *)
 let pow2_near x =
   if x <= 0.0 || not (Float.is_finite x) then 1.0
   else Float.pow 2.0 (Float.round (Float.log2 x))
 
-(* A raw row before slack/artificial augmentation. *)
-type raw_row = {
-  mutable coeffs : (int * float) list;
-  mutable sense : Model.sense;
-  mutable rhs_val : float;
-}
+(* Nonbasic variables sit at one of their bounds; the byte per column
+   records which side (or that the column is basic). *)
+let st_basic = '\000'
+let st_lower = '\001'
+let st_upper = '\002'
 
-let solve ?(bound_overrides = []) ?(max_pivots = 200_000) model =
-  let nstruct = Model.num_vars model in
-  let lb = Array.make nstruct 0.0 and ub = Array.make nstruct infinity in
-  for v = 0 to nstruct - 1 do
-    let info = Model.var_info model v in
-    lb.(v) <- info.Model.lb;
-    ub.(v) <- info.Model.ub
-  done;
-  List.iter
-    (fun (v, l, u) ->
-      lb.(v) <- Float.max lb.(v) l;
-      ub.(v) <- Float.min ub.(v) u)
-    bound_overrides;
-  let infeasible_bounds = ref false in
-  for v = 0 to nstruct - 1 do
-    if lb.(v) > ub.(v) +. feas_tol then infeasible_bounds := true
-  done;
-  if !infeasible_bounds then Infeasible
-  else begin
-    (* Assemble raw rows in the shifted space x' = x − lb: model
-       constraints first, then upper-bound rows x' ≤ ub − lb. *)
+module Incremental = struct
+  type basis = { sb : int array; sstat : Bytes.t }
+
+  (* Bounded-variable simplex over the equality form  A x + s = b  with
+     one slack per row (Le: s in [0,inf), Ge: s in (-inf,0], Eq: s = 0)
+     and one artificial slot per row for cold phase-1 starts. Variable
+     bounds are handled natively, so the tableau has exactly one row per
+     model constraint — no explicit upper-bound rows.
+
+     State kept across solves:
+     - [rows] is B^-1 A for the current basis (maintained by pivoting);
+     - [beta] is B^-1 b (bound changes never touch it);
+     - [xb] holds the current values of the basic variables (maintained
+       explicitly: a step also depends on which bound each nonbasic
+       occupies, which plain elimination cannot see);
+     - [obj] is the reduced-cost row, [obj_val] the tracked objective.
+
+     All data lives in the doubly-equilibrated space: structural column
+     [v] stores coefficients scaled by [cscale.(v)] (so the tableau
+     variable is x_v / cscale_v), and each row is scaled by a power of
+     two of its own. Both scales are powers of two, hence exact. *)
+  type t = {
+    model : Model.t;
+    nstruct : int;
+    m : int;
+    ncols : int;
+    slack_base : int;
+    art_base : int;
+    a0 : float array array;  (** Pristine scaled structural coefficients. *)
+    b0 : float array;  (** Pristine scaled right-hand sides. *)
+    cscale : float array;
+    cost : float array;  (** Scaled minimization costs (ncols, 0 beyond). *)
+    lb0 : float array;  (** Scaled model bounds per column. *)
+    ub0 : float array;
+    rhs_norm : float;
+    max_pivots : int;
+    rows : float array array;
+    beta : float array;
+    xb : float array;
+    obj : float array;
+    mutable obj_val : float;
+    basis_arr : int array;
+    vstat : Bytes.t;
+    lb : float array;  (** Current bounds = model bounds + overrides. *)
+    ub : float array;
+    mutable factorized : bool;
+    mutable since_cold : int;
+        (** Successful warm restores since the last cold reset; bounds
+            elimination-drift accumulation between refactorizations. *)
+    mutable warm : int;
+    mutable cold : int;
+    mutable pivots : int;  (** Pivots spent in the solve in progress. *)
+  }
+
+  let warm_starts t = t.warm
+  let cold_solves t = t.cold
+
+  let create ?(max_pivots = 200_000) model =
+    let nstruct = Model.num_vars model in
     let constrs = Model.constrs model in
-    let raw = ref [] in
+    let m = Array.length constrs in
+    let slack_base = nstruct in
+    let art_base = nstruct + m in
+    let ncols = nstruct + (2 * m) in
+    (* Column equilibration: structural column v is scaled by cscale_v. *)
+    let cscale = Array.make (max 1 nstruct) 1.0 in
+    let cmax = Array.make (max 1 nstruct) 0.0 in
     Array.iter
       (fun c ->
-        let shift = ref 0.0 in
         Lin_expr.iter_terms
-          (fun v coef -> shift := !shift +. (coef *. lb.(v)))
-          c.Model.expr;
-        raw :=
-          { coeffs = Lin_expr.terms c.Model.expr;
-            sense = c.Model.sense;
-            rhs_val = c.Model.rhs -. !shift }
-          :: !raw)
+          (fun v coef -> cmax.(v) <- Float.max cmax.(v) (Float.abs coef))
+          c.Model.expr)
       constrs;
-    for v = nstruct - 1 downto 0 do
-      if Float.is_finite ub.(v) then
-        raw :=
-          { coeffs = [ (v, 1.0) ];
-            sense = Model.Le;
-            rhs_val = ub.(v) -. lb.(v) }
-          :: !raw
-    done;
-    let raw_rows = Array.of_list (List.rev !raw) in
-    let m = Array.length raw_rows in
-    (* Column equilibration: x'' = cscale_v * x'. *)
-    let cscale = Array.make nstruct 1.0 in
-    let cmax = Array.make nstruct 0.0 in
-    Array.iter
-      (fun row ->
-        List.iter
-          (fun (v, c) -> cmax.(v) <- Float.max cmax.(v) (Float.abs c))
-          row.coeffs)
-      raw_rows;
     for v = 0 to nstruct - 1 do
       if cmax.(v) > 0.0 then cscale.(v) <- 1.0 /. pow2_near cmax.(v)
     done;
-    (* Row equilibration after column scaling. *)
-    Array.iter
-      (fun row ->
-        let scaled =
-          List.map (fun (v, c) -> (v, c *. cscale.(v))) row.coeffs
-        in
+    let a0 = Array.init m (fun _ -> Array.make (max 1 nstruct) 0.0) in
+    let b0 = Array.make (max 1 m) 0.0 in
+    let lb0 = Array.make ncols 0.0 and ub0 = Array.make ncols 0.0 in
+    for v = 0 to nstruct - 1 do
+      let info = Model.var_info model v in
+      (* Scaled variable is x / cscale; cscale is a positive power of
+         two, so the bound transform is exact and order-preserving. *)
+      lb0.(v) <- info.Model.lb /. cscale.(v);
+      ub0.(v) <- info.Model.ub /. cscale.(v)
+    done;
+    Array.iteri
+      (fun r c ->
+        let row = a0.(r) in
+        Lin_expr.iter_terms
+          (fun v coef -> row.(v) <- row.(v) +. (coef *. cscale.(v)))
+          c.Model.expr;
         let rmax =
-          List.fold_left
-            (fun acc (_, c) -> Float.max acc (Float.abs c))
-            0.0 scaled
+          Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 row
         in
         let rscale = 1.0 /. pow2_near rmax in
-        row.coeffs <- List.map (fun (v, c) -> (v, c *. rscale)) scaled;
-        row.rhs_val <- row.rhs_val *. rscale)
-      raw_rows;
-    (* Column layout: structural | one slack/surplus per row | one
-       artificial slot per row. *)
-    let slack_base = nstruct in
-    let art_base = slack_base + m in
-    let ncols = art_base + m in
-    let rows = Array.init m (fun _ -> Array.make ncols 0.0) in
-    let rhs = Array.make m 0.0 in
-    let basis = Array.make m (-1) in
-    let art_cols = ref [] in
-    Array.iteri
-      (fun r row ->
-        (* Normalize to rhs >= 0 by negating the row when needed. In the
-           doubly-scaled space the variable value x''_v multiplies
-           coefficient c; x'' = cscale_v * (x_v − lb_v) ≥ 0. *)
-        let coeffs, sense, b =
-          if row.rhs_val < 0.0 then
-            ( List.map (fun (v, c) -> (v, -.c)) row.coeffs,
-              (match row.sense with
-              | Model.Le -> Model.Ge
-              | Model.Ge -> Model.Le
-              | Model.Eq -> Model.Eq),
-              -.row.rhs_val )
-          else (row.coeffs, row.sense, row.rhs_val)
-        in
-        (* Stored coefficients are c * cscale_v, so the tableau variable
-           is x'' = x' / cscale_v (still non-negative); bounds, objective
-           and extraction are transformed consistently below. *)
-        List.iter
-          (fun (v, c) -> rows.(r).(v) <- rows.(r).(v) +. c)
-          coeffs;
-        rhs.(r) <- b;
-        let slack = slack_base + r in
-        let art = art_base + r in
-        match sense with
-        | Model.Le ->
-            rows.(r).(slack) <- 1.0;
-            basis.(r) <- slack
-        | Model.Ge ->
-            rows.(r).(slack) <- -1.0;
-            rows.(r).(art) <- 1.0;
-            basis.(r) <- art;
-            art_cols := art :: !art_cols
-        | Model.Eq ->
-            rows.(r).(art) <- 1.0;
-            basis.(r) <- art;
-            art_cols := art :: !art_cols)
-      raw_rows;
-    let is_artificial j = j >= art_base in
-    let tab =
-      { rows; rhs; obj = Array.make ncols 0.0; obj_rhs = 0.0; basis; ncols }
-    in
-    let pivots = ref 0 in
-    (* Captured before any pivot mutates the tableau. *)
-    let rhs_norm =
-      Array.fold_left (fun acc b -> Float.max acc (Float.abs b)) 1.0 rhs
-    in
-    (* Phase 1: minimize the sum of artificials. *)
-    let phase1_needed = !art_cols <> [] in
-    let outcome1 =
-      if not phase1_needed then Phase_done
-      else begin
-        List.iter (fun j -> tab.obj.(j) <- 1.0) !art_cols;
-        for r = 0 to m - 1 do
-          if is_artificial tab.basis.(r) then begin
-            for j = 0 to ncols - 1 do
-              tab.obj.(j) <- tab.obj.(j) -. tab.rows.(r).(j)
-            done;
-            tab.obj_rhs <- tab.obj_rhs -. tab.rhs.(r)
-          end
+        for v = 0 to nstruct - 1 do
+          row.(v) <- row.(v) *. rscale
         done;
-        iterate tab ~allowed:(fun _ -> true) ~budget:max_pivots ~pivots
-      end
+        b0.(r) <- c.Model.rhs *. rscale;
+        let s = slack_base + r in
+        match c.Model.sense with
+        | Model.Le ->
+            lb0.(s) <- 0.0;
+            ub0.(s) <- infinity
+        | Model.Ge ->
+            lb0.(s) <- neg_infinity;
+            ub0.(s) <- 0.0
+        | Model.Eq ->
+            lb0.(s) <- 0.0;
+            ub0.(s) <- 0.0)
+      constrs;
+    (* Artificials stay fixed at zero; a cold phase 1 opens the ones it
+       needs and closes them again. *)
+    for a = art_base to ncols - 1 do
+      lb0.(a) <- 0.0;
+      ub0.(a) <- 0.0
+    done;
+    let cost = Array.make ncols 0.0 in
+    let direction, obj_expr = Model.objective model in
+    let sign =
+      match direction with Model.Minimize -> 1.0 | Model.Maximize -> -1.0
     in
-    match outcome1 with
-    | Phase_iter_limit -> Iteration_limit
-    | Phase_unbounded ->
-        (* A phase-1 objective bounded below by zero cannot be unbounded. *)
-        assert false
-    | Phase_done ->
-        let phase1_obj = -.tab.obj_rhs in
-        (* Artificial values live in row-scaled units; compare against a
-           norm-relative threshold. *)
-        if phase1_needed && phase1_obj > feas_tol *. rhs_norm then Infeasible
+    Lin_expr.iter_terms
+      (fun v c -> cost.(v) <- cost.(v) +. (sign *. c *. cscale.(v)))
+      obj_expr;
+    let rhs_norm =
+      Array.fold_left (fun acc b -> Float.max acc (Float.abs b)) 1.0 b0
+    in
+    { model;
+      nstruct;
+      m;
+      ncols;
+      slack_base;
+      art_base;
+      a0;
+      b0;
+      cscale;
+      cost;
+      lb0;
+      ub0;
+      rhs_norm;
+      max_pivots;
+      rows = Array.init (max 1 m) (fun _ -> Array.make ncols 0.0);
+      beta = Array.make (max 1 m) 0.0;
+      xb = Array.make (max 1 m) 0.0;
+      obj = Array.make ncols 0.0;
+      obj_val = 0.0;
+      basis_arr = Array.make (max 1 m) (-1);
+      vstat = Bytes.make ncols st_lower;
+      lb = Array.make ncols 0.0;
+      ub = Array.make ncols 0.0;
+      factorized = false;
+      since_cold = 0;
+      warm = 0;
+      cold = 0;
+      pivots = 0 }
+
+  let val_of t j = if Bytes.get t.vstat j = st_upper then t.ub.(j) else t.lb.(j)
+
+  (* Gauss-Jordan step: make column [col] the unit vector of [row].
+     Updates [rows], [beta] and the reduced-cost row; [xb] and [obj_val]
+     depend on the actual step length and are maintained by callers. *)
+  let eliminate t ~row ~col =
+    let prow = t.rows.(row) in
+    let inv = 1.0 /. prow.(col) in
+    if inv <> 1.0 then begin
+      for j = 0 to t.ncols - 1 do
+        prow.(j) <- prow.(j) *. inv
+      done;
+      t.beta.(row) <- t.beta.(row) *. inv
+    end;
+    prow.(col) <- 1.0;
+    for r = 0 to t.m - 1 do
+      if r <> row then begin
+        let trow = t.rows.(r) in
+        let f = trow.(col) in
+        if Float.abs f > 0.0 then begin
+          for j = 0 to t.ncols - 1 do
+            trow.(j) <- trow.(j) -. (f *. prow.(j))
+          done;
+          trow.(col) <- 0.0;
+          t.beta.(r) <- t.beta.(r) -. (f *. t.beta.(row))
+        end
+      end
+    done;
+    let f = t.obj.(col) in
+    if Float.abs f > 0.0 then begin
+      for j = 0 to t.ncols - 1 do
+        t.obj.(j) <- t.obj.(j) -. (f *. prow.(j))
+      done;
+      t.obj.(col) <- 0.0
+    end
+
+  type phase_outcome = Phase_done | Phase_unbounded | Phase_iter_limit
+
+  (* Primal bounded-variable simplex on the current objective row. An
+     entering variable either pivots into the basis or — when its own
+     opposite bound is the tighter limit — flips there without a basis
+     change. Dantzig pricing with a switch to Bland's rule on stalls. *)
+  let primal t ~fix_leaving_artificial =
+    let stall_limit = 200 in
+    let stall = ref 0 in
+    let last_obj = ref t.obj_val in
+    let outcome = ref None in
+    while !outcome = None do
+      if t.pivots > t.max_pivots then outcome := Some Phase_iter_limit
+      else begin
+        let bland = !stall > stall_limit in
+        let col = ref (-1) in
+        let best = ref (-.price_tol) in
+        (try
+           for j = 0 to t.ncols - 1 do
+             let st = Bytes.get t.vstat j in
+             if st <> st_basic && t.ub.(j) > t.lb.(j) then begin
+               let e = if st = st_lower then t.obj.(j) else -.t.obj.(j) in
+               if e < -.price_tol then
+                 if bland then begin
+                   col := j;
+                   raise Exit
+                 end
+                 else if e < !best then begin
+                   best := e;
+                   col := j
+                 end
+             end
+           done
+         with Exit -> ());
+        if !col < 0 then outcome := Some Phase_done
         else begin
-          (* Drive any artificial still basic (at value 0) out of the
-             basis; rows with no eligible pivot are redundant. *)
-          for r = 0 to m - 1 do
-            if is_artificial tab.basis.(r) then begin
-              let found = ref (-1) in
-              let j = ref 0 in
-              while !found < 0 && !j < art_base do
-                if Float.abs tab.rows.(r).(!j) > 1e-7 then found := !j;
-                incr j
-              done;
-              if !found >= 0 then begin
-                pivot tab ~row:r ~col:!found;
-                incr pivots
+          let j = !col in
+          let at_lower = Bytes.get t.vstat j = st_lower in
+          let dir = if at_lower then 1.0 else -1.0 in
+          (* Ratio test: smallest step at which a basic variable hits one
+             of its own bounds; ties broken by the smallest basic index. *)
+          let leave = ref (-1) in
+          let leave_to = ref st_lower in
+          let row_ratio = ref infinity in
+          for r = 0 to t.m - 1 do
+            let alpha = t.rows.(r).(j) in
+            let dxb = -.(alpha *. dir) in
+            if Float.abs dxb > pivot_tol then begin
+              let b = t.basis_arr.(r) in
+              let cap = if dxb > 0.0 then t.ub.(b) else t.lb.(b) in
+              if Float.is_finite cap then begin
+                let ratio =
+                  Float.max 0.0
+                    (if dxb > 0.0 then (cap -. t.xb.(r)) /. dxb
+                     else (t.xb.(r) -. cap) /. -.dxb)
+                in
+                if
+                  ratio < !row_ratio -. pivot_tol
+                  || (Float.abs (ratio -. !row_ratio) <= pivot_tol
+                     && !leave >= 0
+                     && b < t.basis_arr.(!leave))
+                then begin
+                  row_ratio := ratio;
+                  leave := r;
+                  leave_to := (if dxb > 0.0 then st_upper else st_lower)
+                end
               end
             end
           done;
-          (* Phase 2: install the real objective (always minimized;
-             maximization negates costs). Objective coefficients live in
-             the doubly-scaled space: c_v x_v = (c_v / cscale_v) x''. *)
-          Array.fill tab.obj 0 ncols 0.0;
-          tab.obj_rhs <- 0.0;
-          let direction, obj_expr = Model.objective model in
-          let sign =
-            match direction with
-            | Model.Minimize -> 1.0
-            | Model.Maximize -> -1.0
-          in
-          Lin_expr.iter_terms
-            (fun v c ->
-              tab.obj.(v) <- tab.obj.(v) +. (sign *. c *. cscale.(v)))
-            obj_expr;
-          for r = 0 to m - 1 do
-            let b = tab.basis.(r) in
-            let cost = tab.obj.(b) in
-            if Float.abs cost > 0.0 then begin
-              for j = 0 to ncols - 1 do
-                tab.obj.(j) <- tab.obj.(j) -. (cost *. tab.rows.(r).(j))
+          let flip_limit = t.ub.(j) -. t.lb.(j) in
+          if !leave < 0 && not (Float.is_finite flip_limit) then
+            outcome := Some Phase_unbounded
+          else if !leave < 0 || flip_limit < !row_ratio -. pivot_tol then begin
+            (* Bound flip: strictly improving, no basis change. *)
+            let delta = dir *. flip_limit in
+            for r = 0 to t.m - 1 do
+              let a = t.rows.(r).(j) in
+              if a <> 0.0 then t.xb.(r) <- t.xb.(r) -. (a *. delta)
+            done;
+            t.obj_val <- t.obj_val +. (t.obj.(j) *. delta);
+            Bytes.set t.vstat j (if at_lower then st_upper else st_lower);
+            t.pivots <- t.pivots + 1
+          end
+          else begin
+            let r = !leave in
+            let delta = dir *. !row_ratio in
+            let newv = val_of t j +. delta in
+            for s = 0 to t.m - 1 do
+              if s <> r then begin
+                let a = t.rows.(s).(j) in
+                if a <> 0.0 then t.xb.(s) <- t.xb.(s) -. (a *. delta)
+              end
+            done;
+            t.obj_val <- t.obj_val +. (t.obj.(j) *. delta);
+            let i = t.basis_arr.(r) in
+            Bytes.set t.vstat i !leave_to;
+            t.basis_arr.(r) <- j;
+            Bytes.set t.vstat j st_basic;
+            t.xb.(r) <- newv;
+            eliminate t ~row:r ~col:j;
+            t.pivots <- t.pivots + 1;
+            if fix_leaving_artificial && i >= t.art_base then t.ub.(i) <- 0.0
+          end;
+          if !outcome = None then
+            if t.obj_val < !last_obj -. 1e-10 then begin
+              stall := 0;
+              last_obj := t.obj_val
+            end
+            else incr stall
+        end
+      end
+    done;
+    match !outcome with Some o -> o | None -> assert false
+
+  (* Install current bounds (model bounds + overrides) in scaled space.
+     Returns [false] when an override makes some variable's box empty. *)
+  let install_bounds t overrides =
+    Array.blit t.lb0 0 t.lb 0 t.ncols;
+    Array.blit t.ub0 0 t.ub 0 t.ncols;
+    List.iter
+      (fun (v, l, u) ->
+        t.lb.(v) <- Float.max t.lb.(v) (l /. t.cscale.(v));
+        t.ub.(v) <- Float.min t.ub.(v) (u /. t.cscale.(v)))
+      overrides;
+    let ok = ref true in
+    for v = 0 to t.nstruct - 1 do
+      if t.lb.(v) > t.ub.(v) +. feas_tol then ok := false
+    done;
+    !ok
+
+  (* Recompute the reduced-cost row and tracked objective for the current
+     basis from the pristine costs. Cheap (one pass over the tableau) and
+     run at every warm restore, so cost-row drift never accumulates
+     across the thousands of solves of a branch-and-bound run. *)
+  let install_phase2_obj t =
+    Array.blit t.cost 0 t.obj 0 t.ncols;
+    for r = 0 to t.m - 1 do
+      let cb = t.obj.(t.basis_arr.(r)) in
+      if Float.abs cb > 0.0 then begin
+        let row = t.rows.(r) in
+        for j = 0 to t.ncols - 1 do
+          t.obj.(j) <- t.obj.(j) -. (cb *. row.(j))
+        done;
+        t.obj.(t.basis_arr.(r)) <- 0.0
+      end
+    done;
+    let acc = ref 0.0 in
+    for v = 0 to t.nstruct - 1 do
+      if t.cost.(v) <> 0.0 && Bytes.get t.vstat v <> st_basic then
+        acc := !acc +. (t.cost.(v) *. val_of t v)
+    done;
+    for r = 0 to t.m - 1 do
+      let b = t.basis_arr.(r) in
+      if b < t.nstruct && t.cost.(b) <> 0.0 then
+        acc := !acc +. (t.cost.(b) *. t.xb.(r))
+    done;
+    t.obj_val <- !acc
+
+  let extract t =
+    let point = Array.make t.nstruct 0.0 in
+    for v = 0 to t.nstruct - 1 do
+      if Bytes.get t.vstat v <> st_basic then point.(v) <- val_of t v
+    done;
+    for r = 0 to t.m - 1 do
+      let b = t.basis_arr.(r) in
+      if b < t.nstruct then point.(b) <- t.xb.(r)
+    done;
+    for v = 0 to t.nstruct - 1 do
+      point.(v) <- point.(v) *. t.cscale.(v)
+    done;
+    let _, expr = Model.objective t.model in
+    Optimal { point; objective = Lin_expr.eval expr point; pivots = t.pivots }
+
+  (* Cold start: rebuild the tableau from the pristine matrix with every
+     nonbasic at a finite bound and a slack-or-artificial basis. Returns
+     [true] when any artificial had to be opened (phase 1 required). *)
+  let reset_cold t =
+    for r = 0 to t.m - 1 do
+      let row = t.rows.(r) in
+      Array.fill row 0 t.ncols 0.0;
+      Array.blit t.a0.(r) 0 row 0 t.nstruct;
+      row.(t.slack_base + r) <- 1.0;
+      t.beta.(r) <- t.b0.(r)
+    done;
+    for j = 0 to t.ncols - 1 do
+      Bytes.set t.vstat j
+        (if Float.is_finite t.lb.(j) then st_lower else st_upper)
+    done;
+    let nart = ref 0 in
+    for r = 0 to t.m - 1 do
+      let row = t.rows.(r) in
+      let rho = ref t.b0.(r) in
+      for v = 0 to t.nstruct - 1 do
+        if row.(v) <> 0.0 then begin
+          let x = val_of t v in
+          if x <> 0.0 then rho := !rho -. (row.(v) *. x)
+        end
+      done;
+      let s = t.slack_base + r in
+      if !rho >= t.lb.(s) && !rho <= t.ub.(s) then begin
+        t.basis_arr.(r) <- s;
+        Bytes.set t.vstat s st_basic;
+        t.xb.(r) <- !rho
+      end
+      else begin
+        (* The slack stays pinned at zero (its nearest bound in every
+           sense); an artificial covers the residual. A negative residual
+           negates the row so the artificial enters with value |rho|. *)
+        let a = t.art_base + r in
+        if !rho < 0.0 then begin
+          for j = 0 to t.ncols - 1 do
+            row.(j) <- -.row.(j)
+          done;
+          t.beta.(r) <- -.t.beta.(r)
+        end;
+        row.(a) <- 1.0;
+        t.basis_arr.(r) <- a;
+        Bytes.set t.vstat a st_basic;
+        t.ub.(a) <- infinity;
+        t.xb.(r) <- Float.abs !rho;
+        incr nart
+      end
+    done;
+    t.factorized <- true;
+    t.since_cold <- 0;
+    !nart > 0
+
+  type cold_outcome = Cold_feasible | Cold_infeasible | Cold_iter
+
+  (* Phase 1: minimize the sum of the opened artificials. *)
+  let phase1 t =
+    Array.fill t.obj 0 t.ncols 0.0;
+    t.obj_val <- 0.0;
+    for a = t.art_base to t.ncols - 1 do
+      if t.ub.(a) > 0.0 then t.obj.(a) <- 1.0
+    done;
+    for r = 0 to t.m - 1 do
+      if t.basis_arr.(r) >= t.art_base then begin
+        let row = t.rows.(r) in
+        for j = 0 to t.ncols - 1 do
+          t.obj.(j) <- t.obj.(j) -. row.(j)
+        done;
+        t.obj_val <- t.obj_val +. t.xb.(r)
+      end
+    done;
+    match primal t ~fix_leaving_artificial:true with
+    | Phase_iter_limit -> Cold_iter
+    | Phase_unbounded ->
+        (* A sum of nonnegative artificials is bounded below by zero. *)
+        assert false
+    | Phase_done ->
+        let residue = ref 0.0 in
+        for r = 0 to t.m - 1 do
+          if t.basis_arr.(r) >= t.art_base then
+            residue := !residue +. Float.max 0.0 t.xb.(r)
+        done;
+        for a = t.art_base to t.ncols - 1 do
+          t.ub.(a) <- 0.0
+        done;
+        if !residue > feas_tol *. t.rhs_norm then Cold_infeasible
+        else begin
+          (* Drive any artificial still basic (at value 0) out; a row
+             with no eligible pivot is redundant and keeps its artificial
+             basic at zero, which later degenerate pivots evict. *)
+          for r = 0 to t.m - 1 do
+            if t.basis_arr.(r) >= t.art_base then begin
+              let found = ref (-1) in
+              let j = ref 0 in
+              while !found < 0 && !j < t.art_base do
+                if Float.abs t.rows.(r).(!j) > 1e-7 then found := !j;
+                incr j
               done;
-              tab.obj_rhs <- tab.obj_rhs -. (cost *. tab.rhs.(r))
+              if !found >= 0 then begin
+                let i = t.basis_arr.(r) in
+                let jj = !found in
+                let v = val_of t jj in
+                t.basis_arr.(r) <- jj;
+                Bytes.set t.vstat jj st_basic;
+                Bytes.set t.vstat i st_lower;
+                t.xb.(r) <- v;
+                eliminate t ~row:r ~col:jj;
+                t.pivots <- t.pivots + 1
+              end
             end
           done;
-          let allowed j = not (is_artificial j) in
-          match iterate tab ~allowed ~budget:max_pivots ~pivots with
-          | Phase_iter_limit -> Iteration_limit
-          | Phase_unbounded -> Unbounded
-          | Phase_done ->
-              let point = Array.copy lb in
-              for r = 0 to m - 1 do
-                let b = tab.basis.(r) in
-                if b < nstruct then
-                  point.(b) <- lb.(b) +. (tab.rhs.(r) *. cscale.(b))
-              done;
-              let objective =
-                let _, expr = Model.objective model in
-                Lin_expr.eval expr point
-              in
-              Optimal { point; objective; pivots = !pivots }
+          Cold_feasible
         end
-  end
+
+  let cold_solve t =
+    t.cold <- t.cold + 1;
+    let need_phase1 = reset_cold t in
+    let p1 = if need_phase1 then phase1 t else Cold_feasible in
+    match p1 with
+    | Cold_infeasible -> Infeasible
+    | Cold_iter -> Iteration_limit
+    | Cold_feasible -> (
+        install_phase2_obj t;
+        match primal t ~fix_leaving_artificial:false with
+        | Phase_done -> extract t
+        | Phase_unbounded -> Unbounded
+        | Phase_iter_limit -> Iteration_limit)
+
+  (* Restore a snapshot basis into the tableau by pivoting from the
+     current factorized basis: each missing target column evicts some
+     non-target column on the row with the largest available pivot.
+     Returns [false] (caller goes cold) when a pivot cannot be found. *)
+  let restore t snap =
+    if (not t.factorized) || t.since_cold >= 500 || Array.length snap.sb <> t.m
+    then false
+    else begin
+      let in_target = Array.make (max 1 t.ncols) false in
+      Array.iter (fun j -> in_target.(j) <- true) snap.sb;
+      let in_cur = Array.make (max 1 t.ncols) false in
+      Array.iter (fun j -> in_cur.(j) <- true) t.basis_arr;
+      let ok = ref true in
+      Array.iter
+        (fun j ->
+          if !ok && not in_cur.(j) then begin
+            let best_r = ref (-1) in
+            let best_a = ref 1e-6 in
+            for r = 0 to t.m - 1 do
+              if not in_target.(t.basis_arr.(r)) then begin
+                let a = Float.abs t.rows.(r).(j) in
+                if a > !best_a then begin
+                  best_r := r;
+                  best_a := a
+                end
+              end
+            done;
+            if !best_r < 0 then ok := false
+            else begin
+              let r = !best_r in
+              in_cur.(t.basis_arr.(r)) <- false;
+              t.basis_arr.(r) <- j;
+              in_cur.(j) <- true;
+              eliminate t ~row:r ~col:j;
+              t.pivots <- t.pivots + 1
+            end
+          end)
+        snap.sb;
+      if not !ok then false
+      else begin
+        Bytes.blit snap.sstat 0 t.vstat 0 t.ncols;
+        (* Re-home nonbasics whose snapshot side is no longer finite
+           (a relaxed override can reopen an upper bound to infinity). *)
+        for j = 0 to t.ncols - 1 do
+          let st = Bytes.get t.vstat j in
+          if st = st_upper && not (Float.is_finite t.ub.(j)) then
+            Bytes.set t.vstat j st_lower
+          else if st = st_lower && not (Float.is_finite t.lb.(j)) then
+            Bytes.set t.vstat j st_upper
+        done;
+        (* Basic values from scratch: xb = beta - N x_N. *)
+        for r = 0 to t.m - 1 do
+          let row = t.rows.(r) in
+          let acc = ref t.beta.(r) in
+          for j = 0 to t.ncols - 1 do
+            if Bytes.get t.vstat j <> st_basic then begin
+              let v = val_of t j in
+              if v <> 0.0 && row.(j) <> 0.0 then
+                acc := !acc -. (row.(j) *. v)
+            end
+          done;
+          t.xb.(r) <- !acc
+        done;
+        install_phase2_obj t;
+        t.since_cold <- t.since_cold + 1;
+        true
+      end
+    end
+
+  type dual_outcome = Dual_feasible | Dual_infeasible | Dual_give_up | Dual_iter
+
+  (* Dual simplex: the snapshot basis is dual feasible (it was optimal
+     for the parent), and a bound override only perturbs primal
+     feasibility — reoptimize by driving bound-violating basics out. *)
+  let dual t =
+    let cap = 200 + (4 * t.m) in
+    let steps = ref 0 in
+    let res = ref None in
+    while !res = None do
+      if t.pivots > t.max_pivots then res := Some Dual_iter
+      else if !steps > cap then res := Some Dual_give_up
+      else begin
+        let row = ref (-1) in
+        let worst = ref 0.0 in
+        let exit_up = ref false in
+        for r = 0 to t.m - 1 do
+          let i = t.basis_arr.(r) in
+          let v = t.xb.(r) in
+          let lo = t.lb.(i) and hi = t.ub.(i) in
+          if v < lo && lo -. v > feas_tol *. (1.0 +. Float.abs lo) then begin
+            if lo -. v > !worst then begin
+              worst := lo -. v;
+              row := r;
+              exit_up := false
+            end
+          end
+          else if v > hi && v -. hi > feas_tol *. (1.0 +. Float.abs hi) then
+            if v -. hi > !worst then begin
+              worst := v -. hi;
+              row := r;
+              exit_up := true
+            end
+        done;
+        if !row < 0 then res := Some Dual_feasible
+        else begin
+          let r = !row in
+          let trow = t.rows.(r) in
+          (* Entering column: minimum dual ratio |d| / |alpha| among the
+             columns that can move the violated basic back towards its
+             bound; near-ties prefer the larger pivot element. *)
+          let best = ref (-1) in
+          let best_ratio = ref infinity in
+          let best_alpha = ref 0.0 in
+          for j = 0 to t.ncols - 1 do
+            let st = Bytes.get t.vstat j in
+            if st <> st_basic && t.ub.(j) > t.lb.(j) then begin
+              let alpha = trow.(j) in
+              let good =
+                if !exit_up then
+                  (st = st_lower && alpha > pivot_tol)
+                  || (st = st_upper && alpha < -.pivot_tol)
+                else
+                  (st = st_lower && alpha < -.pivot_tol)
+                  || (st = st_upper && alpha > pivot_tol)
+              in
+              if good then begin
+                let e =
+                  Float.max 0.0
+                    (if st = st_lower then t.obj.(j) else -.t.obj.(j))
+                in
+                let ratio = e /. Float.abs alpha in
+                if
+                  ratio < !best_ratio -. price_tol
+                  || (ratio < !best_ratio +. price_tol
+                     && Float.abs alpha > Float.abs !best_alpha)
+                then begin
+                  best := j;
+                  best_ratio := ratio;
+                  best_alpha := alpha
+                end
+              end
+            end
+          done;
+          if !best < 0 then
+            (* No direction can repair the violation. Trust this as an
+               infeasibility certificate only when the violation is
+               decisive: branching conflicts show up as O(1) scaled
+               violations, while tableau drift on these Big-M magnitudes
+               can push a degenerate basic ~1e-7 past its bound, and a
+               false Infeasible would prune the true optimum. Marginal
+               cases go to the cold two-phase solve, which settles
+               feasibility from pristine data. *)
+            res :=
+              Some
+                (if !worst > 1e-4 *. (1.0 +. Float.abs (t.xb.(r))) then
+                   Dual_infeasible
+                 else Dual_give_up)
+          else if Float.abs !best_alpha < 1e-7 then
+            (* Only numerically dubious pivots remain: let the cold
+               two-phase primal decide instead of risking a bad basis. *)
+            res := Some Dual_give_up
+          else begin
+            let j = !best in
+            let alpha = !best_alpha in
+            let i = t.basis_arr.(r) in
+            let target = if !exit_up then t.ub.(i) else t.lb.(i) in
+            let dxj = (t.xb.(r) -. target) /. alpha in
+            let newv = val_of t j +. dxj in
+            for s = 0 to t.m - 1 do
+              if s <> r then begin
+                let a = t.rows.(s).(j) in
+                if a <> 0.0 then t.xb.(s) <- t.xb.(s) -. (a *. dxj)
+              end
+            done;
+            t.obj_val <- t.obj_val +. (t.obj.(j) *. dxj);
+            Bytes.set t.vstat i (if !exit_up then st_upper else st_lower);
+            t.basis_arr.(r) <- j;
+            Bytes.set t.vstat j st_basic;
+            t.xb.(r) <- newv;
+            eliminate t ~row:r ~col:j;
+            t.pivots <- t.pivots + 1;
+            incr steps
+          end
+        end
+      end
+    done;
+    match !res with Some o -> o | None -> assert false
+
+  let solve ?basis ?(bound_overrides = []) t =
+    t.pivots <- 0;
+    if not (install_bounds t bound_overrides) then Infeasible
+    else
+      match basis with
+      | Some snap when restore t snap -> (
+          match dual t with
+          | Dual_iter -> Iteration_limit
+          | Dual_give_up -> cold_solve t
+          | Dual_infeasible ->
+              t.warm <- t.warm + 1;
+              Infeasible
+          | Dual_feasible -> (
+              (* Polish with the primal: usually zero pivots, but it also
+                 absorbs any residual dual infeasibility from drift. *)
+              match primal t ~fix_leaving_artificial:false with
+              | Phase_done ->
+                  t.warm <- t.warm + 1;
+                  extract t
+              | Phase_unbounded ->
+                  t.warm <- t.warm + 1;
+                  Unbounded
+              | Phase_iter_limit -> Iteration_limit))
+      | Some _ | None -> cold_solve t
+
+  let basis t = { sb = Array.copy t.basis_arr; sstat = Bytes.copy t.vstat }
+end
+
+let solve ?(bound_overrides = []) ?max_pivots model =
+  let t = Incremental.create ?max_pivots model in
+  Incremental.solve ~bound_overrides t

@@ -1,10 +1,19 @@
-(** Two-phase primal simplex for linear programs built with {!Model}.
+(** Bounded-variable primal/dual simplex over dense tableaus.
 
-    Integrality information in the model is ignored: this module solves the
-    continuous relaxation. Variables must have finite lower bounds (the
-    model enforces this); finite upper bounds are handled as explicit rows.
-    Dantzig pricing is used with an automatic switch to Bland's rule when
-    the objective stalls, which guarantees termination. *)
+    The LP relaxations solved here are small (tens of variables, tens of
+    constraints) but are solved thousands of times per branch-and-bound
+    run, so the solver is built for cheap resolves rather than sparse
+    scale. Variable bounds are handled natively: a nonbasic variable sits
+    at its lower or upper bound, so finite upper bounds cost nothing —
+    no explicit [x <= u] rows are added to the tableau.
+
+    Integrality information in the model is ignored: this module solves
+    the continuous relaxation. Variables must have finite lower bounds
+    (the model enforces this).
+
+    Determinism: identical inputs take identical pivot sequences
+    (Dantzig pricing with Bland's anti-cycling fallback, index-based tie
+    breaks), which the parallel sweep relies on. *)
 
 type result =
   | Optimal of { point : float array; objective : float; pivots : int }
@@ -14,12 +23,51 @@ type result =
   | Iteration_limit
       (** The pivot budget was exhausted (pathological instance). *)
 
-(** [solve ?bound_overrides ?max_pivots model] solves the LP relaxation of
-    [model]. [bound_overrides] temporarily replaces the bounds of selected
-    variables (used by branch and bound); entries are [(var, lb, ub)].
-    Default pivot budget is 200_000. *)
+(** Incremental solver handle for branch and bound: the scaled tableau
+    is built once from the model, each node solve applies its bound
+    overrides as O(1) in-place bound updates, and a child node can be
+    reoptimized from its parent's optimal basis with the dual simplex
+    (a bound change leaves the parent basis dual-feasible). When warm
+    restart fails — basis restore breaks down numerically, or the dual
+    would need a dubious pivot — the solve silently falls back to a cold
+    two-phase primal start, so callers always get a full answer. *)
+module Incremental : sig
+  type t
+  (** Mutable solver state; not thread-safe. Use one handle per
+      branch-and-bound run (per domain). *)
+
+  type basis
+  (** Opaque basis snapshot: which columns are basic plus which bound
+      each nonbasic column occupies. Cheap (two small arrays). *)
+
+  val create : ?max_pivots:int -> Model.t -> t
+  (** Build the equilibrated tableau data for [model]. [max_pivots]
+      (default [200_000]) bounds the pivots of each individual
+      {!solve} call. *)
+
+  val solve :
+    ?basis:basis -> ?bound_overrides:(int * float * float) list -> t -> result
+  (** Solve the LP relaxation with [bound_overrides] (entries
+      [(var, lb, ub)]) tightening the model bounds. With [?basis],
+      attempt a warm start from that snapshot (dual simplex then primal
+      polish); without it, or when the warm path fails, run the cold
+      two-phase primal. *)
+
+  val basis : t -> basis
+  (** Snapshot the current basis; valid after an [Optimal] solve and
+      reusable across later solves of the same handle. *)
+
+  val warm_starts : t -> int
+  (** Number of solves answered via the warm-start path. *)
+
+  val cold_solves : t -> int
+  (** Number of cold two-phase solves (including fallbacks). *)
+end
+
 val solve :
   ?bound_overrides:(int * float * float) list ->
   ?max_pivots:int ->
   Model.t ->
   result
+(** One-shot solve: [Incremental.create] plus a cold solve. Default
+    pivot budget is 200_000. *)

@@ -97,6 +97,38 @@ let test_node_limit () =
       ()
   | _ -> Alcotest.fail "expected node limit or optimal"
 
+let test_dropped_nodes_downgrade () =
+  (* A one-pivot LP budget cannot prove any node optimal, so every node
+     is dropped and the solver must refuse to claim optimality. *)
+  let values = [| 7; 9; 5; 12; 8 |] and weights = [| 3; 4; 2; 6; 5 |] in
+  let m = knapsack_model values weights 9 in
+  match Branch_bound.solve ~max_lp_pivots:1 m with
+  | Branch_bound.Node_limit { stats; _ } ->
+      Alcotest.(check bool) "dropped nodes counted" true
+        (stats.Branch_bound.dropped_nodes > 0)
+  | Branch_bound.Optimal _ ->
+      Alcotest.fail "optimal claimed despite dropped nodes"
+  | _ -> Alcotest.fail "expected node limit"
+
+let test_warm_start_stats () =
+  (* A knapsack that needs real branching: child nodes should be
+     answered from the parent basis, with at most the root LP cold. *)
+  let values = [| 7; 9; 5; 12; 8; 11 |]
+  and weights = [| 3; 4; 2; 6; 5; 7 |] in
+  let m = knapsack_model values weights 13 in
+  let expected = float_of_int (knapsack_brute values weights 13) in
+  match Branch_bound.solve m with
+  | Branch_bound.Optimal { objective; stats; _ } ->
+      Alcotest.(check (float 0.5)) "optimum" expected objective;
+      Alcotest.(check bool) "branched" true (stats.Branch_bound.nodes > 1);
+      Alcotest.(check bool) "warm starts recorded" true
+        (stats.Branch_bound.warm_starts > 0);
+      Alcotest.(check bool) "warm starts dominate" true
+        (stats.Branch_bound.warm_starts >= stats.Branch_bound.cold_solves);
+      Alcotest.(check int) "nothing dropped" 0
+        stats.Branch_bound.dropped_nodes
+  | _ -> Alcotest.fail "expected optimal"
+
 let prop_random_knapsack =
   let open QCheck in
   let gen =
@@ -181,5 +213,8 @@ let suite =
     Alcotest.test_case "incumbent keeps optimum" `Quick
       test_incumbent_does_not_cut_optimum;
     Alcotest.test_case "node limit" `Quick test_node_limit;
+    Alcotest.test_case "dropped nodes downgrade result" `Quick
+      test_dropped_nodes_downgrade;
+    Alcotest.test_case "warm-start statistics" `Quick test_warm_start_stats;
     QCheck_alcotest.to_alcotest prop_random_knapsack;
     QCheck_alcotest.to_alcotest prop_random_integer_program ]

@@ -174,6 +174,190 @@ let prop_random_boxed_lp =
       | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iteration_limit ->
           false)
 
+(* ---- Incremental handle: warm starts and native bounds. ---- *)
+
+let verdict = function
+  | Simplex.Optimal { objective; _ } -> Printf.sprintf "Optimal %.6f" objective
+  | Simplex.Infeasible -> "Infeasible"
+  | Simplex.Unbounded -> "Unbounded"
+  | Simplex.Iteration_limit -> "Iteration_limit"
+
+let same_outcome a b =
+  match (a, b) with
+  | Simplex.Optimal { objective = x; _ }, Simplex.Optimal { objective = y; _ }
+    ->
+      Float.abs (x -. y) <= 1e-5 *. (1.0 +. Float.abs x)
+  | Simplex.Infeasible, Simplex.Infeasible -> true
+  | Simplex.Unbounded, Simplex.Unbounded -> true
+  | _ -> false
+
+(* Random boxed LP with mixed row senses; rhs >= 0 and Le-only keeps the
+   plain generator always feasible, so mix in Ge/Eq rows with small rhs
+   to exercise phase 1 and infeasible verdicts too. *)
+let random_mixed_model (nvars, objs, rows) =
+  let m = Model.create () in
+  let xs =
+    Array.init nvars (fun i ->
+        Model.add_continuous m ~name:(Printf.sprintf "x%d" i) ~lb:0.0
+          ~ub:8.0)
+  in
+  Model.set_objective m Model.Minimize
+    (Lin_expr.of_terms (List.mapi (fun i c -> (xs.(i), c)) objs));
+  List.iteri
+    (fun r (coeffs, sense_pick, rhs) ->
+      let expr =
+        Lin_expr.of_terms (List.mapi (fun i c -> (xs.(i), c)) coeffs)
+      in
+      let sense =
+        match sense_pick mod 4 with
+        | 0 -> Model.Ge
+        | 1 -> Model.Eq
+        | _ -> Model.Le
+      in
+      Model.add_constr m ~name:(Printf.sprintf "c%d" r) expr sense rhs)
+    rows;
+  (m, xs)
+
+let mixed_gen =
+  let open QCheck in
+  Gen.(
+    let* nvars = 1 -- 4 in
+    let* nrows = 1 -- 4 in
+    let* objs =
+      list_size (return nvars) (float_range (-5.0) 5.0)
+    in
+    let* rows =
+      list_size (return nrows)
+        (triple
+           (list_size (return nvars) (float_range (-3.0) 3.0))
+           (0 -- 3)
+           (float_range 0.0 10.0))
+    in
+    let* overrides =
+      list_size (1 -- 3)
+        (triple (0 -- (nvars - 1)) (float_range 0.0 6.0)
+           (float_range 0.0 4.0))
+    in
+    return (nvars, objs, rows, overrides))
+
+(* Warm-started reoptimization from a snapshot basis must reach the same
+   verdict and objective as a one-shot cold solve of the same bounds. *)
+let prop_warm_equals_cold =
+  QCheck.Test.make ~name:"incremental warm start matches cold solve"
+    ~count:300 (QCheck.make mixed_gen)
+    (fun (nvars, objs, rows, overrides) ->
+      let m, _ = random_mixed_model (nvars, objs, rows) in
+      let ov =
+        List.map (fun (v, l, w) -> (v, l, l +. w)) overrides
+      in
+      let t = Simplex.Incremental.create m in
+      match Simplex.Incremental.solve t with
+      | Simplex.Optimal _ ->
+          let snap = Simplex.Incremental.basis t in
+          let warm =
+            Simplex.Incremental.solve ~basis:snap ~bound_overrides:ov t
+          in
+          let cold = Simplex.solve ~bound_overrides:ov m in
+          if same_outcome warm cold then true
+          else
+            QCheck.Test.fail_reportf "warm %s <> cold %s" (verdict warm)
+              (verdict cold)
+      | _ -> true)
+
+(* Native bound handling must agree with the pre-rewrite formulation:
+   the same LP with every finite upper bound expressed as an explicit
+   [x <= u] row instead. *)
+let explicit_ub_clone m =
+  let clone = Model.create () in
+  let n = Model.num_vars m in
+  for v = 0 to n - 1 do
+    let info = Model.var_info m v in
+    let v' =
+      Model.add_var clone ~name:info.Model.name ~kind:Model.Continuous
+        ~lb:info.Model.lb ~ub:infinity
+    in
+    assert (v' = v);
+    if Float.is_finite info.Model.ub then
+      Model.add_constr clone
+        ~name:(Printf.sprintf "ub_%s" info.Model.name)
+        (Lin_expr.var v) Model.Le info.Model.ub
+  done;
+  Array.iter
+    (fun c -> Model.add_constr clone ~name:c.Model.cname c.Model.expr
+        c.Model.sense c.Model.rhs)
+    (Model.constrs m);
+  let dir, obj = Model.objective m in
+  Model.set_objective clone dir obj;
+  clone
+
+let prop_native_bounds_match_explicit_rows =
+  QCheck.Test.make
+    ~name:"native bounds match explicit upper-bound rows" ~count:300
+    (QCheck.make mixed_gen)
+    (fun (nvars, objs, rows, _) ->
+      let m, _ = random_mixed_model (nvars, objs, rows) in
+      let native = Simplex.solve m in
+      let explicit = Simplex.solve (explicit_ub_clone m) in
+      if same_outcome native explicit then true
+      else
+        QCheck.Test.fail_reportf "native %s <> explicit %s"
+          (verdict native) (verdict explicit))
+
+(* The same equivalence on real seed SOC MILP relaxations, whose big-M
+   magnitudes and equality rows are far harsher than the random LPs. *)
+let test_seed_soc_native_vs_explicit () =
+  List.iter
+    (fun (soc, num_buses, total_width) ->
+      let problem =
+        Soctam_core.Problem.make
+          ~constraints:Soctam_core.Problem.no_constraints soc ~num_buses
+          ~total_width
+      in
+      let m, _, _, _ = Soctam_core.Ilp_formulation.build problem in
+      let label =
+        Printf.sprintf "nb=%d W=%d relaxation" num_buses total_width
+      in
+      match (Simplex.solve m, Simplex.solve (explicit_ub_clone m)) with
+      | ( Simplex.Optimal { objective = a; _ },
+          Simplex.Optimal { objective = b; _ } ) ->
+          Alcotest.(check (float 1e-4)) label a b
+      | other, other' ->
+          Alcotest.failf "%s: %s vs %s" label (verdict other)
+            (verdict other'))
+    [ (Soctam_soc.Benchmarks.s1 (), 2, 12);
+      (Soctam_soc.Benchmarks.s1 (), 3, 16);
+      (Soctam_soc.Benchmarks.s2 (), 2, 16) ]
+
+(* Branching-style warm starts on a seed SOC model: fixing binaries one
+   at a time from the parent basis must match one-shot cold solves. *)
+let test_seed_soc_warm_chain () =
+  let problem =
+    Soctam_core.Problem.make
+      ~constraints:Soctam_core.Problem.no_constraints
+      (Soctam_soc.Benchmarks.s1 ()) ~num_buses:2 ~total_width:12
+  in
+  let m, _, _, _ = Soctam_core.Ilp_formulation.build problem in
+  let t = Simplex.Incremental.create m in
+  (match Simplex.Incremental.solve t with
+  | Simplex.Optimal _ -> ()
+  | r -> Alcotest.failf "root relaxation: %s" (verdict r));
+  let ov = ref [] in
+  List.iter
+    (fun (v, value) ->
+      let snap = Simplex.Incremental.basis t in
+      ov := (v, value, value) :: !ov;
+      let warm =
+        Simplex.Incremental.solve ~basis:snap ~bound_overrides:!ov t
+      in
+      let cold = Simplex.solve ~bound_overrides:!ov m in
+      Alcotest.(check bool)
+        (Printf.sprintf "fix x%d=%g: warm %s vs cold %s" v value
+           (verdict warm) (verdict cold))
+        true (same_outcome warm cold))
+    [ (0, 1.0); (3, 0.0); (5, 1.0); (7, 0.0); (9, 1.0) ];
+  Alcotest.(check bool) "warm starts recorded" true
+    (Simplex.Incremental.warm_starts t > 0)
+
 let suite =
   [ Alcotest.test_case "textbook max" `Quick test_textbook_max;
     Alcotest.test_case "minimize with >=" `Quick test_minimize_with_ge;
@@ -184,4 +368,10 @@ let suite =
       test_nonzero_lower_bounds;
     Alcotest.test_case "bound overrides" `Quick test_bound_overrides;
     Alcotest.test_case "degenerate corner" `Quick test_degenerate;
-    QCheck_alcotest.to_alcotest prop_random_boxed_lp ]
+    QCheck_alcotest.to_alcotest prop_random_boxed_lp;
+    QCheck_alcotest.to_alcotest prop_warm_equals_cold;
+    QCheck_alcotest.to_alcotest prop_native_bounds_match_explicit_rows;
+    Alcotest.test_case "seed SOC native bounds vs explicit rows" `Quick
+      test_seed_soc_native_vs_explicit;
+    Alcotest.test_case "seed SOC warm-start chain" `Quick
+      test_seed_soc_warm_chain ]
