@@ -7,9 +7,10 @@
    Run with: dune exec bench/main.exe
    Options:
      --quick        reduced width ranges / skip the slow ablations (CI)
-     --sweep-only   run only the E8 parallel-sweep speedup section
+     --sweep-only   run only the E8/E9 sweep + observability sections
      --jobs N       domains for the parallel side of E8 (0 = all cores)
-     --json PATH    write the E8 sequential-vs-parallel timings as JSON *)
+     --json PATH    write the E8/E9 measurements as JSON
+     --trace PATH   record the E8 sweeps and write a Chrome trace *)
 
 module Problem = Soctam_core.Problem
 module Architecture = Soctam_core.Architecture
@@ -37,6 +38,10 @@ module Gantt = Soctam_sched.Gantt
 module Table = Soctam_report.Table
 module Pool = Soctam_engine.Pool
 module Sweep = Soctam_engine.Sweep
+module Obs = Soctam_obs.Obs
+module Clock = Soctam_obs.Clock
+module Trace = Soctam_obs.Trace
+module Json = Soctam_obs.Json
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let sweep_only = Array.exists (( = ) "--sweep-only") Sys.argv
@@ -50,6 +55,7 @@ let flag_value name =
   !value
 
 let json_path = flag_value "--json"
+let trace_path = flag_value "--trace"
 
 let jobs =
   match flag_value "--jobs" with
@@ -71,9 +77,9 @@ let fmt_time_opt = function
 
 (* Exact solve with wall-clock measurement; also verifies the result. *)
 let exact_solve problem =
-  let start = Unix.gettimeofday () in
+  let start = Clock.now_s () in
   let r = Exact.solve problem in
-  let elapsed = Unix.gettimeofday () -. start in
+  let elapsed = Clock.elapsed_s ~since:start in
   (match r.Exact.solution with
   | Some (arch, t) -> (
       match Verify.check problem arch ~claimed_time:t with
@@ -716,9 +722,9 @@ let table_a9 () =
         (* Fixed round-robin assignment for the width sub-problem. *)
         let n = Soc.num_cores soc in
         let assignment = Array.init n (fun i -> i mod nb) in
-        let t0 = Unix.gettimeofday () in
+        let t0 = Clock.now_s () in
         let wdp = Width_dp.solve problem ~assignment in
-        let dp_s = Unix.gettimeofday () -. t0 in
+        let dp_s = Clock.elapsed_s ~since:t0 in
         let start =
           Architecture.make
             ~widths:(Array.make nb (w / nb) |> fun a ->
@@ -769,9 +775,9 @@ let table_a7 () =
         let nb = Array.length widths in
         let w = Array.fold_left ( + ) 0 widths in
         let problem = Problem.make soc ~num_buses:nb ~total_width:w in
-        let t0 = Unix.gettimeofday () in
+        let t0 = Clock.now_s () in
         let dp = Dp_assign.solve problem ~widths in
-        let dp_s = Unix.gettimeofday () -. t0 in
+        let dp_s = Clock.elapsed_s ~since:t0 in
         let ilp = Ilp.solve_assignment ~time_limit_s:30.0 problem ~widths in
         let dp_t =
           match dp with Some o -> Some o.Dp_assign.test_time | None -> None
@@ -939,7 +945,12 @@ type sweep_measurement = {
   sm_seq_s : float;
   sm_par_s : float;
   sm_identical : bool;
+  sm_rows : Sweep.row list;
 }
+
+(* Measurements survive their sections so [write_json] can emit one
+   combined document at the end of the run. *)
+let e8_measurements : sweep_measurement list ref = ref []
 
 let table_e8 () =
   section "E8"
@@ -970,17 +981,21 @@ let table_e8 () =
     | Sweep.Ilp _ -> "ilp"
     | Sweep.Heuristic -> "heuristic"
   in
+  (* [--trace] records the E8 sweeps themselves; the trace is written
+     here, before E9 restarts the recording epoch for its overhead
+     measurement. *)
+  if trace_path <> None then Obs.enable ();
   let measurements =
     Pool.with_pool ~num_domains:jobs (fun pool ->
         List.map
           (fun (soc, num_buses, widths, solver) ->
             let cells = Sweep.cells ~solver soc ~num_buses ~widths in
-            let t0 = Unix.gettimeofday () in
+            let t0 = Clock.now_s () in
             let seq_rows = Sweep.run cells in
-            let seq_s = Unix.gettimeofday () -. t0 in
-            let t1 = Unix.gettimeofday () in
+            let seq_s = Clock.elapsed_s ~since:t0 in
+            let t1 = Clock.now_s () in
             let par_rows = Sweep.run ~pool cells in
-            let par_s = Unix.gettimeofday () -. t1 in
+            let par_s = Clock.elapsed_s ~since:t1 in
             let totals = Sweep.totals seq_rows in
             { sm_soc = Soc.name soc;
               sm_num_buses = num_buses;
@@ -992,9 +1007,18 @@ let table_e8 () =
               sm_cold = totals.Sweep.cold_solves;
               sm_seq_s = seq_s;
               sm_par_s = par_s;
-              sm_identical = Sweep.equal_rows seq_rows par_rows })
+              sm_identical = Sweep.equal_rows seq_rows par_rows;
+              sm_rows = seq_rows })
           workloads)
   in
+  (match trace_path with
+  | Some path ->
+      Obs.disable ();
+      let events, metrics = Obs.drain () in
+      Trace.write path ~metrics events;
+      Printf.printf "trace: %d events -> %s\n" (List.length events) path
+  | None -> ());
+  e8_measurements := measurements;
   let rows =
     List.map
       (fun m ->
@@ -1034,44 +1058,167 @@ let table_e8 () =
     "LP work: %d pivots total; %d warm-started node LPs vs %d cold solves\n"
     total_pivots total_warm total_cold;
   if not all_identical then
-    print_endline "!! parallel sweep diverged from the sequential loop";
-  (match json_path with
-  | None -> ()
-  | Some path ->
-      let oc = open_out path in
-      let t = Unix.gmtime (Unix.time ()) in
-      Printf.fprintf oc
-        "{\n  \"recorded_utc\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\",\n\
-        \  \"domains_available\": %d,\n  \"jobs\": %d,\n  \"quick\": %b,\n\
-        \  \"sweeps\": [\n"
-        (t.Unix.tm_year + 1900) (t.Unix.tm_mon + 1) t.Unix.tm_mday
-        t.Unix.tm_hour t.Unix.tm_min t.Unix.tm_sec
-        (Domain.recommended_domain_count ())
-        jobs quick;
-      List.iteri
-        (fun i m ->
-          Printf.fprintf oc
-            "    {\"soc\": %S, \"num_buses\": %d, \"solver\": %S, \
-             \"cells\": %d, \"nodes\": %d, \"lp_pivots\": %d, \
-             \"warm_starts\": %d, \"cold_solves\": %d, \
-             \"seq_s\": %.4f, \
-             \"par_s\": %.4f, \"speedup\": %.3f, \"identical\": %b}%s\n"
-            m.sm_soc m.sm_num_buses m.sm_solver m.sm_cells m.sm_nodes
-            m.sm_lp_pivots m.sm_warm m.sm_cold
-            m.sm_seq_s m.sm_par_s
-            (m.sm_seq_s /. m.sm_par_s)
-            m.sm_identical
-            (if i = List.length measurements - 1 then "" else ","))
-        measurements;
-      Printf.fprintf oc
-        "  ],\n  \"seq_total_s\": %.4f,\n  \"par_total_s\": %.4f,\n\
-        \  \"speedup\": %.3f,\n  \"total_lp_pivots\": %d,\n\
-        \  \"total_warm_starts\": %d,\n  \"total_cold_solves\": %d\n}\n"
-        seq_total par_total
-        (seq_total /. par_total)
-        total_pivots total_warm total_cold;
-      close_out oc;
-      Printf.printf "wrote %s\n" path)
+    print_endline "!! parallel sweep diverged from the sequential loop"
+
+(* ------------------------------------------------------------------ *)
+(* E9: observability — instrumentation overhead.                       *)
+
+type overhead = {
+  ov_disabled_s : float;
+  ov_enabled_s : float;
+  ov_events : int;
+  ov_counter_updates : int;
+  ov_probe_ns : float;
+  ov_disabled_pct : float;
+      (** Modeled cost of the compiled-in-but-disabled probes: no-op
+          probe cost times the probe count the enabled run recorded,
+          relative to the disabled wall-clock. The CI-guarded number:
+          unlike enabled-vs-disabled wall deltas it does not drift with
+          machine noise. *)
+}
+
+let e9_overhead : overhead option ref = ref None
+
+let table_e9 () =
+  section "E9" "observability: instrumentation overhead on the quick sweep";
+  let soc = Benchmarks.s1 () in
+  let cells =
+    Sweep.cells ~solver:Sweep.Exact soc ~num_buses:2
+      ~widths:[ 8; 16; 24; 32 ]
+    @ Sweep.cells
+        ~solver:(Sweep.Ilp { time_limit_s = None })
+        soc ~num_buses:2 ~widths:[ 12; 16 ]
+  in
+  ignore (Sweep.run cells) (* warm-up *);
+  let time_run () =
+    (* Best of three: the minimum is the least noisy wall estimator. *)
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Clock.now_s () in
+      ignore (Sweep.run cells);
+      best := Float.min !best (Clock.elapsed_s ~since:t0)
+    done;
+    !best
+  in
+  Obs.disable ();
+  let disabled_s = time_run () in
+  Obs.enable ();
+  let enabled_s = time_run () in
+  Obs.disable ();
+  let events, metrics = Obs.drain () in
+  let num_events = List.length events in
+  let counter_updates =
+    List.fold_left (fun acc (m : Obs.metric) -> acc + m.Obs.count) 0 metrics
+  in
+  (* Per-probe cost with tracing off: a disabled [span] is one flag
+     load, a branch and a direct call of the thunk. *)
+  let iters = 5_000_000 in
+  let sink = ref 0 in
+  let t0 = Clock.now_s () in
+  for _ = 1 to iters do
+    Obs.span "e9.noop" (fun () -> incr sink)
+  done;
+  let probe_ns = Clock.elapsed_s ~since:t0 *. 1e9 /. float_of_int iters in
+  (* [enable] ran once before the three enabled repetitions, so the
+     drained buffers hold three runs' worth of probes; normalize to
+     one run. *)
+  let probes_per_run = (num_events + counter_updates) / 3 in
+  let disabled_pct =
+    probe_ns *. float_of_int probes_per_run /. (disabled_s *. 1e9) *. 100.0
+  in
+  e9_overhead :=
+    Some
+      { ov_disabled_s = disabled_s;
+        ov_enabled_s = enabled_s;
+        ov_events = num_events / 3;
+        ov_counter_updates = counter_updates / 3;
+        ov_probe_ns = probe_ns;
+        ov_disabled_pct = disabled_pct };
+  print_string
+    (Table.render ~aligns:[ Table.Left; Table.Right ]
+       ~headers:[ "metric"; "value" ]
+       [ [ "sweep wall, tracing disabled (s)";
+           Table.fmt_float ~decimals:4 disabled_s ];
+         [ "sweep wall, tracing enabled (s)";
+           Table.fmt_float ~decimals:4 enabled_s ];
+         [ "enabled / disabled";
+           Table.fmt_float ~decimals:3 (enabled_s /. disabled_s) ^ "x" ];
+         [ "events per run"; string_of_int (num_events / 3) ];
+         [ "counter updates per run"; string_of_int (counter_updates / 3) ];
+         [ "disabled probe cost (ns)"; Table.fmt_float ~decimals:2 probe_ns ];
+         [ "modeled disabled overhead";
+           Table.fmt_float ~decimals:4 disabled_pct ^ "%" ] ]);
+  print_endline
+    "(modeled disabled overhead = probe cost x probe count / disabled\n\
+    \ wall; the CI guard keeps it under 3%)"
+
+(* ------------------------------------------------------------------ *)
+(* Combined JSON document: E8 sweeps (rows in the tamopt sweep --json
+   schema) plus the E9 overhead block.                                 *)
+
+let write_json path =
+  let t = Unix.gmtime (Unix.time ()) in
+  let measurements = !e8_measurements in
+  let seq_total = List.fold_left (fun a m -> a +. m.sm_seq_s) 0.0 measurements in
+  let par_total = List.fold_left (fun a m -> a +. m.sm_par_s) 0.0 measurements in
+  let sweeps =
+    List.map
+      (fun m ->
+        Json.Obj
+          [ ("soc", Json.Str m.sm_soc);
+            ("num_buses", Json.int m.sm_num_buses);
+            ("solver", Json.Str m.sm_solver);
+            ("cells", Json.int m.sm_cells);
+            ("nodes", Json.int m.sm_nodes);
+            ("lp_pivots", Json.int m.sm_lp_pivots);
+            ("warm_starts", Json.int m.sm_warm);
+            ("cold_solves", Json.int m.sm_cold);
+            ("seq_s", Json.Num m.sm_seq_s);
+            ("par_s", Json.Num m.sm_par_s);
+            ("speedup", Json.Num (m.sm_seq_s /. m.sm_par_s));
+            ("identical", Json.Bool m.sm_identical);
+            ("rows", Json.Arr (List.map Sweep.json_of_row m.sm_rows)) ])
+      measurements
+  in
+  let obs =
+    match !e9_overhead with
+    | None -> []
+    | Some o ->
+        [ ( "obs",
+            Json.Obj
+              [ ("disabled_s", Json.Num o.ov_disabled_s);
+                ("enabled_s", Json.Num o.ov_enabled_s);
+                ("events_per_run", Json.int o.ov_events);
+                ("counter_updates_per_run", Json.int o.ov_counter_updates);
+                ("probe_ns", Json.Num o.ov_probe_ns);
+                ("disabled_overhead_pct", Json.Num o.ov_disabled_pct) ] ) ]
+  in
+  let doc =
+    Json.Obj
+      ([ ( "recorded_utc",
+           Json.Str
+             (Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ"
+                (t.Unix.tm_year + 1900) (t.Unix.tm_mon + 1) t.Unix.tm_mday
+                t.Unix.tm_hour t.Unix.tm_min t.Unix.tm_sec) );
+         ("domains_available", Json.int (Domain.recommended_domain_count ()));
+         ("jobs", Json.int jobs);
+         ("quick", Json.Bool quick);
+         ("sweeps", Json.Arr sweeps);
+         ("seq_total_s", Json.Num seq_total);
+         ("par_total_s", Json.Num par_total);
+         ("speedup", Json.Num (seq_total /. par_total));
+         ( "total_lp_pivots",
+           Json.int
+             (List.fold_left (fun a m -> a + m.sm_lp_pivots) 0 measurements) );
+         ( "total_warm_starts",
+           Json.int (List.fold_left (fun a m -> a + m.sm_warm) 0 measurements) );
+         ( "total_cold_solves",
+           Json.int (List.fold_left (fun a m -> a + m.sm_cold) 0 measurements) ) ]
+      @ obs)
+  in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Json.to_string_pretty doc));
+  Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment family.     *)
@@ -1141,20 +1288,24 @@ let bechamel_section () =
   print_string (Table.render ~headers:[ "benchmark"; "ns/run"; "s/run" ] rows)
 
 let () =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now_s () in
   print_endline
     "soctam benchmark harness - reproduction of Chakrabarty, DAC 2000";
   print_endline
     "(see DESIGN.md for the experiment index, EXPERIMENTS.md for analysis)";
   if quick then
     print_endline "(--quick: reduced width ranges, slow ablations skipped)";
-  if sweep_only then table_e8 ()
+  if sweep_only then begin
+    table_e8 ();
+    table_e9 ()
+  end
   else if quick then begin
     table_e1 ();
     table_e2 ();
     table_e3 ();
     table_a3 ();
-    table_e8 ()
+    table_e8 ();
+    table_e9 ()
   end
   else begin
     table_e1 ();
@@ -1179,6 +1330,8 @@ let () =
     figure_f4 ();
     table_a6 ();
     table_e8 ();
+    table_e9 ();
     bechamel_section ()
   end;
-  Printf.printf "\ntotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  (match json_path with Some path -> write_json path | None -> ());
+  Printf.printf "\ntotal harness time: %.1f s\n" (Clock.elapsed_s ~since:t0)

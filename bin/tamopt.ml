@@ -22,6 +22,10 @@ module Gantt = Soctam_sched.Gantt
 module Table = Soctam_report.Table
 module Pool = Soctam_engine.Pool
 module Sweep = Soctam_engine.Sweep
+module Obs = Soctam_obs.Obs
+module Trace = Soctam_obs.Trace
+module Summary = Soctam_obs.Summary
+module Json = Soctam_obs.Json
 
 let lookup_soc = function
   | "s1" | "S1" -> Benchmarks.s1 ()
@@ -111,6 +115,37 @@ let print_solution problem soc solution ~show_gantt =
       end;
       0
 
+(* Tracing wrapper shared by solve and sweep: when [--trace] or
+   [--profile] asked for observability, record [f], then export the
+   Chrome trace and/or print the profile tables after [f]'s own
+   output. *)
+let with_observability ~trace ~profile f =
+  if trace = None && not profile then f ()
+  else begin
+    Obs.enable ();
+    let result = f () in
+    Obs.disable ();
+    let events, metrics = Obs.drain () in
+    (match trace with
+    | Some path ->
+        Trace.write path ~metrics events;
+        Printf.printf "trace: %d events -> %s\n" (List.length events) path
+    | None -> ());
+    if profile then begin
+      let spans = Summary.spans_table (Obs.span_summary events) in
+      let counters = Summary.counters_table metrics in
+      if spans <> "" then begin
+        print_newline ();
+        print_string spans
+      end;
+      if counters <> "" then begin
+        print_newline ();
+        print_string counters
+      end
+    end;
+    result
+  end
+
 open Cmdliner
 
 let soc_arg =
@@ -156,14 +191,26 @@ let time_limit_arg =
   let doc = "ILP time limit in seconds." in
   Arg.(value & opt float 60.0 & info [ "time-limit" ] ~docv:"S" ~doc)
 
+let trace_arg =
+  let doc =
+    "Record solver-internals spans and write a Chrome trace-event JSON \
+     file (load it at ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH" ~doc)
+
+let profile_arg =
+  let doc = "Print per-span and counter summary tables after solving." in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
 let solve_cmd =
   let run soc_name num_buses total_width model d_max p_max solver gantt
-      time_limit =
+      time_limit trace profile =
     try
       let soc = lookup_soc soc_name in
       let problem =
         build_problem soc ~num_buses ~total_width ~model ~d_max ~p_max
       in
+      with_observability ~trace ~profile @@ fun () ->
       let solution =
         match solver with
         | "exact" -> (Exact.solve problem).Exact.solution
@@ -195,7 +242,8 @@ let solve_cmd =
   let term =
     Term.(
       const run $ soc_arg $ buses_arg $ width_arg $ model_arg $ d_max_arg
-      $ p_max_arg $ solver_arg $ gantt_arg $ time_limit_arg)
+      $ p_max_arg $ solver_arg $ gantt_arg $ time_limit_arg $ trace_arg
+      $ profile_arg)
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Design one optimal test access architecture.")
@@ -219,7 +267,15 @@ let sweep_cmd =
     let doc = "Comma-separated list of total widths to sweep." in
     Arg.(value & opt string "16,24,32" & info [ "widths" ] ~docv:"LIST" ~doc)
   in
-  let run soc_name num_buses widths model d_max p_max solver jobs =
+  let json_arg =
+    let doc =
+      "Write the sweep rows and totals as JSON to $(docv) — the same \
+       schema as the bench harness's BENCH_sweep.json rows."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run soc_name num_buses widths model d_max p_max solver jobs trace
+      profile json_path =
     try
       let soc = lookup_soc soc_name in
       let parse_width word =
@@ -253,11 +309,27 @@ let sweep_cmd =
           ~constraints:(Problem.constraints probe)
           ~solver soc ~num_buses ~widths
       in
+      let jobs = resolve_jobs jobs in
+      with_observability ~trace ~profile @@ fun () ->
       let rows =
-        Pool.with_pool ~num_domains:(resolve_jobs jobs) (fun pool ->
+        Pool.with_pool ~num_domains:jobs (fun pool ->
             Sweep.run ~pool cells)
       in
       let totals = Sweep.totals rows in
+      (match json_path with
+      | Some path ->
+          let doc =
+            Json.Obj
+              [ ("soc", Json.Str (Soc.name soc));
+                ("num_buses", Json.int num_buses);
+                ("solver", Json.Str (Sweep.solver_name solver));
+                ("jobs", Json.int jobs);
+                ("rows", Json.Arr (List.map Sweep.json_of_row rows));
+                ("totals", Sweep.json_of_totals totals) ]
+          in
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc (Json.to_string_pretty doc))
+      | None -> ());
       let table_rows =
         List.map
           (fun row ->
@@ -287,7 +359,8 @@ let sweep_cmd =
   let term =
     Term.(
       const run $ soc_arg $ buses_arg $ widths_arg $ model_arg $ d_max_arg
-      $ p_max_arg $ solver_arg $ jobs_arg)
+      $ p_max_arg $ solver_arg $ jobs_arg $ trace_arg $ profile_arg
+      $ json_arg)
   in
   Cmd.v
     (Cmd.info "sweep"

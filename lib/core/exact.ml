@@ -1,3 +1,6 @@
+module Obs = Soctam_obs.Obs
+module Clock = Soctam_obs.Clock
+
 type stats = { partitions : int; nodes : int; elapsed_s : float }
 type result = { solution : (Architecture.t * int) option; stats : stats }
 
@@ -22,7 +25,8 @@ let width_partitions ~total ~parts =
   go total parts total
 
 let solve problem =
-  let start = Unix.gettimeofday () in
+ Obs.span "exact.solve" @@ fun () ->
+  let start = Clock.now_s () in
   let nb = Problem.num_buses problem in
   let w = Problem.total_width problem in
   let partitions = width_partitions ~total:w ~parts:nb in
@@ -44,10 +48,11 @@ let solve problem =
     | None -> ()
   in
   List.iter try_partition partitions;
+  Obs.incr ~n:!count "exact.partitions";
   (* [upper_bound] pruning is exclusive, so an unconstrained-feasible
      instance that never improves on [max_int] is genuinely infeasible. *)
   { solution = !best;
     stats =
       { partitions = !count;
         nodes = !nodes;
-        elapsed_s = Unix.gettimeofday () -. start } }
+        elapsed_s = Clock.elapsed_s ~since:start } }

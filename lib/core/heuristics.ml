@@ -165,6 +165,7 @@ let random_partition state ~total ~parts =
   widths
 
 let solve ?(seed = 1) ?(restarts = 8) problem =
+ Soctam_obs.Obs.span "heuristic.solve" @@ fun () ->
   let nb = Problem.num_buses problem in
   let w = Problem.total_width problem in
   let state = Random.State.make [| seed; 0x7a11 |] in

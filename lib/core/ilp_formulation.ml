@@ -1,6 +1,8 @@
 module Model = Soctam_ilp.Model
 module Lin_expr = Soctam_ilp.Lin_expr
 module Branch_bound = Soctam_ilp.Branch_bound
+module Obs = Soctam_obs.Obs
+module Clock = Soctam_obs.Clock
 
 type formulation = Big_m | Linearized
 
@@ -201,8 +203,12 @@ let decode problem x delta point =
 
 let solve ?formulation ?symmetry_breaking ?(seed_incumbent = true)
     ?(node_limit = 500_000) ?time_limit_s problem =
-  let start = Unix.gettimeofday () in
-  let model, x, delta, _ = build ?formulation ?symmetry_breaking problem in
+ Obs.span "ilp.solve" @@ fun () ->
+  let start = Clock.now_s () in
+  let model, x, delta, _ =
+    Obs.span "ilp.build" (fun () ->
+        build ?formulation ?symmetry_breaking problem)
+  in
   (* Width-selection variables steer the whole load structure: branch on
      them before the assignment variables. *)
   let n = Problem.num_cores problem in
@@ -211,7 +217,7 @@ let solve ?formulation ?symmetry_breaking ?(seed_incumbent = true)
   let branch_priority v = if v >= num_x then 1 else 0 in
   let incumbent =
     if seed_incumbent then
-      match Heuristics.solve problem with
+      match Obs.span "ilp.incumbent" (fun () -> Heuristics.solve problem) with
       | Some { Heuristics.test_time; _ } ->
           (* Branch-and-bound prunes nodes whose bound reaches the
              incumbent, so pass a value one above the heuristic time to
@@ -236,7 +242,7 @@ let solve ?formulation ?symmetry_breaking ?(seed_incumbent = true)
           warm_starts = stats.Branch_bound.warm_starts;
           cold_solves = stats.Branch_bound.cold_solves;
           dropped_nodes = stats.Branch_bound.dropped_nodes;
-          elapsed_s = Unix.gettimeofday () -. start } }
+          elapsed_s = Clock.elapsed_s ~since:start } }
   in
   match outcome with
   | Branch_bound.Optimal { point; objective; stats } ->
@@ -327,7 +333,8 @@ let build_assignment problem ~widths =
   (model, x)
 
 let solve_assignment ?(node_limit = 500_000) ?time_limit_s problem ~widths =
-  let start = Unix.gettimeofday () in
+ Obs.span "ilp.solve_assignment" @@ fun () ->
+  let start = Clock.now_s () in
   let model, x = build_assignment problem ~widths in
   let outcome =
     Branch_bound.solve ~node_limit ?time_limit_s ~integral_objective:true
@@ -358,7 +365,7 @@ let solve_assignment ?(node_limit = 500_000) ?time_limit_s problem ~widths =
           warm_starts = stats.Branch_bound.warm_starts;
           cold_solves = stats.Branch_bound.cold_solves;
           dropped_nodes = stats.Branch_bound.dropped_nodes;
-          elapsed_s = Unix.gettimeofday () -. start } }
+          elapsed_s = Clock.elapsed_s ~since:start } }
   in
   match outcome with
   | Branch_bound.Optimal { point; objective; stats } ->

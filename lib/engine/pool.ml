@@ -1,3 +1,5 @@
+module Obs = Soctam_obs.Obs
+
 type t = {
   num_domains : int;
   mutex : Mutex.t;
@@ -73,8 +75,14 @@ let map t ~f arr =
        mutex provides the needed happens-before edge. *)
     let remaining = ref n in
     let first_error = ref None in
-    let task i () =
-      (match f arr.(i) with
+    let task i =
+      (* The queue-wait span opens at submission (caller's clock read)
+         and closes on whichever domain dequeues the task, so its
+         duration is the time spent waiting in the bounded queue. *)
+      let queued = Obs.start () in
+      fun () ->
+      Obs.finish "pool.queue_wait" queued;
+      (match Obs.span "pool.task" (fun () -> f arr.(i)) with
       | v -> results.(i) <- Some v
       | exception e ->
           Mutex.lock t.mutex;

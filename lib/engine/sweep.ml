@@ -6,6 +6,9 @@ module Heuristics = Soctam_core.Heuristics
 module Soc = Soctam_soc.Soc
 module Test_time = Soctam_soc.Test_time
 module Memo = Soctam_soc.Memo
+module Obs = Soctam_obs.Obs
+module Clock = Soctam_obs.Clock
+module Json = Soctam_obs.Json
 
 type solver = Exact | Ilp of { time_limit_s : float option } | Heuristic
 
@@ -40,6 +43,11 @@ type totals = {
   cold_solves : int;
   solve_s : float;
 }
+
+let solver_name = function
+  | Exact -> "exact"
+  | Ilp _ -> "ilp"
+  | Heuristic -> "heuristic"
 
 let cells ?(time_model = Test_time.Serialization)
     ?(constraints = Problem.no_constraints) ?(solver = Exact) soc ~num_buses
@@ -84,7 +92,8 @@ let solve_cell memos cell =
       ~memo cell.soc ~num_buses:cell.num_buses
       ~total_width:cell.total_width
   in
-  let start = Unix.gettimeofday () in
+  let cell_sp = Obs.start () in
+  let start = Clock.now_s () in
   let solution, optimal, nodes, lp_pivots, max_depth, warm_starts, cold_solves
       =
     match cell.solver with
@@ -110,6 +119,14 @@ let solve_cell memos cell =
         in
         (solution, false, 0, 0, 0, 0, 0)
   in
+  if Obs.enabled () then
+    Obs.finish
+      ~args:
+        [ ("soc", Soc.name cell.soc);
+          ("total_width", string_of_int cell.total_width);
+          ("num_buses", string_of_int cell.num_buses);
+          ("solver", solver_name cell.solver) ]
+      "sweep.cell" cell_sp;
   { total_width = cell.total_width;
     num_buses = cell.num_buses;
     solution;
@@ -119,10 +136,10 @@ let solve_cell memos cell =
     max_depth;
     warm_starts;
     cold_solves;
-    elapsed_s = Unix.gettimeofday () -. start }
+    elapsed_s = Clock.elapsed_s ~since:start }
 
 let run ?pool cells =
-  let memos = build_memos cells in
+  let memos = Obs.span "sweep.build_memos" (fun () -> build_memos cells) in
   let arr = Array.of_list cells in
   let rows =
     match pool with
@@ -149,6 +166,42 @@ let totals rows =
       cold_solves = 0;
       solve_s = 0.0 }
     rows
+
+(* Shared row/totals JSON shape: [tamopt sweep --json] and the bench
+   harness both emit it, so downstream tooling parses one schema. *)
+let json_of_row r =
+  Json.Obj
+    [ ("total_width", Json.int r.total_width);
+      ("num_buses", Json.int r.num_buses);
+      ( "test_time",
+        match r.solution with
+        | Some (_, t) -> Json.int t
+        | None -> Json.Null );
+      ( "widths",
+        match r.solution with
+        | Some (arch, _) ->
+            Json.Arr
+              (Array.to_list
+                 (Array.map Json.int arch.Architecture.widths))
+        | None -> Json.Null );
+      ("feasible", Json.Bool (r.solution <> None));
+      ("optimal", Json.Bool r.optimal);
+      ("nodes", Json.int r.nodes);
+      ("lp_pivots", Json.int r.lp_pivots);
+      ("max_depth", Json.int r.max_depth);
+      ("warm_starts", Json.int r.warm_starts);
+      ("cold_solves", Json.int r.cold_solves);
+      ("elapsed_s", Json.Num r.elapsed_s) ]
+
+let json_of_totals t =
+  Json.Obj
+    [ ("cells", Json.int t.cells);
+      ("feasible", Json.int t.feasible);
+      ("nodes", Json.int t.nodes);
+      ("lp_pivots", Json.int t.lp_pivots);
+      ("warm_starts", Json.int t.warm_starts);
+      ("cold_solves", Json.int t.cold_solves);
+      ("solve_s", Json.Num t.solve_s) ]
 
 let equal_rows a b =
   List.length a = List.length b

@@ -76,6 +76,16 @@ val run : ?pool:Pool.t -> cell list -> row list
 
 val totals : row list -> totals
 
+(** Short stable solver tag: ["exact"], ["ilp"], ["heuristic"]. Used in
+    trace args and JSON output. *)
+val solver_name : solver -> string
+
+(** One row / the totals as JSON — the schema shared by
+    [tamopt sweep --json] and the bench harness's [BENCH_sweep.json]. *)
+val json_of_row : row -> Soctam_obs.Json.t
+
+val json_of_totals : totals -> Soctam_obs.Json.t
+
 (** [equal_rows a b] compares two sweeps for result equality —
     everything except the wall-clock [elapsed_s] fields. Used by the
     [--jobs] equivalence checks. *)

@@ -1,3 +1,6 @@
+module Obs = Soctam_obs.Obs
+module Clock = Soctam_obs.Clock
+
 type stats = {
   nodes : int;
   lp_pivots : int;
@@ -97,7 +100,10 @@ let most_fractional ~int_tol ~priority int_vars (point : float array) =
 let solve ?(node_limit = 500_000) ?time_limit_s ?max_lp_pivots
     ?(integral_objective = false) ?incumbent
     ?(branch_priority = fun _ -> 0) ?(int_tol = 1e-6) model =
-  let start = Unix.gettimeofday () in
+  (* Monotonic clock: the time limit and elapsed stats must be immune
+     to wall-clock (NTP) steps. *)
+  let start = Clock.now_s () in
+  let solve_sp = Obs.start () in
   let direction, _ = Model.objective model in
   let to_min obj =
     match direction with Model.Minimize -> obj | Model.Maximize -> -.obj
@@ -137,34 +143,45 @@ let solve ?(node_limit = 500_000) ?time_limit_s ?max_lp_pivots
       warm_starts = Simplex.Incremental.warm_starts lp;
       cold_solves = Simplex.Incremental.cold_solves lp;
       dropped_nodes = !dropped;
-      elapsed_s = Unix.gettimeofday () -. start }
+      elapsed_s = Clock.elapsed_s ~since:start }
   in
   Heap.push heap { overrides = []; depth = 0; bound = neg_infinity; parent = None };
   let budget_hit = ref false in
   while (not (Heap.is_empty heap)) && not !budget_hit do
     let node = Heap.pop heap in
-    if prune_bound node.bound >= !best_score -. 1e-9 then ()
+    if prune_bound node.bound >= !best_score -. 1e-9 then
+      Obs.incr "bb.prune.bound"
     else begin
       incr nodes;
       let out_of_time =
         match time_limit_s with
-        | Some budget -> Unix.gettimeofday () -. start > budget
+        | Some budget -> Clock.elapsed_s ~since:start > budget
         | None -> false
       in
       if !nodes > node_limit || out_of_time then budget_hit := true
       else begin
         if node.depth > !max_depth then max_depth := node.depth;
-        match
-          Simplex.Incremental.solve ?basis:node.parent
-            ~bound_overrides:node.overrides lp
-        with
-        | Simplex.Infeasible -> ()
+        let node_sp = Obs.start () in
+        let warm_before =
+          if Obs.enabled () then Simplex.Incremental.warm_starts lp else 0
+        in
+        let outcome = ref "" in
+        (match
+           Simplex.Incremental.solve ?basis:node.parent
+             ~bound_overrides:node.overrides lp
+         with
+        | Simplex.Infeasible ->
+            outcome := "infeasible";
+            Obs.incr "bb.prune.infeasible"
         | Simplex.Iteration_limit ->
             (* Unexplorable subtree: the optimum may hide in it, so the
                final verdict is downgraded to best-found (Node_limit)
                rather than claiming proven optimality. *)
+            outcome := "dropped";
+            Obs.incr "bb.dropped";
             incr dropped
         | Simplex.Unbounded ->
+            outcome := "unbounded";
             if node.depth = 0 && int_vars = [] then saw_unbounded := true
             else if node.depth = 0 then
               (* Relaxation unbounded with integer variables present:
@@ -173,7 +190,10 @@ let solve ?(node_limit = 500_000) ?time_limit_s ?max_lp_pivots
         | Simplex.Optimal { point; objective; pivots = p } -> (
             pivots := !pivots + p;
             let score = to_min objective in
-            if prune_bound score >= !best_score -. 1e-9 then ()
+            if prune_bound score >= !best_score -. 1e-9 then begin
+              outcome := "pruned";
+              Obs.incr "bb.prune.objective"
+            end
             else
               match
                 most_fractional ~int_tol ~priority:branch_priority int_vars
@@ -182,15 +202,18 @@ let solve ?(node_limit = 500_000) ?time_limit_s ?max_lp_pivots
               | None ->
                   (* Integral: new incumbent. Snap integer variables to
                      exact integers before storing. *)
+                  outcome := "integral";
                   let snapped = Array.copy point in
                   List.iter
                     (fun v -> snapped.(v) <- Float.round snapped.(v))
                     int_vars;
                   if score < !best_score then begin
+                    Obs.incr "bb.incumbent";
                     best_score := score;
                     best_point := Some snapped
                   end
               | Some v ->
+                  outcome := "branched";
                   let x = point.(v) in
                   let info = Model.var_info model v in
                   let lo_ub = Float.floor x and hi_lb = Float.ceil x in
@@ -205,11 +228,29 @@ let solve ?(node_limit = 500_000) ?time_limit_s ?max_lp_pivots
                       (child ((v, info.Model.lb, lo_ub) :: node.overrides));
                   if hi_lb <= info.Model.ub +. 1e-9 then
                     Heap.push heap
-                      (child ((v, hi_lb, info.Model.ub) :: node.overrides)))
+                      (child ((v, hi_lb, info.Model.ub) :: node.overrides))));
+        if Obs.enabled () then
+          Obs.finish
+            ~args:
+              [ ("depth", string_of_int node.depth);
+                ( "lp",
+                  if Simplex.Incremental.warm_starts lp > warm_before then
+                    "warm"
+                  else "cold" );
+                ("outcome", !outcome) ]
+            "bb.node" node_sp
       end
     end
   done;
   let stats = mk_stats () in
+  if Obs.enabled () then
+    Obs.finish
+      ~args:
+        [ ("nodes", string_of_int stats.nodes);
+          ("lp_pivots", string_of_int stats.lp_pivots);
+          ("warm_starts", string_of_int stats.warm_starts);
+          ("cold_solves", string_of_int stats.cold_solves) ]
+      "bb.solve" solve_sp;
   if !budget_hit || !dropped > 0 then
     Node_limit
       { best =

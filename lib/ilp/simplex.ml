@@ -1,3 +1,5 @@
+module Obs = Soctam_obs.Obs
+
 type result =
   | Optimal of { point : float array; objective : float; pivots : int }
   | Infeasible
@@ -445,6 +447,7 @@ module Incremental = struct
 
   (* Phase 1: minimize the sum of the opened artificials. *)
   let phase1 t =
+    Obs.incr "simplex.phase1";
     Array.fill t.obj 0 t.ncols 0.0;
     t.obj_val <- 0.0;
     for a = t.art_base to t.ncols - 1 do
@@ -504,6 +507,7 @@ module Incremental = struct
 
   let cold_solve t =
     t.cold <- t.cold + 1;
+    Obs.incr "simplex.cold";
     let need_phase1 = reset_cold t in
     let p1 = if need_phase1 then phase1 t else Cold_feasible in
     match p1 with
@@ -511,6 +515,7 @@ module Incremental = struct
     | Cold_iter -> Iteration_limit
     | Cold_feasible -> (
         install_phase2_obj t;
+        Obs.incr "simplex.phase2";
         match primal t ~fix_leaving_artificial:false with
         | Phase_done -> extract t
         | Phase_unbounded -> Unbounded
@@ -521,8 +526,14 @@ module Incremental = struct
      non-target column on the row with the largest available pivot.
      Returns [false] (caller goes cold) when a pivot cannot be found. *)
   let restore t snap =
-    if (not t.factorized) || t.since_cold >= 500 || Array.length snap.sb <> t.m
-    then false
+    if (not t.factorized) || Array.length snap.sb <> t.m then false
+    else if t.since_cold >= 500 then begin
+      (* Periodic refactorization: too much elimination drift since the
+         last cold rebuild — force the two-phase solve from pristine
+         data rather than trusting the tableau further. *)
+      Obs.incr "simplex.factorization_restart";
+      false
+    end
     else begin
       let in_target = Array.make (max 1 t.ncols) false in
       Array.iter (fun j -> in_target.(j) <- true) snap.sb;
@@ -706,28 +717,35 @@ module Incremental = struct
 
   let solve ?basis ?(bound_overrides = []) t =
     t.pivots <- 0;
-    if not (install_bounds t bound_overrides) then Infeasible
-    else
-      match basis with
-      | Some snap when restore t snap -> (
-          match dual t with
-          | Dual_iter -> Iteration_limit
-          | Dual_give_up -> cold_solve t
-          | Dual_infeasible ->
-              t.warm <- t.warm + 1;
-              Infeasible
-          | Dual_feasible -> (
-              (* Polish with the primal: usually zero pivots, but it also
-                 absorbs any residual dual infeasibility from drift. *)
-              match primal t ~fix_leaving_artificial:false with
-              | Phase_done ->
-                  t.warm <- t.warm + 1;
-                  extract t
-              | Phase_unbounded ->
-                  t.warm <- t.warm + 1;
-                  Unbounded
-              | Phase_iter_limit -> Iteration_limit))
-      | Some _ | None -> cold_solve t
+    let res =
+      if not (install_bounds t bound_overrides) then Infeasible
+      else
+        match basis with
+        | Some snap when restore t snap -> (
+            match dual t with
+            | Dual_iter -> Iteration_limit
+            | Dual_give_up ->
+                Obs.incr "simplex.dual_giveup";
+                cold_solve t
+            | Dual_infeasible ->
+                t.warm <- t.warm + 1;
+                Infeasible
+            | Dual_feasible -> (
+                (* Polish with the primal: usually zero pivots, but it also
+                   absorbs any residual dual infeasibility from drift. *)
+                Obs.incr "simplex.phase2";
+                match primal t ~fix_leaving_artificial:false with
+                | Phase_done ->
+                    t.warm <- t.warm + 1;
+                    extract t
+                | Phase_unbounded ->
+                    t.warm <- t.warm + 1;
+                    Unbounded
+                | Phase_iter_limit -> Iteration_limit))
+        | Some _ | None -> cold_solve t
+    in
+    if Obs.enabled () then Obs.add "simplex.pivots" (float_of_int t.pivots);
+    res
 
   let basis t = { sb = Array.copy t.basis_arr; sstat = Bytes.copy t.vstat }
 end

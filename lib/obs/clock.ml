@@ -1,0 +1,4 @@
+external now_ns : unit -> int64 = "soctam_obs_monotonic_ns"
+
+let now_s () = Int64.to_float (now_ns ()) /. 1e9
+let elapsed_s ~since = now_s () -. since

@@ -1,0 +1,19 @@
+(** Monotonic process clock.
+
+    All solver timing (span durations, ILP time limits, bench wall
+    clocks) goes through this module rather than [Unix.gettimeofday]:
+    the wall clock is not monotonic — an NTP step mid-run can make
+    elapsed times negative or blow a time limit that never expired.
+    Backed by [CLOCK_MONOTONIC] (POSIX) / [QueryPerformanceCounter]
+    (Windows); safe to call from any domain. *)
+
+(** Nanoseconds from an arbitrary fixed origin (typically boot).
+    Strictly non-decreasing within a process. *)
+val now_ns : unit -> int64
+
+(** Same clock in seconds. Differences of two [now_s] readings are
+    elapsed wall time, immune to system clock adjustments. *)
+val now_s : unit -> float
+
+(** [elapsed_s ~since] is [now_s () -. since]. *)
+val elapsed_s : since:float -> float

@@ -1,0 +1,36 @@
+(** Minimal JSON tree, printer and parser.
+
+    The container ships no JSON package, and the observability layer
+    needs both directions: the Chrome-trace writer and
+    [tamopt sweep --json] emit JSON, and the tests round-trip what was
+    written. The subset is full JSON minus extremes: numbers are OCaml
+    floats (integers survive exactly up to 2^53), strings are the
+    escaped ASCII/UTF-8 bytes as given. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** Integer convenience constructor ([Num (float_of_int n)]). *)
+val int : int -> t
+
+(** Compact one-line rendering. Integral [Num]s print without a decimal
+    point, so counters round-trip as JSON integers. *)
+val to_string : t -> string
+
+(** Pretty rendering with two-space indentation and a trailing
+    newline — the format written to files. *)
+val to_string_pretty : t -> string
+
+(** [parse s] parses one JSON value (surrounding whitespace allowed).
+    Returns [Error msg] with a byte offset on malformed input or
+    trailing garbage. *)
+val parse : string -> (t, string) result
+
+(** [member key json] looks up [key] in an [Obj]; [None] on missing
+    keys and non-objects. *)
+val member : string -> t -> t option

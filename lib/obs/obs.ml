@@ -1,0 +1,206 @@
+type event = {
+  name : string;
+  track : int;
+  start_ns : int64;
+  dur_ns : int64;
+  args : (string * string) list;
+}
+
+type metric = { name : string; count : int; total : float; max : float }
+
+(* Mutable counter cell, private to one domain's buffer. *)
+type cell = { mutable c_count : int; mutable c_total : float; mutable c_max : float }
+
+(* Per-domain buffer: only its owning domain writes it; [drain] reads it
+   after the owning domain has quiesced (the pool's batch-completion
+   mutex provides the happens-before edge). *)
+type buffer = {
+  id : int;  (** Registration order: fixes the metric merge order. *)
+  track : int;  (** Owning domain's id. *)
+  mutable events : event array;
+  mutable len : int;
+  counters : (string, cell) Hashtbl.t;
+}
+
+let enabled_flag = Atomic.make false
+let epoch_ns = Atomic.make 0L
+
+let registry_mutex = Mutex.create ()
+let registry : buffer list ref = ref []
+let next_id = ref 0
+
+let dummy_event =
+  { name = ""; track = 0; start_ns = 0L; dur_ns = 0L; args = [] }
+
+let buffer_key : buffer Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      Mutex.lock registry_mutex;
+      let buf =
+        { id = !next_id;
+          track = (Domain.self () :> int);
+          events = [||];
+          len = 0;
+          counters = Hashtbl.create 32 }
+      in
+      incr next_id;
+      registry := buf :: !registry;
+      Mutex.unlock registry_mutex;
+      buf)
+
+let my_buffer () = Domain.DLS.get buffer_key
+
+let enabled () = Atomic.get enabled_flag
+
+let enable () =
+  Atomic.set enabled_flag false;
+  Mutex.lock registry_mutex;
+  List.iter
+    (fun buf ->
+      buf.len <- 0;
+      buf.events <- [||];
+      Hashtbl.reset buf.counters)
+    !registry;
+  Mutex.unlock registry_mutex;
+  Atomic.set epoch_ns (Clock.now_ns ());
+  Atomic.set enabled_flag true
+
+let disable () = Atomic.set enabled_flag false
+
+let push buf ev =
+  if buf.len >= Array.length buf.events then begin
+    let cap = max 256 (2 * Array.length buf.events) in
+    let fresh = Array.make cap dummy_event in
+    Array.blit buf.events 0 fresh 0 buf.len;
+    buf.events <- fresh
+  end;
+  buf.events.(buf.len) <- ev;
+  buf.len <- buf.len + 1
+
+let record name start_abs args =
+  let now = Clock.now_ns () in
+  let buf = my_buffer () in
+  push buf
+    { name;
+      track = buf.track;
+      start_ns = Int64.sub start_abs (Atomic.get epoch_ns);
+      dur_ns = Int64.sub now start_abs;
+      args }
+
+let span ?(args = []) name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let t0 = Clock.now_ns () in
+    match f () with
+    | v ->
+        record name t0 args;
+        v
+    | exception e ->
+        record name t0 args;
+        raise e
+  end
+
+type token = int64
+
+let dead = Int64.min_int
+
+let start () = if Atomic.get enabled_flag then Clock.now_ns () else dead
+
+let finish ?(args = []) name tok =
+  if tok <> dead && Atomic.get enabled_flag then record name tok args
+
+let counter_cell name =
+  let buf = my_buffer () in
+  match Hashtbl.find_opt buf.counters name with
+  | Some cell -> cell
+  | None ->
+      let cell = { c_count = 0; c_total = 0.0; c_max = neg_infinity } in
+      Hashtbl.add buf.counters name cell;
+      cell
+
+let add name v =
+  if Atomic.get enabled_flag then begin
+    let cell = counter_cell name in
+    cell.c_count <- cell.c_count + 1;
+    cell.c_total <- cell.c_total +. v;
+    cell.c_max <- Float.max cell.c_max v
+  end
+
+let incr ?(n = 1) name =
+  if Atomic.get enabled_flag then begin
+    let cell = counter_cell name in
+    cell.c_count <- cell.c_count + 1;
+    cell.c_total <- cell.c_total +. float_of_int n;
+    cell.c_max <- Float.max cell.c_max (float_of_int n)
+  end
+
+let gauge name v =
+  if Atomic.get enabled_flag then begin
+    let cell = counter_cell name in
+    cell.c_count <- cell.c_count + 1;
+    cell.c_total <- v;
+    cell.c_max <- Float.max cell.c_max v
+  end
+
+let drain () =
+  Mutex.lock registry_mutex;
+  (* Fixed order: registration id. Metric merge order — and thus the
+     floating-point sums — depends only on which domains recorded what,
+     and event order is finally normalized by (track, start). *)
+  let buffers = List.sort (fun a b -> compare a.id b.id) !registry in
+  let events =
+    List.concat_map
+      (fun buf -> Array.to_list (Array.sub buf.events 0 buf.len))
+      buffers
+  in
+  let merged : (string, cell) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun buf ->
+      Hashtbl.iter
+        (fun name (c : cell) ->
+          match Hashtbl.find_opt merged name with
+          | Some m ->
+              m.c_count <- m.c_count + c.c_count;
+              m.c_total <- m.c_total +. c.c_total;
+              m.c_max <- Float.max m.c_max c.c_max
+          | None ->
+              Hashtbl.add merged name
+                { c_count = c.c_count; c_total = c.c_total; c_max = c.c_max })
+        buf.counters)
+    buffers;
+  Mutex.unlock registry_mutex;
+  let events =
+    List.stable_sort
+      (fun (a : event) (b : event) ->
+        match compare a.track b.track with
+        | 0 -> Int64.compare a.start_ns b.start_ns
+        | c -> c)
+      events
+  in
+  let metrics =
+    Hashtbl.fold
+      (fun name (c : cell) acc ->
+        { name; count = c.c_count; total = c.c_total; max = c.c_max } :: acc)
+      merged []
+    |> List.sort (fun (a : metric) b -> compare a.name b.name)
+  in
+  (events, metrics)
+
+let span_summary events =
+  let tbl : (string, cell) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun ev ->
+      let s = Int64.to_float ev.dur_ns /. 1e9 in
+      match Hashtbl.find_opt tbl ev.name with
+      | Some c ->
+          c.c_count <- c.c_count + 1;
+          c.c_total <- c.c_total +. s;
+          c.c_max <- Float.max c.c_max s
+      | None ->
+          Hashtbl.add tbl ev.name
+            { c_count = 1; c_total = s; c_max = s })
+    events;
+  Hashtbl.fold
+    (fun name (c : cell) acc ->
+      { name; count = c.c_count; total = c.c_total; max = c.c_max } :: acc)
+    tbl []
+  |> List.sort (fun (a : metric) b -> compare a.name b.name)

@@ -1,0 +1,88 @@
+(** Tracing and metrics for the solve pipeline.
+
+    Design goals, in order:
+
+    - {b Zero-cost when off}: every probe starts with a single branch on
+      a disabled flag and touches nothing else — no allocation, no
+      clock read, no shared state. The solvers stay instrumented in
+      production builds.
+    - {b No contention when on}: each domain records into its own
+      buffer, reached via domain-local storage. The hot path never
+      takes a lock; the global registry is only locked when a domain
+      allocates its buffer (once per domain) and at {!drain}.
+    - {b Deterministic aggregation}: {!drain} merges buffers in a fixed
+      order, so aggregate counts are a function of the work performed,
+      not of the scheduling — a sweep records the same span counts and
+      counter totals under [--jobs 1] and [--jobs N].
+
+    Lifecycle: {!enable} clears all buffers and starts a recording
+    epoch; instrumented code runs; {!disable} (optional) then {!drain}
+    collects the merged events and metrics. [enable]/[drain] must be
+    called while no instrumented work is in flight — between pool
+    batches, not during one. *)
+
+(** One completed span: a named interval on a domain's track.
+    Timestamps are monotonic nanoseconds relative to the {!enable}
+    epoch. *)
+type event = {
+  name : string;
+  track : int;  (** Recording domain's id: one trace track per domain. *)
+  start_ns : int64;
+  dur_ns : int64;
+  args : (string * string) list;  (** Free-form attribution. *)
+}
+
+(** Aggregated counter/gauge state, also the shape of span summaries:
+    [count] updates, their [total], and the largest single update. *)
+type metric = { name : string; count : int; total : float; max : float }
+
+val enabled : unit -> bool
+
+(** Start a recording epoch: clears every buffer, re-arms the flag.
+    Timestamps of subsequent events are relative to this call. *)
+val enable : unit -> unit
+
+(** Stop recording. Buffered data survives until the next {!enable}. *)
+val disable : unit -> unit
+
+(** [span name f] runs [f] and, when tracing is enabled, records its
+    wall time as an event named [name] on the calling domain's track.
+    The span is recorded even when [f] raises. [args] are evaluated at
+    call time — for attribution only known afterwards, use
+    {!start}/{!finish}. *)
+val span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+type token
+(** Start-of-span witness from {!start}; carries the start timestamp,
+    or marks the span dead when tracing was off at the start. *)
+
+(** Explicit span opening, for attribution computed after the work
+    (e.g. whether a node LP warm-started). Cost when disabled: one
+    branch. *)
+val start : unit -> token
+
+(** Close a span opened by {!start}. A span whose [start] ran while
+    tracing was disabled is dropped — never a garbage duration. Guard
+    any argument construction with {!enabled} to keep the disabled
+    path allocation-free. *)
+val finish : ?args:(string * string) list -> string -> token -> unit
+
+(** [incr name] bumps counter [name] by [n] (default 1). *)
+val incr : ?n:int -> string -> unit
+
+(** [add name v] accumulates [v] into counter [name]. *)
+val add : string -> float -> unit
+
+(** [gauge name v] records a sampled level: [total] holds the last
+    sample, [max] the high-water mark, [count] the sample count. *)
+val gauge : string -> float -> unit
+
+(** Merge every domain's buffer. Events are ordered by (track, start
+    time); metrics are merged by name and sorted. Does not clear —
+    {!enable} does. *)
+val drain : unit -> event list * metric list
+
+(** Per-name aggregation of span events: [count] spans, [total]/[max]
+    duration in {b seconds}. Sorted by name — the deterministic shape
+    compared across job counts. *)
+val span_summary : event list -> metric list

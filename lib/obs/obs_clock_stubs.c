@@ -1,0 +1,34 @@
+/* Monotonic clock primitive for Soctam_obs.Clock.
+
+   CLOCK_MONOTONIC is immune to NTP steps and wall-clock adjustments,
+   which matters for solver time limits and span durations: a wall
+   clock jumping backwards mid-run would otherwise corrupt both. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#if defined(_WIN32)
+#include <windows.h>
+
+CAMLprim value soctam_obs_monotonic_ns(value unit)
+{
+  static LARGE_INTEGER freq;
+  LARGE_INTEGER now;
+  if (freq.QuadPart == 0)
+    QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&now);
+  return caml_copy_int64((int64_t)((double)now.QuadPart * 1e9
+                                   / (double)freq.QuadPart));
+}
+
+#else
+#include <time.h>
+
+CAMLprim value soctam_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}
+
+#endif

@@ -1,0 +1,29 @@
+module Table = Soctam_report.Table
+
+let spans_table (summary : Obs.metric list) =
+  if summary = [] then ""
+  else
+    Table.render
+      ~headers:[ "span"; "count"; "total ms"; "mean us"; "max ms" ]
+      (List.map
+         (fun (m : Obs.metric) ->
+           [ m.Obs.name;
+             string_of_int m.Obs.count;
+             Table.fmt_float ~decimals:3 (1e3 *. m.Obs.total);
+             Table.fmt_float ~decimals:1
+               (1e6 *. m.Obs.total /. float_of_int (max 1 m.Obs.count));
+             Table.fmt_float ~decimals:3 (1e3 *. m.Obs.max) ])
+         summary)
+
+let counters_table (metrics : Obs.metric list) =
+  if metrics = [] then ""
+  else
+    Table.render
+      ~headers:[ "counter"; "count"; "total"; "max" ]
+      (List.map
+         (fun (m : Obs.metric) ->
+           [ m.Obs.name;
+             string_of_int m.Obs.count;
+             Table.fmt_float ~decimals:3 m.Obs.total;
+             Table.fmt_float ~decimals:3 m.Obs.max ])
+         metrics)

@@ -1,0 +1,10 @@
+(** Plain-text profile rendering ([--profile]). *)
+
+(** [spans_table summary] renders a per-span-name table (count, total
+    and max in milliseconds, mean in microseconds) from
+    {!Obs.span_summary} output. Empty string when there are no spans. *)
+val spans_table : Obs.metric list -> string
+
+(** [counters_table metrics] renders the merged counter/gauge table.
+    Empty string when there are no counters. *)
+val counters_table : Obs.metric list -> string

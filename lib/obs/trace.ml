@@ -1,0 +1,50 @@
+let us ns = Int64.to_float ns /. 1e3
+
+let event_json (ev : Obs.event) =
+  let base =
+    [ ("name", Json.Str ev.Obs.name);
+      ("cat", Json.Str "soctam");
+      ("ph", Json.Str "X");
+      ("ts", Json.Num (us ev.Obs.start_ns));
+      ("dur", Json.Num (us ev.Obs.dur_ns));
+      ("pid", Json.int 1);
+      ("tid", Json.int ev.Obs.track) ]
+  in
+  let args =
+    match ev.Obs.args with
+    | [] -> []
+    | kv -> [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) kv)) ]
+  in
+  Json.Obj (base @ args)
+
+let thread_name_json track =
+  Json.Obj
+    [ ("name", Json.Str "thread_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.int 1);
+      ("tid", Json.int track);
+      ("args", Json.Obj [ ("name", Json.Str (Printf.sprintf "domain %d" track)) ]) ]
+
+let metric_json (m : Obs.metric) =
+  Json.Obj
+    [ ("name", Json.Str m.Obs.name);
+      ("count", Json.int m.Obs.count);
+      ("total", Json.Num m.Obs.total);
+      ("max", Json.Num m.Obs.max) ]
+
+let to_json ?(metrics = []) events =
+  let tracks =
+    List.sort_uniq compare (List.map (fun (e : Obs.event) -> e.Obs.track) events)
+  in
+  Json.Obj
+    [ ( "traceEvents",
+        Json.Arr
+          (List.map thread_name_json tracks @ List.map event_json events) );
+      ("displayTimeUnit", Json.Str "ms");
+      ("soctamMetrics", Json.Arr (List.map metric_json metrics)) ]
+
+let write path ?metrics events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string_pretty (to_json ?metrics events)))

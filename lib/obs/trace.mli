@@ -1,0 +1,16 @@
+(** Chrome trace-event export.
+
+    Writes the drained event stream in the Trace Event Format consumed
+    by Perfetto ([ui.perfetto.dev]) and [chrome://tracing]: a
+    ["traceEvents"] array of complete ("ph":"X") events with
+    microsecond timestamps, one [tid] (track) per recording domain,
+    plus ["thread_name"] metadata rows labelling each track. Merged
+    counter state rides along under ["soctamMetrics"] so a trace file
+    is self-contained. *)
+
+(** [to_json ?metrics events] builds the trace document. *)
+val to_json : ?metrics:Obs.metric list -> Obs.event list -> Json.t
+
+(** [write path ?metrics events] writes the pretty-printed document to
+    [path]. *)
+val write : string -> ?metrics:Obs.metric list -> Obs.event list -> unit

@@ -29,4 +29,5 @@ let () =
       ("rect_sched", Test_rect_sched.suite);
       ("table", Test_table.suite);
       ("engine_pool", Test_sweep.pool_suite);
-      ("engine_sweep", Test_sweep.suite) ]
+      ("engine_sweep", Test_sweep.suite);
+      ("obs", Test_obs.suite) ]
