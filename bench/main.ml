@@ -42,6 +42,8 @@ module Obs = Soctam_obs.Obs
 module Clock = Soctam_obs.Clock
 module Trace = Soctam_obs.Trace
 module Json = Soctam_obs.Json
+module Service = Soctam_service.Service
+module Metrics = Soctam_service.Metrics
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let sweep_only = Array.exists (( = ) "--sweep-only") Sys.argv
@@ -1153,6 +1155,175 @@ let table_e9 () =
     \ wall; the CI guard keeps it under 3%)"
 
 (* ------------------------------------------------------------------ *)
+(* E10: solver-as-a-service — the daemon engine driven in-process.     *)
+
+type service_measurement = {
+  sv_requests : int;
+  sv_concurrency : int;
+  sv_distinct : int;
+  sv_wall_s : float;
+  sv_throughput_rps : float;
+  sv_completed : int;
+  sv_errors : int;
+  sv_hit_lat : float array;
+  sv_miss_lat : float array;
+  sv_stats : Json.t;
+}
+
+let e10_measurement : service_measurement option ref = ref None
+
+let table_e10 () =
+  section "E10"
+    "solver-as-a-service: result cache and admission on the in-process \
+     engine";
+  (* The load generator's deterministic mix, without sockets: request i
+     targets instance (i mod distinct), so each distinct instance costs
+     one miss and then hits. Client threads feed Service.handle_line
+     directly; the solving still fans out over the worker domains. *)
+  let requests = if quick then 200 else 600 in
+  let concurrency = 8 in
+  let hit_ratio = 0.5 in
+  let distinct =
+    max 1
+      (int_of_float
+         (Float.round (float_of_int requests *. (1.0 -. hit_ratio))))
+  in
+  let line i =
+    Printf.sprintf
+      {|{"id":%d,"op":"solve","soc":"s1","num_buses":2,"total_width":%d}|}
+      i
+      (16 + (i mod distinct))
+  in
+  let ok = Array.make requests false in
+  let was_cached = Array.make requests false in
+  let lat_ms = Array.make requests Float.nan in
+  let stats, wall_s =
+    Pool.with_pool ~num_domains:jobs (fun pool ->
+        let svc =
+          Service.create ~cache_capacity:(2 * distinct) ~queue_capacity:64
+            ~pool ()
+        in
+        let next = ref 0 in
+        let next_mutex = Mutex.create () in
+        let fetch () =
+          Mutex.lock next_mutex;
+          let i = !next in
+          if i < requests then incr next;
+          Mutex.unlock next_mutex;
+          if i < requests then Some i else None
+        in
+        let worker () =
+          let rec loop () =
+            match fetch () with
+            | None -> ()
+            | Some i ->
+                let t0 = Clock.now_s () in
+                let reply = Service.handle_line svc (line i) in
+                lat_ms.(i) <- (Clock.now_s () -. t0) *. 1000.0;
+                (match Json.parse reply with
+                | Ok r ->
+                    ok.(i) <- Json.member "ok" r = Some (Json.Bool true);
+                    was_cached.(i) <-
+                      Json.member "cached" r = Some (Json.Bool true)
+                | Error _ -> ());
+                loop ()
+          in
+          loop ()
+        in
+        let t0 = Clock.now_s () in
+        let threads =
+          List.init concurrency (fun _ -> Thread.create worker ())
+        in
+        List.iter Thread.join threads;
+        let wall_s = Clock.elapsed_s ~since:t0 in
+        (Service.stats_json svc, wall_s))
+  in
+  let select pred =
+    let out = ref [] in
+    for i = requests - 1 downto 0 do
+      if pred i then out := lat_ms.(i) :: !out
+    done;
+    Array.of_list !out
+  in
+  let hits = select (fun i -> ok.(i) && was_cached.(i)) in
+  let misses = select (fun i -> ok.(i) && not was_cached.(i)) in
+  let completed = select (fun i -> ok.(i)) in
+  let m =
+    {
+      sv_requests = requests;
+      sv_concurrency = concurrency;
+      sv_distinct = distinct;
+      sv_wall_s = wall_s;
+      sv_throughput_rps = float_of_int requests /. wall_s;
+      sv_completed = Array.length completed;
+      sv_errors = requests - Array.length completed;
+      sv_hit_lat = hits;
+      sv_miss_lat = misses;
+      sv_stats = stats;
+    }
+  in
+  e10_measurement := Some m;
+  let pct a q = Table.fmt_float ~decimals:3 (Metrics.percentile a q) in
+  print_string
+    (Table.render
+       ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right;
+                 Table.Right ]
+       ~headers:[ "path"; "requests"; "p50 ms"; "p95 ms"; "p99 ms" ]
+       [ [ "cache miss (solve)";
+           string_of_int (Array.length misses);
+           pct misses 0.50; pct misses 0.95; pct misses 0.99 ];
+         [ "cache hit";
+           string_of_int (Array.length hits);
+           pct hits 0.50; pct hits 0.95; pct hits 0.99 ] ]);
+  Printf.printf
+    "%d requests over %d client threads in %.3f s: %.0f req/s, %d errors\n"
+    requests concurrency wall_s m.sv_throughput_rps m.sv_errors;
+  let hit_p50 = Metrics.percentile hits 0.50 in
+  let miss_p50 = Metrics.percentile misses 0.50 in
+  Printf.printf "hit p50 is %.1fx below miss p50\n" (miss_p50 /. hit_p50)
+
+let service_json_path = flag_value "--service-json"
+
+let write_service_json path =
+  match !e10_measurement with
+  | None -> ()
+  | Some m ->
+      let t = Unix.gmtime (Unix.time ()) in
+      let latency samples =
+        let p50, p95, p99 = Metrics.percentiles samples in
+        Json.Obj
+          [ ("count", Json.int (Array.length samples));
+            ("p50_ms", Json.Num p50);
+            ("p95_ms", Json.Num p95);
+            ("p99_ms", Json.Num p99) ]
+      in
+      let doc =
+        Json.Obj
+          [ ( "recorded_utc",
+              Json.Str
+                (Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ"
+                   (t.Unix.tm_year + 1900) (t.Unix.tm_mon + 1)
+                   t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+                   t.Unix.tm_sec) );
+            ("experiment", Json.Str "E10");
+            ("jobs", Json.int jobs);
+            ("requests", Json.int m.sv_requests);
+            ("concurrency", Json.int m.sv_concurrency);
+            ("distinct_instances", Json.int m.sv_distinct);
+            ("wall_s", Json.Num m.sv_wall_s);
+            ("throughput_rps", Json.Num m.sv_throughput_rps);
+            ("completed", Json.int m.sv_completed);
+            ("errors", Json.int m.sv_errors);
+            ( "latency",
+              Json.Obj
+                [ ("hit", latency m.sv_hit_lat);
+                  ("miss", latency m.sv_miss_lat) ] );
+            ("service_stats", m.sv_stats) ]
+      in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Json.to_string_pretty doc))
+
+(* ------------------------------------------------------------------ *)
 (* Combined JSON document: E8 sweeps (rows in the tamopt sweep --json
    schema) plus the E9 overhead block.                                 *)
 
@@ -1297,7 +1468,8 @@ let () =
     print_endline "(--quick: reduced width ranges, slow ablations skipped)";
   if sweep_only then begin
     table_e8 ();
-    table_e9 ()
+    table_e9 ();
+    table_e10 ()
   end
   else if quick then begin
     table_e1 ();
@@ -1305,7 +1477,8 @@ let () =
     table_e3 ();
     table_a3 ();
     table_e8 ();
-    table_e9 ()
+    table_e9 ();
+    table_e10 ()
   end
   else begin
     table_e1 ();
@@ -1331,7 +1504,11 @@ let () =
     table_a6 ();
     table_e8 ();
     table_e9 ();
+    table_e10 ();
     bechamel_section ()
   end;
   (match json_path with Some path -> write_json path | None -> ());
+  (match service_json_path with
+  | Some path -> write_service_json path
+  | None -> ());
   Printf.printf "\ntotal harness time: %.1f s\n" (Clock.elapsed_s ~since:t0)

@@ -23,9 +23,14 @@ module Table = Soctam_report.Table
 module Pool = Soctam_engine.Pool
 module Sweep = Soctam_engine.Sweep
 module Obs = Soctam_obs.Obs
+module Clock = Soctam_obs.Clock
 module Trace = Soctam_obs.Trace
 module Summary = Soctam_obs.Summary
 module Json = Soctam_obs.Json
+module Addr = Soctam_service.Addr
+module Client = Soctam_service.Client
+module Protocol = Soctam_service.Protocol
+module Metrics = Soctam_service.Metrics
 
 let lookup_soc = function
   | "s1" | "S1" -> Benchmarks.s1 ()
@@ -202,39 +207,75 @@ let profile_arg =
   let doc = "Print per-span and counter summary tables after solving." in
   Arg.(value & flag & info [ "profile" ] ~doc)
 
+let sweep_solver_of_string ?ilp_time_limit solver =
+  match solver with
+  | "exact" -> Sweep.Exact
+  | "ilp" -> Sweep.Ilp { time_limit_s = ilp_time_limit }
+  | "heuristic" -> Sweep.Heuristic
+  | other ->
+      raise (Invalid_argument (Printf.sprintf "unknown solver %S" other))
+
+(* The rows+totals document shared by solve --json, sweep --json and
+   the tamoptd responses. *)
+let rows_json ?jobs ~soc ~num_buses ~solver rows =
+  Json.Obj
+    ([ ("soc", Json.Str (Soc.name soc));
+       ("num_buses", Json.int num_buses);
+       ("solver", Json.Str (Sweep.solver_name solver)) ]
+    @ (match jobs with Some j -> [ ("jobs", Json.int j) ] | None -> [])
+    @ [ ("rows", Json.Arr (List.map Sweep.json_of_row rows));
+        ("totals", Sweep.json_of_totals (Sweep.totals rows)) ])
+
+let write_json path doc =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Json.to_string_pretty doc))
+
 let solve_cmd =
+  let json_arg =
+    let doc =
+      "Write the result as JSON to $(docv): a single-row document with \
+       the same rows+totals schema as $(b,tamopt sweep --json) and the \
+       tamoptd responses."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
   let run soc_name num_buses total_width model d_max p_max solver gantt
-      time_limit trace profile =
+      time_limit trace profile json_path =
     try
       let soc = lookup_soc soc_name in
       let problem =
         build_problem soc ~num_buses ~total_width ~model ~d_max ~p_max
       in
-      with_observability ~trace ~profile @@ fun () ->
-      let solution =
-        match solver with
-        | "exact" -> (Exact.solve problem).Exact.solution
-        | "ilp" ->
-            let r = Ilp.solve ~time_limit_s:time_limit problem in
-            if not r.Ilp.optimal then
-              print_endline "note: ILP budget expired; best-found shown";
-            let st = r.Ilp.stats in
-            Printf.printf
-              "ILP search: %d nodes, %d LP pivots (%d warm-started, %d \
-               cold), depth %d, %.3f s\n"
-              st.Ilp.bb_nodes st.Ilp.lp_pivots st.Ilp.warm_starts
-              st.Ilp.cold_solves st.Ilp.max_depth st.Ilp.elapsed_s;
-            r.Ilp.solution
-        | "heuristic" -> (
-            match Heuristics.solve problem with
-            | Some { Heuristics.architecture; test_time } ->
-                Some (architecture, test_time)
-            | None -> None)
-        | other ->
-            raise
-              (Invalid_argument (Printf.sprintf "unknown solver %S" other))
+      let solver =
+        sweep_solver_of_string ~ilp_time_limit:time_limit solver
       in
-      print_solution problem soc solution ~show_gantt:gantt
+      let cell =
+        match
+          Sweep.cells
+            ~time_model:(Problem.time_model problem)
+            ~constraints:(Problem.constraints problem)
+            ~solver soc ~num_buses ~widths:[ total_width ]
+        with
+        | [ cell ] -> cell
+        | _ -> assert false
+      in
+      with_observability ~trace ~profile @@ fun () ->
+      let row = Sweep.solve_one cell in
+      (match solver with
+      | Sweep.Ilp _ ->
+          if not row.Sweep.optimal then
+            print_endline "note: ILP budget expired; best-found shown";
+          Printf.printf
+            "ILP search: %d nodes, %d LP pivots (%d warm-started, %d \
+             cold), depth %d, %.3f s\n"
+            row.Sweep.nodes row.Sweep.lp_pivots row.Sweep.warm_starts
+            row.Sweep.cold_solves row.Sweep.max_depth row.Sweep.elapsed_s
+      | Sweep.Exact | Sweep.Heuristic -> ());
+      (match json_path with
+      | Some path ->
+          write_json path (rows_json ~soc ~num_buses ~solver [ row ])
+      | None -> ());
+      print_solution problem soc row.Sweep.solution ~show_gantt:gantt
     with Invalid_argument msg ->
       Printf.eprintf "error: %s\n" msg;
       2
@@ -243,7 +284,7 @@ let solve_cmd =
     Term.(
       const run $ soc_arg $ buses_arg $ width_arg $ model_arg $ d_max_arg
       $ p_max_arg $ solver_arg $ gantt_arg $ time_limit_arg $ trace_arg
-      $ profile_arg)
+      $ profile_arg $ json_arg)
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Design one optimal test access architecture.")
@@ -294,15 +335,7 @@ let sweep_cmd =
           ~total_width:(List.fold_left max num_buses widths)
           ~model ~d_max ~p_max
       in
-      let solver =
-        match solver with
-        | "exact" -> Sweep.Exact
-        | "ilp" -> Sweep.Ilp { time_limit_s = None }
-        | "heuristic" -> Sweep.Heuristic
-        | other ->
-            raise
-              (Invalid_argument (Printf.sprintf "unknown solver %S" other))
-      in
+      let solver = sweep_solver_of_string solver in
       let cells =
         Sweep.cells
           ~time_model:(Problem.time_model probe)
@@ -318,17 +351,7 @@ let sweep_cmd =
       let totals = Sweep.totals rows in
       (match json_path with
       | Some path ->
-          let doc =
-            Json.Obj
-              [ ("soc", Json.Str (Soc.name soc));
-                ("num_buses", Json.int num_buses);
-                ("solver", Json.Str (Sweep.solver_name solver));
-                ("jobs", Json.int jobs);
-                ("rows", Json.Arr (List.map Sweep.json_of_row rows));
-                ("totals", Sweep.json_of_totals totals) ]
-          in
-          Out_channel.with_open_text path (fun oc ->
-              Out_channel.output_string oc (Json.to_string_pretty doc))
+          write_json path (rows_json ~jobs ~soc ~num_buses ~solver rows)
       | None -> ());
       let table_rows =
         List.map
@@ -486,6 +509,279 @@ let plan_cmd =
           tie-breaking.")
     Term.(const run $ soc_arg $ buses_arg $ widths_arg)
 
+(* ---- daemon client commands ---- *)
+
+let connect_arg =
+  let doc =
+    "tamoptd address: unix:$(i,PATH) (or any string containing a slash), \
+     tcp:$(i,HOST):$(i,PORT) or $(i,HOST):$(i,PORT)."
+  in
+  Arg.(
+    value
+    & opt string "unix:/tmp/tamoptd.sock"
+    & info [ "connect" ] ~docv:"ADDR" ~doc)
+
+let with_client addr f =
+  match Addr.of_string addr with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      2
+  | Ok addr -> (
+      match Client.connect addr with
+      | exception Unix.Unix_error (err, fn, arg) ->
+          Printf.eprintf "error: cannot reach tamoptd at %s: %s: %s %s\n"
+            (Addr.to_string addr) fn (Unix.error_message err) arg;
+          2
+      | client ->
+          Fun.protect
+            ~finally:(fun () -> Client.close client)
+            (fun () -> f addr client))
+
+let reply_is_ok reply =
+  match Json.member "ok" reply with
+  | Some (Json.Bool true) -> true
+  | _ -> false
+
+let rpc_cmd =
+  let line_arg =
+    let doc = "The request: one JSON object, sent as one line." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"JSON" ~doc)
+  in
+  let run connect line =
+    with_client connect @@ fun _addr client ->
+    match Client.rpc_line client line with
+    | exception End_of_file ->
+        Printf.eprintf "error: daemon hung up\n";
+        2
+    | reply -> (
+        print_endline reply;
+        match Json.parse reply with
+        | Ok reply when reply_is_ok reply -> 0
+        | Ok _ -> 3
+        | Error _ -> 3)
+  in
+  Cmd.v
+    (Cmd.info "rpc"
+       ~doc:
+         "Send one raw NDJSON request line to tamoptd, print the reply \
+          (exit 3 on an ok:false reply).")
+    Term.(const run $ connect_arg $ line_arg)
+
+let load_cmd =
+  let requests_arg =
+    let doc = "Total requests to send." in
+    Arg.(value & opt int 200 & info [ "n"; "requests" ] ~docv:"N" ~doc)
+  in
+  let concurrency_arg =
+    let doc = "Client worker threads, each with its own connection." in
+    Arg.(value & opt int 8 & info [ "c"; "concurrency" ] ~docv:"C" ~doc)
+  in
+  let hit_ratio_arg =
+    let doc =
+      "Target cache-hit ratio in [0,1]: the mix cycles over \
+       round((1-R) * N) distinct instances, so after each instance's \
+       first (miss) request the rest hit."
+    in
+    Arg.(value & opt float 0.5 & info [ "hit-ratio" ] ~docv:"R" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Per-request deadline_ms to attach." in
+    Arg.(
+      value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let sleep_arg =
+    let doc =
+      "Send sleep requests of $(docv) milliseconds instead of solves — \
+       an admission-control stressor with a known per-request cost."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "sleep-ms" ] ~docv:"MS" ~doc)
+  in
+  let json_arg =
+    let doc = "Write the load report as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let shutdown_arg =
+    let doc = "Send a shutdown request once the load completes." in
+    Arg.(value & flag & info [ "shutdown" ] ~doc)
+  in
+  let run connect requests concurrency hit_ratio soc_name num_buses
+      total_width model solver deadline_ms sleep_ms json_path shutdown =
+    try
+      if requests < 1 then raise (Invalid_argument "--requests < 1");
+      if concurrency < 1 then raise (Invalid_argument "--concurrency < 1");
+      if hit_ratio < 0.0 || hit_ratio > 1.0 then
+        raise (Invalid_argument "--hit-ratio outside [0,1]");
+      let solver =
+        match solver with
+        | "exact" -> Protocol.Exact
+        | "ilp" -> Protocol.Ilp
+        | "heuristic" -> Protocol.Heuristic
+        | other ->
+            raise
+              (Invalid_argument (Printf.sprintf "unknown solver %S" other))
+      in
+      let time_model =
+        match model with
+        | "serialization" -> Test_time.Serialization
+        | "scan" -> Test_time.Scan_distribution
+        | other ->
+            raise
+              (Invalid_argument
+                 (Printf.sprintf "unknown time model %S" other))
+      in
+      let distinct =
+        max 1
+          (int_of_float
+             (Float.round (float_of_int requests *. (1.0 -. hit_ratio))))
+      in
+      (* Request [i] targets instance [i mod distinct]; distinct
+         instances differ in total width, so each is one canonical
+         cache entry: first arrival a miss, the rest hits. *)
+      let request_line i =
+        let req =
+          match sleep_ms with
+          | Some ms -> Protocol.Sleep { ms }
+          | None ->
+              let instance =
+                {
+                  Protocol.soc_spec = Protocol.Named soc_name;
+                  solver;
+                  num_buses;
+                  total_width = total_width + (i mod distinct);
+                  time_model;
+                  d_max_mm = None;
+                  p_max_mw = None;
+                }
+              in
+              Protocol.Solve { instance; deadline_ms }
+        in
+        Json.to_string (Protocol.json_of_request ~id:(Json.int i) req)
+      in
+      let ok = Array.make requests false in
+      let was_cached = Array.make requests false in
+      let lat_ms = Array.make requests Float.nan in
+      let next = ref 0 in
+      let next_mutex = Mutex.create () in
+      let fetch () =
+        Mutex.lock next_mutex;
+        let i = !next in
+        if i < requests then incr next;
+        Mutex.unlock next_mutex;
+        if i < requests then Some i else None
+      in
+      let worker addr () =
+        let client = Client.connect addr in
+        Fun.protect
+          ~finally:(fun () -> Client.close client)
+          (fun () ->
+            let rec loop () =
+              match fetch () with
+              | None -> ()
+              | Some i ->
+                  let started = Clock.now_s () in
+                  (match Client.rpc_line client (request_line i) with
+                  | exception End_of_file -> ()
+                  | reply -> (
+                      lat_ms.(i) <- (Clock.now_s () -. started) *. 1000.0;
+                      match Json.parse reply with
+                      | Error _ -> ()
+                      | Ok reply ->
+                          ok.(i) <- reply_is_ok reply;
+                          was_cached.(i) <-
+                            (match Json.member "cached" reply with
+                            | Some (Json.Bool b) -> b
+                            | _ -> false)));
+                  loop ()
+            in
+            loop ())
+      in
+      with_client connect @@ fun addr control ->
+      let started = Clock.now_s () in
+      let threads =
+        List.init concurrency (fun _ -> Thread.create (worker addr) ())
+      in
+      List.iter Thread.join threads;
+      let wall_s = Clock.now_s () -. started in
+      let select pred =
+        let out = ref [] in
+        for i = requests - 1 downto 0 do
+          if pred i then out := lat_ms.(i) :: !out
+        done;
+        Array.of_list !out
+      in
+      let completed = select (fun i -> ok.(i)) in
+      let hits = select (fun i -> ok.(i) && was_cached.(i)) in
+      let misses = select (fun i -> ok.(i) && not was_cached.(i)) in
+      let latency samples =
+        let p50, p95, p99 = Metrics.percentiles samples in
+        Json.Obj
+          [ ("count", Json.int (Array.length samples));
+            ("p50_ms", Json.Num p50);
+            ("p95_ms", Json.Num p95);
+            ("p99_ms", Json.Num p99) ]
+      in
+      let errors = requests - Array.length completed in
+      let throughput = float_of_int requests /. wall_s in
+      let daemon_stats =
+        match
+          Client.rpc control (Protocol.json_of_request Protocol.Stats)
+        with
+        | Ok reply when reply_is_ok reply -> (
+            match Json.member "result" reply with
+            | Some stats -> stats
+            | None -> Json.Null)
+        | Ok _ | Error _ -> Json.Null
+      in
+      let report =
+        Json.Obj
+          [ ("requests", Json.int requests);
+            ("concurrency", Json.int concurrency);
+            ("target_hit_ratio", Json.Num hit_ratio);
+            ("distinct_instances", Json.int distinct);
+            ("wall_s", Json.Num wall_s);
+            ("throughput_rps", Json.Num throughput);
+            ("completed", Json.int (Array.length completed));
+            ("errors", Json.int errors);
+            ("cached", Json.int (Array.length hits));
+            ( "latency",
+              Json.Obj
+                [ ("all", latency completed);
+                  ("hit", latency hits);
+                  ("miss", latency misses) ] );
+            ("daemon", daemon_stats) ]
+      in
+      (match json_path with
+      | Some path -> write_json path report
+      | None -> ());
+      if shutdown then
+        ignore (Client.rpc control (Protocol.json_of_request Protocol.Shutdown));
+      let p50 a = Metrics.percentile a 0.50 in
+      Printf.printf
+        "load: %d requests, %d workers, %.2f s, %.1f req/s\n\
+        \  ok %d, cached %d, errors %d\n\
+        \  p50 ms: all %.3f, hit %.3f, miss %.3f (p99 all %.3f)\n"
+        requests concurrency wall_s throughput (Array.length completed)
+        (Array.length hits) errors (p50 completed) (p50 hits) (p50 misses)
+        (Metrics.percentile completed 0.99);
+      if errors > 0 then 1 else 0
+    with Invalid_argument msg ->
+      Printf.eprintf "error: %s\n" msg;
+      2
+  in
+  let term =
+    Term.(
+      const run $ connect_arg $ requests_arg $ concurrency_arg
+      $ hit_ratio_arg $ soc_arg $ buses_arg $ width_arg $ model_arg
+      $ solver_arg $ deadline_arg $ sleep_arg $ json_arg $ shutdown_arg)
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Drive tamoptd with a concurrent request mix and report \
+          throughput and latency percentiles.")
+    term
+
 let () =
   let doc =
     "SOC test access architecture design under place-and-route and power \
@@ -498,4 +794,4 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default
           (Cmd.info "tamopt" ~version:"1.0.0" ~doc)
-          [ solve_cmd; sweep_cmd; info_cmd; plan_cmd ]))
+          [ solve_cmd; sweep_cmd; info_cmd; plan_cmd; load_cmd; rpc_cmd ]))

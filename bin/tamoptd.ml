@@ -1,0 +1,94 @@
+(* tamoptd: the solver daemon. Binds a Unix-domain or TCP socket,
+   speaks the NDJSON protocol of Soctam_service.Protocol, and serves
+   solve/sweep requests from a pool of worker domains behind a result
+   cache and an admission queue. *)
+
+module Pool = Soctam_engine.Pool
+module Json = Soctam_obs.Json
+module Addr = Soctam_service.Addr
+module Service = Soctam_service.Service
+module Server = Soctam_service.Server
+
+open Cmdliner
+
+let listen_arg =
+  let doc =
+    "Address to listen on: unix:$(i,PATH) (or any string containing a \
+     slash) for a Unix-domain socket, tcp:$(i,HOST):$(i,PORT) or \
+     $(i,HOST):$(i,PORT) for TCP."
+  in
+  Arg.(
+    value
+    & opt string "unix:/tmp/tamoptd.sock"
+    & info [ "listen" ] ~docv:"ADDR" ~doc)
+
+let jobs_arg =
+  let doc = "Worker domains solving requests; 0 uses every core." in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let cache_arg =
+  let doc = "Result-cache capacity in entries; 0 disables caching." in
+  Arg.(value & opt int 256 & info [ "cache" ] ~docv:"N" ~doc)
+
+let queue_arg =
+  let doc =
+    "Admission limit: work requests in flight beyond this are refused \
+     with an \"overloaded\" error instead of queuing."
+  in
+  Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+
+let stats_json_arg =
+  let doc = "Write the final stats object to $(docv) on clean shutdown." in
+  Arg.(
+    value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE" ~doc)
+
+let run listen jobs cache queue stats_json =
+  match Addr.of_string listen with
+  | Error msg ->
+      Printf.eprintf "tamoptd: %s\n" msg;
+      2
+  | Ok addr -> (
+      try
+        let jobs =
+          if jobs < 0 then
+            raise
+              (Invalid_argument (Printf.sprintf "--jobs %d: negative" jobs))
+          else if jobs = 0 then Domain.recommended_domain_count ()
+          else jobs
+        in
+        Pool.with_pool ~num_domains:jobs (fun pool ->
+            let service =
+              Service.create ~cache_capacity:cache ~queue_capacity:queue
+                ~pool ()
+            in
+            let on_bound () =
+              Printf.printf
+                "tamoptd: listening on %s (jobs=%d cache=%d queue=%d)\n%!"
+                (Addr.to_string addr) jobs cache queue
+            in
+            Server.serve ~on_bound ~service addr;
+            (match stats_json with
+            | Some path ->
+                Out_channel.with_open_text path (fun oc ->
+                    Out_channel.output_string oc
+                      (Json.to_string_pretty (Service.stats_json service)))
+            | None -> ());
+            print_endline "tamoptd: shutdown complete");
+        0
+      with
+      | Invalid_argument msg | Failure msg ->
+          Printf.eprintf "tamoptd: %s\n" msg;
+          2
+      | Unix.Unix_error (err, fn, arg) ->
+          Printf.eprintf "tamoptd: %s: %s %s\n" fn (Unix.error_message err)
+            arg;
+          2)
+
+let () =
+  let doc = "Solver daemon for SOC test access architecture design." in
+  let term =
+    Term.(
+      const run $ listen_arg $ jobs_arg $ cache_arg $ queue_arg
+      $ stats_json_arg)
+  in
+  exit (Cmd.eval' (Cmd.v (Cmd.info "tamoptd" ~version:"1.0.0" ~doc) term))

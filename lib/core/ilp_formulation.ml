@@ -201,10 +201,27 @@ let decode problem x delta point =
   in
   Architecture.make ~widths ~assignment
 
+(* Per-request deadlines (absolute [Clock.now_s] instants, e.g. from a
+   server's admission timestamp plus the client's budget) fold into the
+   relative time-limit path: the effective budget is the smaller of the
+   explicit limit and the time remaining until the deadline, clamped at
+   zero so an already-expired deadline yields an immediate
+   [Node_limit]-style partial verdict instead of any search. *)
+let effective_time_limit ?time_limit_s ?deadline_s ~start () =
+  match deadline_s with
+  | None -> time_limit_s
+  | Some d ->
+      let remaining = Float.max 0.0 (d -. start) in
+      Some
+        (match time_limit_s with
+        | None -> remaining
+        | Some l -> Float.min l remaining)
+
 let solve ?formulation ?symmetry_breaking ?(seed_incumbent = true)
-    ?(node_limit = 500_000) ?time_limit_s problem =
+    ?(node_limit = 500_000) ?time_limit_s ?deadline_s problem =
  Obs.span "ilp.solve" @@ fun () ->
   let start = Clock.now_s () in
+  let time_limit_s = effective_time_limit ?time_limit_s ?deadline_s ~start () in
   let model, x, delta, _ =
     Obs.span "ilp.build" (fun () ->
         build ?formulation ?symmetry_breaking problem)
@@ -215,8 +232,12 @@ let solve ?formulation ?symmetry_breaking ?(seed_incumbent = true)
   let nb = Problem.num_buses problem in
   let num_x = n * nb in
   let branch_priority v = if v >= num_x then 1 else 0 in
+  (* With the budget already exhausted (expired deadline) the answer is
+     an immediate partial verdict; don't burn time computing a seed
+     incumbent that cannot be used. *)
+  let expired = match time_limit_s with Some l -> l <= 0.0 | None -> false in
   let incumbent =
-    if seed_incumbent then
+    if seed_incumbent && not expired then
       match Obs.span "ilp.incumbent" (fun () -> Heuristics.solve problem) with
       | Some { Heuristics.test_time; _ } ->
           (* Branch-and-bound prunes nodes whose bound reaches the
@@ -332,9 +353,11 @@ let build_assignment problem ~widths =
   Model.set_objective model Model.Minimize (Lin_expr.var t_var);
   (model, x)
 
-let solve_assignment ?(node_limit = 500_000) ?time_limit_s problem ~widths =
+let solve_assignment ?(node_limit = 500_000) ?time_limit_s ?deadline_s
+    problem ~widths =
  Obs.span "ilp.solve_assignment" @@ fun () ->
   let start = Clock.now_s () in
+  let time_limit_s = effective_time_limit ?time_limit_s ?deadline_s ~start () in
   let model, x = build_assignment problem ~widths in
   let outcome =
     Branch_bound.solve ~node_limit ?time_limit_s ~integral_objective:true

@@ -58,13 +58,22 @@ val build :
 (** [solve ?formulation ?symmetry_breaking ?seed_incumbent ?node_limit
     problem] builds and solves the MILP to optimality.
     [seed_incumbent] (default [true]) primes branch and bound with the
-    heuristic solution's value. *)
+    heuristic solution's value.
+
+    [deadline_s] is an {e absolute} {!Soctam_obs.Clock.now_s} instant
+    (as opposed to the relative [time_limit_s]); the effective budget
+    is the smaller of the two. It exists for request-serving callers
+    ([tamoptd]): queue wait counts against the client's deadline, and
+    an already-expired deadline returns a best-found
+    ([optimal = false]) verdict immediately instead of stalling a
+    worker. *)
 val solve :
   ?formulation:formulation ->
   ?symmetry_breaking:bool ->
   ?seed_incumbent:bool ->
   ?node_limit:int ->
   ?time_limit_s:float ->
+  ?deadline_s:float ->
   Problem.t ->
   result
 
@@ -77,6 +86,7 @@ val solve :
 val solve_assignment :
   ?node_limit:int ->
   ?time_limit_s:float ->
+  ?deadline_s:float ->
   Problem.t ->
   widths:int array ->
   result

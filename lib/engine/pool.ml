@@ -133,6 +133,28 @@ let map t ~f arr =
         Array.map (function Some v -> v | None -> assert false) results
   end
 
+let submit t task =
+  (* No result channel: a raising task would otherwise unwind a worker
+     domain's loop and silently shrink the pool. Contain it and leave a
+     metric breadcrumb instead. *)
+  let task () = try task () with _ -> Obs.incr "pool.submit_exn" in
+  Mutex.lock t.mutex;
+  if t.stopped then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.submit: pool shut down"
+  end
+  else if t.workers = [] then begin
+    (* A one-domain pool has nobody to hand the task to; run it inline
+       so submit never silently parks work on a dead queue. *)
+    Mutex.unlock t.mutex;
+    task ()
+  end
+  else begin
+    Queue.push task t.queue;
+    Condition.signal t.not_empty;
+    Mutex.unlock t.mutex
+  end
+
 let shutdown t =
   Mutex.lock t.mutex;
   if t.stopped then Mutex.unlock t.mutex

@@ -35,6 +35,19 @@ val num_domains : t -> int
     Raises [Invalid_argument] if the pool has been shut down. *)
 val map : t -> f:('a -> 'b) -> 'a array -> 'b array
 
+(** [submit t task] enqueues one fire-and-forget task for the worker
+    domains — the asynchronous complement to the batch-synchronous
+    {!map}, used by request servers that must not block the submitting
+    thread. Delivery of results is the task's own business (e.g. a
+    mutex/condition cell). On a one-domain pool the task runs inline in
+    the caller. Exceptions escaping the task are contained (counted as
+    the [pool.submit_exn] metric), never propagated — report failures
+    from inside the task. Callers are responsible for bounding the
+    number of outstanding tasks (the daemon's admission queue does);
+    {!submit} itself never blocks.
+    Raises [Invalid_argument] when the pool has been shut down. *)
+val submit : t -> (unit -> unit) -> unit
+
 (** Terminate the worker domains and join them. Idempotent; the pool
     rejects further {!map} calls. *)
 val shutdown : t -> unit

@@ -77,7 +77,7 @@ let build_memos cells =
       (soc, model, Memo.build ~model soc ~max_width:!widest))
     !groups
 
-let solve_cell memos cell =
+let solve_cell ?deadline_s memos cell =
   let memo =
     match
       List.find_opt
@@ -102,7 +102,7 @@ let solve_cell memos cell =
         (r.Soctam_core.Exact.solution, true,
          r.Soctam_core.Exact.stats.Soctam_core.Exact.nodes, 0, 0, 0, 0)
     | Ilp { time_limit_s } ->
-        let r = Ilp.solve ?time_limit_s problem in
+        let r = Ilp.solve ?time_limit_s ?deadline_s problem in
         ( r.Ilp.solution,
           r.Ilp.optimal,
           r.Ilp.stats.Ilp.bb_nodes,
@@ -138,13 +138,25 @@ let solve_cell memos cell =
     cold_solves;
     elapsed_s = Clock.elapsed_s ~since:start }
 
-let run ?pool cells =
+let solve_one ?deadline_s ?memo cell =
+  let memos =
+    match memo with
+    | Some memo
+      when Memo.soc memo == cell.soc
+           && Memo.model memo = cell.time_model
+           && Memo.max_width memo >= cell.total_width ->
+        [ (cell.soc, cell.time_model, memo) ]
+    | Some _ | None -> build_memos [ cell ]
+  in
+  solve_cell ?deadline_s memos cell
+
+let run ?pool ?deadline_s cells =
   let memos = Obs.span "sweep.build_memos" (fun () -> build_memos cells) in
   let arr = Array.of_list cells in
   let rows =
     match pool with
-    | None -> Array.map (solve_cell memos) arr
-    | Some pool -> Pool.map pool ~f:(solve_cell memos) arr
+    | None -> Array.map (solve_cell ?deadline_s memos) arr
+    | Some pool -> Pool.map pool ~f:(solve_cell ?deadline_s memos) arr
   in
   Array.to_list rows
 
@@ -183,6 +195,13 @@ let json_of_row r =
             Json.Arr
               (Array.to_list
                  (Array.map Json.int arch.Architecture.widths))
+        | None -> Json.Null );
+      ( "assignment",
+        match r.solution with
+        | Some (arch, _) ->
+            Json.Arr
+              (Array.to_list
+                 (Array.map Json.int arch.Architecture.assignment))
         | None -> Json.Null );
       ("feasible", Json.Bool (r.solution <> None));
       ("optimal", Json.Bool r.optimal);

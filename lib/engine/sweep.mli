@@ -67,12 +67,24 @@ val cells :
   widths:int list ->
   cell list
 
-(** [run ?pool cells] evaluates every cell and returns rows in cell
-    order. Without a pool the cells run sequentially in the caller —
-    bit-for-bit the behavior of the pre-engine loop; with a pool they
-    are fanned out as independent tasks. Staircase memos are built
-    up-front, one per distinct (SOC, time model) among the cells. *)
-val run : ?pool:Pool.t -> cell list -> row list
+(** [solve_one ?deadline_s ?memo cell] evaluates one cell in the
+    caller. When [memo] was built from the cell's very SOC value, under
+    its time model, and covers its width, it is reused; otherwise a
+    fresh memo is built. [deadline_s] is an absolute
+    {!Soctam_obs.Clock.now_s} instant forwarded to the ILP time-limit
+    path (see {!Soctam_core.Ilp_formulation.solve}); [Exact] and
+    [Heuristic] cells are fast on served instance sizes and run to
+    completion. This is the daemon's per-request entry point. *)
+val solve_one : ?deadline_s:float -> ?memo:Soctam_soc.Memo.t -> cell -> row
+
+(** [run ?pool ?deadline_s cells] evaluates every cell and returns rows
+    in cell order. Without a pool the cells run sequentially in the
+    caller — bit-for-bit the behavior of the pre-engine loop; with a
+    pool they are fanned out as independent tasks. Staircase memos are
+    built up-front, one per distinct (SOC, time model) among the cells.
+    [deadline_s] is shared by every cell: [Ilp] cells started after the
+    deadline return a best-found ([optimal = false]) row immediately. *)
+val run : ?pool:Pool.t -> ?deadline_s:float -> cell list -> row list
 
 val totals : row list -> totals
 
@@ -81,7 +93,9 @@ val totals : row list -> totals
 val solver_name : solver -> string
 
 (** One row / the totals as JSON — the schema shared by
-    [tamopt sweep --json] and the bench harness's [BENCH_sweep.json]. *)
+    [tamopt solve --json], [tamopt sweep --json], the [tamoptd]
+    responses and the bench harness's [BENCH_sweep.json]. Feasible rows
+    carry both the bus [widths] and the per-core bus [assignment]. *)
 val json_of_row : row -> Soctam_obs.Json.t
 
 val json_of_totals : totals -> Soctam_obs.Json.t

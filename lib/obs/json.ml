@@ -161,6 +161,37 @@ let parse s =
     go ();
     Buffer.contents buf
   in
+  (* Strict JSON number grammar: optional minus, then "0" or a
+     nonzero-led digit run, optional ".digits", optional exponent.
+     [float_of_string] alone is too permissive — it accepts "+5", ".5",
+     "5.", "01" and hex floats, so a malformed NDJSON token would be
+     silently folded into a number instead of rejected. *)
+  let valid_number tok =
+    let m = String.length tok in
+    let i = ref 0 in
+    let digits () =
+      let d = !i in
+      while !i < m && (match tok.[!i] with '0' .. '9' -> true | _ -> false) do
+        incr i
+      done;
+      !i > d
+    in
+    let ok = ref true in
+    if !i < m && tok.[!i] = '-' then incr i;
+    (* Integer part: a lone 0, or a nonzero-led digit run. *)
+    (if !i < m && tok.[!i] = '0' then incr i
+     else if not (digits ()) then ok := false);
+    if !ok && !i < m && tok.[!i] = '.' then begin
+      incr i;
+      if not (digits ()) then ok := false
+    end;
+    if !ok && !i < m && (tok.[!i] = 'e' || tok.[!i] = 'E') then begin
+      incr i;
+      if !i < m && (tok.[!i] = '+' || tok.[!i] = '-') then incr i;
+      if not (digits ()) then ok := false
+    end;
+    !ok && !i = m
+  in
   let parse_number () =
     let start = !pos in
     let num_char c =
@@ -171,7 +202,9 @@ let parse s =
     while !pos < n && num_char s.[!pos] do
       incr pos
     done;
-    match float_of_string_opt (String.sub s start (!pos - start)) with
+    let tok = String.sub s start (!pos - start) in
+    if not (valid_number tok) then fail "bad number";
+    match float_of_string_opt tok with
     | Some x -> Num x
     | None -> fail "bad number"
   in

@@ -28,7 +28,11 @@ val to_string_pretty : t -> string
 
 (** [parse s] parses one JSON value (surrounding whitespace allowed).
     Returns [Error msg] with a byte offset on malformed input or
-    trailing garbage. *)
+    trailing garbage — anything after the top-level value, and
+    non-JSON number spellings (["01"], ["+5"], [".5"], ["5."]) that a
+    lax [float_of_string] would fold into the value, are rejected.
+    The [tamoptd] NDJSON loop relies on this: a malformed request line
+    must produce an error reply, never a silently-misread request. *)
 val parse : string -> (t, string) result
 
 (** [member key json] looks up [key] in an [Obj]; [None] on missing

@@ -1,0 +1,47 @@
+type t =
+  | Unix_path of string
+  | Tcp of { host : string; port : int }
+
+let tcp_of_string spec =
+  match String.rindex_opt spec ':' with
+  | None -> Error "TCP address must be HOST:PORT"
+  | Some i -> (
+      let host = String.sub spec 0 i in
+      let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt port with
+      | Some port when port >= 1 && port <= 65535 && host <> "" ->
+          Ok (Tcp { host; port })
+      | _ -> Error (Printf.sprintf "bad TCP address %S (want HOST:PORT)" spec))
+
+let of_string spec =
+  let prefixed p =
+    if String.length spec > String.length p
+       && String.sub spec 0 (String.length p) = p
+    then Some (String.sub spec (String.length p)
+                 (String.length spec - String.length p))
+    else None
+  in
+  match prefixed "unix:" with
+  | Some path -> Ok (Unix_path path)
+  | None -> (
+      match prefixed "tcp:" with
+      | Some rest -> tcp_of_string rest
+      | None ->
+          if String.contains spec '/' then Ok (Unix_path spec)
+          else tcp_of_string spec)
+
+let to_string = function
+  | Unix_path path -> "unix:" ^ path
+  | Tcp { host; port } -> Printf.sprintf "tcp:%s:%d" host port
+
+let sockaddr = function
+  | Unix_path path -> Unix.ADDR_UNIX path
+  | Tcp { host; port } -> (
+      match Unix.inet_addr_of_string host with
+      | addr -> Unix.ADDR_INET (addr, port)
+      | exception Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 ->
+              Unix.ADDR_INET (addrs.(0), port)
+          | _ | (exception Not_found) ->
+              failwith (Printf.sprintf "cannot resolve host %S" host)))

@@ -1,0 +1,19 @@
+(** Daemon endpoint addresses, shared by {!Server} and {!Client}.
+
+    The textual forms accepted by [--listen] / [--connect]:
+    ["unix:/run/tamoptd.sock"] (or any string containing a ['/']) for a
+    Unix-domain socket, ["tcp:HOST:PORT"] or plain ["HOST:PORT"] for
+    TCP. *)
+
+type t =
+  | Unix_path of string
+  | Tcp of { host : string; port : int }
+
+val of_string : string -> (t, string) result
+
+(** Round-trips through {!of_string}. *)
+val to_string : t -> string
+
+(** Resolve to a connectable/bindable socket address. Raises
+    [Failure] when a TCP host does not resolve. *)
+val sockaddr : t -> Unix.sockaddr

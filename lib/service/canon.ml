@@ -1,0 +1,68 @@
+module Soc = Soctam_soc.Soc
+module Core_def = Soctam_soc.Core_def
+module Test_time = Soctam_soc.Test_time
+module Problem = Soctam_core.Problem
+
+type t = { key : string; digest : string; perm : int array }
+
+(* Floats (power rating, footprint) print as hex floats: exact, no
+   rounding collisions between nearby values. *)
+let core_line (c : Core_def.t) =
+  let ff = Core_def.flip_flops c and ch = Core_def.chains c in
+  let w, h = c.Core_def.dim_mm in
+  Printf.sprintf "%s|%d|%d|%d|%d|%d|%h|%hx%h" c.Core_def.name
+    c.Core_def.inputs c.Core_def.outputs ff ch c.Core_def.patterns
+    c.Core_def.power_mw w h
+
+let of_instance ?(extra = "") ~soc ~time_model ~constraints ~solver
+    ~num_buses ~total_width () =
+  let n = Soc.num_cores soc in
+  let lines = Array.init n (fun i -> core_line (Soc.core soc i)) in
+  (* Unique names make the comparison a strict total order: the sorted
+     sequence — and hence the key and [perm] — is independent of the
+     request's core order. *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare lines.(a) lines.(b)) order;
+  let perm = Array.make n 0 in
+  Array.iteri (fun pos i -> perm.(i) <- pos) order;
+  let map_pairs pairs =
+    List.map
+      (fun (a, b) ->
+        let a = perm.(a) and b = perm.(b) in
+        (min a b, max a b))
+      pairs
+    |> List.sort_uniq compare
+  in
+  let pair_str pairs =
+    String.concat ","
+      (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) pairs)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "soctam-canon-v1\n";
+  Buffer.add_string buf
+    (Printf.sprintf "model=%s solver=%s nb=%d w=%d extra=%s\n"
+       (Test_time.model_name time_model)
+       solver num_buses total_width extra);
+  Array.iter
+    (fun i ->
+      Buffer.add_string buf lines.(i);
+      Buffer.add_char buf '\n')
+    order;
+  Buffer.add_string buf
+    (Printf.sprintf "excl=%s\nco=%s\n"
+       (pair_str (map_pairs constraints.Problem.exclusion_pairs))
+       (pair_str (map_pairs constraints.Problem.co_pairs)));
+  let key = Buffer.contents buf in
+  { key; digest = Digest.to_hex (Digest.string key); perm }
+
+let apply_perm t a =
+  if Array.length a <> Array.length t.perm then
+    invalid_arg "Canon.apply_perm: length mismatch";
+  Array.init (Array.length a) (fun i -> a.(t.perm.(i)))
+
+let store_perm t a =
+  if Array.length a <> Array.length t.perm then
+    invalid_arg "Canon.store_perm: length mismatch";
+  let out = Array.make (Array.length a) a.(0) in
+  Array.iteri (fun i v -> out.(t.perm.(i)) <- v) a;
+  out

@@ -1,0 +1,61 @@
+(** Canonical instance identity for the result cache.
+
+    Two requests describe the same optimization instance whenever one
+    is a relabelling of the other: core order in the SOC is arbitrary
+    (constraint pairs move with the cores), and bus labels carry no
+    meaning at all (the request only fixes the bus {e count}). The
+    cache must therefore key on a {b canonical form}, not on the raw
+    request bytes — otherwise a client enumerating the same design in a
+    different core order pays a full re-solve.
+
+    Soundness over recall: the cache key is the full canonical
+    serialization (every core attribute, both constraint pair lists,
+    the bus count, the width budget, the time model and the solver), so
+    a key collision is impossible and a cache hit can never return the
+    answer to a {e different} instance. Core names participate in the
+    ordering — [Soctam_soc.Soc.make] guarantees they are unique, which
+    makes the sort a strict total order with no tie-breaking needed —
+    and in the key, so renamed-but-identical SOCs miss (safe) rather
+    than requiring graph canonization to hit. *)
+
+type t = {
+  key : string;
+      (** Canonical serialization — the cache lookup key. Injective:
+          equal keys imply equal instances up to core/bus relabelling. *)
+  digest : string;
+      (** MD5 of [key] in hex; a compact id for logs and stats. *)
+  perm : int array;
+      (** [perm.(i)] is the canonical position of request core [i].
+          Cached per-core data (e.g. a bus assignment) is stored in
+          canonical order and mapped back through [perm] on a hit, so a
+          permuted request receives an answer in {e its own} core
+          order. *)
+}
+
+(** [of_instance ~soc ~time_model ~constraints ~solver ~num_buses
+    ~total_width] builds the canonical identity. [solver] is the
+    solver's stable tag (e.g. {!Soctam_engine.Sweep.solver_name}):
+    different solvers may return different (equally valid)
+    architectures, so they cache separately. [extra] (default [""])
+    folds request facets beyond the single instance into the key — the
+    sweep width list, for instance. *)
+val of_instance :
+  ?extra:string ->
+  soc:Soctam_soc.Soc.t ->
+  time_model:Soctam_soc.Test_time.model ->
+  constraints:Soctam_core.Problem.constraints ->
+  solver:string ->
+  num_buses:int ->
+  total_width:int ->
+  unit ->
+  t
+
+(** [apply_perm t a] reads a canonical-order per-core array back into
+    request order: element [i] of the result is [a.(t.perm.(i))].
+    Raises [Invalid_argument] on a length mismatch. *)
+val apply_perm : t -> 'a array -> 'a array
+
+(** [store_perm t a] writes a request-order per-core array into
+    canonical order: element [t.perm.(i)] of the result is [a.(i)].
+    Inverse of {!apply_perm}. *)
+val store_perm : t -> 'a array -> 'a array

@@ -1,0 +1,45 @@
+module Json = Soctam_obs.Json
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutex : Mutex.t;
+}
+
+let connect addr =
+  let domain =
+    match addr with
+    | Addr.Unix_path _ -> Unix.PF_UNIX
+    | Addr.Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd (Addr.sockaddr addr) with
+  | () -> ()
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e);
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    mutex = Mutex.create ();
+  }
+
+let rpc_line t line =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      output_string t.oc line;
+      output_char t.oc '\n';
+      flush t.oc;
+      input_line t.ic)
+
+let rpc t request =
+  match rpc_line t (Json.to_string request) with
+  | line -> Json.parse line
+  | exception End_of_file -> Error "daemon hung up"
+
+let close t =
+  try Unix.close t.fd with Unix.Unix_error _ -> ()

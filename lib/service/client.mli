@@ -1,0 +1,22 @@
+(** Blocking NDJSON client, the substrate of [tamopt load] / [tamopt
+    rpc] and the service tests.
+
+    One {!t} is one connection with strict request/response pairing
+    (an internal mutex serializes callers); concurrency means one
+    client per worker thread, which is exactly how the load generator
+    uses it. *)
+
+type t
+
+(** Raises [Unix.Unix_error] when the daemon is not there. *)
+val connect : Addr.t -> t
+
+(** [rpc_line t line] sends one raw line and returns the response
+    line. Raises [End_of_file] when the daemon hangs up. *)
+val rpc_line : t -> string -> string
+
+(** [rpc t request] renders, sends, and parses the reply object. *)
+val rpc :
+  t -> Soctam_obs.Json.t -> (Soctam_obs.Json.t, string) result
+
+val close : t -> unit

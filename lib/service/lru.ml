@@ -1,0 +1,106 @@
+(* Hashtbl for lookup + doubly-linked recency list for O(1) promotion
+   and eviction. [head] is most recent, [tail] least recent. *)
+
+type 'v node = {
+  nkey : string;
+  mutable value : 'v;
+  mutable prev : 'v node option;  (* towards head / more recent *)
+  mutable next : 'v node option;  (* towards tail / less recent *)
+}
+
+type 'v t = {
+  mutex : Mutex.t;
+  cap : int;
+  tbl : (string, 'v node) Hashtbl.t;
+  mutable head : 'v node option;
+  mutable tail : 'v node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  length : int;
+  capacity : int;
+}
+
+let create ~capacity () =
+  if capacity < 0 then invalid_arg "Lru.create: capacity < 0";
+  { mutex = Mutex.create ();
+    cap = capacity;
+    tbl = Hashtbl.create (max 16 capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0 }
+
+let capacity t = t.cap
+
+let length t = Hashtbl.length t.tbl
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some nx -> nx.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> ());
+  t.head <- Some node;
+  if t.tail = None then t.tail <- Some node
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find t key =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.tbl key with
+  | Some node ->
+      t.hits <- t.hits + 1;
+      unlink t node;
+      push_front t node;
+      Some node.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let put t key v =
+  locked t @@ fun () ->
+  if t.cap = 0 then ()
+  else begin
+    (match Hashtbl.find_opt t.tbl key with
+    | Some node ->
+        node.value <- v;
+        unlink t node;
+        push_front t node
+    | None ->
+        let node = { nkey = key; value = v; prev = None; next = None } in
+        Hashtbl.replace t.tbl key node;
+        push_front t node);
+    if Hashtbl.length t.tbl > t.cap then
+      match t.tail with
+      | Some lru ->
+          unlink t lru;
+          Hashtbl.remove t.tbl lru.nkey;
+          t.evictions <- t.evictions + 1
+      | None -> assert false
+  end
+
+let stats t =
+  locked t @@ fun () ->
+  { hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    length = Hashtbl.length t.tbl;
+    capacity = t.cap }

@@ -1,0 +1,44 @@
+(** Bounded, thread-safe LRU result cache.
+
+    String-keyed map with least-recently-used eviction once [capacity]
+    entries are resident. {!find} and {!put} both count as a use. All
+    operations take an internal mutex, so the daemon's connection
+    threads and the pool's worker domains can share one cache; the
+    critical sections are O(1) hash + list splicing, never a solve.
+
+    Hit/miss/eviction counters are cumulative since {!create} — they
+    feed the daemon's [stats] reply and the CI smoke assertion
+    [cache_hits >= 1]. *)
+
+type 'v t
+
+(** [create ~capacity ()] builds an empty cache. [capacity = 0] is
+    legal and degenerates to a counter-only cache that stores nothing
+    (every lookup a miss) — how [tamoptd --cache 0] disables caching
+    without a second code path. Raises [Invalid_argument] when
+    [capacity < 0]. *)
+val create : capacity:int -> unit -> 'v t
+
+val capacity : 'v t -> int
+
+(** Resident entries. *)
+val length : 'v t -> int
+
+(** [find t key] returns the cached value and marks it most recently
+    used; counts a hit or a miss. *)
+val find : 'v t -> string -> 'v option
+
+(** [put t key v] inserts or replaces, marks the entry most recently
+    used, and evicts the least recently used entry when over
+    capacity. *)
+val put : 'v t -> string -> 'v -> unit
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  length : int;
+  capacity : int;
+}
+
+val stats : 'v t -> stats

@@ -1,0 +1,31 @@
+(** Latency bookkeeping for the daemon and the load generator.
+
+    {!Ring} keeps the last [capacity] samples (a sliding window, O(1)
+    per record) so the daemon's [stats] reply reports {e recent}
+    latency percentiles without unbounded memory; the load generator
+    uses plain arrays of every sample. Both report through
+    {!percentiles}. *)
+
+(** [percentile samples q] is the nearest-rank [q]-quantile
+    ([0 <= q <= 1]) of [samples] (need not be sorted; not modified).
+    [nan] on an empty array. *)
+val percentile : float array -> float -> float
+
+(** [(p50, p95, p99)] of [samples]; [nan]s when empty. *)
+val percentiles : float array -> float * float * float
+
+module Ring : sig
+  type t
+
+  (** Raises [Invalid_argument] when [capacity < 1]. *)
+  val create : capacity:int -> t
+
+  (** Thread-safe append; overwrites the oldest sample when full. *)
+  val record : t -> float -> unit
+
+  (** Total samples ever recorded (not just resident). *)
+  val count : t -> int
+
+  (** Snapshot of the resident window, oldest first. *)
+  val samples : t -> float array
+end

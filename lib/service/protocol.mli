@@ -1,0 +1,103 @@
+(** The [tamoptd] wire protocol: newline-delimited JSON.
+
+    One request per line, one response line per request, in order, per
+    connection. Both sides ride on {!Soctam_obs.Json}; a line that does
+    not parse as exactly one JSON object produces an [ok:false] error
+    reply with code ["bad_request"] — never a silently-misread request.
+
+    Requests carry an [op] plus op-specific fields. An optional [id]
+    (any JSON value) is echoed verbatim in the reply so pipelining
+    clients can match responses.
+
+    {v
+    {"id":1,"op":"solve","soc":"s1","solver":"ilp","num_buses":2,
+     "total_width":16,"model":"serialization","d_max":12.5,
+     "p_max":900,"deadline_ms":500}
+    {"id":2,"op":"sweep","soc":"rnd:7:6","solver":"exact",
+     "num_buses":2,"widths":[8,16,24]}
+    {"id":3,"op":"stats"}   {"op":"ping"}   {"op":"shutdown"}
+    {"op":"sleep","ms":50}
+    v}
+
+    [soc] is a benchmark spec string (["s1"], ["rnd:<seed>:<n>"],
+    ["file:<path>"]) or an inline object
+    [{"name":…,"cores":[{"name":…,"inputs":…,"outputs":…,"patterns":…,
+    "ff":…,"chains":…,"power_mw":…,"dim_mm":[w,h]},…]}] — [ff]/[chains]
+    default to a combinational core, [power_mw]/[dim_mm] to the
+    synthesized {!Soctam_soc.Benchmarks} values, exactly like the
+    textual {!Soctam_soc.Soc_file} format.
+
+    [sleep] exists for load and admission-control testing: it occupies
+    a worker for [ms] milliseconds and returns [{"slept_ms":…}].
+
+    Replies: [{"id":…,"ok":true,"cached":…,"elapsed_ms":…,"result":…}]
+    where solve/sweep results use the row schema of
+    [tamopt sweep --json] ([rows] + [totals]), or
+    [{"id":…,"ok":false,"error":{"code":…,"message":…}}] with codes
+    ["bad_request"], ["overloaded"], ["shutting_down"] or
+    ["internal"]. *)
+
+type solver = Exact | Ilp | Heuristic
+
+type soc_spec =
+  | Named of string  (** Benchmark spec string, resolved server-side. *)
+  | Inline of Soctam_soc.Soc.t
+
+type instance = {
+  soc_spec : soc_spec;
+  solver : solver;
+  num_buses : int;
+  total_width : int;
+  time_model : Soctam_soc.Test_time.model;
+  d_max_mm : float option;
+      (** Layout budget: derive exclusion pairs from the floorplan. *)
+  p_max_mw : float option;
+      (** Power budget: derive co-assignment pairs. *)
+}
+
+type request =
+  | Solve of { instance : instance; deadline_ms : float option }
+  | Sweep of {
+      instance : instance;  (** [total_width] is [max widths]. *)
+      widths : int list;
+      deadline_ms : float option;
+    }
+  | Stats
+  | Ping
+  | Sleep of { ms : float }
+  | Shutdown
+
+val solver_name : solver -> string
+
+(** [id_of json] is the request's [id] field, [Null] when absent or the
+    line was not an object. *)
+val id_of : Soctam_obs.Json.t -> Soctam_obs.Json.t
+
+(** [parse_request json] validates one request object. Errors are
+    human-readable reasons ("solve: num_buses must be a positive
+    integer", …). *)
+val parse_request :
+  Soctam_obs.Json.t -> (request, string) result
+
+(** [resolve_soc spec] materializes the SOC: [Inline] as-is, [Named]
+    through the same spec grammar as [tamopt --soc] (["s1"]/["s2"]/
+    ["s3"], ["rnd:<seed>:<n>"], ["file:<path>"]). Errors are
+    human-readable and become [bad_request] replies. *)
+val resolve_soc : soc_spec -> (Soctam_soc.Soc.t, string) result
+
+(** [json_of_request ?id req] renders a request the daemon parses back
+    — the client half of the protocol, used by [tamopt load]/[rpc] and
+    the tests. *)
+val json_of_request : ?id:Soctam_obs.Json.t -> request -> Soctam_obs.Json.t
+
+(** Reply constructors (one line each, compact rendering). *)
+
+val ok_reply :
+  id:Soctam_obs.Json.t ->
+  ?cached:bool ->
+  ?elapsed_ms:float ->
+  Soctam_obs.Json.t ->
+  Soctam_obs.Json.t
+
+val error_reply :
+  id:Soctam_obs.Json.t -> code:string -> string -> Soctam_obs.Json.t

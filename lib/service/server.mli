@@ -1,0 +1,22 @@
+(** The socket front end of [tamoptd].
+
+    {!serve} binds, accepts, and runs one systhread per connection;
+    each thread reads NDJSON lines and answers through
+    {!Service.handle_line} (which parks it while a pool worker domain
+    does the solving). The accept loop polls the shutdown flag a few
+    times a second, so a [{"op":"shutdown"}] request makes {!serve}
+    stop accepting, {!Service.drain} the in-flight work, hang up the
+    remaining connections and return — a clean exit the CI smoke test
+    asserts on.
+
+    SIGPIPE is ignored for the whole process (a client hanging up
+    mid-reply must not kill the daemon); Unix-domain socket paths are
+    unlinked before bind and after shutdown. *)
+
+(** [serve ?backlog ~service addr] blocks until a shutdown request is
+    served. Raises [Unix.Unix_error] when the address cannot be bound.
+    [on_bound] (for tests and scripts) runs once the socket is
+    listening, e.g. to signal readiness. *)
+val serve :
+  ?backlog:int -> ?on_bound:(unit -> unit) -> service:Service.t ->
+  Addr.t -> unit

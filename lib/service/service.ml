@@ -1,0 +1,371 @@
+module Json = Soctam_obs.Json
+module Obs = Soctam_obs.Obs
+module Clock = Soctam_obs.Clock
+module Soc = Soctam_soc.Soc
+module Problem = Soctam_core.Problem
+module Architecture = Soctam_core.Architecture
+module Floorplan = Soctam_layout.Floorplan
+module Layout_conflicts = Soctam_layout.Conflicts
+module Power_conflicts = Soctam_power.Power_conflicts
+module Pool = Soctam_engine.Pool
+module Sweep = Soctam_engine.Sweep
+
+type t = {
+  pool : Pool.t;
+  cache : Sweep.row list Lru.t;
+  queue_capacity : int;
+  mutex : Mutex.t;
+  idle : Condition.t;  (* signalled when [active] drops to 0 *)
+  mutable active : int;  (* admitted work requests not yet completed *)
+  mutable shutting_down : bool;
+  mutable received : int;
+  mutable malformed : int;
+  mutable shed : int;
+  mutable completed : int;
+  mutable failed : int;
+  started_s : float;
+  hit_lat_ms : Metrics.Ring.t;
+  miss_lat_ms : Metrics.Ring.t;
+}
+
+let create ?(cache_capacity = 256) ?(queue_capacity = 64) ~pool () =
+  if queue_capacity < 1 then
+    invalid_arg "Service.create: queue_capacity < 1";
+  {
+    pool;
+    cache = Lru.create ~capacity:cache_capacity ();
+    queue_capacity;
+    mutex = Mutex.create ();
+    idle = Condition.create ();
+    active = 0;
+    shutting_down = false;
+    received = 0;
+    malformed = 0;
+    shed = 0;
+    completed = 0;
+    failed = 0;
+    started_s = Clock.now_s ();
+    hit_lat_ms = Metrics.Ring.create ~capacity:1024;
+    miss_lat_ms = Metrics.Ring.create ~capacity:1024;
+  }
+
+let shutdown_requested t =
+  Mutex.lock t.mutex;
+  let s = t.shutting_down in
+  Mutex.unlock t.mutex;
+  s
+
+let drain t =
+  Mutex.lock t.mutex;
+  while t.active > 0 do
+    Condition.wait t.idle t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+(* ---- admission ---- *)
+
+let try_admit t =
+  Mutex.lock t.mutex;
+  let verdict =
+    if t.shutting_down then `Shutting_down
+    else if t.active >= t.queue_capacity then begin
+      t.shed <- t.shed + 1;
+      `Overloaded
+    end
+    else begin
+      t.active <- t.active + 1;
+      `Admitted
+    end
+  in
+  Mutex.unlock t.mutex;
+  verdict
+
+let release t ~ok =
+  Mutex.lock t.mutex;
+  t.active <- t.active - 1;
+  if ok then t.completed <- t.completed + 1 else t.failed <- t.failed + 1;
+  if t.active = 0 then Condition.broadcast t.idle;
+  Mutex.unlock t.mutex
+
+(* ---- instance assembly ---- *)
+
+let sweep_solver : Protocol.solver -> Sweep.solver = function
+  | Protocol.Exact -> Sweep.Exact
+  | Protocol.Ilp -> Sweep.Ilp { time_limit_s = None }
+  | Protocol.Heuristic -> Sweep.Heuristic
+
+let constraints_of ~soc (inst : Protocol.instance) =
+  let exclusion_pairs =
+    match inst.d_max_mm with
+    | None -> []
+    | Some d ->
+        Layout_conflicts.exclusion_pairs (Floorplan.place soc) ~d_max_mm:d
+  in
+  let co_pairs =
+    match inst.p_max_mw with
+    | None -> []
+    | Some p -> Power_conflicts.co_assignment_pairs soc ~p_max_mw:p
+  in
+  { Problem.exclusion_pairs; co_pairs }
+
+(* Cached rows live in canonical core order; [`Store] maps a freshly
+   solved request-order row in, [`Serve] maps a cached row out into the
+   requester's own core order. Bus widths are bus-indexed, not
+   core-indexed, so only the assignment moves. *)
+let remap_rows canon dir rows =
+  List.map
+    (fun (row : Sweep.row) ->
+      match row.Sweep.solution with
+      | None -> row
+      | Some (arch, time) ->
+          let assignment =
+            match dir with
+            | `Store -> Canon.store_perm canon arch.Architecture.assignment
+            | `Serve -> Canon.apply_perm canon arch.Architecture.assignment
+          in
+          let arch =
+            Architecture.make ~widths:(Array.copy arch.Architecture.widths)
+              ~assignment
+          in
+          { row with Sweep.solution = Some (arch, time) })
+    rows
+
+let result_json ~soc ~(inst : Protocol.instance) rows =
+  Json.Obj
+    [ ("soc", Json.Str (Soc.name soc));
+      ("solver", Json.Str (Protocol.solver_name inst.solver));
+      ("num_buses", Json.int inst.num_buses);
+      ("rows", Json.Arr (List.map Sweep.json_of_row rows));
+      ("totals", Sweep.json_of_totals (Sweep.totals rows)) ]
+
+(* ---- request execution (runs on a pool worker domain) ---- *)
+
+let elapsed_ms ~arrival = (Clock.now_s () -. arrival) *. 1000.0
+
+let work t ~id ~arrival ~(instance : Protocol.instance) ~widths ~deadline_ms
+    ~op =
+  let deadline_s =
+    Option.map (fun ms -> arrival +. (ms /. 1000.0)) deadline_ms
+  in
+  match Protocol.resolve_soc instance.soc_spec with
+  | Error msg -> Protocol.error_reply ~id ~code:"bad_request" msg
+  | Ok soc -> (
+      match
+        let constraints = constraints_of ~soc instance in
+        let solver = sweep_solver instance.solver in
+        let cells =
+          Sweep.cells ~time_model:instance.time_model ~constraints ~solver
+            soc ~num_buses:instance.num_buses ~widths
+        in
+        let extra =
+          match op with
+          | `Solve -> ""
+          | `Sweep ->
+              "widths="
+              ^ String.concat "," (List.map string_of_int widths)
+        in
+        let canon =
+          Canon.of_instance ~extra ~soc ~time_model:instance.time_model
+            ~constraints
+            ~solver:(Sweep.solver_name solver)
+            ~num_buses:instance.num_buses ~total_width:instance.total_width
+            ()
+        in
+        (cells, canon)
+      with
+      | exception Invalid_argument msg ->
+          Protocol.error_reply ~id ~code:"bad_request" msg
+      | cells, canon -> (
+          match Lru.find t.cache canon.Canon.key with
+          | Some rows ->
+              Obs.incr "svc.cache_hit";
+              let rows = remap_rows canon `Serve rows in
+              let el = elapsed_ms ~arrival in
+              Metrics.Ring.record t.hit_lat_ms el;
+              Protocol.ok_reply ~id ~cached:true ~elapsed_ms:el
+                (result_json ~soc ~inst:instance rows)
+          | None -> (
+              Obs.incr "svc.cache_miss";
+              let expired =
+                match deadline_s with
+                | Some d -> Clock.now_s () >= d
+                | None -> false
+              in
+              if expired then
+                Protocol.error_reply ~id ~code:"deadline_exceeded"
+                  "deadline expired before the solver started"
+              else
+                match
+                  Obs.span "svc.solve"
+                    ~args:
+                      [ ("soc", Soc.name soc);
+                        ("solver", Protocol.solver_name instance.solver);
+                        ("digest", canon.Canon.digest) ]
+                    (fun () -> Sweep.run ?deadline_s cells)
+                with
+                | exception Invalid_argument msg ->
+                    Protocol.error_reply ~id ~code:"bad_request" msg
+                | rows ->
+                    (* Only complete verdicts are cacheable: an ILP row
+                       that gave up on a deadline must not satisfy a
+                       later, more patient request. *)
+                    if List.for_all (fun r -> r.Sweep.optimal) rows then
+                      Lru.put t.cache canon.Canon.key
+                        (remap_rows canon `Store rows);
+                    let el = elapsed_ms ~arrival in
+                    Metrics.Ring.record t.miss_lat_ms el;
+                    Protocol.ok_reply ~id ~cached:false ~elapsed_ms:el
+                      (result_json ~soc ~inst:instance rows))))
+
+let execute t ~id ~arrival request =
+  match request with
+  | Protocol.Sleep { ms } ->
+      Unix.sleepf (ms /. 1000.0);
+      Protocol.ok_reply ~id
+        ~elapsed_ms:(elapsed_ms ~arrival)
+        (Json.Obj [ ("slept_ms", Json.Num ms) ])
+  | Protocol.Solve { instance; deadline_ms } ->
+      work t ~id ~arrival ~instance ~widths:[ instance.total_width ]
+        ~deadline_ms ~op:`Solve
+  | Protocol.Sweep { instance; widths; deadline_ms } ->
+      work t ~id ~arrival ~instance ~widths ~deadline_ms ~op:`Sweep
+  | Protocol.Ping | Protocol.Stats | Protocol.Shutdown ->
+      (* Protocol ops never reach the pool. *)
+      assert false
+
+(* Dispatch to a worker domain and park the connection thread until the
+   reply is ready. The task is total — any escaping exception becomes an
+   "internal" reply — because [Pool.submit] swallows exceptions and a
+   lost signal would strand the connection thread forever. *)
+let run_on_pool t ~id f =
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  let result = ref None in
+  Pool.submit t.pool (fun () ->
+      let reply =
+        try f ()
+        with e ->
+          Protocol.error_reply ~id ~code:"internal" (Printexc.to_string e)
+      in
+      Mutex.lock m;
+      result := Some reply;
+      Condition.signal c;
+      Mutex.unlock m);
+  Mutex.lock m;
+  let rec wait () =
+    match !result with
+    | Some reply -> reply
+    | None ->
+        Condition.wait c m;
+        wait ()
+  in
+  let reply = wait () in
+  Mutex.unlock m;
+  reply
+
+(* ---- stats ---- *)
+
+let stats_json t =
+  Mutex.lock t.mutex;
+  let received = t.received
+  and malformed = t.malformed
+  and shed = t.shed
+  and completed = t.completed
+  and failed = t.failed
+  and active = t.active
+  and shutting_down = t.shutting_down in
+  Mutex.unlock t.mutex;
+  let cache = Lru.stats t.cache in
+  let latency ring =
+    let samples = Metrics.Ring.samples ring in
+    let p50, p95, p99 = Metrics.percentiles samples in
+    Json.Obj
+      [ ("count", Json.int (Metrics.Ring.count ring));
+        ("p50_ms", Json.Num p50);
+        ("p95_ms", Json.Num p95);
+        ("p99_ms", Json.Num p99) ]
+  in
+  Json.Obj
+    [ ("uptime_s", Json.Num (Clock.now_s () -. t.started_s));
+      ("shutting_down", Json.Bool shutting_down);
+      ( "queue",
+        Json.Obj
+          [ ("depth", Json.int active);
+            ("capacity", Json.int t.queue_capacity) ] );
+      ( "requests",
+        Json.Obj
+          [ ("received", Json.int received);
+            ("completed", Json.int completed);
+            ("failed", Json.int failed);
+            ("malformed", Json.int malformed);
+            ("overloaded", Json.int shed) ] );
+      ( "cache",
+        Json.Obj
+          [ ("hits", Json.int cache.Lru.hits);
+            ("misses", Json.int cache.Lru.misses);
+            ("evictions", Json.int cache.Lru.evictions);
+            ("length", Json.int cache.Lru.length);
+            ("capacity", Json.int cache.Lru.capacity) ] );
+      ( "latency",
+        Json.Obj
+          [ ("hit", latency t.hit_lat_ms); ("miss", latency t.miss_lat_ms) ]
+      ) ]
+
+(* ---- the line handler ---- *)
+
+let reply_is_ok = function
+  | Json.Obj fields -> (
+      match List.assoc_opt "ok" fields with
+      | Some (Json.Bool b) -> b
+      | _ -> false)
+  | _ -> false
+
+let count_malformed t =
+  Mutex.lock t.mutex;
+  t.malformed <- t.malformed + 1;
+  Mutex.unlock t.mutex
+
+let handle_line t line =
+  let arrival = Clock.now_s () in
+  Mutex.lock t.mutex;
+  t.received <- t.received + 1;
+  Mutex.unlock t.mutex;
+  let reply =
+    match Json.parse line with
+    | Error msg ->
+        count_malformed t;
+        Protocol.error_reply ~id:Json.Null ~code:"bad_request"
+          ("invalid JSON: " ^ msg)
+    | Ok json -> (
+        let id = Protocol.id_of json in
+        match Protocol.parse_request json with
+        | Error msg ->
+            count_malformed t;
+            Protocol.error_reply ~id ~code:"bad_request" msg
+        | Ok Protocol.Ping ->
+            Protocol.ok_reply ~id (Json.Obj [ ("pong", Json.Bool true) ])
+        | Ok Protocol.Stats -> Protocol.ok_reply ~id (stats_json t)
+        | Ok Protocol.Shutdown ->
+            Mutex.lock t.mutex;
+            t.shutting_down <- true;
+            Mutex.unlock t.mutex;
+            Protocol.ok_reply ~id
+              (Json.Obj [ ("stopping", Json.Bool true) ])
+        | Ok work -> (
+            match try_admit t with
+            | `Shutting_down ->
+                Protocol.error_reply ~id ~code:"shutting_down"
+                  "daemon is stopping"
+            | `Overloaded ->
+                Protocol.error_reply ~id ~code:"overloaded"
+                  (Printf.sprintf
+                     "admission queue full (%d requests in flight)"
+                     t.queue_capacity)
+            | `Admitted ->
+                let reply =
+                  run_on_pool t ~id (fun () -> execute t ~id ~arrival work)
+                in
+                release t ~ok:(reply_is_ok reply);
+                reply))
+  in
+  Json.to_string reply

@@ -1,0 +1,57 @@
+(** The daemon engine: admission control, result cache, dispatch.
+
+    A {!t} is transport-agnostic — {!Server} feeds it request lines
+    from sockets, the tests feed it strings directly. One call to
+    {!handle_line} processes one NDJSON request and returns the one
+    response line (without the trailing newline), blocking the calling
+    thread until the result is ready; concurrency comes from calling it
+    from many threads (one per connection), with the actual solving
+    fanned out over the {!Soctam_engine.Pool} worker domains via
+    [Pool.submit].
+
+    {b Admission control.} At most [queue_capacity] work requests
+    (solve / sweep / sleep) may be admitted-but-incomplete at once;
+    request number [queue_capacity + 1] is shed {e immediately} with an
+    ["overloaded"] error reply instead of queuing unboundedly — the
+    client sees explicit backpressure, the daemon's memory stays
+    bounded, and waiting work can never starve the protocol ops (ping /
+    stats / shutdown), which bypass admission.
+
+    {b Result cache.} Solve and sweep results are cached under their
+    {!Canon} canonical key (permutation-invariant over cores, content
+    not spelling), in canonical core order, and mapped back through the
+    request's permutation on a hit. Only {e complete} results are
+    cached: ILP rows that lost their optimality claim to a deadline or
+    node budget are recomputed next time rather than served stale.
+
+    {b Deadlines.} A request's [deadline_ms] starts at {!handle_line}
+    entry, so queue wait counts against it. A request whose deadline
+    expires before its solver starts gets a ["deadline_exceeded"]
+    error; an ILP solve that starts in time self-limits through
+    {!Soctam_core.Ilp_formulation.solve}'s deadline path and returns a
+    best-found ([optimal = false]) row. *)
+
+type t
+
+(** [create ?cache_capacity ?queue_capacity ~pool ()] — defaults:
+    cache 256 entries, queue 64 requests. The pool is borrowed, not
+    owned: the caller shuts it down after {!drain}. *)
+val create :
+  ?cache_capacity:int -> ?queue_capacity:int -> pool:Soctam_engine.Pool.t ->
+  unit -> t
+
+(** Process one request line; returns the response line. Never raises:
+    malformed input, validation failures and solver exceptions all
+    become [ok:false] replies. *)
+val handle_line : t -> string -> string
+
+(** True once a [shutdown] request has been accepted; subsequent work
+    requests are refused with ["shutting_down"]. *)
+val shutdown_requested : t -> bool
+
+(** Block until no admitted request is in flight. *)
+val drain : t -> unit
+
+(** The [stats] reply body: uptime, queue depth, request counters,
+    cache counters, recent latency percentiles (ms). *)
+val stats_json : t -> Soctam_obs.Json.t

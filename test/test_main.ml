@@ -30,4 +30,5 @@ let () =
       ("table", Test_table.suite);
       ("engine_pool", Test_sweep.pool_suite);
       ("engine_sweep", Test_sweep.suite);
-      ("obs", Test_obs.suite) ]
+      ("obs", Test_obs.suite);
+      ("service", Test_service.suite) ]

@@ -62,7 +62,49 @@ let test_json_parse_errors () =
   bad "{\"a\":}";
   bad "nul";
   bad "1 2";
-  bad "\"unterminated"
+  bad "\"unterminated";
+  (* Trailing garbage after a complete document. *)
+  bad "{} x";
+  bad "123abs";
+  bad "truefalse";
+  bad "[1] [2]"
+
+let test_json_number_grammar () =
+  (* The lexer used to hand any [-0-9.eE+] run to [float_of_string],
+     which accepts OCaml-isms ("01", "+5", ".5", "5.", "1_0") that JSON
+     forbids — and that a stricter peer on the other end of the NDJSON
+     protocol would refuse. Enforce RFC 8259 numbers exactly. *)
+  let bad s =
+    match Json.parse s with
+    | Ok _ -> Alcotest.failf "expected number grammar failure on %S" s
+    | Error _ -> ()
+  in
+  bad "01";
+  bad "-01";
+  bad "+5";
+  bad ".5";
+  bad "5.";
+  bad "-";
+  bad "1_0";
+  bad "1e";
+  bad "1e+";
+  bad "0x10";
+  bad "[1.]";
+  bad "{\"a\": 007}";
+  let ok s v =
+    match Json.parse s with
+    | Ok (Json.Num x) -> Alcotest.(check (float 1e-12)) s v x
+    | Ok _ -> Alcotest.failf "expected Num for %S" s
+    | Error msg -> Alcotest.failf "parse %S: %s" s msg
+  in
+  ok "0" 0.0;
+  ok "-0" (-0.0);
+  ok "10" 10.0;
+  ok "-0.5" (-0.5);
+  ok "0.25" 0.25;
+  ok "1e3" 1000.0;
+  ok "1E+3" 1000.0;
+  ok "2.5e-1" 0.25
 
 let test_json_escapes () =
   (* \u escape decoding to UTF-8 bytes. *)
@@ -365,6 +407,7 @@ let suite =
   [ Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
     Alcotest.test_case "json integers exact" `Quick test_json_integers_exact;
     Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
+    Alcotest.test_case "json number grammar" `Quick test_json_number_grammar;
     Alcotest.test_case "json escapes" `Quick test_json_escapes;
     Alcotest.test_case "json member" `Quick test_json_member;
     Alcotest.test_case "clock monotonic" `Quick test_clock_monotonic;
