@@ -31,6 +31,11 @@ module Addr = Soctam_service.Addr
 module Client = Soctam_service.Client
 module Protocol = Soctam_service.Protocol
 module Metrics = Soctam_service.Metrics
+module Service = Soctam_service.Service
+module Oracle = Soctam_check.Oracle
+module Fuzz = Soctam_check.Fuzz
+module Proto_fuzz = Soctam_check.Proto_fuzz
+module Corpus = Soctam_check.Corpus
 
 let lookup_soc = function
   | "s1" | "S1" -> Benchmarks.s1 ()
@@ -782,6 +787,139 @@ let load_cmd =
           throughput and latency percentiles.")
     term
 
+let fuzz_cmd =
+  let seed_arg =
+    let env =
+      Cmd.Env.info "SOCTAM_FUZZ_SEED"
+        ~doc:"Default for $(b,--seed); the flag wins when both are given."
+    in
+    let doc = "Base seed; fuzz instance $(i,i) is derived from seed + i." in
+    Arg.(value & opt int 0 & info [ "seed" ] ~env ~docv:"S" ~doc)
+  in
+  let budget_arg =
+    let doc = "Number of instances (or protocol frames) to throw." in
+    Arg.(value & opt int 200 & info [ "budget" ] ~docv:"N" ~doc)
+  in
+  let shrink_arg =
+    let doc = "Greedily minimize a failing instance before reporting it." in
+    Arg.(value & flag & info [ "shrink" ] ~doc)
+  in
+  let corpus_arg =
+    let doc =
+      "Write the (shrunk) repro of a failure into $(docv) as a corpus \
+       entry replayed by the test suite."
+    in
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR" ~doc)
+  in
+  let break_arg =
+    let doc =
+      Printf.sprintf
+        "Inject an artificial solver fault (harness self-test; the run \
+         $(i,should) fail). One of: %s."
+        (String.concat ", " Oracle.fault_names)
+    in
+    Arg.(value & opt (some string) None & info [ "break" ] ~docv:"FAULT" ~doc)
+  in
+  let proto_arg =
+    let doc =
+      "Fuzz the NDJSON protocol instead of the solvers: throw malformed \
+       frames at an in-process service and check every reply is a \
+       well-formed JSON error or result."
+    in
+    Arg.(value & flag & info [ "proto" ] ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Replay a corpus entry (or every *.soc entry in a directory) \
+       through the oracle instead of fuzzing."
+    in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"PATH" ~doc)
+  in
+  let max_cores_arg =
+    let doc = "Upper bound on generated SOC core counts (default 6)." in
+    Arg.(value & opt (some int) None & info [ "max-cores" ] ~docv:"N" ~doc)
+  in
+  let replay_path path =
+    let entries =
+      if Sys.is_directory path then
+        match Corpus.load_dir path with
+        | Ok entries -> entries
+        | Error msg -> raise (Invalid_argument msg)
+      else
+        match Corpus.load_file path with
+        | Ok entry -> [ (Filename.basename path, entry) ]
+        | Error msg -> raise (Invalid_argument msg)
+    in
+    let failed =
+      List.filter_map
+        (fun (name, entry) ->
+          match Fuzz.replay entry with
+          | Ok () ->
+              Printf.printf "replay %-40s ok (%s)\n" name
+                entry.Corpus.property;
+              None
+          | Error f ->
+              Printf.printf "replay %-40s FAILED %s: %s\n" name
+                f.Oracle.property f.Oracle.detail;
+              Some name)
+        entries
+    in
+    Printf.printf "replay: %d entries, %d failed\n" (List.length entries)
+      (List.length failed);
+    if failed = [] then 0 else 1
+  in
+  let run seed budget shrink corpus_dir brk proto replay max_cores =
+    try
+      if budget < 0 then raise (Invalid_argument "--budget < 0");
+      let fault =
+        match brk with
+        | None -> Oracle.No_fault
+        | Some s -> (
+            match Oracle.fault_of_string s with
+            | Ok f -> f
+            | Error msg -> raise (Invalid_argument msg))
+      in
+      let log = print_endline in
+      if proto then
+        Pool.with_pool ~num_domains:2 (fun pool ->
+            let service = Service.create ~pool () in
+            match
+              Proto_fuzz.run ~log ~handle:(Service.handle_line service)
+                ~seed ~budget ()
+            with
+            | Ok () -> 0
+            | Error msg ->
+                Printf.eprintf "proto-fuzz FAILED: %s\n" msg;
+                1)
+      else
+        match replay with
+        | Some path -> replay_path path
+        | None ->
+            let outcome =
+              Fuzz.run ~log ~fault ~shrink ?corpus_dir ?max_cores ~seed
+                ~budget ()
+            in
+            if Option.is_none outcome.Fuzz.failure then 0 else 1
+    with Invalid_argument msg ->
+      Printf.eprintf "error: %s\n" msg;
+      2
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ budget_arg $ shrink_arg $ corpus_arg
+      $ break_arg $ proto_arg $ replay_arg $ max_cores_arg)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential-fuzz the solver stack (exit 1 on a genuine \
+          cross-solver disagreement): every instance is solved by the \
+          exact, ILP, DP, heuristic and annealing engines and their \
+          answers cross-checked, together with metamorphic properties \
+          (core relabelling, width and constraint monotonicity, warm \
+          vs cold ILP starts).")
+    term
+
 let () =
   let doc =
     "SOC test access architecture design under place-and-route and power \
@@ -794,4 +932,5 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default
           (Cmd.info "tamopt" ~version:"1.0.0" ~doc)
-          [ solve_cmd; sweep_cmd; info_cmd; plan_cmd; load_cmd; rpc_cmd ]))
+          [ solve_cmd; sweep_cmd; info_cmd; plan_cmd; load_cmd; rpc_cmd;
+            fuzz_cmd ]))

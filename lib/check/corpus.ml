@@ -1,0 +1,164 @@
+module Soc_file = Soctam_soc.Soc_file
+
+type entry = {
+  property : string;
+  instance : Gen.instance;
+  note : string option;
+}
+
+let body (e : entry) =
+  let b = Buffer.create 512 in
+  Buffer.add_string b (Printf.sprintf "property %s\n" e.property);
+  Buffer.add_string b (Printf.sprintf "buses %d\n" e.instance.Gen.num_buses);
+  Buffer.add_string b (Printf.sprintf "width %d\n" e.instance.Gen.total_width);
+  List.iter
+    (fun (i, j) -> Buffer.add_string b (Printf.sprintf "excl %d %d\n" i j))
+    e.instance.Gen.excl;
+  List.iter
+    (fun (i, j) -> Buffer.add_string b (Printf.sprintf "co %d %d\n" i j))
+    e.instance.Gen.co;
+  Buffer.add_string b (Soc_file.to_string e.instance.Gen.soc);
+  Buffer.contents b
+
+let to_string (e : entry) =
+  if
+    String.exists
+      (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r')
+      e.property
+    || e.property = ""
+  then invalid_arg "Corpus.to_string: property must be one word";
+  let header =
+    match e.note with
+    | None -> ""
+    | Some note ->
+        String.concat ""
+          (List.map
+             (fun line -> "# " ^ line ^ "\n")
+             (String.split_on_char '\n' note))
+  in
+  header ^ body e
+
+let fail line fmt =
+  Printf.ksprintf
+    (fun msg -> Error (Printf.sprintf "line %d: %s" line msg))
+    fmt
+
+let of_string text =
+  let ( let* ) = Result.bind in
+  let lines = String.split_on_char '\n' text in
+  let words s =
+    String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+  in
+  let int_word line w =
+    match int_of_string_opt w with
+    | Some n -> Ok n
+    | None -> fail line "%S is not an integer" w
+  in
+  (* Header directives stop at the first "soc" line; the rest is a
+     Soc_file document. *)
+  let rec header lineno acc = function
+    | [] -> Error "missing \"soc <name>\" section"
+    | line :: rest -> (
+        match words line with
+        | [] -> header (lineno + 1) acc rest
+        | w :: _ when String.length w > 0 && w.[0] = '#' ->
+            header (lineno + 1) acc rest
+        | "soc" :: _ ->
+            let soc_text =
+              String.concat "\n" (line :: rest)
+            in
+            Ok (acc, soc_text)
+        | [ "property"; p ] ->
+            header (lineno + 1) (("property", (lineno, p)) :: acc) rest
+        | [ "buses"; n ] ->
+            header (lineno + 1) (("buses", (lineno, n)) :: acc) rest
+        | [ "width"; n ] ->
+            header (lineno + 1) (("width", (lineno, n)) :: acc) rest
+        | [ "excl"; i; j ] ->
+            header (lineno + 1) (("excl", (lineno, i ^ " " ^ j)) :: acc) rest
+        | [ "co"; i; j ] ->
+            header (lineno + 1) (("co", (lineno, i ^ " " ^ j)) :: acc) rest
+        | keyword :: _ -> fail lineno "unknown directive %S" keyword)
+  in
+  let* directives, soc_text = header 1 [] lines in
+  let directives = List.rev directives in
+  let one key =
+    match List.filter (fun (k, _) -> k = key) directives with
+    | [ (_, v) ] -> Ok v
+    | [] -> Error (Printf.sprintf "missing \"%s\" directive" key)
+    | _ -> Error (Printf.sprintf "duplicate \"%s\" directive" key)
+  in
+  let pairs key =
+    List.filter_map (fun (k, v) -> if k = key then Some v else None)
+      directives
+    |> List.fold_left
+         (fun acc (line, v) ->
+           let* acc = acc in
+           match words v with
+           | [ i; j ] ->
+               let* i = int_word line i in
+               let* j = int_word line j in
+               Ok ((i, j) :: acc)
+           | _ -> fail line "expected two integers"
+           )
+         (Ok [])
+    |> Result.map List.rev
+  in
+  let* _, property = one "property" in
+  let* bline, buses = one "buses" in
+  let* buses = int_word bline buses in
+  let* wline, width = one "width" in
+  let* width = int_word wline width in
+  let* excl = pairs "excl" in
+  let* co = pairs "co" in
+  let* soc = Soc_file.of_string soc_text in
+  Ok
+    { property;
+      note = None;
+      instance =
+        { Gen.soc; num_buses = buses; total_width = width; excl; co } }
+
+let filename (e : entry) =
+  Printf.sprintf "%s-%s.soc" e.property
+    (String.sub (Digest.to_hex (Digest.string (body e))) 0 8)
+
+let mkdir_p dir =
+  let rec make d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      make (Filename.dirname d);
+      (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+    end
+  in
+  make dir
+
+let save ~dir entry =
+  mkdir_p dir;
+  let path = Filename.concat dir (filename entry) in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string entry));
+  path
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> (
+      match of_string text with
+      | Ok entry -> Ok entry
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+  | exception Sys_error msg -> Error msg
+
+let load_dir dir =
+  let ( let* ) = Result.bind in
+  if not (Sys.file_exists dir) then Ok []
+  else
+    let names =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun n -> Filename.check_suffix n ".soc")
+      |> List.sort compare
+    in
+    List.fold_left
+      (fun acc name ->
+        let* acc = acc in
+        let* entry = load_file (Filename.concat dir name) in
+        Ok ((name, entry) :: acc))
+      (Ok []) names
+    |> Result.map List.rev

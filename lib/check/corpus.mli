@@ -1,0 +1,58 @@
+(** The persisted regression corpus.
+
+    Every bug the fuzzer finds is distilled into one self-contained
+    text file: a header naming the failing property and the instance
+    parameters, followed by the SOC in the standard
+    {!Soctam_soc.Soc_file} format. Files live in [test/corpus/] and are
+    replayed by [dune runtest] forever after — the one-off differential
+    trick that caught the PR 2 simplex bug, promoted to a permanent
+    test suite that grows with every find.
+
+    {v
+    # found by tamopt fuzz --seed 1 (iteration 37)
+    property ilp_matches_exact
+    buses 2
+    width 3
+    excl 0 1
+    soc shrunk
+    core rnd7_0 inputs=12 outputs=9 patterns=20 power=...
+    ...
+    v}
+
+    A replay asserts the property {e passes}: corpus entries are
+    minimal repros of bugs that have since been fixed, so a failing
+    replay means the bug came back. *)
+
+type entry = {
+  property : string;  (** The oracle property this instance once broke. *)
+  instance : Gen.instance;
+  note : string option;
+      (** Free-form provenance (seed, fault, date); stored as [#]
+          comment lines, ignored on replay and by {!filename}. *)
+}
+
+(** Renders an entry; inverse of {!of_string}. Raises
+    [Invalid_argument] when [property] contains whitespace or
+    newlines. *)
+val to_string : entry -> string
+
+(** Parses an entry; errors are human-readable ("line 3: ..."). Header
+    directives may come in any order; everything from the first
+    [soc] line onward is parsed by {!Soctam_soc.Soc_file}. *)
+val of_string : string -> (entry, string) result
+
+(** Stable basename, [<property>-<digest8>.soc], where the digest
+    covers the property and instance but not the note — re-finding the
+    same minimal repro collapses onto one file. *)
+val filename : entry -> string
+
+(** [save ~dir entry] writes [entry] under {!filename} in [dir]
+    (created if missing) and returns the path. *)
+val save : dir:string -> entry -> string
+
+val load_file : string -> (entry, string) result
+
+(** [load_dir dir] loads every [*.soc] entry, sorted by basename.
+    A missing directory is an empty corpus; an unparseable entry is an
+    [Error] naming the file. *)
+val load_dir : string -> ((string * entry) list, string) result

@@ -1,0 +1,88 @@
+module Problem = Soctam_core.Problem
+module Benchmarks = Soctam_soc.Benchmarks
+module Soc = Soctam_soc.Soc
+
+(* [instance] is declared before [spec] on purpose: [spec] reuses the
+   [num_buses]/[total_width] field names, and declaring it last keeps
+   unannotated [spec.Gen.num_buses] accesses in the qcheck suites
+   resolving to [spec], as they did before [instance] existed. *)
+type instance = {
+  soc : Soc.t;
+  num_buses : int;
+  total_width : int;
+  excl : (int * int) list;
+  co : (int * int) list;
+}
+
+type spec = {
+  seed : int;
+  num_cores : int;
+  num_buses : int;
+  total_width : int;
+  raw_excl : (int * int) list;
+  raw_co : (int * int) list;
+}
+
+(* All structure flows from one salted [Random.State] stream, with
+   explicit recursion (never [List.init]) so the draw order — and hence
+   the spec — is pinned down exactly, independent of stdlib evaluation
+   order. *)
+let spec_of_seed ?(min_cores = 2) ?(max_cores = 6) ~seed () =
+  if min_cores < 1 then invalid_arg "Gen.spec_of_seed: min_cores < 1";
+  if max_cores < min_cores then
+    invalid_arg "Gen.spec_of_seed: max_cores < min_cores";
+  let st = Random.State.make [| seed; 0xf0a2 |] in
+  let int_in lo hi = lo + Random.State.int st (hi - lo + 1) in
+  let soc_seed = Random.State.int st 10_001 in
+  let num_cores = int_in min_cores max_cores in
+  let num_buses = int_in 1 3 in
+  let total_width = num_buses + int_in 0 8 in
+  let rec draw_pairs n acc =
+    if n = 0 then List.rev acc
+    else
+      let a = Random.State.int st num_cores in
+      let b = Random.State.int st num_cores in
+      draw_pairs (n - 1) ((a, b) :: acc)
+  in
+  let clean = List.filter (fun (a, b) -> a <> b) in
+  let raw_excl = clean (draw_pairs (int_in 0 3) []) in
+  let raw_co = clean (draw_pairs (int_in 0 2) []) in
+  { seed = soc_seed; num_cores; num_buses; total_width; raw_excl; raw_co }
+
+let pairs_print pairs =
+  String.concat ";"
+    (List.map (fun (a, b) -> Printf.sprintf "%d,%d" a b) pairs)
+
+let spec_print spec =
+  Printf.sprintf "{seed=%d n=%d nb=%d W=%d excl=[%s] co=[%s]}" spec.seed
+    spec.num_cores spec.num_buses spec.total_width
+    (pairs_print spec.raw_excl) (pairs_print spec.raw_co)
+
+let soc_of_spec spec =
+  Benchmarks.random ~seed:spec.seed ~num_cores:spec.num_cores ()
+
+let problem_of_spec ?(constrained = true) spec =
+  let constraints =
+    if constrained then
+      { Problem.exclusion_pairs = spec.raw_excl; co_pairs = spec.raw_co }
+    else Problem.no_constraints
+  in
+  Problem.make (soc_of_spec spec) ~constraints ~num_buses:spec.num_buses
+    ~total_width:spec.total_width
+
+let instance_of_spec spec =
+  { soc = soc_of_spec spec;
+    num_buses = spec.num_buses;
+    total_width = spec.total_width;
+    excl = spec.raw_excl;
+    co = spec.raw_co }
+
+let problem_of_instance inst =
+  Problem.make inst.soc
+    ~constraints:{ Problem.exclusion_pairs = inst.excl; co_pairs = inst.co }
+    ~num_buses:inst.num_buses ~total_width:inst.total_width
+
+let instance_print inst =
+  Printf.sprintf "{soc=%s n=%d nb=%d W=%d excl=[%s] co=[%s]}"
+    (Soc.name inst.soc) (Soc.num_cores inst.soc) inst.num_buses
+    inst.total_width (pairs_print inst.excl) (pairs_print inst.co)

@@ -1,0 +1,255 @@
+module Json = Soctam_obs.Json
+
+let known_error_codes =
+  [ "bad_request"; "overloaded"; "shutting_down"; "deadline_exceeded";
+    "internal" ]
+
+(* What a frame is entitled to expect of its reply. Every frame gets
+   the well-formedness checks; [Must_fail]/[Must_ok] additionally pin
+   the [ok] verdict. *)
+type expect = Any | Must_fail | Must_ok
+
+type frame = {
+  line : string;
+  expect : expect;
+  id : int option;  (** When set, the reply must echo it. *)
+}
+
+let with_id i fields = Printf.sprintf {|{"id":%d,%s}|} i fields
+
+(* A well-formed solve line, also the raw material for truncation. The
+   instance is deliberately tiny: protocol fuzzing must stress the
+   parser and validator, not the solvers. *)
+let valid_solve_fields =
+  {|"op":"solve","soc":"rnd:3:3","solver":"heuristic","num_buses":1,"total_width":2|}
+
+let random_word st =
+  let len = 1 + Random.State.int st 8 in
+  String.init len (fun _ ->
+      Char.chr (Char.code 'a' + Random.State.int st 26))
+
+let garbage st =
+  let alphabet = "{}[]\",:xyz0123456789 \\tesop" in
+  let len = Random.State.int st 60 in
+  String.init len (fun _ ->
+      alphabet.[Random.State.int st (String.length alphabet)])
+
+let pick st l = List.nth l (Random.State.int st (List.length l))
+
+let gen_frame st i =
+  match Random.State.int st 14 with
+  | 0 ->
+      (* Raw garbage: almost never valid JSON, and when it accidentally
+         is, it is not a valid request object. *)
+      let s = garbage st in
+      let expect =
+        (* A garbage line could parse as a JSON scalar/array (still
+           bad_request) but, pathologically, also as an object like
+           {} — which is a bad_request too (no op). Objects with a
+           valid "op" cannot arise from this alphabet ('"op"' needs
+           a matched quote pattern the generator can produce!), so be
+           conservative: only pin the verdict when it cannot be a
+           valid request. *)
+        if String.length s >= 2 && String.contains s '"' then Any
+        else Must_fail
+      in
+      { line = s; expect; id = None }
+  | 1 ->
+      (* Strict prefix of a valid object: always unbalanced, so always
+         a parse error. *)
+      let full = with_id i valid_solve_fields in
+      let len = Random.State.int st (String.length full) in
+      { line = String.sub full 0 len; expect = Must_fail; id = None }
+  | 2 ->
+      (* Valid JSON that is not an object. *)
+      { line = pick st [ "null"; "true"; "42"; {|"solve"|}; "[]"; "[1,[2,[3]]]"; "-0.5" ];
+        expect = Must_fail;
+        id = None }
+  | 3 ->
+      (* Objects with no (usable) op. *)
+      { line = pick st [ "{}"; {|{"id":7}|}; {|{"id":null,"op":null}|} ];
+        expect = Must_fail;
+        id = None }
+  | 4 ->
+      let op = random_word st in
+      { line = with_id i (Printf.sprintf {|"op":"%s"|} op);
+        expect = Must_fail;
+        id = Some i }
+  | 5 ->
+      (* Wrongly-typed op. *)
+      { line =
+          with_id i
+            (pick st [ {|"op":123|}; {|"op":["solve"]|}; {|"op":{"x":1}|} ]);
+        expect = Must_fail;
+        id = Some i }
+  | 6 ->
+      (* Solve with missing required fields. *)
+      { line =
+          with_id i
+            (pick st
+               [ {|"op":"solve"|};
+                 {|"op":"solve","soc":"s1"|};
+                 {|"op":"solve","num_buses":2,"total_width":8|};
+                 {|"op":"sweep","soc":"s1","num_buses":2|} ]);
+        expect = Must_fail;
+        id = Some i }
+  | 7 ->
+      (* Solve with malformed numeric fields. *)
+      { line =
+          with_id i
+            (pick st
+               [ {|"op":"solve","soc":"s1","num_buses":0,"total_width":8|};
+                 {|"op":"solve","soc":"s1","num_buses":-3,"total_width":8|};
+                 {|"op":"solve","soc":"s1","num_buses":2.5,"total_width":8|};
+                 {|"op":"solve","soc":"s1","num_buses":"two","total_width":8|};
+                 {|"op":"solve","soc":"s1","num_buses":9,"total_width":4|};
+                 {|"op":"solve","soc":"s1","num_buses":2,"total_width":-1|};
+                 {|"op":"solve","soc":"s1","num_buses":2,"total_width":1e308|} ]);
+        expect = Must_fail;
+        id = Some i }
+  | 8 ->
+      (* Bogus SOC specs, named and inline. *)
+      { line =
+          with_id i
+            (pick st
+               [ {|"op":"solve","soc":"nope","num_buses":1,"total_width":2|};
+                 {|"op":"solve","soc":"rnd:x:y","num_buses":1,"total_width":2|};
+                 {|"op":"solve","soc":"file:/nonexistent.soc","num_buses":1,"total_width":2|};
+                 {|"op":"solve","soc":{"name":"x","cores":[]},"num_buses":1,"total_width":2|};
+                 {|"op":"solve","soc":{"name":"x","cores":[{"name":"a","inputs":1,"outputs":1,"patterns":0}]},"num_buses":1,"total_width":2|};
+                 {|"op":"solve","soc":{"name":"x","cores":[{"name":"a","inputs":1,"outputs":1,"patterns":5},{"name":"a","inputs":2,"outputs":2,"patterns":5}]},"num_buses":1,"total_width":2|} ]);
+        expect = Must_fail;
+        id = Some i }
+  | 9 ->
+      (* Deep nesting: the parser must either accept or reject it
+         cleanly, never blow the handler up. *)
+      let depth = 50 + Random.State.int st 150 in
+      let deep =
+        String.concat "" (List.init depth (fun _ -> "["))
+        ^ "1"
+        ^ String.concat "" (List.init depth (fun _ -> "]"))
+      in
+      { line = pick st [ deep; with_id i (Printf.sprintf {|"op":%s|} deep) ];
+        expect = Any;
+        id = None }
+  | 10 ->
+      (* Oversized strings and unknown fields on a valid op. *)
+      let pad = String.make (1000 + Random.State.int st 3000) 'x' in
+      { line =
+          with_id i
+            (pick st
+               [ Printf.sprintf {|"op":"ping","%s":1|} pad;
+                 Printf.sprintf {|"op":"ping","pad":"%s"|} pad ]);
+        expect = Any;
+        id = None }
+  | 11 ->
+      (* Duplicate keys: whichever wins, the reply must be well
+         formed. *)
+      { line =
+          pick st
+            [ {|{"op":"ping","op":"zzz"}|};
+              {|{"id":1,"id":2,"op":"ping"}|} ];
+        expect = Any;
+        id = None }
+  | 12 ->
+      (* Sleep edge cases: negative, missing and non-numeric
+         durations. Valid sleeps stay tiny. *)
+      { line =
+          with_id i
+            (pick st
+               [ {|"op":"sleep","ms":-1|};
+                 {|"op":"sleep"|};
+                 {|"op":"sleep","ms":"x"|};
+                 {|"op":"sleep","ms":1|} ]);
+        expect = Any;
+        id = Some i }
+  | _ ->
+      (* Control group: valid requests must keep working mid-storm. *)
+      { line =
+          with_id i
+            (pick st
+               [ {|"op":"ping"|}; {|"op":"stats"|}; valid_solve_fields ]);
+        expect = Must_ok;
+        id = Some i }
+
+let validate_reply frame reply =
+  let err fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Error
+          (Printf.sprintf "%s\n  frame: %s\n  reply: %s" msg frame.line
+             reply))
+      fmt
+  in
+  match Json.parse reply with
+  | Error msg -> err "reply is not JSON (%s)" msg
+  | Ok (Json.Obj _ as r) -> (
+      let id_ok =
+        match frame.id with
+        | None -> Ok ()
+        | Some i -> (
+            match Json.member "id" r with
+            | Some (Json.Num n) when n = float_of_int i -> Ok ()
+            | other ->
+                err "id %d not echoed (got %s)" i
+                  (match other with
+                  | Some j -> Json.to_string j
+                  | None -> "nothing"))
+      in
+      match id_ok with
+      | Error _ as e -> e
+      | Ok () -> (
+          match Json.member "ok" r, frame.expect with
+          | Some (Json.Bool true), (Any | Must_ok) -> Ok ()
+          | Some (Json.Bool true), Must_fail ->
+              err "invalid frame was accepted"
+          | Some (Json.Bool false), Must_ok ->
+              err "valid control frame was rejected"
+          | Some (Json.Bool false), (Any | Must_fail) -> (
+              match Json.member "error" r with
+              | None -> err "ok:false without an error object"
+              | Some e -> (
+                  match Json.member "code" e, Json.member "message" e with
+                  | Some (Json.Str code), Some (Json.Str _) ->
+                      if List.mem code known_error_codes then Ok ()
+                      else err "unknown error code %S" code
+                  | _ -> err "error object lacks string code/message"))
+          | _ -> err "reply has no boolean \"ok\""))
+  | Ok _ -> err "reply is not a JSON object"
+
+let run ?(log = fun _ -> ()) ~handle ~seed ~budget () =
+  if budget < 0 then invalid_arg "Proto_fuzz.run: budget < 0";
+  let st = Random.State.make [| seed; 0xbadf0 |] in
+  let rec loop i =
+    if i >= budget then begin
+      (* The storm is over; the daemon must still be alive and sane. *)
+      let frame =
+        { line = {|{"id":424242,"op":"ping"}|};
+          expect = Must_ok;
+          id = Some 424242 }
+      in
+      match validate_reply frame (handle frame.line) with
+      | Ok () ->
+          log
+            (Printf.sprintf
+               "proto-fuzz: %d frames, every reply well-formed (seed %d)"
+               budget seed);
+          Ok ()
+      | Error msg -> Error ("post-storm health check failed: " ^ msg)
+    end
+    else begin
+      if i > 0 && i mod 200 = 0 then
+        log (Printf.sprintf "proto-fuzz: %d/%d frames" i budget);
+      let frame = gen_frame st i in
+      match handle frame.line with
+      | exception exn ->
+          Error
+            (Printf.sprintf "frame %d: handler raised %s\n  frame: %s" i
+               (Printexc.to_string exn) frame.line)
+      | reply -> (
+          match validate_reply frame reply with
+          | Ok () -> loop (i + 1)
+          | Error msg -> Error (Printf.sprintf "frame %d: %s" i msg))
+    end
+  in
+  loop 0

@@ -1,0 +1,31 @@
+(** Adversarial NDJSON protocol fuzzing for the [tamoptd] service.
+
+    Throws malformed and hostile request frames — raw garbage,
+    truncated JSON, non-object values, unknown ops, wrongly-typed and
+    missing fields, bogus SOC specs, deep nesting, oversized strings,
+    duplicate keys — at a request handler and asserts the daemon
+    contract: {b every} frame gets exactly one well-formed JSON object
+    reply with an [ok] boolean; [ok:false] replies carry a machine
+    error code from the published set; frames that are not a valid
+    request are answered, never crash the handler; [id]s are echoed;
+    and the service still answers [ping]/[stats] after the storm.
+
+    The handler is abstract ([string -> string]) so tests drive
+    {!Soctam_service.Service.handle_line} in-process and [tamopt fuzz
+    --proto] does the same without a socket. *)
+
+(** The machine error codes a conforming reply may carry. *)
+val known_error_codes : string list
+
+(** [run ~handle ~seed ~budget ()] sends [budget] deterministic
+    adversarial frames and validates every reply. [Ok ()] when the
+    contract held throughout; [Error msg] pinpoints the first
+    violation, quoting the offending frame and reply. A handler that
+    raises is a violation, not an exception. *)
+val run :
+  ?log:(string -> unit) ->
+  handle:(string -> string) ->
+  seed:int ->
+  budget:int ->
+  unit ->
+  (unit, string) result

@@ -10,6 +10,15 @@ let price_tol = 1e-7
 let pivot_tol = 1e-9
 let feas_tol = 1e-7
 
+(* Confirmation pricing tolerance. The tableau is doubly equilibrated,
+   so column bound ranges can span ~2^25: a reduced cost of -3e-8 looks
+   like noise under [price_tol] yet hides a large objective improvement
+   once the column moves across its range. Every *certificate* (phase-1
+   infeasibility, phase-2 optimality) is therefore confirmed by letting
+   the primal continue at this much tighter tolerance; the pass costs
+   one pricing sweep when the coarse verdict was already right. *)
+let price_tol_strict = 1e-10
+
 (* Nearest power of two: scaling by these is exact in binary floating
    point, so equilibration introduces no rounding of its own. *)
 let pow2_near x =
@@ -222,7 +231,7 @@ module Incremental = struct
      entering variable either pivots into the basis or — when its own
      opposite bound is the tighter limit — flips there without a basis
      change. Dantzig pricing with a switch to Bland's rule on stalls. *)
-  let primal t ~fix_leaving_artificial =
+  let primal t ~price_tol ~fix_leaving_artificial =
     let stall_limit = 200 in
     let stall = ref 0 in
     let last_obj = ref t.obj_val in
@@ -445,6 +454,16 @@ module Incremental = struct
 
   type cold_outcome = Cold_feasible | Cold_infeasible | Cold_iter
 
+  (* Sum of the artificials still basic: the phase-1 objective value
+     computed from current state rather than the tracked [obj_val]. *)
+  let artificial_residue t =
+    let acc = ref 0.0 in
+    for r = 0 to t.m - 1 do
+      if t.basis_arr.(r) >= t.art_base then
+        acc := !acc +. Float.max 0.0 t.xb.(r)
+    done;
+    !acc
+
   (* Phase 1: minimize the sum of the opened artificials. *)
   let phase1 t =
     Obs.incr "simplex.phase1";
@@ -462,17 +481,23 @@ module Incremental = struct
         t.obj_val <- t.obj_val +. t.xb.(r)
       end
     done;
-    match primal t ~fix_leaving_artificial:true with
+    let outcome =
+      match primal t ~price_tol ~fix_leaving_artificial:true with
+      | Phase_done when artificial_residue t > feas_tol *. t.rhs_norm ->
+          (* About to certify infeasibility: confirm at the strict
+             tolerance first, or a badly scaled improving column the
+             coarse pricing skipped turns a feasible node infeasible. *)
+          Obs.incr "simplex.phase1_confirm";
+          primal t ~price_tol:price_tol_strict ~fix_leaving_artificial:true
+      | o -> o
+    in
+    match outcome with
     | Phase_iter_limit -> Cold_iter
     | Phase_unbounded ->
         (* A sum of nonnegative artificials is bounded below by zero. *)
         assert false
     | Phase_done ->
-        let residue = ref 0.0 in
-        for r = 0 to t.m - 1 do
-          if t.basis_arr.(r) >= t.art_base then
-            residue := !residue +. Float.max 0.0 t.xb.(r)
-        done;
+        let residue = ref (artificial_residue t) in
         for a = t.art_base to t.ncols - 1 do
           t.ub.(a) <- 0.0
         done;
@@ -505,6 +530,45 @@ module Incremental = struct
           Cold_feasible
         end
 
+  (* Per-variable feasibility slack. Equilibrated columns can carry
+     bounds ~2^25, so a slack fully relative to the bound
+     (feas_tol * |bound|) would accept O(1) violations as "feasible" —
+     and a later degenerate pivot that snaps such a basic to its bound
+     silently shifts the solution by the whole violation, corrupting
+     the rest of the tableau. Grow the slack only mildly with the
+     bound's magnitude instead. *)
+  let bound_slack bnd = feas_tol *. (1.0 +. (1e-4 *. Float.abs bnd))
+
+  (* Worst bound violation among basic variables beyond the per-variable
+     slack: the O(m) audit run before any basis is trusted. *)
+  let worst_basic_violation t =
+    let worst = ref 0.0 in
+    for r = 0 to t.m - 1 do
+      let i = t.basis_arr.(r) in
+      let v = t.xb.(r) in
+      let lo = t.lb.(i) and hi = t.ub.(i) in
+      let d_lo =
+        if Float.is_finite lo then lo -. v -. bound_slack lo else 0.0
+      in
+      let d_hi =
+        if Float.is_finite hi then v -. hi -. bound_slack hi else 0.0
+      in
+      let d = Float.max d_lo d_hi in
+      if d > !worst then worst := d
+    done;
+    !worst
+
+  (* Phase 2 on the already-installed objective row: coarse pricing
+     first, then the strict confirmation pass before the point is
+     certified optimal — a prematurely stopped phase 2 overstates the
+     LP bound, and branch & bound prunes the true optimum with it. *)
+  let phase2 t =
+    Obs.incr "simplex.phase2";
+    match primal t ~price_tol ~fix_leaving_artificial:false with
+    | Phase_done ->
+        primal t ~price_tol:price_tol_strict ~fix_leaving_artificial:false
+    | o -> o
+
   let cold_solve t =
     t.cold <- t.cold + 1;
     Obs.incr "simplex.cold";
@@ -515,9 +579,16 @@ module Incremental = struct
     | Cold_iter -> Iteration_limit
     | Cold_feasible -> (
         install_phase2_obj t;
-        Obs.incr "simplex.phase2";
-        match primal t ~fix_leaving_artificial:false with
-        | Phase_done -> extract t
+        match phase2 t with
+        | Phase_done ->
+            if worst_basic_violation t > 0.0 then begin
+              (* A pristine rebuild should never end infeasible-at-the-
+                 basis; if it does, a safe partial verdict beats a
+                 corrupt "optimal". *)
+              Obs.incr "simplex.cold_audit_fail";
+              Iteration_limit
+            end
+            else extract t
         | Phase_unbounded -> Unbounded
         | Phase_iter_limit -> Iteration_limit)
 
@@ -616,14 +687,14 @@ module Incremental = struct
           let i = t.basis_arr.(r) in
           let v = t.xb.(r) in
           let lo = t.lb.(i) and hi = t.ub.(i) in
-          if v < lo && lo -. v > feas_tol *. (1.0 +. Float.abs lo) then begin
+          if v < lo && lo -. v > bound_slack lo then begin
             if lo -. v > !worst then begin
               worst := lo -. v;
               row := r;
               exit_up := false
             end
           end
-          else if v > hi && v -. hi > feas_tol *. (1.0 +. Float.abs hi) then
+          else if v > hi && v -. hi > bound_slack hi then
             if v -. hi > !worst then begin
               worst := v -. hi;
               row := r;
@@ -670,20 +741,29 @@ module Incremental = struct
               end
             end
           done;
-          if !best < 0 then
+          if !best < 0 then begin
             (* No direction can repair the violation. Trust this as an
                infeasibility certificate only when the violation is
-               decisive: branching conflicts show up as O(1) scaled
-               violations, while tableau drift on these Big-M magnitudes
-               can push a degenerate basic ~1e-7 past its bound, and a
-               false Infeasible would prune the true optimum. Marginal
-               cases go to the cold two-phase solve, which settles
-               feasibility from pristine data. *)
+               decisive *on the violated variable's own scale*:
+               equilibrated columns carry bounds up to ~2^25, and a
+               basic on such a column accumulates absolute drift far
+               above any fixed epsilon — judging that drift against
+               |xb| alone (tiny for a near-zero basic) certified
+               feasible nodes as infeasible and pruned the true
+               optimum. Marginal cases go to the cold two-phase solve,
+               which settles feasibility from pristine data. *)
+            let i = t.basis_arr.(r) in
+            let fin b = if Float.is_finite b then Float.abs b else 0.0 in
+            let scale =
+              Float.max
+                (Float.abs t.xb.(r))
+                (Float.max (fin t.lb.(i)) (fin t.ub.(i)))
+            in
             res :=
               Some
-                (if !worst > 1e-4 *. (1.0 +. Float.abs (t.xb.(r))) then
-                   Dual_infeasible
+                (if !worst > 1e-4 *. (1.0 +. scale) then Dual_infeasible
                  else Dual_give_up)
+          end
           else if Float.abs !best_alpha < 1e-7 then
             (* Only numerically dubious pivots remain: let the cold
                two-phase primal decide instead of risking a bad basis. *)
@@ -733,11 +813,20 @@ module Incremental = struct
             | Dual_feasible -> (
                 (* Polish with the primal: usually zero pivots, but it also
                    absorbs any residual dual infeasibility from drift. *)
-                Obs.incr "simplex.phase2";
-                match primal t ~fix_leaving_artificial:false with
+                match phase2 t with
                 | Phase_done ->
-                    t.warm <- t.warm + 1;
-                    extract t
+                    if worst_basic_violation t > 0.0 then begin
+                      (* Residual primal infeasibility slipped through
+                         the dual's tolerance: the warm basis cannot be
+                         trusted, so the verdict comes from pristine
+                         data instead. *)
+                      Obs.incr "simplex.warm_audit_fail";
+                      cold_solve t
+                    end
+                    else begin
+                      t.warm <- t.warm + 1;
+                      extract t
+                    end
                 | Phase_unbounded ->
                     t.warm <- t.warm + 1;
                     Unbounded

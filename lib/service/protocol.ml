@@ -43,14 +43,24 @@ let id_of json =
 
 let ( let* ) = Result.bind
 
+(* Values far above any plausible SOC are rejected outright: a width
+   or core count in the millions would only serve to exhaust the
+   daemon's memory building staircases and memo tables. The bound also
+   keeps [int_of_float] inside the range where the conversion is
+   defined. *)
+let max_dimension = 100_000
+
 let as_int ~what = function
-  | Json.Num x when Float.is_integer x -> Ok (int_of_float x)
+  | Json.Num x when Float.is_integer x && Float.abs x <= 1e15 ->
+      Ok (int_of_float x)
   | _ -> Error (Printf.sprintf "%s must be an integer" what)
 
 let as_pos_int ~what json =
   let* n = as_int ~what json in
-  if n >= 1 then Ok n
-  else Error (Printf.sprintf "%s must be a positive integer" what)
+  if n < 1 then Error (Printf.sprintf "%s must be a positive integer" what)
+  else if n > max_dimension then
+    Error (Printf.sprintf "%s exceeds the service cap (%d)" what max_dimension)
+  else Ok n
 
 let as_num ~what = function
   | Json.Num x -> Ok x
@@ -189,6 +199,8 @@ let parse_deadline json =
 
 let parse_widths json =
   match Json.member "widths" json with
+  | Some (Json.Arr ws) when List.length ws > 4096 ->
+      Error "sweep: widths has more than 4096 entries"
   | Some (Json.Arr ws) when ws <> [] ->
       List.fold_left
         (fun acc w ->
@@ -240,6 +252,10 @@ let resolve_named spec =
       match String.split_on_char ':' spec with
       | [ "rnd"; seed; n ] -> (
           match (int_of_string_opt seed, int_of_string_opt n) with
+          | Some _, Some n when n > max_dimension ->
+              Error
+                (Printf.sprintf "rnd core count exceeds the service cap (%d)"
+                   max_dimension)
           | Some seed, Some n -> (
               match Benchmarks.random ~seed ~num_cores:n () with
               | soc -> Ok soc

@@ -17,6 +17,8 @@ let core soc i =
 
 let cores soc = Array.copy soc.core_arr
 
+let equal a b = a.name = b.name && a.core_arr = b.core_arr
+
 let index_of soc core_name =
   let n = num_cores soc in
   let rec loop i =

@@ -22,6 +22,12 @@ val core : t -> int -> Core_def.t
 (** All cores in index order (fresh array). *)
 val cores : t -> Core_def.t array
 
+(** Structural equality: same name and the same cores in the same
+    order. Float fields compare with [(=)], so two SOCs built from the
+    same data are equal but NaN-valued fields never are — fine for the
+    determinism and round-trip checks this backs. *)
+val equal : t -> t -> bool
+
 (** [index_of soc name] is the index of the core called [name].
     @raise Not_found when absent. *)
 val index_of : t -> string -> int

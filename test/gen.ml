@@ -1,56 +1,15 @@
-(* Shared generators for the optimization-layer tests. *)
+(* Shared generators for the optimization-layer tests.
 
-module Problem = Soctam_core.Problem
-module Benchmarks = Soctam_soc.Benchmarks
-module Soc = Soctam_soc.Soc
+   The actual generator lives in [Soctam_check.Gen] so the qcheck
+   suites and the differential fuzzer ([tamopt fuzz]) draw from one
+   definition of "random SOC instance". This module only adds the
+   QCheck plumbing: a generator that picks a seed and derives the spec
+   deterministically, so every qcheck counterexample doubles as a
+   [tamopt fuzz] repro. *)
 
-(* A reproducible small instance: random SOC, random bus count/width and
-   random (consistent) constraint pairs. Kept tiny so brute force stays
-   cheap. *)
-type spec = {
-  seed : int;
-  num_cores : int;
-  num_buses : int;
-  total_width : int;
-  raw_excl : (int * int) list;
-  raw_co : (int * int) list;
-}
+include Soctam_check.Gen
 
 let spec_gen =
-  QCheck.Gen.(
-    let* seed = int_bound 10_000 in
-    let* num_cores = 2 -- 6 in
-    let* num_buses = 1 -- 3 in
-    let* extra_width = 0 -- 8 in
-    let pair = pair (int_bound (num_cores - 1)) (int_bound (num_cores - 1)) in
-    let* raw_excl = list_size (0 -- 3) pair in
-    let* raw_co = list_size (0 -- 2) pair in
-    let clean = List.filter (fun (a, b) -> a <> b) in
-    return
-      { seed;
-        num_cores;
-        num_buses;
-        total_width = num_buses + extra_width;
-        raw_excl = clean raw_excl;
-        raw_co = clean raw_co })
-
-let spec_print spec =
-  Printf.sprintf
-    "{seed=%d n=%d nb=%d W=%d excl=[%s] co=[%s]}"
-    spec.seed spec.num_cores spec.num_buses spec.total_width
-    (String.concat ";"
-       (List.map (fun (a, b) -> Printf.sprintf "%d,%d" a b) spec.raw_excl))
-    (String.concat ";"
-       (List.map (fun (a, b) -> Printf.sprintf "%d,%d" a b) spec.raw_co))
+  QCheck.Gen.map (fun seed -> spec_of_seed ~seed ()) (QCheck.Gen.int_bound 1_000_000)
 
 let spec_arbitrary = QCheck.make ~print:spec_print spec_gen
-
-let problem_of_spec ?(constrained = true) spec =
-  let soc = Benchmarks.random ~seed:spec.seed ~num_cores:spec.num_cores () in
-  let constraints =
-    if constrained then
-      { Problem.exclusion_pairs = spec.raw_excl; co_pairs = spec.raw_co }
-    else Problem.no_constraints
-  in
-  Problem.make soc ~constraints ~num_buses:spec.num_buses
-    ~total_width:spec.total_width

@@ -1,0 +1,203 @@
+(* The differential-fuzzing harness checked against itself: generator
+   determinism, a clean oracle batch, fault-injection self-tests (each
+   artificial solver bug must be caught AND shrunk to a hand-sized
+   repro), corpus round-trips, regression-corpus replay and the NDJSON
+   protocol fuzzer driven against an in-process service. *)
+
+module Cgen = Soctam_check.Gen
+module Oracle = Soctam_check.Oracle
+module Shrink = Soctam_check.Shrink
+module Corpus = Soctam_check.Corpus
+module Fuzz = Soctam_check.Fuzz
+module Proto_fuzz = Soctam_check.Proto_fuzz
+module Service = Soctam_service.Service
+module Pool = Soctam_engine.Pool
+module Soc = Soctam_soc.Soc
+
+let test_spec_determinism () =
+  for seed = 0 to 100 do
+    let a = Cgen.spec_of_seed ~seed () in
+    let b = Cgen.spec_of_seed ~seed () in
+    if a <> b then
+      Alcotest.failf "seed %d yielded two different specs: %s vs %s" seed
+        (Cgen.spec_print a) (Cgen.spec_print b);
+    let ia = Cgen.instance_of_spec a and ib = Cgen.instance_of_spec b in
+    Alcotest.(check bool) "materialized SOCs equal" true
+      (Soc.equal ia.Cgen.soc ib.Cgen.soc)
+  done;
+  (* Distinct seeds must not collapse onto one spec. *)
+  let distinct =
+    List.init 100 (fun seed -> Cgen.spec_print (Cgen.spec_of_seed ~seed ()))
+    |> List.sort_uniq compare |> List.length
+  in
+  Alcotest.(check bool) "seeds spread" true (distinct > 50)
+
+let test_spec_ranges () =
+  for seed = 0 to 200 do
+    let s = Cgen.spec_of_seed ~seed () in
+    let in_range lo v hi = lo <= v && v <= hi in
+    Alcotest.(check bool) "cores in [2,6]" true (in_range 2 s.Cgen.num_cores 6);
+    Alcotest.(check bool) "buses in [1,3]" true (in_range 1 s.Cgen.num_buses 3);
+    Alcotest.(check bool) "width >= buses" true
+      (s.Cgen.total_width >= s.Cgen.num_buses);
+    List.iter
+      (fun (a, b) ->
+        Alcotest.(check bool) "pair indices in range" true
+          (in_range 0 a (s.Cgen.num_cores - 1)
+          && in_range 0 b (s.Cgen.num_cores - 1));
+        Alcotest.(check bool) "no self pair" true (a <> b))
+      (s.Cgen.raw_excl @ s.Cgen.raw_co)
+  done;
+  (* max_cores widens the range. *)
+  let wide =
+    List.init 60 (fun seed ->
+        (Cgen.spec_of_seed ~max_cores:10 ~seed ()).Cgen.num_cores)
+  in
+  Alcotest.(check bool) "max_cores reached" true
+    (List.exists (fun n -> n > 6) wide)
+
+let test_oracle_clean_batch () =
+  for seed = 0 to 14 do
+    let inst = Cgen.instance_of_spec (Cgen.spec_of_seed ~seed ()) in
+    match Oracle.check inst with
+    | Ok () -> ()
+    | Error f ->
+        Alcotest.failf "seed %d: property %s failed: %s\n  instance %s" seed
+          f.Oracle.property f.Oracle.detail (Cgen.instance_print inst)
+  done
+
+let find_and_shrink fault =
+  let outcome = Fuzz.run ~fault ~shrink:true ~seed:0 ~budget:150 () in
+  match outcome.Fuzz.failure with
+  | None ->
+      Alcotest.failf "injected fault %s survived 150 instances"
+        (Oracle.fault_name fault)
+  | Some report -> report
+
+let test_fault_caught fault () =
+  let report = find_and_shrink fault in
+  let shrunk =
+    match report.Fuzz.shrunk with
+    | Some r -> r.Shrink.instance
+    | None -> Alcotest.fail "shrinking was requested but did not run"
+  in
+  let n = Soc.num_cores shrunk.Cgen.soc in
+  if n > 4 then
+    Alcotest.failf "shrunk repro still has %d cores: %s" n
+      (Cgen.instance_print shrunk);
+  (* The minimized instance still fails the same property under the
+     fault... *)
+  (match Oracle.check ~fault shrunk with
+  | Ok () -> Alcotest.fail "shrunk instance no longer fails under the fault"
+  | Error f ->
+      Alcotest.(check string) "same property survived shrinking"
+        report.Fuzz.failure.Oracle.property f.Oracle.property);
+  (* ...and passes the healthy oracle: the failure is the injected bug,
+     not a real one. *)
+  match Oracle.check shrunk with
+  | Ok () -> ()
+  | Error f ->
+      Alcotest.failf "shrunk instance fails the healthy oracle (%s: %s)"
+        f.Oracle.property f.Oracle.detail
+
+let test_fuzz_deterministic () =
+  let run () =
+    let r = find_and_shrink Oracle.Exact_off_by_one in
+    let shrunk = Option.get r.Fuzz.shrunk in
+    ( r.Fuzz.iteration,
+      r.Fuzz.fuzz_seed,
+      r.Fuzz.failure.Oracle.property,
+      Cgen.instance_print shrunk.Shrink.instance )
+  in
+  let i1, s1, p1, m1 = run () in
+  let i2, s2, p2, m2 = run () in
+  Alcotest.(check int) "same iteration" i1 i2;
+  Alcotest.(check int) "same fuzz seed" s1 s2;
+  Alcotest.(check string) "same property" p1 p2;
+  Alcotest.(check string) "same shrunk instance" m1 m2
+
+let prop_corpus_round_trip =
+  QCheck.Test.make ~name:"corpus entries round-trip" ~count:100
+    Gen.spec_arbitrary (fun spec ->
+      let inst = Cgen.instance_of_spec spec in
+      let entry =
+        { Corpus.property = "some_property";
+          instance = inst;
+          note = Some "found somewhere\nsecond line" }
+      in
+      match Corpus.of_string (Corpus.to_string entry) with
+      | Error msg -> QCheck.Test.fail_reportf "parse failed: %s" msg
+      | Ok back ->
+          if back.Corpus.property <> entry.Corpus.property then
+            QCheck.Test.fail_report "property lost";
+          let i' = back.Corpus.instance in
+          if not (Soc.equal i'.Cgen.soc inst.Cgen.soc) then
+            QCheck.Test.fail_report "SOC changed in round trip";
+          i'.Cgen.num_buses = inst.Cgen.num_buses
+          && i'.Cgen.total_width = inst.Cgen.total_width
+          && i'.Cgen.excl = inst.Cgen.excl
+          && i'.Cgen.co = inst.Cgen.co)
+
+let test_corpus_rejects () =
+  let reject what text =
+    match Corpus.of_string text with
+    | Ok _ -> Alcotest.failf "%s was accepted" what
+    | Error _ -> ()
+  in
+  reject "empty document" "";
+  reject "missing soc section" "property p\nbuses 1\nwidth 1\n";
+  reject "duplicate buses"
+    "property p\nbuses 1\nbuses 2\nwidth 1\nsoc x\ncore a inputs=1 \
+     outputs=1 patterns=1 power=1 dim=1x1\n";
+  reject "non-integer pair" "property p\nbuses 1\nwidth 1\nexcl 0 x\nsoc x\n"
+
+(* Every corpus entry is the minimized repro of a bug that has since
+   been fixed: replaying it through the healthy oracle must pass. This
+   is the permanent regression net the fuzzer feeds. *)
+let test_corpus_replay () =
+  match Corpus.load_dir "corpus" with
+  | Error msg -> Alcotest.failf "corpus load failed: %s" msg
+  | Ok [] -> Alcotest.fail "corpus directory is missing or empty"
+  | Ok entries ->
+      List.iter
+        (fun (name, entry) ->
+          match Fuzz.replay entry with
+          | Ok () -> ()
+          | Error f ->
+              Alcotest.failf "corpus %s regressed (%s: %s)" name
+                f.Oracle.property f.Oracle.detail)
+        entries
+
+let with_service f =
+  Pool.with_pool ~num_domains:2 (fun pool ->
+      f (Service.create ~cache_capacity:16 ~queue_capacity:8 ~pool ()))
+
+let test_proto_fuzz () =
+  with_service (fun service ->
+      match
+        Proto_fuzz.run ~handle:(Service.handle_line service) ~seed:7
+          ~budget:400 ()
+      with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "protocol contract violated: %s" msg)
+
+let suite =
+  [ Alcotest.test_case "generator is deterministic" `Quick
+      test_spec_determinism;
+    Alcotest.test_case "generator respects ranges" `Quick test_spec_ranges;
+    Alcotest.test_case "oracle passes a clean batch" `Slow
+      test_oracle_clean_batch;
+    Alcotest.test_case "catches exact-off-by-one" `Slow
+      (test_fault_caught Oracle.Exact_off_by_one);
+    Alcotest.test_case "catches ilp-drop-exclusion" `Slow
+      (test_fault_caught Oracle.Ilp_drop_exclusion);
+    Alcotest.test_case "catches heuristic-overclaim" `Slow
+      (test_fault_caught Oracle.Heuristic_overclaim);
+    Alcotest.test_case "fuzz + shrink is deterministic" `Slow
+      test_fuzz_deterministic;
+    QCheck_alcotest.to_alcotest prop_corpus_round_trip;
+    Alcotest.test_case "corpus rejects malformed entries" `Quick
+      test_corpus_rejects;
+    Alcotest.test_case "corpus replays clean" `Slow test_corpus_replay;
+    Alcotest.test_case "protocol fuzz: every reply well-formed" `Slow
+      test_proto_fuzz ]

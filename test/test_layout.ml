@@ -4,6 +4,8 @@ module Routing = Soctam_layout.Routing
 module Conflicts = Soctam_layout.Conflicts
 module Benchmarks = Soctam_soc.Benchmarks
 module Soc = Soctam_soc.Soc
+module Problem = Soctam_core.Problem
+module Exact = Soctam_core.Exact
 
 let test_manhattan () =
   let p = { Geom.x = 1.0; y = 2.0 } and q = { Geom.x = 4.0; y = 0.0 } in
@@ -164,6 +166,47 @@ let prop_two_opt_no_worse_than_nn =
       len := !len +. Geom.manhattan !cursor dst;
       tour.Routing.length_mm <= !len +. 1e-6)
 
+(* Metamorphic: growing the wiring budget d_max can only delete
+   exclusion pairs, and deleting exclusion pairs can only help the
+   optimal test time — relaxing the place-and-route constraint must
+   never make the answer worse, and tightening it must never make it
+   better. *)
+let prop_d_max_relaxation_monotone =
+  QCheck.Test.make ~name:"relaxing d_max shrinks conflicts, never raises T"
+    ~count:30
+    QCheck.(
+      triple (int_bound 500) (int_range 2 6)
+        (pair (float_bound_inclusive 1.0) (float_bound_inclusive 1.0)))
+    (fun (seed, n, (qa, qb)) ->
+      let q_tight = Float.min qa qb and q_loose = Float.max qa qb in
+      let soc = Benchmarks.random ~seed ~num_cores:n () in
+      let fp = Floorplan.place soc in
+      let pairs_of q =
+        Conflicts.exclusion_pairs fp
+          ~d_max_mm:(Conflicts.distance_quantile fp q)
+      in
+      let tight = pairs_of q_tight and loose = pairs_of q_loose in
+      if not (List.for_all (fun p -> List.mem p tight) loose) then
+        QCheck.Test.fail_report
+          "a larger d_max produced a conflict the smaller one lacked";
+      let solve pairs =
+        let problem =
+          Problem.make soc
+            ~constraints:{ Problem.exclusion_pairs = pairs; co_pairs = [] }
+            ~num_buses:2 ~total_width:4
+        in
+        Option.map snd (Exact.solve problem).Exact.solution
+      in
+      match solve tight, solve loose with
+      | Some t_tight, Some t_loose ->
+          if t_loose > t_tight then
+            QCheck.Test.fail_reportf
+              "relaxing d_max raised T: %d -> %d" t_tight t_loose
+          else true
+      | Some _, None ->
+          QCheck.Test.fail_report "relaxing d_max lost feasibility"
+      | None, _ -> true)
+
 let suite =
   [ Alcotest.test_case "manhattan" `Quick test_manhattan;
     Alcotest.test_case "rect" `Quick test_rect;
@@ -175,4 +218,5 @@ let suite =
     Alcotest.test_case "exclusion pairs" `Quick test_exclusion_pairs;
     Alcotest.test_case "distance quantile" `Quick test_distance_quantile;
     QCheck_alcotest.to_alcotest prop_random_floorplans_valid;
-    QCheck_alcotest.to_alcotest prop_two_opt_no_worse_than_nn ]
+    QCheck_alcotest.to_alcotest prop_two_opt_no_worse_than_nn;
+    QCheck_alcotest.to_alcotest prop_d_max_relaxation_monotone ]

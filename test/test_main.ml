@@ -31,4 +31,5 @@ let () =
       ("engine_pool", Test_sweep.pool_suite);
       ("engine_sweep", Test_sweep.suite);
       ("obs", Test_obs.suite);
-      ("service", Test_service.suite) ]
+      ("service", Test_service.suite);
+      ("check", Test_check.suite) ]

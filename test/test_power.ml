@@ -3,6 +3,8 @@ module Power_conflicts = Soctam_power.Power_conflicts
 module Benchmarks = Soctam_soc.Benchmarks
 module Soc = Soctam_soc.Soc
 module Core_def = Soctam_soc.Core_def
+module Problem = Soctam_core.Problem
+module Exact = Soctam_core.Exact
 
 let s2 = Benchmarks.s2 ()
 
@@ -86,10 +88,52 @@ let prop_clusters_partition =
       let all = List.concat clusters |> List.sort compare in
       all = List.init (Soc.num_cores soc) Fun.id)
 
+(* Metamorphic: raising the power budget p_max can only delete
+   co-assignment pairs, and co-only constraints are always satisfiable
+   (put everything on one bus), so relaxing the budget must never raise
+   the optimal test time and the instance must stay feasible at every
+   budget. *)
+let prop_p_max_relaxation_monotone =
+  QCheck.Test.make ~name:"relaxing p_max shrinks conflicts, never raises T"
+    ~count:30
+    QCheck.(
+      triple (int_bound 500) (int_range 2 6)
+        (pair (float_bound_inclusive 1.0) (float_bound_inclusive 1.0)))
+    (fun (seed, n, (fa, fb)) ->
+      let f_tight = Float.min fa fb and f_loose = Float.max fa fb in
+      let soc = Benchmarks.random ~seed ~num_cores:n () in
+      let vacuous = Power_conflicts.feasible_p_max soc in
+      let pairs_of f =
+        Power_conflicts.co_assignment_pairs soc ~p_max_mw:(f *. vacuous)
+      in
+      let tight = pairs_of f_tight and loose = pairs_of f_loose in
+      if not (List.for_all (fun p -> List.mem p tight) loose) then
+        QCheck.Test.fail_report
+          "a larger p_max produced a conflict the smaller one lacked";
+      let solve pairs =
+        let problem =
+          Problem.make soc
+            ~constraints:{ Problem.exclusion_pairs = []; co_pairs = pairs }
+            ~num_buses:2 ~total_width:4
+        in
+        Option.map snd (Exact.solve problem).Exact.solution
+      in
+      match solve tight, solve loose with
+      | None, _ ->
+          QCheck.Test.fail_report "co-only instance reported infeasible"
+      | _, None ->
+          QCheck.Test.fail_report "relaxing p_max lost feasibility"
+      | Some t_tight, Some t_loose ->
+          if t_loose > t_tight then
+            QCheck.Test.fail_reportf "relaxing p_max raised T: %d -> %d"
+              t_tight t_loose
+          else true)
+
 let suite =
   [ Alcotest.test_case "aggregates" `Quick test_aggregates;
     Alcotest.test_case "bus peak" `Quick test_bus_peak;
     Alcotest.test_case "pair threshold" `Quick test_pair_threshold;
     Alcotest.test_case "feasible p_max" `Quick test_feasible_p_max;
     Alcotest.test_case "clusters" `Quick test_clusters;
-    QCheck_alcotest.to_alcotest prop_clusters_partition ]
+    QCheck_alcotest.to_alcotest prop_clusters_partition;
+    QCheck_alcotest.to_alcotest prop_p_max_relaxation_monotone ]
