@@ -944,6 +944,9 @@ type sweep_measurement = {
   sm_lp_pivots : int;
   sm_warm : int;
   sm_cold : int;
+  sm_refactor : int;
+  sm_cuts : int;
+  sm_fixed : int;
   sm_seq_s : float;
   sm_par_s : float;
   sm_identical : bool;
@@ -964,19 +967,30 @@ let table_e8 () =
      expiry depends on wall-clock load and would break the determinism
      guarantee. *)
   let exact = Sweep.Exact in
-  let ilp = Sweep.Ilp { time_limit_s = None } in
+  let ilp = Sweep.Ilp { time_limit_s = None; presolve = true; cuts = true } in
+  let free = Problem.no_constraints in
+  (* An exclusion triangle (cores 0,1,2 pairwise apart) exercises the
+     clique cover — one size-3 clique row per bus instead of three
+     pairwise rows — and a co-assignment pair (3,4) exercises the
+     presolve merge. Three buses keep the triangle satisfiable. *)
+  let constrained =
+    { Problem.exclusion_pairs = [ (0, 1); (0, 2); (1, 2) ];
+      co_pairs = [ (3, 4) ] }
+  in
   let workloads =
     pick
-      [ (Benchmarks.s1 (), 2, List.init 12 (fun k -> 4 + (4 * k)), exact);
-        (Benchmarks.s1 (), 3, List.init 12 (fun k -> 4 + (4 * k)), exact);
-        (Benchmarks.s2 (), 2, List.init 12 (fun k -> 4 + (4 * k)), exact);
-        (Benchmarks.s2 (), 3, List.init 8 (fun k -> 6 + (6 * k)), exact);
-        (Benchmarks.s3 (), 3, List.init 6 (fun k -> 8 + (4 * k)), exact);
-        (Benchmarks.s1 (), 2, [ 16; 20; 24; 28; 32 ], ilp);
-        (Benchmarks.s1 (), 3, [ 16; 20; 24 ], ilp);
-        (Benchmarks.s2 (), 2, [ 16; 24; 32 ], ilp) ]
-      [ (Benchmarks.s1 (), 2, [ 8; 16; 24; 32 ], exact);
-        (Benchmarks.s1 (), 2, [ 12; 16 ], ilp) ]
+      [ (Benchmarks.s1 (), 2, List.init 12 (fun k -> 4 + (4 * k)), free, exact);
+        (Benchmarks.s1 (), 3, List.init 12 (fun k -> 4 + (4 * k)), free, exact);
+        (Benchmarks.s2 (), 2, List.init 12 (fun k -> 4 + (4 * k)), free, exact);
+        (Benchmarks.s2 (), 3, List.init 8 (fun k -> 6 + (6 * k)), free, exact);
+        (Benchmarks.s3 (), 3, List.init 6 (fun k -> 8 + (4 * k)), free, exact);
+        (Benchmarks.s1 (), 2, [ 16; 20; 24; 28; 32 ], free, ilp);
+        (Benchmarks.s1 (), 3, [ 16; 20; 24 ], free, ilp);
+        (Benchmarks.s1 (), 3, [ 12; 16 ], constrained, ilp);
+        (Benchmarks.s2 (), 2, [ 16; 24; 32 ], free, ilp) ]
+      [ (Benchmarks.s1 (), 2, [ 8; 16; 24; 32 ], free, exact);
+        (Benchmarks.s1 (), 2, [ 12; 16 ], free, ilp);
+        (Benchmarks.s1 (), 3, [ 8 ], constrained, ilp) ]
   in
   let solver_name = function
     | Sweep.Exact -> "exact"
@@ -990,8 +1004,10 @@ let table_e8 () =
   let measurements =
     Pool.with_pool ~num_domains:jobs (fun pool ->
         List.map
-          (fun (soc, num_buses, widths, solver) ->
-            let cells = Sweep.cells ~solver soc ~num_buses ~widths in
+          (fun (soc, num_buses, widths, constraints, solver) ->
+            let cells =
+              Sweep.cells ~constraints ~solver soc ~num_buses ~widths
+            in
             let t0 = Clock.now_s () in
             let seq_rows = Sweep.run cells in
             let seq_s = Clock.elapsed_s ~since:t0 in
@@ -1007,6 +1023,9 @@ let table_e8 () =
               sm_lp_pivots = totals.Sweep.lp_pivots;
               sm_warm = totals.Sweep.warm_starts;
               sm_cold = totals.Sweep.cold_solves;
+              sm_refactor = totals.Sweep.refactorizations;
+              sm_cuts = totals.Sweep.cuts_added;
+              sm_fixed = totals.Sweep.presolve_fixed;
               sm_seq_s = seq_s;
               sm_par_s = par_s;
               sm_identical = Sweep.equal_rows seq_rows par_rows;
@@ -1032,6 +1051,8 @@ let table_e8 () =
           string_of_int m.sm_lp_pivots;
           string_of_int m.sm_warm;
           string_of_int m.sm_cold;
+          string_of_int m.sm_cuts;
+          string_of_int m.sm_fixed;
           Table.fmt_float ~decimals:3 m.sm_seq_s;
           Table.fmt_float ~decimals:3 m.sm_par_s;
           Table.fmt_float (m.sm_seq_s /. m.sm_par_s) ^ "x";
@@ -1042,7 +1063,8 @@ let table_e8 () =
     (Table.render
        ~headers:
          [ "soc"; "nb"; "solver"; "cells"; "nodes"; "pivots"; "warm";
-           "cold"; "seq s"; "par s"; "speedup"; "identical" ]
+           "cold"; "cuts"; "fixed"; "seq s"; "par s"; "speedup";
+           "identical" ]
        rows);
   let seq_total = List.fold_left (fun a m -> a +. m.sm_seq_s) 0.0 measurements in
   let par_total = List.fold_left (fun a m -> a +. m.sm_par_s) 0.0 measurements in
@@ -1056,9 +1078,16 @@ let table_e8 () =
     seq_total par_total jobs
     (seq_total /. par_total)
     (if all_identical then "yes" else "NO");
+  let total_refactor =
+    List.fold_left (fun a m -> a + m.sm_refactor) 0 measurements
+  in
+  let total_cuts = List.fold_left (fun a m -> a + m.sm_cuts) 0 measurements in
+  let total_fixed = List.fold_left (fun a m -> a + m.sm_fixed) 0 measurements in
   Printf.printf
-    "LP work: %d pivots total; %d warm-started node LPs vs %d cold solves\n"
-    total_pivots total_warm total_cold;
+    "LP work: %d pivots total; %d warm-started node LPs vs %d cold solves, \
+     %d refactorizations\n\
+     model strengthening: %d clique rows, %d variables presolved away\n"
+    total_pivots total_warm total_cold total_refactor total_cuts total_fixed;
   if not all_identical then
     print_endline "!! parallel sweep diverged from the sequential loop"
 
@@ -1088,7 +1117,7 @@ let table_e9 () =
     Sweep.cells ~solver:Sweep.Exact soc ~num_buses:2
       ~widths:[ 8; 16; 24; 32 ]
     @ Sweep.cells
-        ~solver:(Sweep.Ilp { time_limit_s = None })
+        ~solver:(Sweep.Ilp { time_limit_s = None; presolve = true; cuts = true })
         soc ~num_buses:2 ~widths:[ 12; 16 ]
   in
   ignore (Sweep.run cells) (* warm-up *);
@@ -1344,6 +1373,9 @@ let write_json path =
             ("lp_pivots", Json.int m.sm_lp_pivots);
             ("warm_starts", Json.int m.sm_warm);
             ("cold_solves", Json.int m.sm_cold);
+            ("refactorizations", Json.int m.sm_refactor);
+            ("cuts_added", Json.int m.sm_cuts);
+            ("presolve_fixed", Json.int m.sm_fixed);
             ("seq_s", Json.Num m.sm_seq_s);
             ("par_s", Json.Num m.sm_par_s);
             ("speedup", Json.Num (m.sm_seq_s /. m.sm_par_s));
@@ -1384,7 +1416,14 @@ let write_json path =
          ( "total_warm_starts",
            Json.int (List.fold_left (fun a m -> a + m.sm_warm) 0 measurements) );
          ( "total_cold_solves",
-           Json.int (List.fold_left (fun a m -> a + m.sm_cold) 0 measurements) ) ]
+           Json.int (List.fold_left (fun a m -> a + m.sm_cold) 0 measurements) );
+         ( "total_refactorizations",
+           Json.int
+             (List.fold_left (fun a m -> a + m.sm_refactor) 0 measurements) );
+         ( "total_cuts_added",
+           Json.int (List.fold_left (fun a m -> a + m.sm_cuts) 0 measurements) );
+         ( "total_presolve_fixed",
+           Json.int (List.fold_left (fun a m -> a + m.sm_fixed) 0 measurements) ) ]
       @ obs)
   in
   Out_channel.with_open_text path (fun oc ->

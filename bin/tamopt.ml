@@ -212,10 +212,30 @@ let profile_arg =
   let doc = "Print per-span and counter summary tables after solving." in
   Arg.(value & flag & info [ "profile" ] ~doc)
 
-let sweep_solver_of_string ?ilp_time_limit solver =
+let no_presolve_arg =
+  let doc =
+    "Disable the ILP presolve (co-assignment merging and exclusion \
+     propagation). Results are identical; only search effort changes. \
+     Escape hatch for debugging and differential testing."
+  in
+  Arg.(value & flag & info [ "no-presolve" ] ~doc)
+
+let no_cuts_arg =
+  let doc =
+    "Disable ILP clique strengthening (conflict-graph clique cover and \
+     root separation). Results are identical; only search effort changes."
+  in
+  Arg.(value & flag & info [ "no-cuts" ] ~doc)
+
+let sweep_solver_of_string ?ilp_time_limit ?(no_presolve = false)
+    ?(no_cuts = false) solver =
   match solver with
   | "exact" -> Sweep.Exact
-  | "ilp" -> Sweep.Ilp { time_limit_s = ilp_time_limit }
+  | "ilp" ->
+      Sweep.Ilp
+        { time_limit_s = ilp_time_limit;
+          presolve = not no_presolve;
+          cuts = not no_cuts }
   | "heuristic" -> Sweep.Heuristic
   | other ->
       raise (Invalid_argument (Printf.sprintf "unknown solver %S" other))
@@ -245,14 +265,15 @@ let solve_cmd =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
   in
   let run soc_name num_buses total_width model d_max p_max solver gantt
-      time_limit trace profile json_path =
+      time_limit no_presolve no_cuts trace profile json_path =
     try
       let soc = lookup_soc soc_name in
       let problem =
         build_problem soc ~num_buses ~total_width ~model ~d_max ~p_max
       in
       let solver =
-        sweep_solver_of_string ~ilp_time_limit:time_limit solver
+        sweep_solver_of_string ~ilp_time_limit:time_limit ~no_presolve
+          ~no_cuts solver
       in
       let cell =
         match
@@ -272,9 +293,12 @@ let solve_cmd =
             print_endline "note: ILP budget expired; best-found shown";
           Printf.printf
             "ILP search: %d nodes, %d LP pivots (%d warm-started, %d \
-             cold), depth %d, %.3f s\n"
+             cold, %d refactorizations), depth %d, %.3f s\n\
+             ILP model: %d clique rows, %d variables presolved away\n"
             row.Sweep.nodes row.Sweep.lp_pivots row.Sweep.warm_starts
-            row.Sweep.cold_solves row.Sweep.max_depth row.Sweep.elapsed_s
+            row.Sweep.cold_solves row.Sweep.refactorizations
+            row.Sweep.max_depth row.Sweep.elapsed_s row.Sweep.cuts_added
+            row.Sweep.presolve_fixed
       | Sweep.Exact | Sweep.Heuristic -> ());
       (match json_path with
       | Some path ->
@@ -288,8 +312,8 @@ let solve_cmd =
   let term =
     Term.(
       const run $ soc_arg $ buses_arg $ width_arg $ model_arg $ d_max_arg
-      $ p_max_arg $ solver_arg $ gantt_arg $ time_limit_arg $ trace_arg
-      $ profile_arg $ json_arg)
+      $ p_max_arg $ solver_arg $ gantt_arg $ time_limit_arg
+      $ no_presolve_arg $ no_cuts_arg $ trace_arg $ profile_arg $ json_arg)
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Design one optimal test access architecture.")
@@ -320,8 +344,8 @@ let sweep_cmd =
     in
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
   in
-  let run soc_name num_buses widths model d_max p_max solver jobs trace
-      profile json_path =
+  let run soc_name num_buses widths model d_max p_max solver no_presolve
+      no_cuts jobs trace profile json_path =
     try
       let soc = lookup_soc soc_name in
       let parse_width word =
@@ -340,7 +364,7 @@ let sweep_cmd =
           ~total_width:(List.fold_left max num_buses widths)
           ~model ~d_max ~p_max
       in
-      let solver = sweep_solver_of_string solver in
+      let solver = sweep_solver_of_string ~no_presolve ~no_cuts solver in
       let cells =
         Sweep.cells
           ~time_model:(Problem.time_model probe)
@@ -376,9 +400,12 @@ let sweep_cmd =
            table_rows);
       if totals.Sweep.lp_pivots > 0 then
         Printf.printf
-          "LP work: %d pivots; %d warm-started node LPs, %d cold solves\n"
+          "LP work: %d pivots; %d warm-started node LPs, %d cold solves, \
+           %d refactorizations\n\
+           ILP model: %d clique rows, %d variables presolved away\n"
           totals.Sweep.lp_pivots totals.Sweep.warm_starts
-          totals.Sweep.cold_solves;
+          totals.Sweep.cold_solves totals.Sweep.refactorizations
+          totals.Sweep.cuts_added totals.Sweep.presolve_fixed;
       0
     with Invalid_argument msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -387,8 +414,8 @@ let sweep_cmd =
   let term =
     Term.(
       const run $ soc_arg $ buses_arg $ widths_arg $ model_arg $ d_max_arg
-      $ p_max_arg $ solver_arg $ jobs_arg $ trace_arg $ profile_arg
-      $ json_arg)
+      $ p_max_arg $ solver_arg $ no_presolve_arg $ no_cuts_arg $ jobs_arg
+      $ trace_arg $ profile_arg $ json_arg)
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -868,7 +895,8 @@ let fuzz_cmd =
       (List.length failed);
     if failed = [] then 0 else 1
   in
-  let run seed budget shrink corpus_dir brk proto replay max_cores =
+  let run seed budget shrink corpus_dir brk proto replay max_cores
+      no_presolve no_cuts =
     try
       if budget < 0 then raise (Invalid_argument "--budget < 0");
       let fault =
@@ -896,7 +924,8 @@ let fuzz_cmd =
         | Some path -> replay_path path
         | None ->
             let outcome =
-              Fuzz.run ~log ~fault ~shrink ?corpus_dir ?max_cores ~seed
+              Fuzz.run ~log ~fault ~shrink ?corpus_dir ?max_cores
+                ~presolve:(not no_presolve) ~cuts:(not no_cuts) ~seed
                 ~budget ()
             in
             if Option.is_none outcome.Fuzz.failure then 0 else 1
@@ -907,7 +936,8 @@ let fuzz_cmd =
   let term =
     Term.(
       const run $ seed_arg $ budget_arg $ shrink_arg $ corpus_arg
-      $ break_arg $ proto_arg $ replay_arg $ max_cores_arg)
+      $ break_arg $ proto_arg $ replay_arg $ max_cores_arg
+      $ no_presolve_arg $ no_cuts_arg)
   in
   Cmd.v
     (Cmd.info "fuzz"

@@ -13,9 +13,10 @@ type outcome = {
 }
 
 let run ?(log = fun _ -> ()) ?(fault = Oracle.No_fault) ?(shrink = false)
-    ?corpus_dir ?min_cores ?max_cores ~seed ~budget () =
+    ?corpus_dir ?min_cores ?max_cores ?(presolve = true) ?(cuts = true)
+    ~seed ~budget () =
   if budget < 0 then invalid_arg "Fuzz.run: budget < 0";
-  let check = Oracle.check ~fault in
+  let check = Oracle.check ~fault ~presolve ~cuts in
   let rec loop i =
     if i >= budget then begin
       log (Printf.sprintf "fuzz: %d instances clean (seed %d)" budget seed);

@@ -28,7 +28,9 @@ type outcome = {
     (harness self-test); [shrink] (default [false]) minimizes a
     failure before reporting; [corpus_dir] persists the (possibly
     shrunk) repro. [min_cores]/[max_cores] bound the generated SOCs
-    (defaults as {!Gen.spec_of_seed}). *)
+    (defaults as {!Gen.spec_of_seed}). [presolve]/[cuts] (default
+    [true]) are forwarded to {!Oracle.check}: a batch with them off
+    fuzzes the unstrengthened MILP pipeline. *)
 val run :
   ?log:(string -> unit) ->
   ?fault:Oracle.fault ->
@@ -36,6 +38,8 @@ val run :
   ?corpus_dir:string ->
   ?min_cores:int ->
   ?max_cores:int ->
+  ?presolve:bool ->
+  ?cuts:bool ->
   seed:int ->
   budget:int ->
   unit ->

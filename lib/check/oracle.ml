@@ -46,7 +46,8 @@ let properties =
     "canon_key_invariant";
     "width_monotone";
     "relaxation_monotone";
-    "warm_equals_cold" ]
+    "warm_equals_cold";
+    "presolve_equivalence" ]
 
 let ilp_width_cap = 8
 
@@ -80,7 +81,8 @@ let reversed_instance (inst : Gen.instance) =
     excl = remap inst.Gen.excl;
     co = remap inst.Gen.co }
 
-let check ?(fault = No_fault) (inst : Gen.instance) =
+let check ?(fault = No_fault) ?(presolve = true) ?(cuts = true)
+    (inst : Gen.instance) =
   let problem = Gen.problem_of_instance inst in
   let exact =
     match (Exact.solve problem).Exact.solution, fault with
@@ -109,7 +111,7 @@ let check ?(fault = No_fault) (inst : Gen.instance) =
                 Problem.exclusion_pairs = rest }
         | _ -> problem
       in
-      let ilp = Ilp.solve ilp_problem in
+      let ilp = Ilp.solve ~presolve ~cuts ilp_problem in
       if not ilp.Ilp.optimal then
         fail "ilp_matches_exact"
           "ILP lost its optimality claim (%d dropped nodes)"
@@ -253,18 +255,42 @@ let check ?(fault = No_fault) (inst : Gen.instance) =
                 "dropping constraints raised T: %d -> %d" t t')
   in
   (* warm_equals_cold *)
+  let* () =
+    if Problem.total_width problem > ilp_width_cap then Ok ()
+    else begin
+      (* ilp_matches_exact already pinned the warm (incumbent-seeded)
+         solve to the exact optimum; one cold solve closes the loop. *)
+      let cold = Ilp.solve ~seed_incumbent:false ~presolve ~cuts problem in
+      if not cold.Ilp.optimal then
+        fail "warm_equals_cold" "cold ILP lost its optimality claim"
+      else
+        match exact_time, Option.map snd cold.Ilp.solution with
+        | None, None -> Ok ()
+        | Some t, Some t' when t = t' -> Ok ()
+        | v, v' ->
+            fail "warm_equals_cold"
+              "incumbent seeding changes the answer: %s vs %s" (verdict v)
+              (verdict v')
+    end
+  in
+  (* presolve_equivalence *)
   if Problem.total_width problem > ilp_width_cap then Ok ()
+  else if not (presolve || cuts) then
+    (* ilp_matches_exact already ran the plain pipeline. *)
+    Ok ()
   else begin
-    (* ilp_matches_exact already pinned the warm (incumbent-seeded)
-       solve to the exact optimum; one cold solve closes the loop. *)
-    let cold = Ilp.solve ~seed_incumbent:false problem in
-    if not cold.Ilp.optimal then
-      fail "warm_equals_cold" "cold ILP lost its optimality claim"
+    (* The strengthening pipeline must change search effort only, never
+       answers: re-solve with presolve and cuts both off and pin the
+       verdict to the exact optimum again. *)
+    let plain = Ilp.solve ~presolve:false ~cuts:false problem in
+    if not plain.Ilp.optimal then
+      fail "presolve_equivalence" "plain ILP lost its optimality claim"
     else
-      match exact_time, Option.map snd cold.Ilp.solution with
+      match exact_time, Option.map snd plain.Ilp.solution with
       | None, None -> Ok ()
       | Some t, Some t' when t = t' -> Ok ()
       | v, v' ->
-          fail "warm_equals_cold" "incumbent seeding changes the answer: %s vs %s"
+          fail "presolve_equivalence"
+            "disabling presolve+cuts changes the answer: %s vs %s"
             (verdict v) (verdict v')
   end

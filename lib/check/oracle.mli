@@ -34,7 +34,13 @@
       instance feasible and does not increase optimal [T];
     - [warm_equals_cold] — the MILP without the heuristic incumbent
       ([seed_incumbent:false]) reaches the same optimum (skipped above
-      {!ilp_width_cap}). *)
+      {!ilp_width_cap});
+    - [presolve_equivalence] — the MILP with presolve and clique cuts
+      both disabled reaches the same optimum: the strengthening
+      pipeline changes search effort, never answers (skipped above
+      {!ilp_width_cap}, and skipped when the oracle itself was asked to
+      run without presolve and cuts — the plain pipeline was then
+      already exercised by [ilp_matches_exact]). *)
 
 (** Artificial solver bugs, injectable to prove the oracle and the
     shrinker work (CI runs one on every push). They emulate realistic
@@ -74,7 +80,15 @@ val properties : string list
     instances per fuzz run. *)
 val ilp_width_cap : int
 
-(** [check ?fault instance] runs every property against [instance] and
-    returns the first failure, if any. Deterministic: heuristic seeds
-    are fixed and the annealer runs a shortened schedule. *)
-val check : ?fault:fault -> Gen.instance -> (unit, failure) result
+(** [check ?fault ?presolve ?cuts instance] runs every property against
+    [instance] and returns the first failure, if any. Deterministic:
+    heuristic seeds are fixed and the annealer runs a shortened
+    schedule. [presolve]/[cuts] (default [true]) are forwarded to every
+    MILP solve — running a fuzz batch with them off exercises the
+    unstrengthened pipeline end to end. *)
+val check :
+  ?fault:fault ->
+  ?presolve:bool ->
+  ?cuts:bool ->
+  Gen.instance ->
+  (unit, failure) result

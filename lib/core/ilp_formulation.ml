@@ -1,6 +1,9 @@
 module Model = Soctam_ilp.Model
 module Lin_expr = Soctam_ilp.Lin_expr
 module Branch_bound = Soctam_ilp.Branch_bound
+module Simplex = Soctam_ilp.Simplex
+module Presolve = Soctam_ilp.Presolve
+module Cuts = Soctam_ilp.Cuts
 module Obs = Soctam_obs.Obs
 module Clock = Soctam_obs.Clock
 
@@ -14,7 +17,10 @@ type solve_stats = {
   max_depth : int;
   warm_starts : int;
   cold_solves : int;
+  refactorizations : int;
   dropped_nodes : int;
+  cuts_added : int;
+  presolve_fixed : int;
   elapsed_s : float;
 }
 
@@ -24,7 +30,48 @@ type result = {
   stats : solve_stats;
 }
 
-let build ?(formulation = Big_m) ?(symmetry_breaking = true) problem =
+(* Exclusion structure as per-bus rows. Without cuts: one pairwise row
+   [x_aj + x_bj <= 1] per exclusion pair and bus. With cuts: a greedy
+   clique cover of the conflict graph — each clique [C] contributes
+   [sum_{i in C} x_ij <= 1], which dominates all its pairwise rows, so
+   the pairwise rows inside larger cliques disappear entirely. Cliques
+   of size 2 keep the pairwise [excl_*] naming. *)
+let add_exclusion_rows model x ~n ~nb ~cuts exclusion_pairs =
+  if cuts then
+    List.iteri
+      (fun idx clique ->
+        for j = 0 to nb - 1 do
+          let name =
+            match clique with
+            | [ a; b ] -> Printf.sprintf "excl_%d_%d_%d" a b j
+            | _ -> Printf.sprintf "clique_%d_%d" idx j
+          in
+          Model.add_constr model ~name
+            (Lin_expr.of_terms (List.map (fun i -> (x.(i).(j), 1.0)) clique))
+            Model.Le 1.0
+        done)
+      (Cuts.edge_cover_cliques ~n exclusion_pairs)
+  else
+    List.iter
+      (fun (a, b) ->
+        for j = 0 to nb - 1 do
+          Model.add_constr model
+            ~name:(Printf.sprintf "excl_%d_%d_%d" a b j)
+            (Lin_expr.of_terms [ (x.(a).(j), 1.0); (x.(b).(j), 1.0) ])
+            Model.Le 1.0
+        done)
+      exclusion_pairs
+
+(* Clique rows of size >= 3 installed by a clique-cover build: the
+   build-time contribution to the [cuts_added] stat. *)
+let cover_cuts ~n ~nb exclusion_pairs =
+  List.fold_left
+    (fun acc c -> match c with _ :: _ :: _ :: _ -> acc + nb | _ -> acc)
+    0
+    (Cuts.edge_cover_cliques ~n exclusion_pairs)
+
+let build ?(formulation = Big_m) ?(symmetry_breaking = true) ?(cuts = false)
+    problem =
   let n = Problem.num_cores problem in
   let nb = Problem.num_buses problem in
   let w = Problem.total_width problem in
@@ -146,15 +193,7 @@ let build ?(formulation = Big_m) ?(symmetry_breaking = true) problem =
       done);
   (* Structural constraints. *)
   let constraints = Problem.constraints problem in
-  List.iter
-    (fun (a, b) ->
-      for j = 0 to nb - 1 do
-        Model.add_constr model
-          ~name:(Printf.sprintf "excl_%d_%d_%d" a b j)
-          (Lin_expr.of_terms [ (x.(a).(j), 1.0); (x.(b).(j), 1.0) ])
-          Model.Le 1.0
-      done)
-    constraints.Problem.exclusion_pairs;
+  add_exclusion_rows model x ~n ~nb ~cuts constraints.Problem.exclusion_pairs;
   List.iter
     (fun (a, b) ->
       for j = 0 to nb - 1 do
@@ -217,14 +256,129 @@ let effective_time_limit ?time_limit_s ?deadline_s ~start () =
         | None -> remaining
         | Some l -> Float.min l remaining)
 
+(* Root pipeline: the presolve reduction plus bounded-round clique-cut
+   separation that runs between [build] and branch and bound. *)
+type root_pipeline = {
+  search_model : Model.t;  (** The model branch and bound explores. *)
+  to_orig : float array -> float array;  (** Postsolve of search points. *)
+  remap : (int -> int) -> int -> int;
+      (** Lift an original-space branch priority to the search space. *)
+  root_cuts : int;  (** Clique rows: cover (size >= 3) + separated. *)
+  fixed : int;  (** Variables eliminated by the presolve. *)
+  sep_pivots : int;  (** LP pivots spent in separation rounds. *)
+}
+
+let separation_rounds = 3
+let cut_violation_tol = 1e-6
+
+(* Presolve [model], then separate pool cliques against the root
+   relaxation of the reduced model for at most [separation_rounds]
+   rounds. [Error msg] means the presolve itself proved the model
+   infeasible. Cut candidates are built in the original variable space
+   ([x]) and translated through the reduction, so the two layers
+   compose without either knowing about the other. *)
+let strengthen_root ~presolve ~cuts ~n ~nb ~x ~excl model =
+  let cover = if cuts then Cuts.edge_cover_cliques ~n excl else [] in
+  let base_cuts =
+    List.fold_left
+      (fun acc c -> match c with _ :: _ :: _ :: _ -> acc + nb | _ -> acc)
+      0 cover
+  in
+  let pre =
+    if presolve then
+      match Obs.span "ilp.presolve" (fun () -> Presolve.reduce model) with
+      | Ok p -> Ok (Some p)
+      | Error msg -> Error msg
+    else Ok None
+  in
+  match pre with
+  | Error msg -> Error msg
+  | Ok maybe_pre ->
+      let search_model =
+        match maybe_pre with None -> model | Some p -> p.Presolve.reduced
+      in
+      let to_orig =
+        match maybe_pre with None -> Fun.id | Some p -> Presolve.postsolve p
+      in
+      let remap prio =
+        match maybe_pre with
+        | None -> prio
+        | Some p -> fun v -> prio p.Presolve.orig_of_reduced.(v)
+      in
+      let fixed =
+        match maybe_pre with None -> 0 | Some p -> Presolve.eliminated p
+      in
+      let translate terms =
+        match maybe_pre with
+        | None -> (terms, 0.0)
+        | Some p -> Presolve.translate_terms p terms
+      in
+      let sep_cuts = ref 0 and sep_pivots = ref 0 in
+      if cuts then begin
+        let pool = Cuts.pool_cliques ~n ~cover excl in
+        let candidates = ref [] in
+        List.iteri
+          (fun idx clique ->
+            for j = nb - 1 downto 0 do
+              let terms, const =
+                translate (List.map (fun i -> (x.(i).(j), 1.0)) clique)
+              in
+              if terms <> [] then
+                candidates :=
+                  (Printf.sprintf "clique_sep_%d_%d" idx j, terms, const)
+                  :: !candidates
+            done)
+          pool;
+        let remaining = ref (List.rev !candidates) in
+        let rounds = ref 0 in
+        let continue = ref (!remaining <> []) in
+        while !continue && !rounds < separation_rounds do
+          incr rounds;
+          match Obs.span "ilp.separate" (fun () -> Simplex.solve search_model)
+          with
+          | Simplex.Optimal { point; pivots; _ } ->
+              sep_pivots := !sep_pivots + pivots;
+              let violated, rest =
+                List.partition
+                  (fun (_, terms, const) ->
+                    List.fold_left
+                      (fun acc (v, c) -> acc +. (c *. point.(v)))
+                      const terms
+                    > 1.0 +. cut_violation_tol)
+                  !remaining
+              in
+              if violated = [] then continue := false
+              else begin
+                List.iter
+                  (fun (name, terms, const) ->
+                    Model.add_constr search_model ~name
+                      (Lin_expr.of_terms terms)
+                      Model.Le (1.0 -. const);
+                    incr sep_cuts)
+                  violated;
+                remaining := rest;
+                if !remaining = [] then continue := false
+              end
+          | _ -> continue := false
+        done
+      end;
+      Ok
+        { search_model;
+          to_orig;
+          remap;
+          root_cuts = base_cuts + !sep_cuts;
+          fixed;
+          sep_pivots = !sep_pivots }
+
 let solve ?formulation ?symmetry_breaking ?(seed_incumbent = true)
-    ?(node_limit = 500_000) ?time_limit_s ?deadline_s problem =
+    ?(node_limit = 500_000) ?time_limit_s ?deadline_s ?(presolve = true)
+    ?(cuts = true) problem =
  Obs.span "ilp.solve" @@ fun () ->
   let start = Clock.now_s () in
   let time_limit_s = effective_time_limit ?time_limit_s ?deadline_s ~start () in
   let model, x, delta, _ =
     Obs.span "ilp.build" (fun () ->
-        build ?formulation ?symmetry_breaking problem)
+        build ?formulation ?symmetry_breaking ~cuts problem)
   in
   (* Width-selection variables steer the whole load structure: branch on
      them before the assignment variables. *)
@@ -232,63 +386,102 @@ let solve ?formulation ?symmetry_breaking ?(seed_incumbent = true)
   let nb = Problem.num_buses problem in
   let num_x = n * nb in
   let branch_priority v = if v >= num_x then 1 else 0 in
-  (* With the budget already exhausted (expired deadline) the answer is
-     an immediate partial verdict; don't burn time computing a seed
-     incumbent that cannot be used. *)
-  let expired = match time_limit_s with Some l -> l <= 0.0 | None -> false in
-  let incumbent =
-    if seed_incumbent && not expired then
-      match Obs.span "ilp.incumbent" (fun () -> Heuristics.solve problem) with
-      | Some { Heuristics.test_time; _ } ->
-          (* Branch-and-bound prunes nodes whose bound reaches the
-             incumbent, so pass a value one above the heuristic time to
-             keep an equal-valued optimum reachable. *)
-          Some (float_of_int (test_time + 1))
-      | None -> None
-    else None
+  let excl = (Problem.constraints problem).Problem.exclusion_pairs in
+  let mk_stats ?(rp_cuts = 0) ?(rp_fixed = 0) ?(sep_pivots = 0)
+      (stats : Branch_bound.stats) =
+    { variables = Model.num_vars model;
+      constraints = Model.num_constrs model;
+      bb_nodes = stats.Branch_bound.nodes;
+      lp_pivots = stats.Branch_bound.lp_pivots + sep_pivots;
+      max_depth = stats.Branch_bound.max_depth;
+      warm_starts = stats.Branch_bound.warm_starts;
+      cold_solves = stats.Branch_bound.cold_solves;
+      refactorizations = stats.Branch_bound.refactorizations;
+      dropped_nodes = stats.Branch_bound.dropped_nodes;
+      cuts_added = rp_cuts;
+      presolve_fixed = rp_fixed;
+      elapsed_s = Clock.elapsed_s ~since:start }
   in
-  let outcome =
-    Branch_bound.solve ~node_limit ?time_limit_s ~integral_objective:true
-      ?incumbent ~branch_priority model
+  let zero_bb_stats =
+    { Branch_bound.nodes = 0;
+      lp_pivots = 0;
+      max_depth = 0;
+      warm_starts = 0;
+      cold_solves = 0;
+      refactorizations = 0;
+      dropped_nodes = 0;
+      elapsed_s = 0.0 }
   in
-  let finish ?(optimal = true) (stats : Branch_bound.stats) solution =
-    { solution;
-      optimal;
-      stats =
-        { variables = Model.num_vars model;
-          constraints = Model.num_constrs model;
-          bb_nodes = stats.Branch_bound.nodes;
-          lp_pivots = stats.Branch_bound.lp_pivots;
-          max_depth = stats.Branch_bound.max_depth;
-          warm_starts = stats.Branch_bound.warm_starts;
-          cold_solves = stats.Branch_bound.cold_solves;
-          dropped_nodes = stats.Branch_bound.dropped_nodes;
-          elapsed_s = Clock.elapsed_s ~since:start } }
-  in
-  match outcome with
-  | Branch_bound.Optimal { point; objective; stats } ->
-      let arch = decode problem x delta point in
-      let test_time = Cost.test_time problem arch in
-      (* The decoded architecture's true cost must match the MILP
-         objective (up to rounding). *)
-      assert (Float.abs (float_of_int test_time -. objective) < 0.5);
-      finish stats (Some (arch, test_time))
-  | Branch_bound.Infeasible stats -> finish stats None
-  | Branch_bound.Unbounded stats ->
-      (* A bounded makespan objective cannot be unbounded. *)
-      ignore stats;
-      assert false
-  | Branch_bound.Node_limit { best; stats } -> (
-      match best with
-      | Some (point, _) ->
-          let arch = decode problem x delta point in
+  match strengthen_root ~presolve ~cuts ~n ~nb ~x ~excl model with
+  | Error _msg ->
+      (* The presolve proved the instance infeasible before any search:
+         the verdict is exact, with zero branch-and-bound work. *)
+      Obs.incr "ilp.presolve_infeasible";
+      { solution = None;
+        optimal = true;
+        stats =
+          mk_stats
+            ~rp_cuts:(if cuts then cover_cuts ~n ~nb excl else 0)
+            zero_bb_stats }
+  | Ok rp ->
+      (* With the budget already exhausted (expired deadline) the answer
+         is an immediate partial verdict; don't burn time computing a
+         seed incumbent that cannot be used. *)
+      let expired =
+        match time_limit_s with Some l -> l <= 0.0 | None -> false
+      in
+      let incumbent =
+        if seed_incumbent && not expired then
+          match
+            Obs.span "ilp.incumbent" (fun () -> Heuristics.solve problem)
+          with
+          | Some { Heuristics.test_time; _ } ->
+              (* Branch-and-bound prunes nodes whose bound reaches the
+                 incumbent, so pass a value one above the heuristic time
+                 to keep an equal-valued optimum reachable. *)
+              Some (float_of_int (test_time + 1))
+          | None -> None
+        else None
+      in
+      let outcome =
+        Branch_bound.solve ~node_limit ?time_limit_s ~integral_objective:true
+          ?incumbent
+          ~branch_priority:(rp.remap branch_priority)
+          rp.search_model
+      in
+      let finish ?(optimal = true) (stats : Branch_bound.stats) solution =
+        { solution;
+          optimal;
+          stats =
+            mk_stats ~rp_cuts:rp.root_cuts ~rp_fixed:rp.fixed
+              ~sep_pivots:rp.sep_pivots stats }
+      in
+      (match outcome with
+      | Branch_bound.Optimal { point; objective; stats } ->
+          let arch = decode problem x delta (rp.to_orig point) in
           let test_time = Cost.test_time problem arch in
-          finish ~optimal:false stats (Some (arch, test_time))
-      | None -> finish ~optimal:false stats None)
+          (* The decoded architecture's true cost must match the MILP
+             objective (up to rounding); the reduced objective carries
+             the eliminated variables' contribution as a constant, so no
+             translation is needed. *)
+          assert (Float.abs (float_of_int test_time -. objective) < 0.5);
+          finish stats (Some (arch, test_time))
+      | Branch_bound.Infeasible stats -> finish stats None
+      | Branch_bound.Unbounded stats ->
+          (* A bounded makespan objective cannot be unbounded. *)
+          ignore stats;
+          assert false
+      | Branch_bound.Node_limit { best; stats } -> (
+          match best with
+          | Some (point, _) ->
+              let arch = decode problem x delta (rp.to_orig point) in
+              let test_time = Cost.test_time problem arch in
+              finish ~optimal:false stats (Some (arch, test_time))
+          | None -> finish ~optimal:false stats None))
 
 (* Assignment-only formulation (P1): widths fixed, so each bus's load row
    is exact — no width indicators, no big-M. *)
-let build_assignment problem ~widths =
+let build_assignment ?(cuts = false) problem ~widths =
   let n = Problem.num_cores problem in
   let nb = Problem.num_buses problem in
   if Array.length widths <> nb then
@@ -332,15 +525,7 @@ let build_assignment problem ~widths =
       (Lin_expr.of_terms !terms) Model.Le 0.0
   done;
   let constraints = Problem.constraints problem in
-  List.iter
-    (fun (a, b) ->
-      for j = 0 to nb - 1 do
-        Model.add_constr model
-          ~name:(Printf.sprintf "excl_%d_%d_%d" a b j)
-          (Lin_expr.of_terms [ (x.(a).(j), 1.0); (x.(b).(j), 1.0) ])
-          Model.Le 1.0
-      done)
-    constraints.Problem.exclusion_pairs;
+  add_exclusion_rows model x ~n ~nb ~cuts constraints.Problem.exclusion_pairs;
   List.iter
     (fun (a, b) ->
       for j = 0 to nb - 1 do
@@ -354,17 +539,14 @@ let build_assignment problem ~widths =
   (model, x)
 
 let solve_assignment ?(node_limit = 500_000) ?time_limit_s ?deadline_s
-    problem ~widths =
+    ?(presolve = true) ?(cuts = true) problem ~widths =
  Obs.span "ilp.solve_assignment" @@ fun () ->
   let start = Clock.now_s () in
   let time_limit_s = effective_time_limit ?time_limit_s ?deadline_s ~start () in
-  let model, x = build_assignment problem ~widths in
-  let outcome =
-    Branch_bound.solve ~node_limit ?time_limit_s ~integral_objective:true
-      model
-  in
+  let model, x = build_assignment ~cuts problem ~widths in
   let n = Problem.num_cores problem in
   let nb = Problem.num_buses problem in
+  let excl = (Problem.constraints problem).Problem.exclusion_pairs in
   let decode point =
     let assignment =
       Array.init n (fun i ->
@@ -376,34 +558,66 @@ let solve_assignment ?(node_limit = 500_000) ?time_limit_s ?deadline_s
     in
     Architecture.make ~widths ~assignment
   in
-  let finish ?(optimal = true) (stats : Branch_bound.stats) solution =
-    { solution;
-      optimal;
-      stats =
-        { variables = Model.num_vars model;
-          constraints = Model.num_constrs model;
-          bb_nodes = stats.Branch_bound.nodes;
-          lp_pivots = stats.Branch_bound.lp_pivots;
-          max_depth = stats.Branch_bound.max_depth;
-          warm_starts = stats.Branch_bound.warm_starts;
-          cold_solves = stats.Branch_bound.cold_solves;
-          dropped_nodes = stats.Branch_bound.dropped_nodes;
-          elapsed_s = Clock.elapsed_s ~since:start } }
+  let mk_stats ?(rp_cuts = 0) ?(rp_fixed = 0) ?(sep_pivots = 0)
+      (stats : Branch_bound.stats) =
+    { variables = Model.num_vars model;
+      constraints = Model.num_constrs model;
+      bb_nodes = stats.Branch_bound.nodes;
+      lp_pivots = stats.Branch_bound.lp_pivots + sep_pivots;
+      max_depth = stats.Branch_bound.max_depth;
+      warm_starts = stats.Branch_bound.warm_starts;
+      cold_solves = stats.Branch_bound.cold_solves;
+      refactorizations = stats.Branch_bound.refactorizations;
+      dropped_nodes = stats.Branch_bound.dropped_nodes;
+      cuts_added = rp_cuts;
+      presolve_fixed = rp_fixed;
+      elapsed_s = Clock.elapsed_s ~since:start }
   in
-  match outcome with
-  | Branch_bound.Optimal { point; objective; stats } ->
-      let arch = decode point in
-      let test_time = Cost.test_time problem arch in
-      assert (Float.abs (float_of_int test_time -. objective) < 0.5);
-      finish stats (Some (arch, test_time))
-  | Branch_bound.Infeasible stats -> finish stats None
-  | Branch_bound.Unbounded _ ->
-      (* T is bounded above by the horizon. *)
-      assert false
-  | Branch_bound.Node_limit { best; stats } -> (
-      match best with
-      | Some (point, _) ->
-          let arch = decode point in
-          finish ~optimal:false stats
-            (Some (arch, Cost.test_time problem arch))
-      | None -> finish ~optimal:false stats None)
+  match strengthen_root ~presolve ~cuts ~n ~nb ~x ~excl model with
+  | Error _msg ->
+      Obs.incr "ilp.presolve_infeasible";
+      let zero_bb_stats =
+        { Branch_bound.nodes = 0;
+          lp_pivots = 0;
+          max_depth = 0;
+          warm_starts = 0;
+          cold_solves = 0;
+          refactorizations = 0;
+          dropped_nodes = 0;
+          elapsed_s = 0.0 }
+      in
+      { solution = None;
+        optimal = true;
+        stats =
+          mk_stats
+            ~rp_cuts:(if cuts then cover_cuts ~n ~nb excl else 0)
+            zero_bb_stats }
+  | Ok rp -> (
+      let outcome =
+        Branch_bound.solve ~node_limit ?time_limit_s ~integral_objective:true
+          rp.search_model
+      in
+      let finish ?(optimal = true) (stats : Branch_bound.stats) solution =
+        { solution;
+          optimal;
+          stats =
+            mk_stats ~rp_cuts:rp.root_cuts ~rp_fixed:rp.fixed
+              ~sep_pivots:rp.sep_pivots stats }
+      in
+      match outcome with
+      | Branch_bound.Optimal { point; objective; stats } ->
+          let arch = decode (rp.to_orig point) in
+          let test_time = Cost.test_time problem arch in
+          assert (Float.abs (float_of_int test_time -. objective) < 0.5);
+          finish stats (Some (arch, test_time))
+      | Branch_bound.Infeasible stats -> finish stats None
+      | Branch_bound.Unbounded _ ->
+          (* T is bounded above by the horizon. *)
+          assert false
+      | Branch_bound.Node_limit { best; stats } -> (
+          match best with
+          | Some (point, _) ->
+              let arch = decode (rp.to_orig point) in
+              finish ~optimal:false stats
+                (Some (arch, Cost.test_time problem arch))
+          | None -> finish ~optimal:false stats None))

@@ -17,7 +17,17 @@
 
     The MILP is solved with {!Soctam_ilp.Branch_bound}, optionally seeded
     with a heuristic incumbent and with symmetry-breaking rows ordering
-    bus widths non-increasingly. *)
+    bus widths non-increasingly.
+
+    Before the search the model passes through a strengthening pipeline:
+    {!Soctam_ilp.Presolve} merges co-assigned variable pairs and
+    propagates exclusion-forced fixings (the search runs on the reduced
+    model; points are postsolved back before decoding), and
+    {!Soctam_ilp.Cuts} replaces pairwise exclusion rows with a clique
+    cover of the conflict graph plus a bounded-round separation pool of
+    further maximal cliques. Both layers are optional ([~presolve] /
+    [~cuts]) and exactness-preserving: disabling them changes work, not
+    answers. *)
 
 type formulation = Big_m | Linearized
 
@@ -29,9 +39,18 @@ type solve_stats = {
   max_depth : int;  (** Deepest branch-and-bound node expanded. *)
   warm_starts : int;  (** Node LPs warm-started from the parent basis. *)
   cold_solves : int;  (** Cold two-phase LP solves, fallbacks included. *)
+  refactorizations : int;
+      (** Basis (re)factorizations in the shared LP handle: cold starts,
+          warm restores and the periodic Forrest-Tomlin refresh. *)
   dropped_nodes : int;
       (** Nodes abandoned on an LP pivot budget; nonzero forfeits the
           optimality claim ([optimal] is [false]). *)
+  cuts_added : int;
+      (** Clique rows strengthening the model: size-[>= 3] cover rows
+          installed at build time plus rows separated at the root. *)
+  presolve_fixed : int;
+      (** Variables eliminated by the presolve (merged into an alias
+          class representative or fixed to a bound). *)
   elapsed_s : float;
 }
 
@@ -44,14 +63,18 @@ type result = {
   stats : solve_stats;
 }
 
-(** [build ?formulation ?symmetry_breaking problem] constructs the MILP.
-    Returns the model together with the variable index maps
+(** [build ?formulation ?symmetry_breaking ?cuts problem] constructs the
+    MILP. Returns the model together with the variable index maps
     [(x, delta, t)] needed to decode a solution: [x.(i).(j)],
     [delta.(j).(k-1)] for widths [k] in [1..kmax]. Symmetry breaking
-    defaults to [true] (it is disabled for ablation A2). *)
+    defaults to [true] (it is disabled for ablation A2). With [~cuts]
+    (default [false]) pairwise exclusion rows are replaced by an
+    edge-covering set of clique rows over the conflict graph — an
+    equally valid but tighter formulation. *)
 val build :
   ?formulation:formulation ->
   ?symmetry_breaking:bool ->
+  ?cuts:bool ->
   Problem.t ->
   Soctam_ilp.Model.t * int array array * int array array * int
 
@@ -66,7 +89,12 @@ val build :
     ([tamoptd]): queue wait counts against the client's deadline, and
     an already-expired deadline returns a best-found
     ([optimal = false]) verdict immediately instead of stalling a
-    worker. *)
+    worker.
+
+    [presolve] (default [true]) reduces the model before the search and
+    postsolves the answer; [cuts] (default [true]) enables the clique
+    cover plus root separation. Both are escape hatches for debugging
+    and differential testing — results are identical either way. *)
 val solve :
   ?formulation:formulation ->
   ?symmetry_breaking:bool ->
@@ -74,6 +102,8 @@ val solve :
   ?node_limit:int ->
   ?time_limit_s:float ->
   ?deadline_s:float ->
+  ?presolve:bool ->
+  ?cuts:bool ->
   Problem.t ->
   result
 
@@ -82,11 +112,14 @@ val solve :
     companion formulation): bus widths are fixed and only the core
     assignment [x_ij] and the makespan [T] remain. The returned
     architecture uses exactly [widths]. Raises [Invalid_argument] when
-    [widths] does not match the instance's bus count or width budget. *)
+    [widths] does not match the instance's bus count or width budget.
+    [presolve] and [cuts] behave as in {!solve}. *)
 val solve_assignment :
   ?node_limit:int ->
   ?time_limit_s:float ->
   ?deadline_s:float ->
+  ?presolve:bool ->
+  ?cuts:bool ->
   Problem.t ->
   widths:int array ->
   result

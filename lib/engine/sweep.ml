@@ -10,7 +10,10 @@ module Obs = Soctam_obs.Obs
 module Clock = Soctam_obs.Clock
 module Json = Soctam_obs.Json
 
-type solver = Exact | Ilp of { time_limit_s : float option } | Heuristic
+type solver =
+  | Exact
+  | Ilp of { time_limit_s : float option; presolve : bool; cuts : bool }
+  | Heuristic
 
 type cell = {
   soc : Soc.t;
@@ -31,6 +34,9 @@ type row = {
   max_depth : int;
   warm_starts : int;
   cold_solves : int;
+  refactorizations : int;
+  cuts_added : int;
+  presolve_fixed : int;
   elapsed_s : float;
 }
 
@@ -41,6 +47,9 @@ type totals = {
   lp_pivots : int;
   warm_starts : int;
   cold_solves : int;
+  refactorizations : int;
+  cuts_added : int;
+  presolve_fixed : int;
   solve_s : float;
 }
 
@@ -94,22 +103,41 @@ let solve_cell ?deadline_s memos cell =
   in
   let cell_sp = Obs.start () in
   let start = Clock.now_s () in
-  let solution, optimal, nodes, lp_pivots, max_depth, warm_starts, cold_solves
-      =
+  let blank =
+    { total_width = cell.total_width;
+      num_buses = cell.num_buses;
+      solution = None;
+      optimal = true;
+      nodes = 0;
+      lp_pivots = 0;
+      max_depth = 0;
+      warm_starts = 0;
+      cold_solves = 0;
+      refactorizations = 0;
+      cuts_added = 0;
+      presolve_fixed = 0;
+      elapsed_s = 0.0 }
+  in
+  let row =
     match cell.solver with
     | Exact ->
         let r = Soctam_core.Exact.solve problem in
-        (r.Soctam_core.Exact.solution, true,
-         r.Soctam_core.Exact.stats.Soctam_core.Exact.nodes, 0, 0, 0, 0)
-    | Ilp { time_limit_s } ->
-        let r = Ilp.solve ?time_limit_s ?deadline_s problem in
-        ( r.Ilp.solution,
-          r.Ilp.optimal,
-          r.Ilp.stats.Ilp.bb_nodes,
-          r.Ilp.stats.Ilp.lp_pivots,
-          r.Ilp.stats.Ilp.max_depth,
-          r.Ilp.stats.Ilp.warm_starts,
-          r.Ilp.stats.Ilp.cold_solves )
+        { blank with
+          solution = r.Soctam_core.Exact.solution;
+          nodes = r.Soctam_core.Exact.stats.Soctam_core.Exact.nodes }
+    | Ilp { time_limit_s; presolve; cuts } ->
+        let r = Ilp.solve ?time_limit_s ?deadline_s ~presolve ~cuts problem in
+        { blank with
+          solution = r.Ilp.solution;
+          optimal = r.Ilp.optimal;
+          nodes = r.Ilp.stats.Ilp.bb_nodes;
+          lp_pivots = r.Ilp.stats.Ilp.lp_pivots;
+          max_depth = r.Ilp.stats.Ilp.max_depth;
+          warm_starts = r.Ilp.stats.Ilp.warm_starts;
+          cold_solves = r.Ilp.stats.Ilp.cold_solves;
+          refactorizations = r.Ilp.stats.Ilp.refactorizations;
+          cuts_added = r.Ilp.stats.Ilp.cuts_added;
+          presolve_fixed = r.Ilp.stats.Ilp.presolve_fixed }
     | Heuristic ->
         let solution =
           match Heuristics.solve problem with
@@ -117,7 +145,7 @@ let solve_cell ?deadline_s memos cell =
               Some (architecture, test_time)
           | None -> None
         in
-        (solution, false, 0, 0, 0, 0, 0)
+        { blank with solution; optimal = false }
   in
   if Obs.enabled () then
     Obs.finish
@@ -127,16 +155,7 @@ let solve_cell ?deadline_s memos cell =
           ("num_buses", string_of_int cell.num_buses);
           ("solver", solver_name cell.solver) ]
       "sweep.cell" cell_sp;
-  { total_width = cell.total_width;
-    num_buses = cell.num_buses;
-    solution;
-    optimal;
-    nodes;
-    lp_pivots;
-    max_depth;
-    warm_starts;
-    cold_solves;
-    elapsed_s = Clock.elapsed_s ~since:start }
+  { row with elapsed_s = Clock.elapsed_s ~since:start }
 
 let solve_one ?deadline_s ?memo cell =
   let memos =
@@ -169,6 +188,9 @@ let totals rows =
         lp_pivots = acc.lp_pivots + r.lp_pivots;
         warm_starts = acc.warm_starts + r.warm_starts;
         cold_solves = acc.cold_solves + r.cold_solves;
+        refactorizations = acc.refactorizations + r.refactorizations;
+        cuts_added = acc.cuts_added + r.cuts_added;
+        presolve_fixed = acc.presolve_fixed + r.presolve_fixed;
         solve_s = acc.solve_s +. r.elapsed_s })
     { cells = 0;
       feasible = 0;
@@ -176,6 +198,9 @@ let totals rows =
       lp_pivots = 0;
       warm_starts = 0;
       cold_solves = 0;
+      refactorizations = 0;
+      cuts_added = 0;
+      presolve_fixed = 0;
       solve_s = 0.0 }
     rows
 
@@ -210,6 +235,9 @@ let json_of_row r =
       ("max_depth", Json.int r.max_depth);
       ("warm_starts", Json.int r.warm_starts);
       ("cold_solves", Json.int r.cold_solves);
+      ("refactorizations", Json.int r.refactorizations);
+      ("cuts_added", Json.int r.cuts_added);
+      ("presolve_fixed", Json.int r.presolve_fixed);
       ("elapsed_s", Json.Num r.elapsed_s) ]
 
 let json_of_totals t =
@@ -220,6 +248,9 @@ let json_of_totals t =
       ("lp_pivots", Json.int t.lp_pivots);
       ("warm_starts", Json.int t.warm_starts);
       ("cold_solves", Json.int t.cold_solves);
+      ("refactorizations", Json.int t.refactorizations);
+      ("cuts_added", Json.int t.cuts_added);
+      ("presolve_fixed", Json.int t.presolve_fixed);
       ("solve_s", Json.Num t.solve_s) ]
 
 let equal_rows a b =
@@ -234,5 +265,8 @@ let equal_rows a b =
          && x.lp_pivots = y.lp_pivots
          && x.max_depth = y.max_depth
          && x.warm_starts = y.warm_starts
-         && x.cold_solves = y.cold_solves)
+         && x.cold_solves = y.cold_solves
+         && x.refactorizations = y.refactorizations
+         && x.cuts_added = y.cuts_added
+         && x.presolve_fixed = y.presolve_fixed)
        a b

@@ -16,8 +16,12 @@
 
 type solver =
   | Exact  (** Width-partition enumeration + assignment DP. *)
-  | Ilp of { time_limit_s : float option }
-      (** The paper's MILP via the in-repo branch and bound. *)
+  | Ilp of { time_limit_s : float option; presolve : bool; cuts : bool }
+      (** The paper's MILP via the in-repo branch and bound. [presolve]
+          and [cuts] toggle the model-strengthening pipeline (see
+          {!Soctam_core.Ilp_formulation.solve}); both default to on in
+          every CLI entry point, and disabling them changes work, not
+          answers. *)
   | Heuristic  (** Seeded LPT greedy + local search. *)
 
 type cell = {
@@ -41,6 +45,9 @@ type row = {
   max_depth : int;  (** Deepest MILP node ([Ilp] only). *)
   warm_starts : int;  (** Warm-started node LPs ([Ilp] only). *)
   cold_solves : int;  (** Cold two-phase LP solves ([Ilp] only). *)
+  refactorizations : int;  (** LP basis (re)factorizations ([Ilp] only). *)
+  cuts_added : int;  (** Clique rows, cover + separated ([Ilp] only). *)
+  presolve_fixed : int;  (** Variables eliminated ([Ilp] only). *)
   elapsed_s : float;  (** Wall-clock spent solving this cell. *)
 }
 
@@ -52,6 +59,9 @@ type totals = {
   lp_pivots : int;
   warm_starts : int;
   cold_solves : int;
+  refactorizations : int;
+  cuts_added : int;
+  presolve_fixed : int;
   solve_s : float;  (** Sum of per-cell [elapsed_s] (CPU-ish, not wall). *)
 }
 

@@ -7,6 +7,7 @@ type stats = {
   max_depth : int;
   warm_starts : int;
   cold_solves : int;
+  refactorizations : int;
   dropped_nodes : int;
   elapsed_s : float;
 }
@@ -142,6 +143,7 @@ let solve ?(node_limit = 500_000) ?time_limit_s ?max_lp_pivots
       max_depth = !max_depth;
       warm_starts = Simplex.Incremental.warm_starts lp;
       cold_solves = Simplex.Incremental.cold_solves lp;
+      refactorizations = Simplex.Incremental.refactorizations lp;
       dropped_nodes = !dropped;
       elapsed_s = Clock.elapsed_s ~since:start }
   in

@@ -17,6 +17,9 @@ type stats = {
   max_depth : int;  (** Deepest node expanded. *)
   warm_starts : int;  (** Node LPs answered from the parent basis. *)
   cold_solves : int;  (** Cold two-phase LP solves, fallbacks included. *)
+  refactorizations : int;
+      (** Basis (re)factorizations in the shared LP handle: cold starts,
+          warm restores and the periodic Forrest-Tomlin refresh. *)
   dropped_nodes : int;
       (** Nodes abandoned because their LP hit the pivot budget. Any
           dropped node downgrades the result to [Node_limit]. *)

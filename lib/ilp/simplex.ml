@@ -10,7 +10,7 @@ let price_tol = 1e-7
 let pivot_tol = 1e-9
 let feas_tol = 1e-7
 
-(* Confirmation pricing tolerance. The tableau is doubly equilibrated,
+(* Confirmation pricing tolerance. The matrix is doubly equilibrated,
    so column bound ranges can span ~2^25: a reduced cost of -3e-8 looks
    like noise under [price_tol] yet hides a large objective improvement
    once the column moves across its range. Every *certificate* (phase-1
@@ -31,27 +31,50 @@ let st_basic = '\000'
 let st_lower = '\001'
 let st_upper = '\002'
 
+(* LU pivots and Forrest-Tomlin spike diagonals below this are treated
+   as singular: the update (or factorization) is abandoned and the
+   basis refactorized from pristine columns instead. *)
+let lu_tol = 1e-11
+
+(* Forrest-Tomlin updates applied since the last refactorization before
+   the basis is refactorized from scratch. Bounds eta accumulation (and
+   with it drift and per-solve memory) between factorizations. *)
+let refactor_period = 64
+
 module Incremental = struct
   type basis = { sb : int array; sstat : Bytes.t }
 
-  (* Bounded-variable simplex over the equality form  A x + s = b  with
-     one slack per row (Le: s in [0,inf), Ge: s in (-inf,0], Eq: s = 0)
-     and one artificial slot per row for cold phase-1 starts. Variable
-     bounds are handled natively, so the tableau has exactly one row per
-     model constraint — no explicit upper-bound rows.
+  (* One recorded Forrest-Tomlin update: the basis position replaced
+     ([upos], in the position frame current when the update was made)
+     and the row-eta multipliers that re-triangularized the last row
+     after the cyclic shift. *)
+  type update = { upos : int; etas : (int * float) array }
 
-     State kept across solves:
-     - [rows] is B^-1 A for the current basis (maintained by pivoting);
-     - [beta] is B^-1 b (bound changes never touch it);
-     - [xb] holds the current values of the basic variables (maintained
-       explicitly: a step also depends on which bound each nonbasic
-       occupies, which plain elimination cannot see);
-     - [obj] is the reduced-cost row, [obj_val] the tracked objective.
+  (* Revised bounded-variable simplex over the equality form A x + s = b
+     with one slack per row (Le: s in [0,inf), Ge: s in (-inf,0], Eq:
+     s = 0) and one artificial slot per row for cold phase-1 starts.
+     Variable bounds are handled natively, so the system has exactly one
+     row per model constraint — no explicit upper-bound rows.
+
+     Unlike the dense-tableau predecessor, no B^-1 A is maintained.
+     The constraint matrix is stored once as sparse scaled columns, and
+     the basis is carried as a dense LU factorization (PB = LU, partial
+     pivoting) refreshed by Forrest-Tomlin updates and refactorized
+     every [refactor_period] basis changes. Each pricing pass recomputes
+     reduced costs from scratch (one BTRAN of the basic costs), so cost
+     drift cannot accumulate across the thousands of node solves of a
+     branch-and-bound run.
 
      All data lives in the doubly-equilibrated space: structural column
-     [v] stores coefficients scaled by [cscale.(v)] (so the tableau
+     [v] stores coefficients scaled by [cscale.(v)] (so the scaled
      variable is x_v / cscale_v), and each row is scaled by a power of
-     two of its own. Both scales are powers of two, hence exact. *)
+     two of its own. Both scales are powers of two, hence exact.
+
+     Position frame: the Forrest-Tomlin cyclic shift renumbers basis
+     positions, so [basis_arr], [xb] and [dse] shift in lockstep with
+     the factorization. Everything indexed "by row" in solves is in the
+     current position frame; only the sparse columns, [b0] and
+     [art_sign] stay in original row coordinates. *)
   type t = {
     model : Model.t;
     nstruct : int;
@@ -59,7 +82,9 @@ module Incremental = struct
     ncols : int;
     slack_base : int;
     art_base : int;
-    a0 : float array array;  (** Pristine scaled structural coefficients. *)
+    col_idx : int array array;
+        (** Per structural column: rows with nonzero coefficients. *)
+    col_val : float array array;  (** Matching scaled coefficients. *)
     b0 : float array;  (** Pristine scaled right-hand sides. *)
     cscale : float array;
     cost : float array;  (** Scaled minimization costs (ncols, 0 beyond). *)
@@ -67,26 +92,44 @@ module Incremental = struct
     ub0 : float array;
     rhs_norm : float;
     max_pivots : int;
-    rows : float array array;
-    beta : float array;
-    xb : float array;
-    obj : float array;
-    mutable obj_val : float;
-    basis_arr : int array;
-    vstat : Bytes.t;
+    art_sign : float array;
+        (** Artificial column for row r is [art_sign.(r) * e_r], chosen
+            at cold start so the artificial enters at a nonnegative
+            value. *)
+    obj_coeffs : float array;  (** Costs of the phase in progress. *)
     lb : float array;  (** Current bounds = model bounds + overrides. *)
     ub : float array;
+    vstat : Bytes.t;
+    basis_arr : int array;  (** Basic variable per position. *)
+    xb : float array;  (** Value of the basic variable per position. *)
+    dse : float array;
+        (** Steepest-edge reference weights per position (dual
+            pricing); reset to 1 on cold starts and restores. *)
+    lu : float array array;
+        (** L of the last refactorization: unit lower triangle stored
+            as multipliers below the diagonal (upper part is scratch). *)
+    umat : float array array;  (** Current (FT-updated) upper factor. *)
+    perm : int array;  (** Row permutation of the factorization. *)
+    updates : update array;  (** FT updates since refactorization. *)
+    mutable nupd : int;
     mutable factorized : bool;
-    mutable since_cold : int;
-        (** Successful warm restores since the last cold reset; bounds
-            elimination-drift accumulation between refactorizations. *)
+    mutable refactors : int;
     mutable warm : int;
     mutable cold : int;
     mutable pivots : int;  (** Pivots spent in the solve in progress. *)
+    (* Scratch vectors, all of length [max 1 m]. *)
+    v_y : float array;  (** BTRAN of the basic costs (pricing). *)
+    v_rho : float array;  (** BTRAN of a position unit vector. *)
+    v_tau : float array;  (** FTRAN of [v_rho] (steepest-edge update). *)
+    v_alpha : float array;  (** FTRAN of the entering column. *)
+    v_spike : float array;  (** Entering column after L and updates. *)
+    scr : float array;
+    scr_row : float array;
   }
 
   let warm_starts t = t.warm
   let cold_solves t = t.cold
+  let refactorizations t = t.refactors
 
   let create ?(max_pivots = 200_000) model =
     let nstruct = Model.num_vars model in
@@ -107,7 +150,9 @@ module Incremental = struct
     for v = 0 to nstruct - 1 do
       if cmax.(v) > 0.0 then cscale.(v) <- 1.0 /. pow2_near cmax.(v)
     done;
-    let a0 = Array.init m (fun _ -> Array.make (max 1 nstruct) 0.0) in
+    (* Dense rows are built once for equilibration, converted to sparse
+       columns below, and discarded. *)
+    let a0 = Array.init (max 1 m) (fun _ -> Array.make (max 1 nstruct) 0.0) in
     let b0 = Array.make (max 1 m) 0.0 in
     let lb0 = Array.make ncols 0.0 and ub0 = Array.make ncols 0.0 in
     for v = 0 to nstruct - 1 do
@@ -149,7 +194,21 @@ module Incremental = struct
       lb0.(a) <- 0.0;
       ub0.(a) <- 0.0
     done;
-    let cost = Array.make ncols 0.0 in
+    let col_idx = Array.make (max 1 nstruct) [||] in
+    let col_val = Array.make (max 1 nstruct) [||] in
+    for v = 0 to nstruct - 1 do
+      let rows_l = ref [] and vals_l = ref [] in
+      for r = m - 1 downto 0 do
+        let a = a0.(r).(v) in
+        if a <> 0.0 then begin
+          rows_l := r :: !rows_l;
+          vals_l := a :: !vals_l
+        end
+      done;
+      col_idx.(v) <- Array.of_list !rows_l;
+      col_val.(v) <- Array.of_list !vals_l
+    done;
+    let cost = Array.make (max 1 ncols) 0.0 in
     let direction, obj_expr = Model.objective model in
     let sign =
       match direction with Model.Minimize -> 1.0 | Model.Maximize -> -1.0
@@ -166,7 +225,8 @@ module Incremental = struct
       ncols;
       slack_base;
       art_base;
-      a0;
+      col_idx;
+      col_val;
       b0;
       cscale;
       cost;
@@ -174,79 +234,362 @@ module Incremental = struct
       ub0;
       rhs_norm;
       max_pivots;
-      rows = Array.init (max 1 m) (fun _ -> Array.make ncols 0.0);
-      beta = Array.make (max 1 m) 0.0;
-      xb = Array.make (max 1 m) 0.0;
-      obj = Array.make ncols 0.0;
-      obj_val = 0.0;
+      art_sign = Array.make (max 1 m) 1.0;
+      obj_coeffs = Array.make (max 1 ncols) 0.0;
+      lb = Array.make (max 1 ncols) 0.0;
+      ub = Array.make (max 1 ncols) 0.0;
+      vstat = Bytes.make (max 1 ncols) st_lower;
       basis_arr = Array.make (max 1 m) (-1);
-      vstat = Bytes.make ncols st_lower;
-      lb = Array.make ncols 0.0;
-      ub = Array.make ncols 0.0;
+      xb = Array.make (max 1 m) 0.0;
+      dse = Array.make (max 1 m) 1.0;
+      lu = Array.init (max 1 m) (fun _ -> Array.make (max 1 m) 0.0);
+      umat = Array.init (max 1 m) (fun _ -> Array.make (max 1 m) 0.0);
+      perm = Array.init (max 1 m) Fun.id;
+      updates = Array.make refactor_period { upos = 0; etas = [||] };
+      nupd = 0;
       factorized = false;
-      since_cold = 0;
+      refactors = 0;
       warm = 0;
       cold = 0;
-      pivots = 0 }
+      pivots = 0;
+      v_y = Array.make (max 1 m) 0.0;
+      v_rho = Array.make (max 1 m) 0.0;
+      v_tau = Array.make (max 1 m) 0.0;
+      v_alpha = Array.make (max 1 m) 0.0;
+      v_spike = Array.make (max 1 m) 0.0;
+      scr = Array.make (max 1 m) 0.0;
+      scr_row = Array.make (max 1 m) 0.0 }
 
   let val_of t j = if Bytes.get t.vstat j = st_upper then t.ub.(j) else t.lb.(j)
 
-  (* Gauss-Jordan step: make column [col] the unit vector of [row].
-     Updates [rows], [beta] and the reduced-cost row; [xb] and [obj_val]
-     depend on the actual step length and are maintained by callers. *)
-  let eliminate t ~row ~col =
-    let prow = t.rows.(row) in
-    let inv = 1.0 /. prow.(col) in
-    if inv <> 1.0 then begin
-      for j = 0 to t.ncols - 1 do
-        prow.(j) <- prow.(j) *. inv
-      done;
-      t.beta.(row) <- t.beta.(row) *. inv
-    end;
-    prow.(col) <- 1.0;
-    for r = 0 to t.m - 1 do
-      if r <> row then begin
-        let trow = t.rows.(r) in
-        let f = trow.(col) in
-        if Float.abs f > 0.0 then begin
-          for j = 0 to t.ncols - 1 do
-            trow.(j) <- trow.(j) -. (f *. prow.(j))
-          done;
-          trow.(col) <- 0.0;
-          t.beta.(r) <- t.beta.(r) -. (f *. t.beta.(row))
-        end
-      end
-    done;
-    let f = t.obj.(col) in
-    if Float.abs f > 0.0 then begin
-      for j = 0 to t.ncols - 1 do
-        t.obj.(j) <- t.obj.(j) -. (f *. prow.(j))
-      done;
-      t.obj.(col) <- 0.0
+  (* Column access: structural columns from the sparse store, slack j a
+     unit vector, artificial j a signed unit vector. *)
+  let iter_col t j f =
+    if j < t.nstruct then begin
+      let idx = t.col_idx.(j) and vl = t.col_val.(j) in
+      for k = 0 to Array.length idx - 1 do
+        f idx.(k) vl.(k)
+      done
     end
+    else if j < t.art_base then f (j - t.slack_base) 1.0
+    else f (j - t.art_base) t.art_sign.(j - t.art_base)
+
+  let dot_col t j y =
+    if j < t.nstruct then begin
+      let idx = t.col_idx.(j) and vl = t.col_val.(j) in
+      let acc = ref 0.0 in
+      for k = 0 to Array.length idx - 1 do
+        acc := !acc +. (vl.(k) *. y.(idx.(k)))
+      done;
+      !acc
+    end
+    else if j < t.art_base then y.(j - t.slack_base)
+    else t.art_sign.(j - t.art_base) *. y.(j - t.art_base)
+
+  (* Refactorize the basis from pristine columns: dense LU with partial
+     pivoting, PB = LU. Ties in the pivot search go to the lowest row,
+     so the factorization (and every solve through it) is deterministic.
+     Returns [false] on a singular basis ([factorized] cleared). *)
+  let refactorize t =
+    t.refactors <- t.refactors + 1;
+    Obs.incr "simplex.refactorize";
+    t.nupd <- 0;
+    let m = t.m in
+    let w = t.lu in
+    for i = 0 to m - 1 do
+      Array.fill w.(i) 0 m 0.0
+    done;
+    for p = 0 to m - 1 do
+      iter_col t t.basis_arr.(p) (fun i a -> w.(i).(p) <- w.(i).(p) +. a)
+    done;
+    for i = 0 to m - 1 do
+      t.perm.(i) <- i
+    done;
+    let ok = ref true in
+    (try
+       for k = 0 to m - 1 do
+         let best = ref (Float.abs w.(k).(k)) in
+         let bi = ref k in
+         for i = k + 1 to m - 1 do
+           let a = Float.abs w.(i).(k) in
+           if a > !best then begin
+             best := a;
+             bi := i
+           end
+         done;
+         if !best < lu_tol then begin
+           ok := false;
+           raise Exit
+         end;
+         if !bi <> k then begin
+           let tmp = w.(k) in
+           w.(k) <- w.(!bi);
+           w.(!bi) <- tmp;
+           let tp = t.perm.(k) in
+           t.perm.(k) <- t.perm.(!bi);
+           t.perm.(!bi) <- tp
+         end;
+         let piv = w.(k).(k) in
+         for i = k + 1 to m - 1 do
+           let f = w.(i).(k) /. piv in
+           w.(i).(k) <- f;
+           if f <> 0.0 then
+             for j = k + 1 to m - 1 do
+               w.(i).(j) <- w.(i).(j) -. (f *. w.(k).(j))
+             done
+         done
+       done
+     with Exit -> ());
+    if !ok then begin
+      for i = 0 to m - 1 do
+        let src = w.(i) and dst = t.umat.(i) in
+        for j = 0 to i - 1 do
+          dst.(j) <- 0.0
+        done;
+        Array.blit src i dst i (m - i)
+      done;
+      t.factorized <- true
+    end
+    else t.factorized <- false;
+    !ok
+
+  (* FTRAN, first leg: v := (updates o L^-1 P) v. The result is the
+     Forrest-Tomlin "spike" of the column held in [v]; a U back-solve
+     turns it into B^-1 v. *)
+  let ltran t v =
+    let m = t.m in
+    for i = 0 to m - 1 do
+      t.scr.(i) <- v.(t.perm.(i))
+    done;
+    Array.blit t.scr 0 v 0 m;
+    for k = 0 to m - 1 do
+      let vk = v.(k) in
+      if vk <> 0.0 then
+        for i = k + 1 to m - 1 do
+          let l = t.lu.(i).(k) in
+          if l <> 0.0 then v.(i) <- v.(i) -. (l *. vk)
+        done
+    done;
+    for u = 0 to t.nupd - 1 do
+      let { upos = r; etas } = t.updates.(u) in
+      let save = v.(r) in
+      for i = r to m - 2 do
+        v.(i) <- v.(i + 1)
+      done;
+      v.(m - 1) <- save;
+      Array.iter (fun (j, mu) -> v.(m - 1) <- v.(m - 1) -. (mu *. v.(j))) etas
+    done
+
+  (* FTRAN, second leg: back-substitution on the updated upper factor. *)
+  let utran t v =
+    let u = t.umat in
+    for k = t.m - 1 downto 0 do
+      let row = u.(k) in
+      let acc = ref v.(k) in
+      for j = k + 1 to t.m - 1 do
+        acc := !acc -. (row.(j) *. v.(j))
+      done;
+      v.(k) <- !acc /. row.(k)
+    done
+
+  (* BTRAN: v := B^-T v, the exact transpose of the FTRAN pipeline run
+     backwards (U^T forward-solve, updates reversed, L^T back-solve,
+     inverse permutation). Input is in the current position frame,
+     output in original row coordinates — ready for [dot_col]. *)
+  let btran t v =
+    let m = t.m in
+    let u = t.umat in
+    for k = 0 to m - 1 do
+      let acc = ref v.(k) in
+      for j = 0 to k - 1 do
+        acc := !acc -. (u.(j).(k) *. v.(j))
+      done;
+      v.(k) <- !acc /. u.(k).(k)
+    done;
+    for ui = t.nupd - 1 downto 0 do
+      let { upos = r; etas } = t.updates.(ui) in
+      let vm = v.(m - 1) in
+      if vm <> 0.0 then
+        Array.iter (fun (j, mu) -> v.(j) <- v.(j) -. (mu *. vm)) etas;
+      let save = v.(m - 1) in
+      for i = m - 1 downto r + 1 do
+        v.(i) <- v.(i - 1)
+      done;
+      v.(r) <- save
+    done;
+    for k = m - 2 downto 0 do
+      let acc = ref v.(k) in
+      for i = k + 1 to m - 1 do
+        let l = t.lu.(i).(k) in
+        if l <> 0.0 then acc := !acc -. (l *. v.(i))
+      done;
+      v.(k) <- !acc
+    done;
+    for i = 0 to m - 1 do
+      t.scr.(t.perm.(i)) <- v.(i)
+    done;
+    Array.blit t.scr 0 v 0 m
+
+  (* FTRAN of column [j]: leaves the spike in [v_spike] (for a possible
+     Forrest-Tomlin update) and B^-1 a_j in [v_alpha]. *)
+  let ftran_col t j =
+    Array.fill t.v_spike 0 (max 1 t.m) 0.0;
+    iter_col t j (fun r a -> t.v_spike.(r) <- t.v_spike.(r) +. a);
+    ltran t t.v_spike;
+    Array.blit t.v_spike 0 t.v_alpha 0 t.m;
+    utran t t.v_alpha
+
+  (* BTRAN of the position-[r] unit vector into [v_rho] (a row of
+     B^-1 in original coordinates: alpha_rj = dot_col j v_rho). *)
+  let btran_e t r =
+    Array.fill t.v_rho 0 (max 1 t.m) 0.0;
+    t.v_rho.(r) <- 1.0;
+    btran t t.v_rho
+
+  (* BTRAN of the basic costs into [v_y]; the reduced cost of column j
+     is then obj_coeffs.(j) - dot_col j v_y. Recomputed from scratch at
+     every pricing pass, so there is no cost row to drift. *)
+  let btran_obj t =
+    for i = 0 to t.m - 1 do
+      t.v_y.(i) <- t.obj_coeffs.(t.basis_arr.(i))
+    done;
+    btran t t.v_y
+
+  (* Forrest-Tomlin update for position [r] replaced by the column whose
+     spike is in [spike]: cyclic shift of rows/columns r..m-1 of U (the
+     shifted row goes last), spike becomes the last column, and the last
+     row is re-triangularized with recorded row etas. Returns [false]
+     when a pivot is too small — U may then be half-updated, and the
+     caller must refactorize. *)
+  let ft_update t ~pos:r ~spike =
+    let m = t.m in
+    let u = t.umat in
+    for jj = r + 1 to m - 1 do
+      t.scr_row.(jj) <- u.(r).(jj)
+    done;
+    for i = 0 to r - 1 do
+      let row = u.(i) in
+      for j = r to m - 2 do
+        row.(j) <- row.(j + 1)
+      done;
+      row.(m - 1) <- spike.(i)
+    done;
+    for i = r to m - 2 do
+      let dst = u.(i) and src = u.(i + 1) in
+      for j = 0 to r - 1 do
+        dst.(j) <- 0.0
+      done;
+      for j = r to m - 2 do
+        dst.(j) <- src.(j + 1)
+      done;
+      dst.(m - 1) <- spike.(i + 1)
+    done;
+    let last = u.(m - 1) in
+    for j = 0 to r - 1 do
+      last.(j) <- 0.0
+    done;
+    for j = r to m - 2 do
+      last.(j) <- t.scr_row.(j + 1)
+    done;
+    last.(m - 1) <- spike.(r);
+    let etas = ref [] in
+    let ok = ref true in
+    (try
+       for j = r to m - 2 do
+         let v = last.(j) in
+         if Float.abs v > lu_tol then begin
+           let d = u.(j).(j) in
+           if Float.abs d < lu_tol then begin
+             ok := false;
+             raise Exit
+           end;
+           let mu = v /. d in
+           etas := (j, mu) :: !etas;
+           last.(j) <- 0.0;
+           for jj = j + 1 to m - 1 do
+             last.(jj) <- last.(jj) -. (mu *. u.(j).(jj))
+           done
+         end
+         else last.(j) <- 0.0
+       done
+     with Exit -> ());
+    if !ok && Float.abs last.(m - 1) > lu_tol then begin
+      t.updates.(t.nupd) <- { upos = r; etas = Array.of_list (List.rev !etas) };
+      t.nupd <- t.nupd + 1;
+      true
+    end
+    else false
+
+  (* The FT cyclic shift renumbers basis positions; keep the
+     position-indexed state in the same frame as the factorization. *)
+  let shift_pos t r =
+    let m = t.m in
+    if r < m - 1 then begin
+      let b = t.basis_arr.(r) and x = t.xb.(r) and g = t.dse.(r) in
+      for i = r to m - 2 do
+        t.basis_arr.(i) <- t.basis_arr.(i + 1);
+        t.xb.(i) <- t.xb.(i + 1);
+        t.dse.(i) <- t.dse.(i + 1)
+      done;
+      t.basis_arr.(m - 1) <- b;
+      t.xb.(m - 1) <- x;
+      t.dse.(m - 1) <- g
+    end
+
+  (* Commit the basis change at position [r] to entering column [j].
+     The caller has already updated [xb], [dse] and [vstat]; [v_spike]
+     still holds the entering column's spike. A full update budget or a
+     failed FT update falls back to refactorization; [false] means even
+     that found the basis singular and the solve must bail out. *)
+  let change_basis t ~row:r ~col:j =
+    t.basis_arr.(r) <- j;
+    if t.nupd < refactor_period && ft_update t ~pos:r ~spike:t.v_spike then begin
+      shift_pos t r;
+      true
+    end
+    else refactorize t
 
   type phase_outcome = Phase_done | Phase_unbounded | Phase_iter_limit
 
-  (* Primal bounded-variable simplex on the current objective row. An
+  (* Objective of the phase in progress, recomputed from current values
+     (no incremental tracking to drift). Used for stall detection. *)
+  let recompute_obj t =
+    let acc = ref 0.0 in
+    for j = 0 to t.ncols - 1 do
+      if Bytes.get t.vstat j <> st_basic then begin
+        let c = t.obj_coeffs.(j) in
+        if c <> 0.0 then acc := !acc +. (c *. val_of t j)
+      end
+    done;
+    for r = 0 to t.m - 1 do
+      let c = t.obj_coeffs.(t.basis_arr.(r)) in
+      if c <> 0.0 then acc := !acc +. (c *. t.xb.(r))
+    done;
+    !acc
+
+  (* Primal bounded-variable simplex on the current phase costs. An
      entering variable either pivots into the basis or — when its own
      opposite bound is the tighter limit — flips there without a basis
      change. Dantzig pricing with a switch to Bland's rule on stalls. *)
   let primal t ~price_tol ~fix_leaving_artificial =
     let stall_limit = 200 in
     let stall = ref 0 in
-    let last_obj = ref t.obj_val in
+    let last_obj = ref (recompute_obj t) in
     let outcome = ref None in
     while !outcome = None do
-      if t.pivots > t.max_pivots then outcome := Some Phase_iter_limit
+      if t.pivots > t.max_pivots || not t.factorized then
+        outcome := Some Phase_iter_limit
       else begin
         let bland = !stall > stall_limit in
+        btran_obj t;
         let col = ref (-1) in
         let best = ref (-.price_tol) in
         (try
            for j = 0 to t.ncols - 1 do
              let st = Bytes.get t.vstat j in
              if st <> st_basic && t.ub.(j) > t.lb.(j) then begin
-               let e = if st = st_lower then t.obj.(j) else -.t.obj.(j) in
+               let d = t.obj_coeffs.(j) -. dot_col t j t.v_y in
+               let e = if st = st_lower then d else -.d in
                if e < -.price_tol then
                  if bland then begin
                    col := j;
@@ -264,13 +607,14 @@ module Incremental = struct
           let j = !col in
           let at_lower = Bytes.get t.vstat j = st_lower in
           let dir = if at_lower then 1.0 else -1.0 in
+          ftran_col t j;
           (* Ratio test: smallest step at which a basic variable hits one
              of its own bounds; ties broken by the smallest basic index. *)
           let leave = ref (-1) in
           let leave_to = ref st_lower in
           let row_ratio = ref infinity in
           for r = 0 to t.m - 1 do
-            let alpha = t.rows.(r).(j) in
+            let alpha = t.v_alpha.(r) in
             let dxb = -.(alpha *. dir) in
             if Float.abs dxb > pivot_tol then begin
               let b = t.basis_arr.(r) in
@@ -301,10 +645,9 @@ module Incremental = struct
             (* Bound flip: strictly improving, no basis change. *)
             let delta = dir *. flip_limit in
             for r = 0 to t.m - 1 do
-              let a = t.rows.(r).(j) in
+              let a = t.v_alpha.(r) in
               if a <> 0.0 then t.xb.(r) <- t.xb.(r) -. (a *. delta)
             done;
-            t.obj_val <- t.obj_val +. (t.obj.(j) *. delta);
             Bytes.set t.vstat j (if at_lower then st_upper else st_lower);
             t.pivots <- t.pivots + 1
           end
@@ -314,26 +657,28 @@ module Incremental = struct
             let newv = val_of t j +. delta in
             for s = 0 to t.m - 1 do
               if s <> r then begin
-                let a = t.rows.(s).(j) in
+                let a = t.v_alpha.(s) in
                 if a <> 0.0 then t.xb.(s) <- t.xb.(s) -. (a *. delta)
               end
             done;
-            t.obj_val <- t.obj_val +. (t.obj.(j) *. delta);
             let i = t.basis_arr.(r) in
             Bytes.set t.vstat i !leave_to;
-            t.basis_arr.(r) <- j;
             Bytes.set t.vstat j st_basic;
             t.xb.(r) <- newv;
-            eliminate t ~row:r ~col:j;
+            t.dse.(r) <- 1.0;
+            if not (change_basis t ~row:r ~col:j) then
+              outcome := Some Phase_iter_limit;
             t.pivots <- t.pivots + 1;
             if fix_leaving_artificial && i >= t.art_base then t.ub.(i) <- 0.0
           end;
-          if !outcome = None then
-            if t.obj_val < !last_obj -. 1e-10 then begin
+          if !outcome = None then begin
+            let ov = recompute_obj t in
+            if ov < !last_obj -. 1e-10 then begin
               stall := 0;
-              last_obj := t.obj_val
+              last_obj := ov
             end
             else incr stall
+          end
         end
       end
     done;
@@ -355,34 +700,6 @@ module Incremental = struct
     done;
     !ok
 
-  (* Recompute the reduced-cost row and tracked objective for the current
-     basis from the pristine costs. Cheap (one pass over the tableau) and
-     run at every warm restore, so cost-row drift never accumulates
-     across the thousands of solves of a branch-and-bound run. *)
-  let install_phase2_obj t =
-    Array.blit t.cost 0 t.obj 0 t.ncols;
-    for r = 0 to t.m - 1 do
-      let cb = t.obj.(t.basis_arr.(r)) in
-      if Float.abs cb > 0.0 then begin
-        let row = t.rows.(r) in
-        for j = 0 to t.ncols - 1 do
-          t.obj.(j) <- t.obj.(j) -. (cb *. row.(j))
-        done;
-        t.obj.(t.basis_arr.(r)) <- 0.0
-      end
-    done;
-    let acc = ref 0.0 in
-    for v = 0 to t.nstruct - 1 do
-      if t.cost.(v) <> 0.0 && Bytes.get t.vstat v <> st_basic then
-        acc := !acc +. (t.cost.(v) *. val_of t v)
-    done;
-    for r = 0 to t.m - 1 do
-      let b = t.basis_arr.(r) in
-      if b < t.nstruct && t.cost.(b) <> 0.0 then
-        acc := !acc +. (t.cost.(b) *. t.xb.(r))
-    done;
-    t.obj_val <- !acc
-
   let extract t =
     let point = Array.make t.nstruct 0.0 in
     for v = 0 to t.nstruct - 1 do
@@ -398,64 +715,50 @@ module Incremental = struct
     let _, expr = Model.objective t.model in
     Optimal { point; objective = Lin_expr.eval expr point; pivots = t.pivots }
 
-  (* Cold start: rebuild the tableau from the pristine matrix with every
-     nonbasic at a finite bound and a slack-or-artificial basis. Returns
-     [true] when any artificial had to be opened (phase 1 required). *)
+  (* Cold start: every nonbasic at a finite bound, a slack-or-artificial
+     basis, fresh factorization (trivially diagonal). Returns [true]
+     when any artificial had to be opened (phase 1 required). *)
   let reset_cold t =
-    for r = 0 to t.m - 1 do
-      let row = t.rows.(r) in
-      Array.fill row 0 t.ncols 0.0;
-      Array.blit t.a0.(r) 0 row 0 t.nstruct;
-      row.(t.slack_base + r) <- 1.0;
-      t.beta.(r) <- t.b0.(r)
-    done;
     for j = 0 to t.ncols - 1 do
       Bytes.set t.vstat j
         (if Float.is_finite t.lb.(j) then st_lower else st_upper)
     done;
+    let rho = t.v_rho in
+    Array.blit t.b0 0 rho 0 t.m;
+    for v = 0 to t.nstruct - 1 do
+      let x = val_of t v in
+      if x <> 0.0 then
+        iter_col t v (fun r a -> rho.(r) <- rho.(r) -. (a *. x))
+    done;
     let nart = ref 0 in
     for r = 0 to t.m - 1 do
-      let row = t.rows.(r) in
-      let rho = ref t.b0.(r) in
-      for v = 0 to t.nstruct - 1 do
-        if row.(v) <> 0.0 then begin
-          let x = val_of t v in
-          if x <> 0.0 then rho := !rho -. (row.(v) *. x)
-        end
-      done;
       let s = t.slack_base + r in
-      if !rho >= t.lb.(s) && !rho <= t.ub.(s) then begin
+      if rho.(r) >= t.lb.(s) && rho.(r) <= t.ub.(s) then begin
         t.basis_arr.(r) <- s;
         Bytes.set t.vstat s st_basic;
-        t.xb.(r) <- !rho
+        t.xb.(r) <- rho.(r)
       end
       else begin
         (* The slack stays pinned at zero (its nearest bound in every
-           sense); an artificial covers the residual. A negative residual
-           negates the row so the artificial enters with value |rho|. *)
+           sense); a signed artificial covers the residual, entering at
+           value |rho|. *)
         let a = t.art_base + r in
-        if !rho < 0.0 then begin
-          for j = 0 to t.ncols - 1 do
-            row.(j) <- -.row.(j)
-          done;
-          t.beta.(r) <- -.t.beta.(r)
-        end;
-        row.(a) <- 1.0;
+        t.art_sign.(r) <- (if rho.(r) < 0.0 then -1.0 else 1.0);
         t.basis_arr.(r) <- a;
         Bytes.set t.vstat a st_basic;
         t.ub.(a) <- infinity;
-        t.xb.(r) <- Float.abs !rho;
+        t.xb.(r) <- Float.abs rho.(r);
         incr nart
-      end
+      end;
+      t.dse.(r) <- 1.0
     done;
-    t.factorized <- true;
-    t.since_cold <- 0;
+    ignore (refactorize t);
     !nart > 0
 
   type cold_outcome = Cold_feasible | Cold_infeasible | Cold_iter
 
   (* Sum of the artificials still basic: the phase-1 objective value
-     computed from current state rather than the tracked [obj_val]. *)
+     computed from current state. *)
   let artificial_residue t =
     let acc = ref 0.0 in
     for r = 0 to t.m - 1 do
@@ -467,19 +770,9 @@ module Incremental = struct
   (* Phase 1: minimize the sum of the opened artificials. *)
   let phase1 t =
     Obs.incr "simplex.phase1";
-    Array.fill t.obj 0 t.ncols 0.0;
-    t.obj_val <- 0.0;
+    Array.fill t.obj_coeffs 0 t.ncols 0.0;
     for a = t.art_base to t.ncols - 1 do
-      if t.ub.(a) > 0.0 then t.obj.(a) <- 1.0
-    done;
-    for r = 0 to t.m - 1 do
-      if t.basis_arr.(r) >= t.art_base then begin
-        let row = t.rows.(r) in
-        for j = 0 to t.ncols - 1 do
-          t.obj.(j) <- t.obj.(j) -. row.(j)
-        done;
-        t.obj_val <- t.obj_val +. t.xb.(r)
-      end
+      if t.ub.(a) > 0.0 then t.obj_coeffs.(a) <- 1.0
     done;
     let outcome =
       match primal t ~price_tol ~fix_leaving_artificial:true with
@@ -497,46 +790,67 @@ module Incremental = struct
         (* A sum of nonnegative artificials is bounded below by zero. *)
         assert false
     | Phase_done ->
-        let residue = ref (artificial_residue t) in
+        let residue = artificial_residue t in
         for a = t.art_base to t.ncols - 1 do
           t.ub.(a) <- 0.0
         done;
-        if !residue > feas_tol *. t.rhs_norm then Cold_infeasible
+        if residue > feas_tol *. t.rhs_norm then Cold_infeasible
         else begin
-          (* Drive any artificial still basic (at value 0) out; a row
-             with no eligible pivot is redundant and keeps its artificial
-             basic at zero, which later degenerate pivots evict. *)
+          (* Drive any artificial still basic (at value 0) out with a
+             degenerate pivot; a row with no eligible column is
+             redundant and keeps its artificial basic at zero. The
+             variables are collected first: basis positions shift with
+             each FT update, so each one is located again when its turn
+             comes. *)
+          let arts = ref [] in
           for r = 0 to t.m - 1 do
-            if t.basis_arr.(r) >= t.art_base then begin
-              let found = ref (-1) in
-              let j = ref 0 in
-              while !found < 0 && !j < t.art_base do
-                if Float.abs t.rows.(r).(!j) > 1e-7 then found := !j;
-                incr j
-              done;
-              if !found >= 0 then begin
-                let i = t.basis_arr.(r) in
-                let jj = !found in
-                let v = val_of t jj in
-                t.basis_arr.(r) <- jj;
-                Bytes.set t.vstat jj st_basic;
-                Bytes.set t.vstat i st_lower;
-                t.xb.(r) <- v;
-                eliminate t ~row:r ~col:jj;
-                t.pivots <- t.pivots + 1
-              end
-            end
+            if t.basis_arr.(r) >= t.art_base then
+              arts := t.basis_arr.(r) :: !arts
           done;
-          Cold_feasible
+          let ok = ref true in
+          List.iter
+            (fun a ->
+              if !ok then begin
+                let pos = ref (-1) in
+                for s = 0 to t.m - 1 do
+                  if t.basis_arr.(s) = a then pos := s
+                done;
+                if !pos >= 0 then begin
+                  let r = !pos in
+                  btran_e t r;
+                  let found = ref (-1) in
+                  let j = ref 0 in
+                  while !found < 0 && !j < t.art_base do
+                    if
+                      Bytes.get t.vstat !j <> st_basic
+                      && Float.abs (dot_col t !j t.v_rho) > 1e-7
+                    then found := !j;
+                    incr j
+                  done;
+                  if !found >= 0 then begin
+                    let jj = !found in
+                    let newv = val_of t jj in
+                    Bytes.set t.vstat a st_lower;
+                    Bytes.set t.vstat jj st_basic;
+                    t.xb.(r) <- newv;
+                    t.dse.(r) <- 1.0;
+                    ftran_col t jj;
+                    if change_basis t ~row:r ~col:jj then
+                      t.pivots <- t.pivots + 1
+                    else ok := false
+                  end
+                end
+              end)
+            (List.rev !arts);
+          if !ok then Cold_feasible else Cold_iter
         end
 
   (* Per-variable feasibility slack. Equilibrated columns can carry
      bounds ~2^25, so a slack fully relative to the bound
      (feas_tol * |bound|) would accept O(1) violations as "feasible" —
      and a later degenerate pivot that snaps such a basic to its bound
-     silently shifts the solution by the whole violation, corrupting
-     the rest of the tableau. Grow the slack only mildly with the
-     bound's magnitude instead. *)
+     silently shifts the solution by the whole violation. Grow the
+     slack only mildly with the bound's magnitude instead. *)
   let bound_slack bnd = feas_tol *. (1.0 +. (1e-4 *. Float.abs bnd))
 
   (* Worst bound violation among basic variables beyond the per-variable
@@ -558,9 +872,9 @@ module Incremental = struct
     done;
     !worst
 
-  (* Phase 2 on the already-installed objective row: coarse pricing
-     first, then the strict confirmation pass before the point is
-     certified optimal — a prematurely stopped phase 2 overstates the
+  (* Phase 2 on the model costs (installed by the caller): coarse
+     pricing first, then the strict confirmation pass before the point
+     is certified optimal — a prematurely stopped phase 2 overstates the
      LP bound, and branch & bound prunes the true optimum with it. *)
   let phase2 t =
     Obs.incr "simplex.phase2";
@@ -578,7 +892,7 @@ module Incremental = struct
     | Cold_infeasible -> Infeasible
     | Cold_iter -> Iteration_limit
     | Cold_feasible -> (
-        install_phase2_obj t;
+        Array.blit t.cost 0 t.obj_coeffs 0 t.ncols;
         match phase2 t with
         | Phase_done ->
             if worst_basic_violation t > 0.0 then begin
@@ -592,77 +906,41 @@ module Incremental = struct
         | Phase_unbounded -> Unbounded
         | Phase_iter_limit -> Iteration_limit)
 
-  (* Restore a snapshot basis into the tableau by pivoting from the
-     current factorized basis: each missing target column evicts some
-     non-target column on the row with the largest available pivot.
-     Returns [false] (caller goes cold) when a pivot cannot be found. *)
+  (* Restore a snapshot basis by refactorizing its columns from pristine
+     data — no pivoting from the current basis, no drift carried over,
+     so a warm restore is as trustworthy as a cold rebuild. Returns
+     [false] (caller goes cold) on a singular snapshot basis. *)
   let restore t snap =
-    if (not t.factorized) || Array.length snap.sb <> t.m then false
-    else if t.since_cold >= 500 then begin
-      (* Periodic refactorization: too much elimination drift since the
-         last cold rebuild — force the two-phase solve from pristine
-         data rather than trusting the tableau further. *)
-      Obs.incr "simplex.factorization_restart";
-      false
-    end
+    if Array.length snap.sb <> t.m then false
     else begin
-      let in_target = Array.make (max 1 t.ncols) false in
-      Array.iter (fun j -> in_target.(j) <- true) snap.sb;
-      let in_cur = Array.make (max 1 t.ncols) false in
-      Array.iter (fun j -> in_cur.(j) <- true) t.basis_arr;
-      let ok = ref true in
-      Array.iter
-        (fun j ->
-          if !ok && not in_cur.(j) then begin
-            let best_r = ref (-1) in
-            let best_a = ref 1e-6 in
-            for r = 0 to t.m - 1 do
-              if not in_target.(t.basis_arr.(r)) then begin
-                let a = Float.abs t.rows.(r).(j) in
-                if a > !best_a then begin
-                  best_r := r;
-                  best_a := a
-                end
-              end
-            done;
-            if !best_r < 0 then ok := false
-            else begin
-              let r = !best_r in
-              in_cur.(t.basis_arr.(r)) <- false;
-              t.basis_arr.(r) <- j;
-              in_cur.(j) <- true;
-              eliminate t ~row:r ~col:j;
-              t.pivots <- t.pivots + 1
-            end
-          end)
-        snap.sb;
-      if not !ok then false
+      Array.blit snap.sb 0 t.basis_arr 0 t.m;
+      Bytes.blit snap.sstat 0 t.vstat 0 t.ncols;
+      (* Re-home nonbasics whose snapshot side is no longer finite
+         (a relaxed override can reopen an upper bound to infinity). *)
+      for j = 0 to t.ncols - 1 do
+        let st = Bytes.get t.vstat j in
+        if st = st_upper && not (Float.is_finite t.ub.(j)) then
+          Bytes.set t.vstat j st_lower
+        else if st = st_lower && not (Float.is_finite t.lb.(j)) then
+          Bytes.set t.vstat j st_upper
+      done;
+      if not (refactorize t) then false
       else begin
-        Bytes.blit snap.sstat 0 t.vstat 0 t.ncols;
-        (* Re-home nonbasics whose snapshot side is no longer finite
-           (a relaxed override can reopen an upper bound to infinity). *)
+        (* Basic values from scratch: xb = B^-1 (b - N x_N). *)
+        let v = t.v_spike in
+        Array.blit t.b0 0 v 0 t.m;
         for j = 0 to t.ncols - 1 do
-          let st = Bytes.get t.vstat j in
-          if st = st_upper && not (Float.is_finite t.ub.(j)) then
-            Bytes.set t.vstat j st_lower
-          else if st = st_lower && not (Float.is_finite t.lb.(j)) then
-            Bytes.set t.vstat j st_upper
+          if Bytes.get t.vstat j <> st_basic then begin
+            let x = val_of t j in
+            if x <> 0.0 then
+              iter_col t j (fun r a -> v.(r) <- v.(r) -. (a *. x))
+          end
         done;
-        (* Basic values from scratch: xb = beta - N x_N. *)
-        for r = 0 to t.m - 1 do
-          let row = t.rows.(r) in
-          let acc = ref t.beta.(r) in
-          for j = 0 to t.ncols - 1 do
-            if Bytes.get t.vstat j <> st_basic then begin
-              let v = val_of t j in
-              if v <> 0.0 && row.(j) <> 0.0 then
-                acc := !acc -. (row.(j) *. v)
-            end
-          done;
-          t.xb.(r) <- !acc
-        done;
-        install_phase2_obj t;
-        t.since_cold <- t.since_cold + 1;
+        ltran t v;
+        utran t v;
+        Array.blit v 0 t.xb 0 t.m;
+        Array.fill t.dse 0 (max 1 t.m) 1.0;
+        Array.blit t.cost 0 t.obj_coeffs 0 t.ncols;
         true
       end
     end
@@ -671,40 +949,49 @@ module Incremental = struct
 
   (* Dual simplex: the snapshot basis is dual feasible (it was optimal
      for the parent), and a bound override only perturbs primal
-     feasibility — reoptimize by driving bound-violating basics out. *)
+     feasibility — reoptimize by driving bound-violating basics out.
+     Leaving rows are picked by dual steepest edge (largest
+     violation^2 / reference weight, Forrest-Goldfarb weight updates),
+     which converges in far fewer pivots than largest-violation on the
+     clique-cut-strengthened relaxations. *)
   let dual t =
     let cap = 200 + (4 * t.m) in
     let steps = ref 0 in
     let res = ref None in
     while !res = None do
       if t.pivots > t.max_pivots then res := Some Dual_iter
-      else if !steps > cap then res := Some Dual_give_up
+      else if !steps > cap || not t.factorized then res := Some Dual_give_up
       else begin
         let row = ref (-1) in
-        let worst = ref 0.0 in
+        let best_score = ref 0.0 in
+        let row_viol = ref 0.0 in
         let exit_up = ref false in
         for r = 0 to t.m - 1 do
           let i = t.basis_arr.(r) in
           let v = t.xb.(r) in
           let lo = t.lb.(i) and hi = t.ub.(i) in
-          if v < lo && lo -. v > bound_slack lo then begin
-            if lo -. v > !worst then begin
-              worst := lo -. v;
+          let viol_lo =
+            if v < lo && lo -. v > bound_slack lo then lo -. v else 0.0
+          in
+          let viol_hi =
+            if v > hi && v -. hi > bound_slack hi then v -. hi else 0.0
+          in
+          let viol = Float.max viol_lo viol_hi in
+          if viol > 0.0 then begin
+            let score = viol *. viol /. Float.max t.dse.(r) 1e-12 in
+            if score > !best_score then begin
+              best_score := score;
+              row_viol := viol;
               row := r;
-              exit_up := false
+              exit_up := viol_hi > viol_lo
             end
           end
-          else if v > hi && v -. hi > bound_slack hi then
-            if v -. hi > !worst then begin
-              worst := v -. hi;
-              row := r;
-              exit_up := true
-            end
         done;
         if !row < 0 then res := Some Dual_feasible
         else begin
           let r = !row in
-          let trow = t.rows.(r) in
+          btran_e t r;
+          btran_obj t;
           (* Entering column: minimum dual ratio |d| / |alpha| among the
              columns that can move the violated basic back towards its
              bound; near-ties prefer the larger pivot element. *)
@@ -714,7 +1001,7 @@ module Incremental = struct
           for j = 0 to t.ncols - 1 do
             let st = Bytes.get t.vstat j in
             if st <> st_basic && t.ub.(j) > t.lb.(j) then begin
-              let alpha = trow.(j) in
+              let alpha = dot_col t j t.v_rho in
               let good =
                 if !exit_up then
                   (st = st_lower && alpha > pivot_tol)
@@ -724,10 +1011,8 @@ module Incremental = struct
                   || (st = st_upper && alpha > pivot_tol)
               in
               if good then begin
-                let e =
-                  Float.max 0.0
-                    (if st = st_lower then t.obj.(j) else -.t.obj.(j))
-                in
+                let d = t.obj_coeffs.(j) -. dot_col t j t.v_y in
+                let e = Float.max 0.0 (if st = st_lower then d else -.d) in
                 let ratio = e /. Float.abs alpha in
                 if
                   ratio < !best_ratio -. price_tol
@@ -747,11 +1032,9 @@ module Incremental = struct
                decisive *on the violated variable's own scale*:
                equilibrated columns carry bounds up to ~2^25, and a
                basic on such a column accumulates absolute drift far
-               above any fixed epsilon — judging that drift against
-               |xb| alone (tiny for a near-zero basic) certified
-               feasible nodes as infeasible and pruned the true
-               optimum. Marginal cases go to the cold two-phase solve,
-               which settles feasibility from pristine data. *)
+               above any fixed epsilon. Marginal cases go to the cold
+               two-phase solve, which settles feasibility from pristine
+               data. *)
             let i = t.basis_arr.(r) in
             let fin b = if Float.is_finite b then Float.abs b else 0.0 in
             let scale =
@@ -761,7 +1044,7 @@ module Incremental = struct
             in
             res :=
               Some
-                (if !worst > 1e-4 *. (1.0 +. scale) then Dual_infeasible
+                (if !row_viol > 1e-4 *. (1.0 +. scale) then Dual_infeasible
                  else Dual_give_up)
           end
           else if Float.abs !best_alpha < 1e-7 then
@@ -770,25 +1053,46 @@ module Incremental = struct
             res := Some Dual_give_up
           else begin
             let j = !best in
-            let alpha = !best_alpha in
+            let alpha_rq = !best_alpha in
             let i = t.basis_arr.(r) in
             let target = if !exit_up then t.ub.(i) else t.lb.(i) in
-            let dxj = (t.xb.(r) -. target) /. alpha in
-            let newv = val_of t j +. dxj in
+            let dxj = (t.xb.(r) -. target) /. alpha_rq in
+            ftran_col t j;
+            (* Forrest-Goldfarb weight updates, in the pre-shift frame:
+               gamma_i' = gamma_i - 2 kappa tau_i + kappa^2 gamma_r with
+               kappa = alpha_i / alpha_rq and tau = B^-1 rho. *)
+            let gamma_r = Float.max t.dse.(r) 1e-12 in
+            Array.blit t.v_rho 0 t.v_tau 0 t.m;
+            ltran t t.v_tau;
+            utran t t.v_tau;
             for s = 0 to t.m - 1 do
               if s <> r then begin
-                let a = t.rows.(s).(j) in
+                let kappa = t.v_alpha.(s) /. alpha_rq in
+                if kappa <> 0.0 then
+                  t.dse.(s) <-
+                    Float.max
+                      (t.dse.(s)
+                      -. (2.0 *. kappa *. t.v_tau.(s))
+                      +. (kappa *. kappa *. gamma_r))
+                      1e-12
+              end
+            done;
+            for s = 0 to t.m - 1 do
+              if s <> r then begin
+                let a = t.v_alpha.(s) in
                 if a <> 0.0 then t.xb.(s) <- t.xb.(s) -. (a *. dxj)
               end
             done;
-            t.obj_val <- t.obj_val +. (t.obj.(j) *. dxj);
+            let newv = val_of t j +. dxj in
             Bytes.set t.vstat i (if !exit_up then st_upper else st_lower);
-            t.basis_arr.(r) <- j;
             Bytes.set t.vstat j st_basic;
             t.xb.(r) <- newv;
-            eliminate t ~row:r ~col:j;
-            t.pivots <- t.pivots + 1;
-            incr steps
+            t.dse.(r) <- Float.max (gamma_r /. (alpha_rq *. alpha_rq)) 1e-12;
+            if change_basis t ~row:r ~col:j then begin
+              t.pivots <- t.pivots + 1;
+              incr steps
+            end
+            else res := Some Dual_give_up
           end
         end
       end

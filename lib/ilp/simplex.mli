@@ -1,19 +1,30 @@
-(** Bounded-variable primal/dual simplex over dense tableaus.
+(** Bounded-variable revised primal/dual simplex.
 
     The LP relaxations solved here are small (tens of variables, tens of
     constraints) but are solved thousands of times per branch-and-bound
-    run, so the solver is built for cheap resolves rather than sparse
-    scale. Variable bounds are handled natively: a nonbasic variable sits
-    at its lower or upper bound, so finite upper bounds cost nothing —
-    no explicit [x <= u] rows are added to the tableau.
+    run. The solver keeps the constraint matrix as sparse scaled columns
+    and carries the basis as a dense LU factorization (partial
+    pivoting) maintained by Forrest-Tomlin updates, with a periodic
+    refactorization from pristine data — so numerical drift is bounded
+    by the refactorization period rather than by the length of the
+    branch-and-bound run. Variable bounds are handled natively: a
+    nonbasic variable sits at its lower or upper bound, so finite upper
+    bounds cost nothing — no explicit [x <= u] rows are added.
+
+    Reduced costs are recomputed from scratch (one BTRAN of the basic
+    costs) at every pricing pass, and warm restores refactorize the
+    snapshot basis instead of pivoting toward it, so no cost-row or
+    elimination drift survives a solve boundary.
 
     Integrality information in the model is ignored: this module solves
     the continuous relaxation. Variables must have finite lower bounds
     (the model enforces this).
 
     Determinism: identical inputs take identical pivot sequences
-    (Dantzig pricing with Bland's anti-cycling fallback, index-based tie
-    breaks), which the parallel sweep relies on. *)
+    (Dantzig pricing with Bland's anti-cycling fallback in the primal,
+    dual steepest-edge row selection, index-based tie breaks throughout,
+    ties in the LU pivot search going to the lowest row), which the
+    parallel sweep relies on. *)
 
 type result =
   | Optimal of { point : float array; objective : float; pivots : int }
@@ -23,13 +34,13 @@ type result =
   | Iteration_limit
       (** The pivot budget was exhausted (pathological instance). *)
 
-(** Incremental solver handle for branch and bound: the scaled tableau
-    is built once from the model, each node solve applies its bound
+(** Incremental solver handle for branch and bound: the scaled columns
+    are built once from the model, each node solve applies its bound
     overrides as O(1) in-place bound updates, and a child node can be
     reoptimized from its parent's optimal basis with the dual simplex
     (a bound change leaves the parent basis dual-feasible). When warm
-    restart fails — basis restore breaks down numerically, or the dual
-    would need a dubious pivot — the solve silently falls back to a cold
+    restart fails — the snapshot basis is singular, or the dual would
+    need a dubious pivot — the solve silently falls back to a cold
     two-phase primal start, so callers always get a full answer. *)
 module Incremental : sig
   type t
@@ -41,9 +52,9 @@ module Incremental : sig
       each nonbasic column occupies. Cheap (two small arrays). *)
 
   val create : ?max_pivots:int -> Model.t -> t
-  (** Build the equilibrated tableau data for [model]. [max_pivots]
-      (default [200_000]) bounds the pivots of each individual
-      {!solve} call. *)
+  (** Build the equilibrated sparse-column data for [model].
+      [max_pivots] (default [200_000]) bounds the pivots of each
+      individual {!solve} call. *)
 
   val solve :
     ?basis:basis -> ?bound_overrides:(int * float * float) list -> t -> result
@@ -62,6 +73,11 @@ module Incremental : sig
 
   val cold_solves : t -> int
   (** Number of cold two-phase solves (including fallbacks). *)
+
+  val refactorizations : t -> int
+  (** Number of basis (re)factorizations performed over the handle's
+      lifetime: cold starts, warm restores, the periodic refresh every
+      64 Forrest-Tomlin updates, and recovery from failed updates. *)
 end
 
 val solve :

@@ -91,7 +91,7 @@ let release t ~ok =
 
 let sweep_solver : Protocol.solver -> Sweep.solver = function
   | Protocol.Exact -> Sweep.Exact
-  | Protocol.Ilp -> Sweep.Ilp { time_limit_s = None }
+  | Protocol.Ilp -> Sweep.Ilp { time_limit_s = None; presolve = true; cuts = true }
   | Protocol.Heuristic -> Sweep.Heuristic
 
 let constraints_of ~soc (inst : Protocol.instance) =

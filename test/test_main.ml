@@ -24,6 +24,7 @@ let () =
       ("annealing", Test_annealing.suite);
       ("ilp", Test_ilp_formulation.suite);
       ("ilp_p1", Test_ilp_formulation.assignment_suite);
+      ("presolve", Test_presolve.suite);
       ("sched", Test_sched.suite);
       ("plan", Test_plan.suite);
       ("rect_sched", Test_rect_sched.suite);

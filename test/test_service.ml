@@ -523,7 +523,7 @@ let test_service_shutdown () =
 let test_sweep_deadline_expired () =
   let soc = Benchmarks.s1 () in
   let cells =
-    Sweep.cells ~solver:(Sweep.Ilp { time_limit_s = None }) soc ~num_buses:2
+    Sweep.cells ~solver:(Sweep.Ilp { time_limit_s = None; presolve = true; cuts = true }) soc ~num_buses:2
       ~widths:[ 16 ]
   in
   let rows = Sweep.run ~deadline_s:(Clock.now_s () -. 1.0) cells in

@@ -140,7 +140,7 @@ let test_sweep_ilp_solver () =
   let soc = Benchmarks.s1 () in
   let cells =
     Sweep.cells
-      ~solver:(Sweep.Ilp { time_limit_s = None })
+      ~solver:(Sweep.Ilp { time_limit_s = None; presolve = true; cuts = true })
       soc ~num_buses:2 ~widths:[ 10; 12 ]
   in
   let rows1 = run_with_jobs cells 1 in
