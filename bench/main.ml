@@ -38,6 +38,7 @@ module Gantt = Soctam_sched.Gantt
 module Table = Soctam_report.Table
 module Pool = Soctam_engine.Pool
 module Sweep = Soctam_engine.Sweep
+module Race = Soctam_engine.Race
 module Obs = Soctam_obs.Obs
 module Clock = Soctam_obs.Clock
 module Trace = Soctam_obs.Trace
@@ -967,7 +968,7 @@ let table_e8 () =
      expiry depends on wall-clock load and would break the determinism
      guarantee. *)
   let exact = Sweep.Exact in
-  let ilp = Sweep.Ilp { time_limit_s = None; presolve = true; cuts = true } in
+  let ilp = Sweep.Ilp { time_limit_s = None; presolve = true; cuts = true; seed = true } in
   let free = Problem.no_constraints in
   (* An exclusion triangle (cores 0,1,2 pairwise apart) exercises the
      clique cover — one size-3 clique row per bus instead of three
@@ -992,11 +993,7 @@ let table_e8 () =
         (Benchmarks.s1 (), 2, [ 12; 16 ], free, ilp);
         (Benchmarks.s1 (), 3, [ 8 ], constrained, ilp) ]
   in
-  let solver_name = function
-    | Sweep.Exact -> "exact"
-    | Sweep.Ilp _ -> "ilp"
-    | Sweep.Heuristic -> "heuristic"
-  in
+  let solver_name = Sweep.solver_name in
   (* [--trace] records the E8 sweeps themselves; the trace is written
      here, before E9 restarts the recording epoch for its overhead
      measurement. *)
@@ -1117,7 +1114,7 @@ let table_e9 () =
     Sweep.cells ~solver:Sweep.Exact soc ~num_buses:2
       ~widths:[ 8; 16; 24; 32 ]
     @ Sweep.cells
-        ~solver:(Sweep.Ilp { time_limit_s = None; presolve = true; cuts = true })
+        ~solver:(Sweep.Ilp { time_limit_s = None; presolve = true; cuts = true; seed = true })
         soc ~num_buses:2 ~widths:[ 12; 16 ]
   in
   ignore (Sweep.run cells) (* warm-up *);
@@ -1311,6 +1308,181 @@ let table_e10 () =
   let miss_p50 = Metrics.percentile misses 0.50 in
   Printf.printf "hit p50 is %.1fx below miss p50\n" (miss_p50 /. hit_p50)
 
+(* ------------------------------------------------------------------ *)
+(* E11: anytime portfolio racing — wall-clock vs the best single       *)
+(* certifying engine, and the B&B node savings from incumbent seeding. *)
+
+type race_measurement = {
+  rm_soc : string;
+  rm_num_buses : int;
+  rm_width : int;
+  rm_test_time : int option;
+  rm_exact_s : float;
+  rm_ilp_s : float;
+  rm_best_single : string;
+  rm_best_single_s : float;
+  rm_race_seq_s : float;
+  rm_race_par_s : float;
+  rm_winner : string;
+  rm_incumbents : int;
+  rm_cancelled : int;
+  rm_nodes_seeded : int;
+  rm_nodes_unseeded : int;
+  rm_constrained : bool;
+  rm_identical : bool;
+}
+
+let e11_measurements : race_measurement list ref = ref []
+
+let table_e11 () =
+  section "E11"
+    (Printf.sprintf
+       "anytime portfolio racing: %d-domain race vs the best single \
+        certifying engine" jobs);
+  (* E8's constrained instances (the conflict triangle gives the
+     complete engines real pruning work) plus one free S2 cell whose
+     branch-and-bound hits a bound plateau — the instance where the
+     heuristic seed provably prunes frontier nodes the unseeded search
+     must explore before it finds its first incumbent. The race is
+     compared against each engine it contains running alone; only the
+     complete engines (exact enumeration, the MILP) certify, so they
+     define "best single". The MILP is also re-run unseeded to isolate
+     what the greedy incumbent saves branch and bound. All node counts
+     are deterministic (no time limits), so the seeded-vs-unseeded
+     relation recorded here is reproducible bit-for-bit in CI. *)
+  let constrained =
+    { Problem.exclusion_pairs = [ (0, 1); (0, 2); (1, 2) ];
+      co_pairs = [ (3, 4) ] }
+  in
+  let workloads =
+    pick
+      [ (Benchmarks.s1 (), 3, [ 12; 16 ], constrained);
+        (Benchmarks.s2 (), 3, [ 16 ], constrained);
+        (Benchmarks.s2 (), 3, [ 16 ], Problem.no_constraints) ]
+      [ (Benchmarks.s1 (), 3, [ 8 ], constrained);
+        (Benchmarks.s2 (), 3, [ 16 ], Problem.no_constraints) ]
+  in
+  let ilp seed =
+    Sweep.Ilp { time_limit_s = None; presolve = true; cuts = true; seed }
+  in
+  let measurements =
+    Pool.with_pool ~num_domains:jobs (fun pool ->
+        List.concat_map
+          (fun (soc, num_buses, widths, constraints) ->
+            let cell solver w =
+              List.hd
+                (Sweep.cells ~constraints ~solver soc ~num_buses
+                   ~widths:[ w ])
+            in
+            List.map
+              (fun w ->
+                let time solver =
+                  let t0 = Clock.now_s () in
+                  let row = Sweep.solve_one (cell solver w) in
+                  (row, Clock.elapsed_s ~since:t0)
+                in
+                let exact_row, exact_s = time Sweep.Exact in
+                let ilp_row, ilp_s = time (ilp true) in
+                let unseeded_row, _ = time (ilp false) in
+                let incumbents = ref 0 in
+                let t0 = Clock.now_s () in
+                let seq_row =
+                  Sweep.solve_one
+                    ~on_event:(fun _ -> incr incumbents)
+                    (cell Sweep.Race w)
+                in
+                let race_seq_s = Clock.elapsed_s ~since:t0 in
+                let t1 = Clock.now_s () in
+                let par_row =
+                  Sweep.solve_one ~race_pool:pool (cell Sweep.Race w)
+                in
+                let race_par_s = Clock.elapsed_s ~since:t1 in
+                let best_single, best_single_s =
+                  if exact_s <= ilp_s then ("exact", exact_s)
+                  else ("ilp", ilp_s)
+                in
+                let t (row : Sweep.row) = Option.map snd row.Sweep.solution in
+                let identical =
+                  t seq_row = t exact_row
+                  && t par_row = t exact_row
+                  && t ilp_row = t exact_row
+                  && t unseeded_row = t exact_row
+                  && seq_row.Sweep.optimal && par_row.Sweep.optimal
+                in
+                { rm_soc = Soc.name soc;
+                  rm_num_buses = num_buses;
+                  rm_width = w;
+                  rm_test_time = t exact_row;
+                  rm_exact_s = exact_s;
+                  rm_ilp_s = ilp_s;
+                  rm_best_single = best_single;
+                  rm_best_single_s = best_single_s;
+                  rm_race_seq_s = race_seq_s;
+                  rm_race_par_s = race_par_s;
+                  rm_winner =
+                    Option.value ~default:"-" par_row.Sweep.winner;
+                  rm_incumbents = !incumbents;
+                  rm_cancelled = par_row.Sweep.cancelled_nodes;
+                  rm_nodes_seeded = ilp_row.Sweep.nodes;
+                  rm_nodes_unseeded = unseeded_row.Sweep.nodes;
+                  rm_constrained = constraints <> Problem.no_constraints;
+                  rm_identical = identical })
+              widths)
+          workloads)
+  in
+  e11_measurements := measurements;
+  let rows =
+    List.map
+      (fun m ->
+        [ m.rm_soc;
+          string_of_int m.rm_num_buses;
+          string_of_int m.rm_width;
+          (match m.rm_test_time with
+          | Some t -> string_of_int t
+          | None -> "-");
+          Table.fmt_float ~decimals:3 m.rm_exact_s;
+          Table.fmt_float ~decimals:3 m.rm_ilp_s;
+          Table.fmt_float ~decimals:3 m.rm_race_seq_s;
+          Table.fmt_float ~decimals:3 m.rm_race_par_s;
+          m.rm_winner;
+          string_of_int m.rm_incumbents;
+          string_of_int m.rm_cancelled;
+          string_of_int m.rm_nodes_seeded;
+          string_of_int m.rm_nodes_unseeded;
+          (if m.rm_identical then "yes" else "NO") ])
+      measurements
+  in
+  print_string
+    (Table.render
+       ~headers:
+         [ "soc"; "nb"; "W"; "T_opt"; "exact s"; "ilp s"; "race seq";
+           "race par"; "winner"; "incumb"; "cancelled"; "nodes seed";
+           "nodes free"; "identical" ]
+       rows);
+  let par_total =
+    List.fold_left (fun a m -> a +. m.rm_race_par_s) 0.0 measurements
+  in
+  let best_total =
+    List.fold_left (fun a m -> a +. m.rm_best_single_s) 0.0 measurements
+  in
+  let seeded =
+    List.fold_left (fun a m -> a + m.rm_nodes_seeded) 0 measurements
+  in
+  let unseeded =
+    List.fold_left (fun a m -> a + m.rm_nodes_unseeded) 0 measurements
+  in
+  Printf.printf
+    "\nrace summary: %.3f s racing on %d domain(s) vs %.3f s for the best \
+     single certifying engine (+%.1f ms fixed portfolio overhead); seeded \
+     MILP explored %d nodes vs %d unseeded (%d saved)\n"
+    par_total jobs best_total
+    ((par_total -. best_total) *. 1000.)
+    seeded unseeded (unseeded - seeded);
+  if List.exists (fun m -> not m.rm_identical) measurements then
+    print_endline "!! race certified a value the single engines disagree with";
+  if seeded >= unseeded then
+    print_endline "!! incumbent seeding failed to prune any B&B nodes"
+
 let service_json_path = flag_value "--service-json"
 
 let write_service_json path =
@@ -1383,6 +1555,67 @@ let write_json path =
             ("rows", Json.Arr (List.map Sweep.json_of_row m.sm_rows)) ])
       measurements
   in
+  let race =
+    match !e11_measurements with
+    | [] -> []
+    | ms ->
+        let winners =
+          List.fold_left
+            (fun acc m ->
+              match List.assoc_opt m.rm_winner acc with
+              | Some n ->
+                  (m.rm_winner, n + 1) :: List.remove_assoc m.rm_winner acc
+              | None -> (m.rm_winner, 1) :: acc)
+            [] ms
+          |> List.sort compare
+        in
+        let sum_f f = List.fold_left (fun a m -> a +. f m) 0.0 ms in
+        let sum_i f = List.fold_left (fun a m -> a + f m) 0 ms in
+        [ ( "race",
+            Json.Obj
+              [ ( "workloads",
+                  Json.Arr
+                    (List.map
+                       (fun m ->
+                         Json.Obj
+                           [ ("soc", Json.Str m.rm_soc);
+                             ("num_buses", Json.int m.rm_num_buses);
+                             ("total_width", Json.int m.rm_width);
+                             ( "test_time",
+                               match m.rm_test_time with
+                               | Some t -> Json.int t
+                               | None -> Json.Null );
+                             ("exact_s", Json.Num m.rm_exact_s);
+                             ("ilp_s", Json.Num m.rm_ilp_s);
+                             ("best_single", Json.Str m.rm_best_single);
+                             ("best_single_s", Json.Num m.rm_best_single_s);
+                             ("race_seq_s", Json.Num m.rm_race_seq_s);
+                             ("race_par_s", Json.Num m.rm_race_par_s);
+                             ("winner", Json.Str m.rm_winner);
+                             ("incumbents", Json.int m.rm_incumbents);
+                             ("cancelled_nodes", Json.int m.rm_cancelled);
+                             ( "ilp_nodes_seeded",
+                               Json.int m.rm_nodes_seeded );
+                             ( "ilp_nodes_unseeded",
+                               Json.int m.rm_nodes_unseeded );
+                             ("constrained", Json.Bool m.rm_constrained);
+                             ("identical", Json.Bool m.rm_identical) ])
+                       ms) );
+                ("race_par_total_s", Json.Num (sum_f (fun m -> m.rm_race_par_s)));
+                ("race_seq_total_s", Json.Num (sum_f (fun m -> m.rm_race_seq_s)));
+                ( "best_single_total_s",
+                  Json.Num (sum_f (fun m -> m.rm_best_single_s)) );
+                ( "winners",
+                  Json.Obj (List.map (fun (k, n) -> (k, Json.int n)) winners) );
+                ("cancelled_nodes", Json.int (sum_i (fun m -> m.rm_cancelled)));
+                ( "ilp_nodes_seeded",
+                  Json.int (sum_i (fun m -> m.rm_nodes_seeded)) );
+                ( "ilp_nodes_unseeded",
+                  Json.int (sum_i (fun m -> m.rm_nodes_unseeded)) );
+                ( "all_identical",
+                  Json.Bool (List.for_all (fun m -> m.rm_identical) ms) ) ] )
+        ]
+  in
   let obs =
     match !e9_overhead with
     | None -> []
@@ -1424,7 +1657,7 @@ let write_json path =
            Json.int (List.fold_left (fun a m -> a + m.sm_cuts) 0 measurements) );
          ( "total_presolve_fixed",
            Json.int (List.fold_left (fun a m -> a + m.sm_fixed) 0 measurements) ) ]
-      @ obs)
+      @ race @ obs)
   in
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (Json.to_string_pretty doc));
@@ -1507,6 +1740,7 @@ let () =
     print_endline "(--quick: reduced width ranges, slow ablations skipped)";
   if sweep_only then begin
     table_e8 ();
+    table_e11 ();
     table_e9 ();
     table_e10 ()
   end
@@ -1516,6 +1750,7 @@ let () =
     table_e3 ();
     table_a3 ();
     table_e8 ();
+    table_e11 ();
     table_e9 ();
     table_e10 ()
   end
@@ -1542,6 +1777,7 @@ let () =
     figure_f4 ();
     table_a6 ();
     table_e8 ();
+    table_e11 ();
     table_e9 ();
     table_e10 ();
     bechamel_section ()

@@ -22,6 +22,7 @@ module Gantt = Soctam_sched.Gantt
 module Table = Soctam_report.Table
 module Pool = Soctam_engine.Pool
 module Sweep = Soctam_engine.Sweep
+module Race = Soctam_engine.Race
 module Obs = Soctam_obs.Obs
 module Clock = Soctam_obs.Clock
 module Trace = Soctam_obs.Trace
@@ -190,7 +191,10 @@ let p_max_arg =
   Arg.(value & opt (some float) None & info [ "p-max" ] ~docv:"MW" ~doc)
 
 let solver_arg =
-  let doc = "Solver: exact (enumeration+DP), ilp, or heuristic." in
+  let doc =
+    "Solver: exact (enumeration+DP), ilp, heuristic, or race (anytime \
+     portfolio of all of them against a shared incumbent)."
+  in
   Arg.(value & opt string "exact" & info [ "solver" ] ~docv:"SOLVER" ~doc)
 
 let gantt_arg =
@@ -227,16 +231,26 @@ let no_cuts_arg =
   in
   Arg.(value & flag & info [ "no-cuts" ] ~doc)
 
+let no_seed_arg =
+  let doc =
+    "Do not prime ILP branch and bound with the greedy heuristic's \
+     incumbent. Results are identical; only search effort changes \
+     (compare the seeded_bound and node counts in --json output)."
+  in
+  Arg.(value & flag & info [ "no-seed" ] ~doc)
+
 let sweep_solver_of_string ?ilp_time_limit ?(no_presolve = false)
-    ?(no_cuts = false) solver =
+    ?(no_cuts = false) ?(no_seed = false) solver =
   match solver with
   | "exact" -> Sweep.Exact
   | "ilp" ->
       Sweep.Ilp
         { time_limit_s = ilp_time_limit;
           presolve = not no_presolve;
-          cuts = not no_cuts }
+          cuts = not no_cuts;
+          seed = not no_seed }
   | "heuristic" -> Sweep.Heuristic
+  | "race" -> Sweep.Race
   | other ->
       raise (Invalid_argument (Printf.sprintf "unknown solver %S" other))
 
@@ -255,6 +269,19 @@ let write_json path doc =
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (Json.to_string_pretty doc))
 
+let jobs_arg =
+  let doc =
+    "Worker domains: 0 (the default) uses every core; 1 reproduces the \
+     sequential loop bit-for-bit. Results are identical for every job \
+     count — only the wall-clock changes."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let resolve_jobs jobs =
+  if jobs < 0 then
+    raise (Invalid_argument (Printf.sprintf "--jobs %d: negative" jobs));
+  if jobs = 0 then Domain.recommended_domain_count () else jobs
+
 let solve_cmd =
   let json_arg =
     let doc =
@@ -265,7 +292,7 @@ let solve_cmd =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
   in
   let run soc_name num_buses total_width model d_max p_max solver gantt
-      time_limit no_presolve no_cuts trace profile json_path =
+      time_limit no_presolve no_cuts no_seed jobs trace profile json_path =
     try
       let soc = lookup_soc soc_name in
       let problem =
@@ -273,7 +300,7 @@ let solve_cmd =
       in
       let solver =
         sweep_solver_of_string ~ilp_time_limit:time_limit ~no_presolve
-          ~no_cuts solver
+          ~no_cuts ~no_seed solver
       in
       let cell =
         match
@@ -286,11 +313,25 @@ let solve_cmd =
         | _ -> assert false
       in
       with_observability ~trace ~profile @@ fun () ->
-      let row = Sweep.solve_one cell in
+      let row =
+        match solver with
+        | Sweep.Race ->
+            let deadline_s = Clock.now_s () +. time_limit in
+            let jobs = resolve_jobs jobs in
+            if jobs > 1 then
+              Pool.with_pool ~num_domains:jobs (fun pool ->
+                  Sweep.solve_one ~race_pool:pool ~deadline_s cell)
+            else Sweep.solve_one ~deadline_s cell
+        | _ -> Sweep.solve_one cell
+      in
       (match solver with
       | Sweep.Ilp _ ->
           if not row.Sweep.optimal then
             print_endline "note: ILP budget expired; best-found shown";
+          (match row.Sweep.seeded_bound with
+          | Some b ->
+              Printf.printf "ILP seed: greedy incumbent primed B&B at %d\n" b
+          | None -> ());
           Printf.printf
             "ILP search: %d nodes, %d LP pivots (%d warm-started, %d \
              cold, %d refactorizations), depth %d, %.3f s\n\
@@ -299,6 +340,16 @@ let solve_cmd =
             row.Sweep.cold_solves row.Sweep.refactorizations
             row.Sweep.max_depth row.Sweep.elapsed_s row.Sweep.cuts_added
             row.Sweep.presolve_fixed
+      | Sweep.Race ->
+          if not row.Sweep.optimal then
+            print_endline
+              "note: race deadline expired; best incumbent shown";
+          Printf.printf
+            "Race: winner %s, %d nodes, %d LP pivots, %d B&B nodes \
+             cancelled, %.3f s\n"
+            (match row.Sweep.winner with Some w -> w | None -> "none")
+            row.Sweep.nodes row.Sweep.lp_pivots row.Sweep.cancelled_nodes
+            row.Sweep.elapsed_s
       | Sweep.Exact | Sweep.Heuristic -> ());
       (match json_path with
       | Some path ->
@@ -313,24 +364,12 @@ let solve_cmd =
     Term.(
       const run $ soc_arg $ buses_arg $ width_arg $ model_arg $ d_max_arg
       $ p_max_arg $ solver_arg $ gantt_arg $ time_limit_arg
-      $ no_presolve_arg $ no_cuts_arg $ trace_arg $ profile_arg $ json_arg)
+      $ no_presolve_arg $ no_cuts_arg $ no_seed_arg $ jobs_arg $ trace_arg
+      $ profile_arg $ json_arg)
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Design one optimal test access architecture.")
     term
-
-let jobs_arg =
-  let doc =
-    "Worker domains for the sweep: 0 (the default) uses every core; 1 \
-     reproduces the sequential loop bit-for-bit. Results are identical for \
-     every job count — only the wall-clock changes."
-  in
-  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
-
-let resolve_jobs jobs =
-  if jobs < 0 then
-    raise (Invalid_argument (Printf.sprintf "--jobs %d: negative" jobs));
-  if jobs = 0 then Domain.recommended_domain_count () else jobs
 
 let sweep_cmd =
   let widths_arg =
@@ -345,7 +384,7 @@ let sweep_cmd =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
   in
   let run soc_name num_buses widths model d_max p_max solver no_presolve
-      no_cuts jobs trace profile json_path =
+      no_cuts no_seed jobs trace profile json_path =
     try
       let soc = lookup_soc soc_name in
       let parse_width word =
@@ -364,7 +403,9 @@ let sweep_cmd =
           ~total_width:(List.fold_left max num_buses widths)
           ~model ~d_max ~p_max
       in
-      let solver = sweep_solver_of_string ~no_presolve ~no_cuts solver in
+      let solver =
+        sweep_solver_of_string ~no_presolve ~no_cuts ~no_seed solver
+      in
       let cells =
         Sweep.cells
           ~time_model:(Problem.time_model probe)
@@ -414,8 +455,8 @@ let sweep_cmd =
   let term =
     Term.(
       const run $ soc_arg $ buses_arg $ widths_arg $ model_arg $ d_max_arg
-      $ p_max_arg $ solver_arg $ no_presolve_arg $ no_cuts_arg $ jobs_arg
-      $ trace_arg $ profile_arg $ json_arg)
+      $ p_max_arg $ solver_arg $ no_presolve_arg $ no_cuts_arg
+      $ no_seed_arg $ jobs_arg $ trace_arg $ profile_arg $ json_arg)
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -581,7 +622,9 @@ let rpc_cmd =
   in
   let run connect line =
     with_client connect @@ fun _addr client ->
-    match Client.rpc_line client line with
+    (* Streamed exchanges ({"stream":true} race requests) push event
+       lines before the final reply; print each as it arrives. *)
+    match Client.rpc_stream client ~on_event:print_endline line with
     | exception End_of_file ->
         Printf.eprintf "error: daemon hung up\n";
         2
@@ -595,8 +638,9 @@ let rpc_cmd =
   Cmd.v
     (Cmd.info "rpc"
        ~doc:
-         "Send one raw NDJSON request line to tamoptd, print the reply \
-          (exit 3 on an ok:false reply).")
+         "Send one raw NDJSON request line to tamoptd, print every \
+          pushed event line and the final reply (exit 3 on an ok:false \
+          reply).")
     Term.(const run $ connect_arg $ line_arg)
 
 let load_cmd =
@@ -649,6 +693,7 @@ let load_cmd =
         | "exact" -> Protocol.Exact
         | "ilp" -> Protocol.Ilp
         | "heuristic" -> Protocol.Heuristic
+        | "race" -> Protocol.Race
         | other ->
             raise
               (Invalid_argument (Printf.sprintf "unknown solver %S" other))
@@ -686,7 +731,7 @@ let load_cmd =
                   p_max_mw = None;
                 }
               in
-              Protocol.Solve { instance; deadline_ms }
+              Protocol.Solve { instance; deadline_ms; stream = false }
         in
         Json.to_string (Protocol.json_of_request ~id:(Json.int i) req)
       in
@@ -944,10 +989,10 @@ let fuzz_cmd =
        ~doc:
          "Differential-fuzz the solver stack (exit 1 on a genuine \
           cross-solver disagreement): every instance is solved by the \
-          exact, ILP, DP, heuristic and annealing engines and their \
-          answers cross-checked, together with metamorphic properties \
-          (core relabelling, width and constraint monotonicity, warm \
-          vs cold ILP starts).")
+          exact, ILP, DP, heuristic and annealing engines plus the \
+          racing portfolio and their answers cross-checked, together \
+          with metamorphic properties (core relabelling, width and \
+          constraint monotonicity, warm vs cold ILP starts).")
     term
 
 let () =

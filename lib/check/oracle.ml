@@ -8,6 +8,7 @@ module Verify = Soctam_core.Verify
 module Soc = Soctam_soc.Soc
 module Test_time = Soctam_soc.Test_time
 module Canon = Soctam_service.Canon
+module Race = Soctam_engine.Race
 
 type fault =
   | No_fault
@@ -47,7 +48,8 @@ let properties =
     "width_monotone";
     "relaxation_monotone";
     "warm_equals_cold";
-    "presolve_equivalence" ]
+    "presolve_equivalence";
+    "race_matches_exact" ]
 
 let ilp_width_cap = 8
 
@@ -274,23 +276,53 @@ let check ?(fault = No_fault) ?(presolve = true) ?(cuts = true)
     end
   in
   (* presolve_equivalence *)
-  if Problem.total_width problem > ilp_width_cap then Ok ()
-  else if not (presolve || cuts) then
-    (* ilp_matches_exact already ran the plain pipeline. *)
-    Ok ()
-  else begin
-    (* The strengthening pipeline must change search effort only, never
-       answers: re-solve with presolve and cuts both off and pin the
-       verdict to the exact optimum again. *)
-    let plain = Ilp.solve ~presolve:false ~cuts:false problem in
-    if not plain.Ilp.optimal then
-      fail "presolve_equivalence" "plain ILP lost its optimality claim"
-    else
-      match exact_time, Option.map snd plain.Ilp.solution with
-      | None, None -> Ok ()
-      | Some t, Some t' when t = t' -> Ok ()
-      | v, v' ->
-          fail "presolve_equivalence"
-            "disabling presolve+cuts changes the answer: %s vs %s"
+  let* () =
+    if Problem.total_width problem > ilp_width_cap then Ok ()
+    else if not (presolve || cuts) then
+      (* ilp_matches_exact already ran the plain pipeline. *)
+      Ok ()
+    else begin
+      (* The strengthening pipeline must change search effort only, never
+         answers: re-solve with presolve and cuts both off and pin the
+         verdict to the exact optimum again. *)
+      let plain = Ilp.solve ~presolve:false ~cuts:false problem in
+      if not plain.Ilp.optimal then
+        fail "presolve_equivalence" "plain ILP lost its optimality claim"
+      else
+        match exact_time, Option.map snd plain.Ilp.solution with
+        | None, None -> Ok ()
+        | Some t, Some t' when t = t' -> Ok ()
+        | v, v' ->
+            fail "presolve_equivalence"
+              "disabling presolve+cuts changes the answer: %s vs %s"
             (verdict v) (verdict v')
+    end
+  in
+  (* race_matches_exact *)
+  (* The sequential portfolio (no pool, no deadline) must certify the
+     exact optimum and return a verified architecture. Width is capped
+     like the other MILP properties — the portfolio includes the ILP
+     engine. *)
+  if Problem.total_width problem > ilp_width_cap then Ok ()
+  else begin
+    let race = Race.solve problem in
+    if not race.Race.optimal then
+      fail "race_matches_exact" "race returned without a certificate"
+    else
+      match exact_time, race.Race.solution with
+      | None, None -> Ok ()
+      | Some t, None ->
+          fail "race_matches_exact" "race infeasible but exact found T=%d" t
+      | None, Some (_, t') ->
+          fail "race_matches_exact"
+            "race found T=%d on an exact-infeasible instance" t'
+      | Some t, Some (arch, t') ->
+          if t' <> t then
+            fail "race_matches_exact" "race T=%d but exact T=%d" t' t
+          else (
+            match Verify.check problem arch ~claimed_time:t' with
+            | Ok () -> Ok ()
+            | Error msg ->
+                fail "race_matches_exact" "race architecture rejected: %s"
+                  msg)
   end

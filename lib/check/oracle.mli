@@ -40,7 +40,11 @@
       pipeline changes search effort, never answers (skipped above
       {!ilp_width_cap}, and skipped when the oracle itself was asked to
       run without presolve and cuts — the plain pipeline was then
-      already exercised by [ilp_matches_exact]). *)
+      already exercised by [ilp_matches_exact]);
+    - [race_matches_exact] — the {!Soctam_engine.Race} portfolio,
+      raced sequentially with no deadline, certifies the exact
+      optimum and its re-derived architecture verifies (skipped above
+      {!ilp_width_cap}: the ILP engine is in the portfolio). *)
 
 (** Artificial solver bugs, injectable to prove the oracle and the
     shrinker work (CI runs one on every push). They emulate realistic

@@ -126,7 +126,8 @@ let snapshot st =
   Architecture.make ~widths:st.widths ~assignment
 
 let solve ?(seed = 1) ?(iterations = 20_000) ?initial_temperature
-    ?(cooling = 0.999) problem =
+    ?(cooling = 0.999) ?(should_stop = fun () -> false)
+    ?(report = fun _ -> ()) problem =
   match Clustering.build problem with
   | Error _ -> None
   | Ok clustering -> (
@@ -158,28 +159,36 @@ let solve ?(seed = 1) ?(iterations = 20_000) ?initial_temperature
               | Some t -> t
               | None -> Float.max 1.0 (0.05 *. float_of_int !current))
           in
-          for _ = 1 to iterations do
-            (match random_move st rng with
-            | None -> ()
-            | Some move ->
-                if legal st move then begin
-                  let undo = apply st move in
-                  let next = makespan st in
-                  let delta = float_of_int (next - !current) in
-                  let accept =
-                    delta <= 0.0
-                    || Random.State.float rng 1.0
-                       < Float.exp (-.delta /. !temperature)
-                  in
-                  if accept then begin
-                    current := next;
-                    if next < !best then begin
-                      best := next;
-                      best_arch := snapshot st
-                    end
-                  end
-                  else ignore (apply st undo)
-                end);
-            temperature := Float.max 1e-3 (!temperature *. cooling)
-          done;
+          let exception Stop in
+          (* Cooperative cancellation: polled once per iteration (the
+             hook is a cheap atomic load in racing callers); the best
+             solution so far survives an early exit. *)
+          (try
+             for _ = 1 to iterations do
+               if should_stop () then raise Stop;
+               (match random_move st rng with
+               | None -> ()
+               | Some move ->
+                   if legal st move then begin
+                     let undo = apply st move in
+                     let next = makespan st in
+                     let delta = float_of_int (next - !current) in
+                     let accept =
+                       delta <= 0.0
+                       || Random.State.float rng 1.0
+                          < Float.exp (-.delta /. !temperature)
+                     in
+                     if accept then begin
+                       current := next;
+                       if next < !best then begin
+                         best := next;
+                         best_arch := snapshot st;
+                         report { architecture = !best_arch; test_time = next }
+                       end
+                     end
+                     else ignore (apply st undo)
+                   end);
+               temperature := Float.max 1e-3 (!temperature *. cooling)
+             done
+           with Stop -> ());
           Some { architecture = !best_arch; test_time = !best })

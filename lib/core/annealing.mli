@@ -14,11 +14,18 @@ type outcome = { architecture : Architecture.t; test_time : int }
     the annealer from the greedy solution (or a trivial feasible one).
     Defaults: seed 1, 20_000 iterations, initial temperature set to 5% of
     the initial makespan, cooling factor 0.999. [None] when no feasible
-    starting point could be constructed. *)
+    starting point could be constructed. [should_stop] is polled once
+    per iteration; on [true] the loop exits early and the best solution
+    found so far is returned. [report] fires on every strictly
+    improving accepted state, in discovery order — racing callers
+    publish incumbents through it. With the default hooks the result is
+    unchanged and deterministic in [seed]. *)
 val solve :
   ?seed:int ->
   ?iterations:int ->
   ?initial_temperature:float ->
   ?cooling:float ->
+  ?should_stop:(unit -> bool) ->
+  ?report:(outcome -> unit) ->
   Problem.t ->
   outcome option

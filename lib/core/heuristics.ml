@@ -164,7 +164,8 @@ let random_partition state ~total ~parts =
   done;
   widths
 
-let solve ?(seed = 1) ?(restarts = 8) problem =
+let solve ?(seed = 1) ?(restarts = 8) ?(should_stop = fun () -> false)
+    ?(report = fun _ -> ()) problem =
  Soctam_obs.Obs.span "heuristic.solve" @@ fun () ->
   let nb = Problem.num_buses problem in
   let w = Problem.total_width problem in
@@ -174,12 +175,16 @@ let solve ?(seed = 1) ?(restarts = 8) problem =
     :: List.init restarts (fun _ -> random_partition state ~total:w ~parts:nb)
   in
   let consider best widths =
-    match greedy problem ~widths with
-    | None -> best
-    | Some outcome -> (
-        let polished = improve problem outcome in
-        match best with
-        | Some b when b.test_time <= polished.test_time -> best
-        | Some _ | None -> Some polished)
+    if should_stop () then best
+    else
+      match greedy problem ~widths with
+      | None -> best
+      | Some outcome -> (
+          let polished = improve problem outcome in
+          match best with
+          | Some b when b.test_time <= polished.test_time -> best
+          | Some _ | None ->
+              report polished;
+              Some polished)
   in
   List.fold_left consider None starts

@@ -19,5 +19,16 @@ val improve : Problem.t -> outcome -> outcome
 (** [solve ?seed ?restarts problem] is the full heuristic: greedy over a
     spread of width partitions plus [restarts] randomized starts
     (default 8), each polished with {!improve}; returns the best feasible
-    solution found. *)
-val solve : ?seed:int -> ?restarts:int -> Problem.t -> outcome option
+    solution found. [should_stop] is polled before each start — a racing
+    caller can cut the restart loop short; the best-so-far is still
+    returned. [report] fires on every strictly improving polished
+    solution, in discovery order — the hook a race uses to publish
+    incumbents the moment they land. With the default hooks the result
+    is unchanged and deterministic in [seed]. *)
+val solve :
+  ?seed:int ->
+  ?restarts:int ->
+  ?should_stop:(unit -> bool) ->
+  ?report:(outcome -> unit) ->
+  Problem.t ->
+  outcome option

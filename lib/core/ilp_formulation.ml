@@ -19,6 +19,8 @@ type solve_stats = {
   cold_solves : int;
   refactorizations : int;
   dropped_nodes : int;
+  cancelled_nodes : int;
+  seeded_bound : int option;
   cuts_added : int;
   presolve_fixed : int;
   elapsed_s : float;
@@ -372,7 +374,7 @@ let strengthen_root ~presolve ~cuts ~n ~nb ~x ~excl model =
 
 let solve ?formulation ?symmetry_breaking ?(seed_incumbent = true)
     ?(node_limit = 500_000) ?time_limit_s ?deadline_s ?(presolve = true)
-    ?(cuts = true) problem =
+    ?(cuts = true) ?shared ?on_incumbent ?should_stop problem =
  Obs.span "ilp.solve" @@ fun () ->
   let start = Clock.now_s () in
   let time_limit_s = effective_time_limit ?time_limit_s ?deadline_s ~start () in
@@ -387,6 +389,7 @@ let solve ?formulation ?symmetry_breaking ?(seed_incumbent = true)
   let num_x = n * nb in
   let branch_priority v = if v >= num_x then 1 else 0 in
   let excl = (Problem.constraints problem).Problem.exclusion_pairs in
+  let seeded_bound = ref None in
   let mk_stats ?(rp_cuts = 0) ?(rp_fixed = 0) ?(sep_pivots = 0)
       (stats : Branch_bound.stats) =
     { variables = Model.num_vars model;
@@ -398,6 +401,8 @@ let solve ?formulation ?symmetry_breaking ?(seed_incumbent = true)
       cold_solves = stats.Branch_bound.cold_solves;
       refactorizations = stats.Branch_bound.refactorizations;
       dropped_nodes = stats.Branch_bound.dropped_nodes;
+      cancelled_nodes = stats.Branch_bound.cancelled_nodes;
+      seeded_bound = !seeded_bound;
       cuts_added = rp_cuts;
       presolve_fixed = rp_fixed;
       elapsed_s = Clock.elapsed_s ~since:start }
@@ -410,6 +415,7 @@ let solve ?formulation ?symmetry_breaking ?(seed_incumbent = true)
       cold_solves = 0;
       refactorizations = 0;
       dropped_nodes = 0;
+      cancelled_nodes = 0;
       elapsed_s = 0.0 }
   in
   match strengthen_root ~presolve ~cuts ~n ~nb ~x ~excl model with
@@ -439,13 +445,26 @@ let solve ?formulation ?symmetry_breaking ?(seed_incumbent = true)
               (* Branch-and-bound prunes nodes whose bound reaches the
                  incumbent, so pass a value one above the heuristic time
                  to keep an equal-valued optimum reachable. *)
+              seeded_bound := Some test_time;
               Some (float_of_int (test_time + 1))
           | None -> None
         else None
       in
+      let shared =
+        Option.map
+          (fun read () -> Option.map float_of_int (read ()))
+          shared
+      in
+      let on_incumbent =
+        Option.map
+          (fun f point (_ : float) ->
+            let arch = decode problem x delta (rp.to_orig point) in
+            f (arch, Cost.test_time problem arch))
+          on_incumbent
+      in
       let outcome =
         Branch_bound.solve ~node_limit ?time_limit_s ~integral_objective:true
-          ?incumbent
+          ?incumbent ?shared ?on_incumbent ?should_stop
           ~branch_priority:(rp.remap branch_priority)
           rp.search_model
       in
@@ -569,6 +588,8 @@ let solve_assignment ?(node_limit = 500_000) ?time_limit_s ?deadline_s
       cold_solves = stats.Branch_bound.cold_solves;
       refactorizations = stats.Branch_bound.refactorizations;
       dropped_nodes = stats.Branch_bound.dropped_nodes;
+      cancelled_nodes = stats.Branch_bound.cancelled_nodes;
+      seeded_bound = None;
       cuts_added = rp_cuts;
       presolve_fixed = rp_fixed;
       elapsed_s = Clock.elapsed_s ~since:start }
@@ -584,6 +605,7 @@ let solve_assignment ?(node_limit = 500_000) ?time_limit_s ?deadline_s
           cold_solves = 0;
           refactorizations = 0;
           dropped_nodes = 0;
+          cancelled_nodes = 0;
           elapsed_s = 0.0 }
       in
       { solution = None;

@@ -45,6 +45,13 @@ type solve_stats = {
   dropped_nodes : int;
       (** Nodes abandoned on an LP pivot budget; nonzero forfeits the
           optimality claim ([optimal] is [false]). *)
+  cancelled_nodes : int;
+      (** Nodes still unexplored when a racing caller's [should_stop]
+          fired — search effort a portfolio winner saved this solve. *)
+  seeded_bound : int option;
+      (** Test time of the heuristic incumbent that primed the search
+          ([None] when seeding was disabled, found nothing, or the
+          budget was already spent). *)
   cuts_added : int;
       (** Clique rows strengthening the model: size-[>= 3] cover rows
           installed at build time plus rows separated at the root. *)
@@ -94,7 +101,16 @@ val build :
     [presolve] (default [true]) reduces the model before the search and
     postsolves the answer; [cuts] (default [true]) enables the clique
     cover plus root separation. Both are escape hatches for debugging
-    and differential testing — results are identical either way. *)
+    and differential testing — results are identical either way.
+
+    The racing hooks mirror {!Soctam_ilp.Branch_bound.solve}: [shared]
+    is re-read at every node entry and must only ever return test times
+    of known-feasible architectures (pruning against it is then sound);
+    under [?shared] a [None] solution with [optimal = true] means "no
+    architecture strictly beats the tightest shared bound observed",
+    which certifies the shared incumbent — not infeasibility.
+    [on_incumbent] fires with each new decoded incumbent architecture;
+    [should_stop] is polled at every node and LP pivot. *)
 val solve :
   ?formulation:formulation ->
   ?symmetry_breaking:bool ->
@@ -104,6 +120,9 @@ val solve :
   ?deadline_s:float ->
   ?presolve:bool ->
   ?cuts:bool ->
+  ?shared:(unit -> int option) ->
+  ?on_incumbent:(Architecture.t * int -> unit) ->
+  ?should_stop:(unit -> bool) ->
   Problem.t ->
   result
 

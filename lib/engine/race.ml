@@ -1,0 +1,341 @@
+module Problem = Soctam_core.Problem
+module Architecture = Soctam_core.Architecture
+module Exact = Soctam_core.Exact
+module Dp_assign = Soctam_core.Dp_assign
+module Ilp = Soctam_core.Ilp_formulation
+module Heuristics = Soctam_core.Heuristics
+module Annealing = Soctam_core.Annealing
+module Rect_sched = Soctam_sched.Rect_sched
+module Obs = Soctam_obs.Obs
+module Clock = Soctam_obs.Clock
+
+type engine = Pack | Greedy | Anneal | Dp | Ilp
+
+let engine_name = function
+  | Pack -> "pack"
+  | Greedy -> "greedy"
+  | Anneal -> "anneal"
+  | Dp -> "dp"
+  | Ilp -> "ilp"
+
+let default_engines = [ Pack; Greedy; Anneal; Dp; Ilp ]
+
+type event = { test_time : int; engine : string; elapsed_ms : float }
+
+type result = {
+  solution : (Architecture.t * int) option;
+  optimal : bool;
+  winner : string option;
+  certificate : string option;
+  incumbents : int;
+  nodes : int;
+  lp_pivots : int;
+  warm_starts : int;
+  cold_solves : int;
+  refactorizations : int;
+  cuts_added : int;
+  presolve_fixed : int;
+  cancelled_nodes : int;
+  elapsed_s : float;
+}
+
+type incumbent = {
+  architecture : Architecture.t;
+  best_time : int;
+  source : engine;
+}
+
+(* Everything the racing engines share. The three atomics carry the
+   protocol (incumbent, lower bound, certificate); [stop] and [token]
+   carry cancellation; the mutex guards only cold-path aggregation of
+   per-engine search statistics. *)
+type ctx = {
+  problem : Problem.t;
+  start : float;
+  deadline_s : float option;
+  cell : incumbent option Atomic.t;
+  lb : int Atomic.t;
+  certificate : (engine * string) option Atomic.t;
+  stop : bool Atomic.t;
+  token : Pool.Cancel.token;
+  published : int Atomic.t;
+  on_event : event -> unit;
+  stats_mutex : Mutex.t;
+  mutable dp_nodes : int;
+  mutable ilp_stats : Ilp.solve_stats option;
+}
+
+let should_stop ctx () =
+  Atomic.get ctx.stop
+  ||
+  match ctx.deadline_s with
+  | Some d -> Clock.now_s () > d
+  | None -> false
+
+(* First certificate wins; losers are cancelled cooperatively (stop
+   flag, polled down to the simplex pivot level) and preemptively
+   (queued pool tasks never start). *)
+let certify ctx engine cert =
+  if Atomic.compare_and_set ctx.certificate None (Some (engine, cert))
+  then begin
+    Obs.incr (Printf.sprintf "race.winner.%s" (engine_name engine));
+    Atomic.set ctx.stop true;
+    Pool.Cancel.cancel ctx.token
+  end
+
+(* Monotone max on the shared lower bound, then check whether the
+   current incumbent already meets it (a bound-match certificate). *)
+let rec raise_lb ctx engine bound =
+  let cur = Atomic.get ctx.lb in
+  if bound > cur && not (Atomic.compare_and_set ctx.lb cur bound) then
+    raise_lb ctx engine bound
+  else
+    match Atomic.get ctx.cell with
+    | Some inc when inc.best_time <= Atomic.get ctx.lb ->
+        certify ctx engine "bound"
+    | _ -> ()
+
+(* Publish a feasible architecture. Strict improvement only, via CAS,
+   so the cell's test time is monotone non-increasing and every
+   successful publication is a genuinely improving event. *)
+let rec publish ctx source architecture best_time =
+  let cur = Atomic.get ctx.cell in
+  match cur with
+  | Some inc when inc.best_time <= best_time -> ()
+  | _ ->
+      if
+        Atomic.compare_and_set ctx.cell cur
+          (Some { architecture; best_time; source })
+      then begin
+        Atomic.incr ctx.published;
+        Obs.incr "race.incumbent";
+        Obs.incr (Printf.sprintf "race.incumbent.%s" (engine_name source));
+        ctx.on_event
+          { test_time = best_time;
+            engine = engine_name source;
+            elapsed_ms = 1000.0 *. Clock.elapsed_s ~since:ctx.start };
+        if best_time <= Atomic.get ctx.lb then certify ctx source "bound"
+      end
+      else publish ctx source architecture best_time
+
+let run_pack ctx =
+  let bound =
+    max
+      (Problem.lower_bound ctx.problem)
+      (Rect_sched.lower_bound ctx.problem)
+  in
+  (* The rectangle model is a relaxation of fixed buses (every
+     architecture converts to a rectangle schedule of equal makespan),
+     so its area bound is a sound lower bound here too. *)
+  raise_lb ctx Pack bound
+
+let run_greedy ctx =
+  match
+    Heuristics.solve ~should_stop:(should_stop ctx)
+      ~report:(fun { Heuristics.architecture; test_time } ->
+        publish ctx Greedy architecture test_time)
+      ctx.problem
+  with
+  | Some { Heuristics.architecture; test_time } ->
+      publish ctx Greedy architecture test_time
+  | None -> ()
+
+let run_anneal ctx ~iterations =
+  match
+    Annealing.solve ~iterations ~should_stop:(should_stop ctx)
+      ~report:(fun { Annealing.architecture; test_time } ->
+        publish ctx Anneal architecture test_time)
+      ctx.problem
+  with
+  | Some { Annealing.architecture; test_time } ->
+      publish ctx Anneal architecture test_time
+  | None -> ()
+
+(* The complete enumeration engine: every width partition, each pruned
+   by the freshest shared incumbent (the DP's [upper_bound] is
+   exclusive — equal-valued solutions are already covered by the cell).
+   Pruning with a stale (larger) bound is sound: it only prunes less.
+   Completing the enumeration un-cancelled proves nothing beats the
+   final incumbent, wherever it came from. *)
+let run_dp ctx =
+  let p = ctx.problem in
+  let partitions =
+    Exact.width_partitions ~total:(Problem.total_width p)
+      ~parts:(Problem.num_buses p)
+  in
+  let nodes = ref 0 in
+  let complete = ref true in
+  List.iter
+    (fun widths_list ->
+      if !complete then
+        if should_stop ctx () then complete := false
+        else begin
+          let upper_bound =
+            match Atomic.get ctx.cell with
+            | Some inc -> Some inc.best_time
+            | None -> None
+          in
+          let widths = Array.of_list widths_list in
+          let outcome, s =
+            Dp_assign.solve_with_stats ?upper_bound p ~widths
+          in
+          nodes := !nodes + s.Dp_assign.nodes;
+          match outcome with
+          | Some { Dp_assign.assignment; test_time } ->
+              publish ctx Dp (Architecture.make ~widths ~assignment) test_time
+          | None -> ()
+        end)
+    partitions;
+  Mutex.lock ctx.stats_mutex;
+  ctx.dp_nodes <- ctx.dp_nodes + !nodes;
+  Mutex.unlock ctx.stats_mutex;
+  if !complete then certify ctx Dp "dp"
+
+(* The MILP engine races with its internal seeding off: the greedy
+   engine already publishes to the cell, and the [?shared] hook folds
+   the cell into the branch-and-bound's pruning threshold at every node
+   entry. On an un-cancelled completion, [optimal = true] with no
+   solution means "nothing strictly beats the tightest shared bound
+   observed" — which certifies the cell. *)
+let run_ilp ctx =
+  let r =
+    Ilp.solve ~seed_incumbent:false
+      ~shared:(fun () ->
+        match Atomic.get ctx.cell with
+        | Some inc -> Some inc.best_time
+        | None -> None)
+      ~on_incumbent:(fun (architecture, test_time) ->
+        publish ctx Ilp architecture test_time)
+      ~should_stop:(should_stop ctx) ctx.problem
+  in
+  Mutex.lock ctx.stats_mutex;
+  ctx.ilp_stats <- Some r.Ilp.stats;
+  Mutex.unlock ctx.stats_mutex;
+  if r.Ilp.optimal then begin
+    (match r.Ilp.solution with
+    | Some (architecture, test_time) ->
+        publish ctx Ilp architecture test_time
+    | None -> ());
+    certify ctx Ilp "ilp"
+  end
+
+let run_engine ctx ~anneal_iterations e =
+  let sp = Obs.start () in
+  (match e with
+  | Pack -> run_pack ctx
+  | Greedy -> run_greedy ctx
+  | Anneal -> run_anneal ctx ~iterations:anneal_iterations
+  | Dp -> run_dp ctx
+  | Ilp -> run_ilp ctx);
+  Obs.finish ~args:[ ("engine", engine_name e) ] "race.engine" sp
+
+(* Re-derive a canonical architecture for the certified optimum: one
+   deterministic DP pass bounded just above [t_star]. This is what
+   makes the race's answer a pure function of the instance — identical
+   across job counts and across which engine won the wall clock. The
+   pass is cheap: the bound prunes all but near-optimal assignments. *)
+let canonical_architecture problem t_star =
+  Obs.span "race.finalize" @@ fun () ->
+  let best = ref None in
+  let best_time = ref (t_star + 1) in
+  List.iter
+    (fun widths_list ->
+      let widths = Array.of_list widths_list in
+      match Dp_assign.solve ~upper_bound:!best_time problem ~widths with
+      | Some { Dp_assign.assignment; test_time } ->
+          best_time := test_time;
+          best := Some (Architecture.make ~widths ~assignment, test_time)
+      | None -> ())
+    (Exact.width_partitions ~total:(Problem.total_width problem)
+       ~parts:(Problem.num_buses problem));
+  !best
+
+let solve ?pool ?deadline_s ?(engines = default_engines)
+    ?(anneal_iterations = 4000) ?(on_event = fun _ -> ()) problem =
+  let sp = Obs.start () in
+  let ctx =
+    { problem;
+      start = Clock.now_s ();
+      deadline_s;
+      cell = Atomic.make None;
+      lb = Atomic.make min_int;
+      certificate = Atomic.make None;
+      stop = Atomic.make false;
+      token = Pool.Cancel.create ();
+      published = Atomic.make 0;
+      on_event;
+      stats_mutex = Mutex.create ();
+      dp_nodes = 0;
+      ilp_stats = None }
+  in
+  let run e = run_engine ctx ~anneal_iterations e in
+  (match pool with
+  | Some pool when Pool.num_domains pool > 1 ->
+      ignore
+        (Pool.map_cancellable pool ~token:ctx.token ~f:run
+           (Array.of_list engines))
+  | Some _ | None ->
+      (* Sequential portfolio in list order: each engine inherits every
+         bound published before it, and a certificate (or the deadline)
+         skips the rest. *)
+      List.iter (fun e -> if not (should_stop ctx ()) then run e) engines);
+  let ilp_stats = ctx.ilp_stats in
+  let certificate = Atomic.get ctx.certificate in
+  let incumbent = Atomic.get ctx.cell in
+  let solution, optimal, winner, cert =
+    match certificate with
+    | Some (engine, cert) -> (
+        match incumbent with
+        | None ->
+            (* A complete engine finished with an empty cell: proven
+               infeasible. *)
+            (None, true, Some (engine_name engine), Some cert)
+        | Some inc -> (
+            match canonical_architecture problem inc.best_time with
+            | Some (arch, t) ->
+                (Some (arch, t), true, Some (engine_name engine), Some cert)
+            | None ->
+                (* The cell only holds feasible architectures, so the
+                   bounded re-derivation cannot come up empty. *)
+                assert false))
+    | None -> (
+        (* Deadline expired before any certificate: hand back the best
+           incumbent as-is, honestly uncertified. *)
+        match incumbent with
+        | Some inc ->
+            ( Some (inc.architecture, inc.best_time),
+              false,
+              Some (engine_name inc.source),
+              None )
+        | None -> (None, false, None, None))
+  in
+  let cancelled_nodes =
+    match ilp_stats with
+    | Some s -> s.Ilp.cancelled_nodes
+    | None -> 0
+  in
+  if cancelled_nodes > 0 then Obs.incr ~n:cancelled_nodes "race.cancelled_nodes";
+  let pick f = match ilp_stats with Some s -> f s | None -> 0 in
+  let result =
+    { solution;
+      optimal;
+      winner;
+      certificate = cert;
+      incumbents = Atomic.get ctx.published;
+      nodes = ctx.dp_nodes + pick (fun s -> s.Ilp.bb_nodes);
+      lp_pivots = pick (fun s -> s.Ilp.lp_pivots);
+      warm_starts = pick (fun s -> s.Ilp.warm_starts);
+      cold_solves = pick (fun s -> s.Ilp.cold_solves);
+      refactorizations = pick (fun s -> s.Ilp.refactorizations);
+      cuts_added = pick (fun s -> s.Ilp.cuts_added);
+      presolve_fixed = pick (fun s -> s.Ilp.presolve_fixed);
+      cancelled_nodes;
+      elapsed_s = Clock.elapsed_s ~since:ctx.start }
+  in
+  Obs.finish
+    ~args:
+      [ ("winner", match winner with Some w -> w | None -> "none");
+        ("certificate", match cert with Some c -> c | None -> "none");
+        ("incumbents", string_of_int result.incumbents) ]
+    "race.solve" sp;
+  result

@@ -12,8 +12,14 @@ module Json = Soctam_obs.Json
 
 type solver =
   | Exact
-  | Ilp of { time_limit_s : float option; presolve : bool; cuts : bool }
+  | Ilp of {
+      time_limit_s : float option;
+      presolve : bool;
+      cuts : bool;
+      seed : bool;
+    }
   | Heuristic
+  | Race
 
 type cell = {
   soc : Soc.t;
@@ -37,6 +43,9 @@ type row = {
   refactorizations : int;
   cuts_added : int;
   presolve_fixed : int;
+  seeded_bound : int option;
+  winner : string option;
+  cancelled_nodes : int;
   elapsed_s : float;
 }
 
@@ -57,6 +66,7 @@ let solver_name = function
   | Exact -> "exact"
   | Ilp _ -> "ilp"
   | Heuristic -> "heuristic"
+  | Race -> "race"
 
 let cells ?(time_model = Test_time.Serialization)
     ?(constraints = Problem.no_constraints) ?(solver = Exact) soc ~num_buses
@@ -86,7 +96,7 @@ let build_memos cells =
       (soc, model, Memo.build ~model soc ~max_width:!widest))
     !groups
 
-let solve_cell ?deadline_s memos cell =
+let solve_cell ?deadline_s ?race_pool ?on_event memos cell =
   let memo =
     match
       List.find_opt
@@ -116,6 +126,9 @@ let solve_cell ?deadline_s memos cell =
       refactorizations = 0;
       cuts_added = 0;
       presolve_fixed = 0;
+      seeded_bound = None;
+      winner = None;
+      cancelled_nodes = 0;
       elapsed_s = 0.0 }
   in
   let row =
@@ -125,8 +138,11 @@ let solve_cell ?deadline_s memos cell =
         { blank with
           solution = r.Soctam_core.Exact.solution;
           nodes = r.Soctam_core.Exact.stats.Soctam_core.Exact.nodes }
-    | Ilp { time_limit_s; presolve; cuts } ->
-        let r = Ilp.solve ?time_limit_s ?deadline_s ~presolve ~cuts problem in
+    | Ilp { time_limit_s; presolve; cuts; seed } ->
+        let r =
+          Ilp.solve ?time_limit_s ?deadline_s ~presolve ~cuts
+            ~seed_incumbent:seed problem
+        in
         { blank with
           solution = r.Ilp.solution;
           optimal = r.Ilp.optimal;
@@ -137,7 +153,9 @@ let solve_cell ?deadline_s memos cell =
           cold_solves = r.Ilp.stats.Ilp.cold_solves;
           refactorizations = r.Ilp.stats.Ilp.refactorizations;
           cuts_added = r.Ilp.stats.Ilp.cuts_added;
-          presolve_fixed = r.Ilp.stats.Ilp.presolve_fixed }
+          presolve_fixed = r.Ilp.stats.Ilp.presolve_fixed;
+          seeded_bound = r.Ilp.stats.Ilp.seeded_bound;
+          cancelled_nodes = r.Ilp.stats.Ilp.cancelled_nodes }
     | Heuristic ->
         let solution =
           match Heuristics.solve problem with
@@ -146,6 +164,20 @@ let solve_cell ?deadline_s memos cell =
           | None -> None
         in
         { blank with solution; optimal = false }
+    | Race ->
+        let r = Race.solve ?pool:race_pool ?deadline_s ?on_event problem in
+        { blank with
+          solution = r.Race.solution;
+          optimal = r.Race.optimal;
+          nodes = r.Race.nodes;
+          lp_pivots = r.Race.lp_pivots;
+          warm_starts = r.Race.warm_starts;
+          cold_solves = r.Race.cold_solves;
+          refactorizations = r.Race.refactorizations;
+          cuts_added = r.Race.cuts_added;
+          presolve_fixed = r.Race.presolve_fixed;
+          winner = r.Race.winner;
+          cancelled_nodes = r.Race.cancelled_nodes }
   in
   if Obs.enabled () then
     Obs.finish
@@ -157,7 +189,7 @@ let solve_cell ?deadline_s memos cell =
       "sweep.cell" cell_sp;
   { row with elapsed_s = Clock.elapsed_s ~since:start }
 
-let solve_one ?deadline_s ?memo cell =
+let solve_one ?deadline_s ?race_pool ?on_event ?memo cell =
   let memos =
     match memo with
     | Some memo
@@ -167,15 +199,18 @@ let solve_one ?deadline_s ?memo cell =
         [ (cell.soc, cell.time_model, memo) ]
     | Some _ | None -> build_memos [ cell ]
   in
-  solve_cell ?deadline_s memos cell
+  solve_cell ?deadline_s ?race_pool ?on_event memos cell
 
-let run ?pool ?deadline_s cells =
+let run ?pool ?deadline_s ?on_event cells =
   let memos = Obs.span "sweep.build_memos" (fun () -> build_memos cells) in
   let arr = Array.of_list cells in
+  (* Race cells are solved with the sequential portfolio here, never
+     with [pool]: pool tasks must not submit to their own pool, and the
+     sweep already parallelizes across cells. *)
   let rows =
     match pool with
-    | None -> Array.map (solve_cell ?deadline_s memos) arr
-    | Some pool -> Pool.map pool ~f:(solve_cell ?deadline_s memos) arr
+    | None -> Array.map (solve_cell ?deadline_s ?on_event memos) arr
+    | Some pool -> Pool.map pool ~f:(solve_cell ?deadline_s ?on_event memos) arr
   in
   Array.to_list rows
 
@@ -238,6 +273,11 @@ let json_of_row r =
       ("refactorizations", Json.int r.refactorizations);
       ("cuts_added", Json.int r.cuts_added);
       ("presolve_fixed", Json.int r.presolve_fixed);
+      ( "seeded_bound",
+        match r.seeded_bound with Some b -> Json.int b | None -> Json.Null );
+      ( "winner",
+        match r.winner with Some w -> Json.Str w | None -> Json.Null );
+      ("cancelled_nodes", Json.int r.cancelled_nodes);
       ("elapsed_s", Json.Num r.elapsed_s) ]
 
 let json_of_totals t =
@@ -268,5 +308,6 @@ let equal_rows a b =
          && x.cold_solves = y.cold_solves
          && x.refactorizations = y.refactorizations
          && x.cuts_added = y.cuts_added
-         && x.presolve_fixed = y.presolve_fixed)
+         && x.presolve_fixed = y.presolve_fixed
+         && x.seeded_bound = y.seeded_bound)
        a b

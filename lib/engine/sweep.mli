@@ -16,13 +16,27 @@
 
 type solver =
   | Exact  (** Width-partition enumeration + assignment DP. *)
-  | Ilp of { time_limit_s : float option; presolve : bool; cuts : bool }
+  | Ilp of {
+      time_limit_s : float option;
+      presolve : bool;
+      cuts : bool;
+      seed : bool;
+    }
       (** The paper's MILP via the in-repo branch and bound. [presolve]
           and [cuts] toggle the model-strengthening pipeline (see
           {!Soctam_core.Ilp_formulation.solve}); both default to on in
           every CLI entry point, and disabling them changes work, not
-          answers. *)
+          answers. [seed] (on everywhere by default, [--no-seed] in the
+          CLI) primes branch and bound with the greedy heuristic's
+          bound; the seeded value is reported as the row's
+          [seeded_bound]. *)
   | Heuristic  (** Seeded LPT greedy + local search. *)
+  | Race
+      (** The {!Race} portfolio — heuristics, DP and MILP against one
+          shared incumbent. Inside a sweep the portfolio runs
+          {e sequentially} per cell (the sweep already parallelizes
+          across cells, and pool tasks must not submit to their own
+          pool), so race rows are deterministic. *)
 
 type cell = {
   soc : Soctam_soc.Soc.t;
@@ -48,6 +62,13 @@ type row = {
   refactorizations : int;  (** LP basis (re)factorizations ([Ilp] only). *)
   cuts_added : int;  (** Clique rows, cover + separated ([Ilp] only). *)
   presolve_fixed : int;  (** Variables eliminated ([Ilp] only). *)
+  seeded_bound : int option;
+      (** Heuristic incumbent that primed the MILP ([Ilp] with [seed]). *)
+  winner : string option;
+      (** Certifying (or best-incumbent) engine ([Race] only). *)
+  cancelled_nodes : int;
+      (** B&B nodes abandoned on cooperative cancellation ([Race]), or
+          on a racing caller's stop ([Ilp]). *)
   elapsed_s : float;  (** Wall-clock spent solving this cell. *)
 }
 
@@ -82,10 +103,20 @@ val cells :
     its time model, and covers its width, it is reused; otherwise a
     fresh memo is built. [deadline_s] is an absolute
     {!Soctam_obs.Clock.now_s} instant forwarded to the ILP time-limit
-    path (see {!Soctam_core.Ilp_formulation.solve}); [Exact] and
-    [Heuristic] cells are fast on served instance sizes and run to
-    completion. This is the daemon's per-request entry point. *)
-val solve_one : ?deadline_s:float -> ?memo:Soctam_soc.Memo.t -> cell -> row
+    path (see {!Soctam_core.Ilp_formulation.solve}) and to [Race]
+    cells; [Exact] and [Heuristic] cells are fast on served instance
+    sizes and run to completion. [race_pool] lets a [Race] cell run its
+    engines concurrently ([tamopt solve --solver race --jobs N]); it
+    must not be a pool this call is itself a task of. [on_event]
+    streams a [Race] cell's improving incumbents.
+    This is the daemon's per-request entry point. *)
+val solve_one :
+  ?deadline_s:float ->
+  ?race_pool:Pool.t ->
+  ?on_event:(Race.event -> unit) ->
+  ?memo:Soctam_soc.Memo.t ->
+  cell ->
+  row
 
 (** [run ?pool ?deadline_s cells] evaluates every cell and returns rows
     in cell order. Without a pool the cells run sequentially in the
@@ -93,13 +124,21 @@ val solve_one : ?deadline_s:float -> ?memo:Soctam_soc.Memo.t -> cell -> row
     pool they are fanned out as independent tasks. Staircase memos are
     built up-front, one per distinct (SOC, time model) among the cells.
     [deadline_s] is shared by every cell: [Ilp] cells started after the
-    deadline return a best-found ([optimal = false]) row immediately. *)
-val run : ?pool:Pool.t -> ?deadline_s:float -> cell list -> row list
+    deadline return a best-found ([optimal = false]) row immediately.
+    [Race] cells always race sequentially here — never on [pool] —
+    and stream their incumbents through [on_event] (called from
+    whichever domain solves the cell). *)
+val run :
+  ?pool:Pool.t ->
+  ?deadline_s:float ->
+  ?on_event:(Race.event -> unit) ->
+  cell list ->
+  row list
 
 val totals : row list -> totals
 
-(** Short stable solver tag: ["exact"], ["ilp"], ["heuristic"]. Used in
-    trace args and JSON output. *)
+(** Short stable solver tag: ["exact"], ["ilp"], ["heuristic"],
+    ["race"]. Used in trace args and JSON output. *)
 val solver_name : solver -> string
 
 (** One row / the totals as JSON — the schema shared by
@@ -111,6 +150,7 @@ val json_of_row : row -> Soctam_obs.Json.t
 val json_of_totals : totals -> Soctam_obs.Json.t
 
 (** [equal_rows a b] compares two sweeps for result equality —
-    everything except the wall-clock [elapsed_s] fields. Used by the
-    [--jobs] equivalence checks. *)
+    everything except the wall-clock [elapsed_s] fields and the
+    timing-flavoured race attribution ([winner], [cancelled_nodes]).
+    Used by the [--jobs] equivalence checks. *)
 val equal_rows : row list -> row list -> bool

@@ -36,6 +36,31 @@ let rpc_line t line =
       flush t.oc;
       input_line t.ic)
 
+(* A line that does not parse is treated as final so a broken daemon
+   cannot strand the reader in the event loop. *)
+let line_is_final line =
+  match Json.parse line with
+  | Ok json -> Protocol.is_final_reply json
+  | Error _ -> true
+
+let rpc_stream t ?(on_event = fun _ -> ()) line =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      output_string t.oc line;
+      output_char t.oc '\n';
+      flush t.oc;
+      let rec read () =
+        let reply = input_line t.ic in
+        if line_is_final reply then reply
+        else begin
+          on_event reply;
+          read ()
+        end
+      in
+      read ())
+
 let rpc t request =
   match rpc_line t (Json.to_string request) with
   | line -> Json.parse line

@@ -15,6 +15,13 @@ val connect : Addr.t -> t
     line. Raises [End_of_file] when the daemon hangs up. *)
 val rpc_line : t -> string -> string
 
+(** [rpc_stream t ?on_event line] sends one raw line and reads until
+    the final reply ({!Protocol.is_final_reply}), feeding each
+    intermediate event line to [on_event]; returns the final reply
+    line. Behaves exactly like {!rpc_line} on non-streamed exchanges.
+    Raises [End_of_file] when the daemon hangs up. *)
+val rpc_stream : t -> ?on_event:(string -> unit) -> string -> string
+
 (** [rpc t request] renders, sends, and parses the reply object. *)
 val rpc :
   t -> Soctam_obs.Json.t -> (Soctam_obs.Json.t, string) result

@@ -5,7 +5,7 @@ module Test_time = Soctam_soc.Test_time
 module Benchmarks = Soctam_soc.Benchmarks
 module Soc_file = Soctam_soc.Soc_file
 
-type solver = Exact | Ilp | Heuristic
+type solver = Exact | Ilp | Heuristic | Race
 
 type soc_spec = Named of string | Inline of Soc.t
 
@@ -20,11 +20,16 @@ type instance = {
 }
 
 type request =
-  | Solve of { instance : instance; deadline_ms : float option }
+  | Solve of {
+      instance : instance;
+      deadline_ms : float option;
+      stream : bool;
+    }
   | Sweep of {
       instance : instance;
       widths : int list;
       deadline_ms : float option;
+      stream : bool;
     }
   | Stats
   | Ping
@@ -35,6 +40,7 @@ let solver_name = function
   | Exact -> "exact"
   | Ilp -> "ilp"
   | Heuristic -> "heuristic"
+  | Race -> "race"
 
 let id_of json =
   match Json.member "id" json with Some v -> v | None -> Json.Null
@@ -65,6 +71,10 @@ let as_pos_int ~what json =
 let as_num ~what = function
   | Json.Num x -> Ok x
   | _ -> Error (Printf.sprintf "%s must be a number" what)
+
+let as_bool ~what = function
+  | Json.Bool b -> Ok b
+  | _ -> Error (Printf.sprintf "%s must be a boolean" what)
 
 let as_str ~what = function
   | Json.Str s -> Ok s
@@ -153,7 +163,10 @@ let parse_solver ~what = function
   | Json.Str "exact" -> Ok Exact
   | Json.Str "ilp" -> Ok Ilp
   | Json.Str "heuristic" -> Ok Heuristic
-  | _ -> Error (what ^ " must be \"exact\", \"ilp\" or \"heuristic\"")
+  | Json.Str "race" -> Ok Race
+  | _ ->
+      Error
+        (what ^ " must be \"exact\", \"ilp\", \"heuristic\" or \"race\"")
 
 let parse_model ~what = function
   | Json.Str "serialization" -> Ok Test_time.Serialization
@@ -197,6 +210,10 @@ let parse_deadline json =
   | Some ms when ms < 0.0 -> Error "deadline_ms must be non-negative"
   | d -> Ok d
 
+let parse_stream json =
+  let* s = opt_field json "stream" as_bool in
+  Ok (with_default false s)
+
 let parse_widths json =
   match Json.member "widths" json with
   | Some (Json.Arr ws) when List.length ws > 4096 ->
@@ -230,14 +247,16 @@ let parse_request json =
       | "solve" ->
           let* instance = Result.map_error ctx (parse_instance json) in
           let* deadline_ms = Result.map_error ctx (parse_deadline json) in
-          Ok (Solve { instance; deadline_ms })
+          let* stream = Result.map_error ctx (parse_stream json) in
+          Ok (Solve { instance; deadline_ms; stream })
       | "sweep" ->
           let* widths = parse_widths json in
           let* instance =
             Result.map_error ctx (parse_instance ~widths json)
           in
           let* deadline_ms = Result.map_error ctx (parse_deadline json) in
-          Ok (Sweep { instance; widths; deadline_ms })
+          let* stream = Result.map_error ctx (parse_stream json) in
+          Ok (Sweep { instance; widths; deadline_ms; stream })
       | other -> Error (Printf.sprintf "unknown op %S" other))
   | _ -> Error "request must be a JSON object"
 
@@ -319,6 +338,10 @@ let deadline_fields = function
   | Some ms -> [ ("deadline_ms", Json.Num ms) ]
   | None -> []
 
+let stream_fields = function
+  | true -> [ ("stream", Json.Bool true) ]
+  | false -> []
+
 let json_of_request ?id req =
   let id = match id with Some v -> [ ("id", v) ] | None -> [] in
   let fields =
@@ -327,14 +350,16 @@ let json_of_request ?id req =
     | Stats -> [ ("op", Json.Str "stats") ]
     | Shutdown -> [ ("op", Json.Str "shutdown") ]
     | Sleep { ms } -> [ ("op", Json.Str "sleep"); ("ms", Json.Num ms) ]
-    | Solve { instance; deadline_ms } ->
+    | Solve { instance; deadline_ms; stream } ->
         (("op", Json.Str "solve") :: instance_fields instance)
         @ [ ("total_width", Json.int instance.total_width) ]
         @ deadline_fields deadline_ms
-    | Sweep { instance; widths; deadline_ms } ->
+        @ stream_fields stream
+    | Sweep { instance; widths; deadline_ms; stream } ->
         (("op", Json.Str "sweep") :: instance_fields instance)
         @ [ ("widths", Json.Arr (List.map Json.int widths)) ]
         @ deadline_fields deadline_ms
+        @ stream_fields stream
   in
   Json.Obj (id @ fields)
 
@@ -356,3 +381,16 @@ let error_reply ~id ~code message =
       ( "error",
         Json.Obj
           [ ("code", Json.Str code); ("message", Json.Str message) ] ) ]
+
+(* An event line carries "event" but never "ok": readers detect the
+   final reply of a streamed exchange by the presence of "ok". *)
+let incumbent_event ~id ~test_time ~engine ~elapsed_ms =
+  Json.Obj
+    [ ("id", id);
+      ("event", Json.Str "incumbent");
+      ("test_time", Json.int test_time);
+      ("engine", Json.Str engine);
+      ("elapsed_ms", Json.Num elapsed_ms) ]
+
+let is_final_reply json =
+  match json with Json.Obj _ -> Json.member "ok" json <> None | _ -> true

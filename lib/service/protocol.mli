@@ -35,9 +35,20 @@
     [tamopt sweep --json] ([rows] + [totals]), or
     [{"id":…,"ok":false,"error":{"code":…,"message":…}}] with codes
     ["bad_request"], ["overloaded"], ["shutting_down"] or
-    ["internal"]. *)
+    ["internal"].
 
-type solver = Exact | Ilp | Heuristic
+    {b Streaming.} A solve/sweep request with ["stream": true] and the
+    ["race"] solver receives zero or more {e event} lines before its
+    final reply, one per improving incumbent the portfolio publishes:
+    [{"id":…,"event":"incumbent","test_time":…,"engine":…,
+    "elapsed_ms":…}]. Event lines never carry an ["ok"] member, so a
+    reader takes lines until {!is_final_reply} — the response-per-line
+    pairing still holds for the final reply, and the certified (or
+    deadline-expired best-found) verdict is always last. Cached hits
+    stream nothing: the incumbent trajectory is a property of a solve,
+    not of its reused answer. *)
+
+type solver = Exact | Ilp | Heuristic | Race
 
 type soc_spec =
   | Named of string  (** Benchmark spec string, resolved server-side. *)
@@ -56,11 +67,16 @@ type instance = {
 }
 
 type request =
-  | Solve of { instance : instance; deadline_ms : float option }
+  | Solve of {
+      instance : instance;
+      deadline_ms : float option;
+      stream : bool;  (** Push incumbent events (race solver only). *)
+    }
   | Sweep of {
       instance : instance;  (** [total_width] is [max widths]. *)
       widths : int list;
       deadline_ms : float option;
+      stream : bool;
     }
   | Stats
   | Ping
@@ -101,3 +117,16 @@ val ok_reply :
 
 val error_reply :
   id:Soctam_obs.Json.t -> code:string -> string -> Soctam_obs.Json.t
+
+(** One streamed incumbent event line (see {e Streaming} above). *)
+val incumbent_event :
+  id:Soctam_obs.Json.t ->
+  test_time:int ->
+  engine:string ->
+  elapsed_ms:float ->
+  Soctam_obs.Json.t
+
+(** [is_final_reply json] — [true] for a reply (it has an ["ok"]
+    member) or any non-object, [false] for an event line. Clients use
+    it to read a streamed exchange to completion. *)
+val is_final_reply : Soctam_obs.Json.t -> bool

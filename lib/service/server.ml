@@ -20,7 +20,16 @@ let handle_connection state fd =
        let line = input_line ic in
        (* Tolerate blank lines between NDJSON records. *)
        if String.trim line <> "" then begin
-         output_string oc (Service.handle_line state.service line);
+         (* Streamed incumbent events are written from a pool worker
+            while this thread is parked inside [handle_line]; the
+            strict one-request-per-line pairing keeps the two writers
+            from interleaving. *)
+         let emit event_line =
+           output_string oc event_line;
+           output_char oc '\n';
+           flush oc
+         in
+         output_string oc (Service.handle_line ~emit state.service line);
          output_char oc '\n';
          flush oc
        end

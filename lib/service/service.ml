@@ -9,6 +9,7 @@ module Layout_conflicts = Soctam_layout.Conflicts
 module Power_conflicts = Soctam_power.Power_conflicts
 module Pool = Soctam_engine.Pool
 module Sweep = Soctam_engine.Sweep
+module Race = Soctam_engine.Race
 
 type t = {
   pool : Pool.t;
@@ -91,8 +92,9 @@ let release t ~ok =
 
 let sweep_solver : Protocol.solver -> Sweep.solver = function
   | Protocol.Exact -> Sweep.Exact
-  | Protocol.Ilp -> Sweep.Ilp { time_limit_s = None; presolve = true; cuts = true }
+  | Protocol.Ilp -> Sweep.Ilp { time_limit_s = None; presolve = true; cuts = true; seed = true }
   | Protocol.Heuristic -> Sweep.Heuristic
+  | Protocol.Race -> Sweep.Race
 
 let constraints_of ~soc (inst : Protocol.instance) =
   let exclusion_pairs =
@@ -143,9 +145,25 @@ let result_json ~soc ~(inst : Protocol.instance) rows =
 let elapsed_ms ~arrival = (Clock.now_s () -. arrival) *. 1000.0
 
 let work t ~id ~arrival ~(instance : Protocol.instance) ~widths ~deadline_ms
-    ~op =
+    ~op ~stream ~emit =
   let deadline_s =
     Option.map (fun ms -> arrival +. (ms /. 1000.0)) deadline_ms
+  in
+  (* Incumbent events only flow for a streamed race solve; the emit
+     callback runs on the pool worker domain while the connection
+     thread is parked in [run_on_pool], so writing to the connection
+     cannot race the final reply. *)
+  let on_event =
+    match emit with
+    | Some emit when stream && instance.Protocol.solver = Protocol.Race ->
+        Some
+          (fun (ev : Race.event) ->
+            Obs.incr "svc.incumbent_event";
+            emit
+              (Json.to_string
+                 (Protocol.incumbent_event ~id ~test_time:ev.Race.test_time
+                    ~engine:ev.Race.engine ~elapsed_ms:ev.Race.elapsed_ms)))
+    | _ -> None
   in
   match Protocol.resolve_soc instance.soc_spec with
   | Error msg -> Protocol.error_reply ~id ~code:"bad_request" msg
@@ -201,7 +219,7 @@ let work t ~id ~arrival ~(instance : Protocol.instance) ~widths ~deadline_ms
                       [ ("soc", Soc.name soc);
                         ("solver", Protocol.solver_name instance.solver);
                         ("digest", canon.Canon.digest) ]
-                    (fun () -> Sweep.run ?deadline_s cells)
+                    (fun () -> Sweep.run ?deadline_s ?on_event cells)
                 with
                 | exception Invalid_argument msg ->
                     Protocol.error_reply ~id ~code:"bad_request" msg
@@ -217,18 +235,19 @@ let work t ~id ~arrival ~(instance : Protocol.instance) ~widths ~deadline_ms
                     Protocol.ok_reply ~id ~cached:false ~elapsed_ms:el
                       (result_json ~soc ~inst:instance rows))))
 
-let execute t ~id ~arrival request =
+let execute t ~id ~arrival ~emit request =
   match request with
   | Protocol.Sleep { ms } ->
       Unix.sleepf (ms /. 1000.0);
       Protocol.ok_reply ~id
         ~elapsed_ms:(elapsed_ms ~arrival)
         (Json.Obj [ ("slept_ms", Json.Num ms) ])
-  | Protocol.Solve { instance; deadline_ms } ->
+  | Protocol.Solve { instance; deadline_ms; stream } ->
       work t ~id ~arrival ~instance ~widths:[ instance.total_width ]
-        ~deadline_ms ~op:`Solve
-  | Protocol.Sweep { instance; widths; deadline_ms } ->
-      work t ~id ~arrival ~instance ~widths ~deadline_ms ~op:`Sweep
+        ~deadline_ms ~op:`Solve ~stream ~emit
+  | Protocol.Sweep { instance; widths; deadline_ms; stream } ->
+      work t ~id ~arrival ~instance ~widths ~deadline_ms ~op:`Sweep ~stream
+        ~emit
   | Protocol.Ping | Protocol.Stats | Protocol.Shutdown ->
       (* Protocol ops never reach the pool. *)
       assert false
@@ -325,7 +344,7 @@ let count_malformed t =
   t.malformed <- t.malformed + 1;
   Mutex.unlock t.mutex
 
-let handle_line t line =
+let handle_line ?emit t line =
   let arrival = Clock.now_s () in
   Mutex.lock t.mutex;
   t.received <- t.received + 1;
@@ -363,7 +382,8 @@ let handle_line t line =
                      t.queue_capacity)
             | `Admitted ->
                 let reply =
-                  run_on_pool t ~id (fun () -> execute t ~id ~arrival work)
+                  run_on_pool t ~id (fun () ->
+                      execute t ~id ~arrival ~emit work)
                 in
                 release t ~ok:(reply_is_ok reply);
                 reply))

@@ -29,7 +29,11 @@
     expires before its solver starts gets a ["deadline_exceeded"]
     error; an ILP solve that starts in time self-limits through
     {!Soctam_core.Ilp_formulation.solve}'s deadline path and returns a
-    best-found ([optimal = false]) row. *)
+    best-found ([optimal = false]) row. A race solve behaves the same
+    way: every portfolio engine observes the deadline cooperatively
+    and the reply carries the best incumbent found so far with the
+    partial verdict [optimal = false] — anytime behavior over the same
+    wire. *)
 
 type t
 
@@ -42,8 +46,16 @@ val create :
 
 (** Process one request line; returns the response line. Never raises:
     malformed input, validation failures and solver exceptions all
-    become [ok:false] replies. *)
-val handle_line : t -> string -> string
+    become [ok:false] replies.
+
+    [emit] receives any intermediate event lines (without trailing
+    newline) a streamed race solve pushes {e before} this call
+    returns — see the {e Streaming} section of {!Protocol}. It is
+    called from a pool worker domain while the calling thread is
+    parked, so a transport can write each line straight to its
+    connection without racing the final reply. Cached hits and
+    non-race or non-streamed requests emit nothing. *)
+val handle_line : ?emit:(string -> unit) -> t -> string -> string
 
 (** True once a [shutdown] request has been accepted; subsequent work
     requests are refused with ["shutting_down"]. *)

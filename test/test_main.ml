@@ -31,6 +31,7 @@ let () =
       ("table", Test_table.suite);
       ("engine_pool", Test_sweep.pool_suite);
       ("engine_sweep", Test_sweep.suite);
+      ("engine_race", Test_race.suite);
       ("obs", Test_obs.suite);
       ("service", Test_service.suite);
       ("check", Test_check.suite) ]

@@ -280,7 +280,7 @@ let aggregate_signature () =
 let record_sweep ~jobs =
   let soc = Benchmarks.s1 () in
   let cells =
-    Sweep.cells ~solver:(Sweep.Ilp { time_limit_s = None; presolve = true; cuts = true }) soc ~num_buses:2
+    Sweep.cells ~solver:(Sweep.Ilp { time_limit_s = None; presolve = true; cuts = true; seed = true }) soc ~num_buses:2
       ~widths:[ 10; 12 ]
     @ Sweep.cells ~solver:Sweep.Exact soc ~num_buses:2 ~widths:[ 8; 16 ]
   in

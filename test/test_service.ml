@@ -224,7 +224,7 @@ let test_protocol_parse () =
        {|{"id":1,"op":"solve","soc":"s1","solver":"ilp","num_buses":2,
           "total_width":16,"model":"scan","d_max":9.5,"deadline_ms":250}|}
    with
-  | Ok (Protocol.Solve { instance; deadline_ms }) ->
+  | Ok (Protocol.Solve { instance; deadline_ms; _ }) ->
       Alcotest.(check bool) "named soc" true
         (instance.Protocol.soc_spec = Protocol.Named "s1");
       Alcotest.(check bool) "ilp" true
@@ -295,10 +295,10 @@ let test_protocol_roundtrip () =
       p_max_mw = Some 800.0;
     }
   in
-  let req = Protocol.Solve { instance; deadline_ms = Some 100.0 } in
+  let req = Protocol.Solve { instance; deadline_ms = Some 100.0; stream = false } in
   let line = Json.to_string (Protocol.json_of_request ~id:(Json.int 7) req) in
   match parse_line line with
-  | Ok (Protocol.Solve { instance = i; deadline_ms }) ->
+  | Ok (Protocol.Solve { instance = i; deadline_ms; _ }) ->
       Alcotest.(check bool) "instance survives" true
         (i = instance);
       Alcotest.(check (option (float 0.0))) "deadline survives"
@@ -518,12 +518,72 @@ let test_service_shutdown () =
   Alcotest.(check bool) "ping still answered" true (reply_ok ping);
   Service.drain svc
 
+(* A streamed race solve pushes incumbent events through [emit] before
+   handle_line returns its final certified reply; a cached replay of
+   the same request streams nothing. *)
+let test_service_race_stream () =
+  with_service @@ fun svc ->
+  let line =
+    {|{"id":9,"op":"solve","soc":"s2","solver":"race","num_buses":3,
+       "total_width":24,"stream":true}|}
+  in
+  let emitted = ref [] in
+  let reply_line =
+    Service.handle_line ~emit:(fun l -> emitted := l :: !emitted) svc line
+  in
+  let reply =
+    match Json.parse reply_line with
+    | Ok r -> r
+    | Error msg -> Alcotest.failf "reply is not JSON: %s" msg
+  in
+  Alcotest.(check bool) "final reply ok" true (reply_ok reply);
+  let events = List.rev_map (fun l -> Json.parse l) !emitted in
+  Alcotest.(check bool) "at least one incumbent pushed" true (events <> []);
+  let times =
+    List.map
+      (fun ev ->
+        match ev with
+        | Ok ev ->
+            Alcotest.(check bool) "event is not a reply" false
+              (Protocol.is_final_reply ev);
+            Alcotest.(check bool) "tagged incumbent" true
+              (Json.member "event" ev = Some (Json.Str "incumbent"));
+            Alcotest.(check bool) "id echoed" true
+              (Json.member "id" ev = Some (Json.int 9));
+            (match Json.member "test_time" ev with
+            | Some (Json.Num t) -> int_of_float t
+            | _ -> Alcotest.fail "event has no test_time")
+        | Error msg -> Alcotest.failf "event is not JSON: %s" msg)
+      events
+  in
+  Alcotest.(check bool) "events monotone decreasing" true
+    (List.for_all2 ( > ) (List.filteri (fun i _ -> i < List.length times - 1) times)
+       (List.tl times));
+  (* The certified verdict lands after the last streamed incumbent and
+     agrees with it. *)
+  let row = first_row reply in
+  Alcotest.(check int) "final row = last incumbent"
+    (List.nth times (List.length times - 1))
+    (row_test_time row);
+  (match Json.member "optimal" row with
+  | Some (Json.Bool b) -> Alcotest.(check bool) "certified" true b
+  | _ -> Alcotest.fail "row has no optimal");
+  (* Replay: cache hit, no events. *)
+  let stream2 = ref [] in
+  let second =
+    Service.handle_line ~emit:(fun l -> stream2 := l :: !stream2) svc line
+  in
+  (match Json.parse second with
+  | Ok r -> Alcotest.(check bool) "cached replay" true (reply_cached r)
+  | Error msg -> Alcotest.failf "second reply is not JSON: %s" msg);
+  Alcotest.(check bool) "cached hit streams nothing" true (!stream2 = [])
+
 (* Deadline plumbing below the service: a sweep started after its
    deadline returns best-found rows instead of stalling. *)
 let test_sweep_deadline_expired () =
   let soc = Benchmarks.s1 () in
   let cells =
-    Sweep.cells ~solver:(Sweep.Ilp { time_limit_s = None; presolve = true; cuts = true }) soc ~num_buses:2
+    Sweep.cells ~solver:(Sweep.Ilp { time_limit_s = None; presolve = true; cuts = true; seed = true }) soc ~num_buses:2
       ~widths:[ 16 ]
   in
   let rows = Sweep.run ~deadline_s:(Clock.now_s () -. 1.0) cells in
@@ -552,5 +612,7 @@ let suite =
       test_service_deadline_hit;
     Alcotest.test_case "overload shedding" `Quick test_service_overload;
     Alcotest.test_case "shutdown" `Quick test_service_shutdown;
+    Alcotest.test_case "race solve streams incumbents" `Quick
+      test_service_race_stream;
     Alcotest.test_case "sweep deadline expiry" `Quick
       test_sweep_deadline_expired ]
