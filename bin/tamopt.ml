@@ -28,6 +28,7 @@ module Clock = Soctam_obs.Clock
 module Trace = Soctam_obs.Trace
 module Summary = Soctam_obs.Summary
 module Json = Soctam_obs.Json
+module Hist = Soctam_obs.Hist
 module Addr = Soctam_service.Addr
 module Client = Soctam_service.Client
 module Protocol = Soctam_service.Protocol
@@ -681,8 +682,19 @@ let load_cmd =
     let doc = "Send a shutdown request once the load completes." in
     Arg.(value & flag & info [ "shutdown" ] ~doc)
   in
+  let overload_arg =
+    let doc =
+      "After the main mix, fire $(docv) concurrent 100 ms sleep \
+       requests in one open-loop burst (one connection each, no \
+       pacing) to drive the daemon past its admission queue; the \
+       report's \"overload\" section asserts every request was either \
+       completed or explicitly shed — none silently dropped."
+    in
+    Arg.(value & opt int 0 & info [ "overload" ] ~docv:"N" ~doc)
+  in
   let run connect requests concurrency hit_ratio soc_name num_buses
-      total_width model solver deadline_ms sleep_ms json_path shutdown =
+      total_width model solver deadline_ms sleep_ms json_path shutdown
+      overload =
     try
       if requests < 1 then raise (Invalid_argument "--requests < 1");
       if concurrency < 1 then raise (Invalid_argument "--concurrency < 1");
@@ -733,10 +745,14 @@ let load_cmd =
               in
               Protocol.Solve { instance; deadline_ms; stream = false }
         in
-        Json.to_string (Protocol.json_of_request ~id:(Json.int i) req)
+        Json.to_string
+          (Protocol.json_of_request ~id:(Json.int i)
+             ~trace_id:(Printf.sprintf "load-%d" i) req)
       in
       let ok = Array.make requests false in
       let was_cached = Array.make requests false in
+      let err_code = Array.make requests "" in
+      let trace_echoed = Array.make requests false in
       let lat_ms = Array.make requests Float.nan in
       let next = ref 0 in
       let next_mutex = Mutex.create () in
@@ -762,13 +778,27 @@ let load_cmd =
                   | reply -> (
                       lat_ms.(i) <- (Clock.now_s () -. started) *. 1000.0;
                       match Json.parse reply with
-                      | Error _ -> ()
+                      | Error _ -> err_code.(i) <- "unparseable"
                       | Ok reply ->
                           ok.(i) <- reply_is_ok reply;
                           was_cached.(i) <-
                             (match Json.member "cached" reply with
                             | Some (Json.Bool b) -> b
-                            | _ -> false)));
+                            | _ -> false);
+                          trace_echoed.(i) <-
+                            (match Json.member "trace_id" reply with
+                            | Some (Json.Str s) ->
+                                String.equal s
+                                  (Printf.sprintf "load-%d" i)
+                            | _ -> false);
+                          if not ok.(i) then
+                            err_code.(i) <-
+                              (match Json.member "error" reply with
+                              | Some err -> (
+                                  match Json.member "code" err with
+                                  | Some (Json.Str c) -> c
+                                  | _ -> "unknown")
+                              | None -> "unknown")));
                   loop ()
             in
             loop ())
@@ -790,16 +820,107 @@ let load_cmd =
       let completed = select (fun i -> ok.(i)) in
       let hits = select (fun i -> ok.(i) && was_cached.(i)) in
       let misses = select (fun i -> ok.(i) && not was_cached.(i)) in
+      (* Client-observed percentiles go through the same log-bucket
+         histogram the daemon uses (≤0.8% relative error), which makes
+         the p999 field honest at any sample count the generator can
+         produce. *)
       let latency samples =
-        let p50, p95, p99 = Metrics.percentiles samples in
+        let snap = Hist.of_samples samples in
         Json.Obj
           [ ("count", Json.int (Array.length samples));
-            ("p50_ms", Json.Num p50);
-            ("p95_ms", Json.Num p95);
-            ("p99_ms", Json.Num p99) ]
+            ("p50_ms", Json.Num (Hist.quantile snap 0.50));
+            ("p95_ms", Json.Num (Hist.quantile snap 0.95));
+            ("p99_ms", Json.Num (Hist.quantile snap 0.99));
+            ("p999_ms", Json.Num (Hist.quantile snap 0.999)) ]
+      in
+      let count_code c =
+        let n = ref 0 in
+        Array.iter (fun c' -> if String.equal c c' then incr n) err_code;
+        !n
+      in
+      let error_codes =
+        let seen = Hashtbl.create 8 in
+        Array.iter
+          (fun c ->
+            if c <> "" && not (Hashtbl.mem seen c) then
+              Hashtbl.add seen c (count_code c))
+          err_code;
+        Hashtbl.fold (fun c n acc -> (c, n) :: acc) seen []
+        |> List.sort compare
+      in
+      let shed = count_code "overloaded" in
+      let trace_echo_failures =
+        let n = ref 0 in
+        Array.iteri
+          (fun i echoed -> if ok.(i) && not echoed then incr n)
+          trace_echoed;
+        !n
       in
       let errors = requests - Array.length completed in
       let throughput = float_of_int requests /. wall_s in
+      (* Open-loop overload burst: every request is in flight at once,
+         so with N > queue capacity the daemon must shed — and every
+         burst request must come back with a definitive verdict. *)
+      let overload_section =
+        if overload <= 0 then []
+        else begin
+          let n = overload in
+          let o_code = Array.make n "" in
+          let one i () =
+            match Client.connect addr with
+            | exception Unix.Unix_error _ -> o_code.(i) <- "connect_failed"
+            | client ->
+                Fun.protect
+                  ~finally:(fun () -> Client.close client)
+                  (fun () ->
+                    let line =
+                      Json.to_string
+                        (Protocol.json_of_request ~id:(Json.int i)
+                           ~trace_id:(Printf.sprintf "ovl-%d" i)
+                           (Protocol.Sleep { ms = 100.0 }))
+                    in
+                    match Client.rpc_line client line with
+                    | exception End_of_file -> o_code.(i) <- "hangup"
+                    | reply -> (
+                        match Json.parse reply with
+                        | Error _ -> o_code.(i) <- "unparseable"
+                        | Ok reply when reply_is_ok reply ->
+                            o_code.(i) <- "ok"
+                        | Ok reply ->
+                            o_code.(i) <-
+                              (match Json.member "error" reply with
+                              | Some err -> (
+                                  match Json.member "code" err with
+                                  | Some (Json.Str c) -> c
+                                  | _ -> "unknown")
+                              | None -> "unknown")))
+          in
+          let threads = List.init n (fun i -> Thread.create (one i) ()) in
+          List.iter Thread.join threads;
+          let count c =
+            Array.fold_left
+              (fun acc c' -> if String.equal c c' then acc + 1 else acc)
+              0 o_code
+          in
+          let o_completed = count "ok" in
+          let o_shed = count "overloaded" in
+          let unaccounted =
+            count "hangup" + count "connect_failed" + count "unparseable"
+            + count ""
+          in
+          [ ( "overload",
+              Json.Obj
+                [ ("requests", Json.int n);
+                  ("completed", Json.int o_completed);
+                  ("shed", Json.int o_shed);
+                  ( "shed_rate",
+                    Json.Num (float_of_int o_shed /. float_of_int n) );
+                  ( "other_errors",
+                    Json.int (n - o_completed - o_shed - unaccounted) );
+                  ("unaccounted", Json.int unaccounted);
+                  ("accounted", Json.Bool (unaccounted = 0)) ] ) ]
+        end
+      in
       let daemon_stats =
         match
           Client.rpc control (Protocol.json_of_request Protocol.Stats)
@@ -812,7 +933,7 @@ let load_cmd =
       in
       let report =
         Json.Obj
-          [ ("requests", Json.int requests);
+          ([ ("requests", Json.int requests);
             ("concurrency", Json.int concurrency);
             ("target_hit_ratio", Json.Num hit_ratio);
             ("distinct_instances", Json.int distinct);
@@ -820,6 +941,13 @@ let load_cmd =
             ("throughput_rps", Json.Num throughput);
             ("completed", Json.int (Array.length completed));
             ("errors", Json.int errors);
+            ("shed", Json.int shed);
+            ( "shed_rate",
+              Json.Num (float_of_int shed /. float_of_int requests) );
+            ( "error_codes",
+              Json.Obj
+                (List.map (fun (c, n) -> (c, Json.int n)) error_codes) );
+            ("trace_echo_failures", Json.int trace_echo_failures);
             ("cached", Json.int (Array.length hits));
             ( "latency",
               Json.Obj
@@ -827,6 +955,7 @@ let load_cmd =
                   ("hit", latency hits);
                   ("miss", latency misses) ] );
             ("daemon", daemon_stats) ]
+          @ overload_section)
       in
       (match json_path with
       | Some path -> write_json path report
@@ -836,12 +965,40 @@ let load_cmd =
       let p50 a = Metrics.percentile a 0.50 in
       Printf.printf
         "load: %d requests, %d workers, %.2f s, %.1f req/s\n\
-        \  ok %d, cached %d, errors %d\n\
-        \  p50 ms: all %.3f, hit %.3f, miss %.3f (p99 all %.3f)\n"
+        \  ok %d, cached %d, errors %d, shed %d\n\
+        \  p50 ms: all %.3f, hit %.3f, miss %.3f (p99 all %.3f, p999 \
+         all %.3f)\n"
         requests concurrency wall_s throughput (Array.length completed)
-        (Array.length hits) errors (p50 completed) (p50 hits) (p50 misses)
-        (Metrics.percentile completed 0.99);
-      if errors > 0 then 1 else 0
+        (Array.length hits) errors shed (p50 completed) (p50 hits)
+        (p50 misses)
+        (Metrics.percentile completed 0.99)
+        (Hist.quantile (Hist.of_samples completed) 0.999);
+      if trace_echo_failures > 0 then
+        Printf.printf "  WARNING: %d replies failed to echo trace_id\n"
+          trace_echo_failures;
+      (match overload_section with
+      | [ (_, Json.Obj o) ] ->
+          let geti k =
+            match List.assoc_opt k o with
+            | Some (Json.Num x) -> int_of_float x
+            | _ -> 0
+          in
+          Printf.printf
+            "  overload: %d fired, %d completed, %d shed, %d unaccounted\n"
+            (geti "requests") (geti "completed") (geti "shed")
+            (geti "unaccounted")
+      | _ -> ());
+      let overload_unaccounted =
+        match overload_section with
+        | [ (_, Json.Obj o) ] -> (
+            match List.assoc_opt "accounted" o with
+            | Some (Json.Bool false) -> 1
+            | _ -> 0)
+        | _ -> 0
+      in
+      if errors > 0 || trace_echo_failures > 0 || overload_unaccounted > 0
+      then 1
+      else 0
     with Invalid_argument msg ->
       Printf.eprintf "error: %s\n" msg;
       2
@@ -850,14 +1007,154 @@ let load_cmd =
     Term.(
       const run $ connect_arg $ requests_arg $ concurrency_arg
       $ hit_ratio_arg $ soc_arg $ buses_arg $ width_arg $ model_arg
-      $ solver_arg $ deadline_arg $ sleep_arg $ json_arg $ shutdown_arg)
+      $ solver_arg $ deadline_arg $ sleep_arg $ json_arg $ shutdown_arg
+      $ overload_arg)
   in
   Cmd.v
     (Cmd.info "load"
        ~doc:
          "Drive tamoptd with a concurrent request mix and report \
-          throughput and latency percentiles.")
+          throughput, latency percentiles (to p999), shed and error \
+          counts, and optionally an open-loop overload burst.")
     term
+
+let top_cmd =
+  let interval_arg =
+    let doc = "Seconds between refreshes." in
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"S" ~doc)
+  in
+  let once_arg =
+    let doc =
+      "Print one snapshot and exit without clearing the screen — for \
+       scripts and CI."
+    in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let run connect interval once =
+    if interval <= 0.0 then begin
+      Printf.eprintf "error: --interval must be positive\n";
+      2
+    end
+    else
+      with_client connect @@ fun addr client ->
+      let get path json =
+        List.fold_left
+          (fun acc key -> Option.bind acc (Json.member key))
+          (Some json) path
+      in
+      let num path json =
+        match get path json with Some (Json.Num x) -> x | _ -> Float.nan
+      in
+      let inum path json =
+        match get path json with
+        | Some (Json.Num x) -> int_of_float x
+        | _ -> 0
+      in
+      let prev = ref None in
+      let show stats =
+        let now = Clock.now_s () in
+        let uptime = num [ "uptime_s" ] stats in
+        let received = inum [ "requests"; "received" ] stats in
+        let rps =
+          match !prev with
+          | Some (t0, r0) when now -. t0 > 1e-9 ->
+              float_of_int (received - r0) /. (now -. t0)
+          | _ -> if uptime > 0.0 then float_of_int received /. uptime else 0.0
+        in
+        prev := Some (now, received);
+        let hits = inum [ "cache"; "hits" ] stats in
+        let misses = inum [ "cache"; "misses" ] stats in
+        let hit_ratio =
+          if hits + misses = 0 then 0.0
+          else float_of_int hits /. float_of_int (hits + misses)
+        in
+        let overloaded = inum [ "requests"; "overloaded" ] stats in
+        let shed_rate =
+          if received = 0 then 0.0
+          else float_of_int overloaded /. float_of_int received
+        in
+        Printf.printf "tamoptd %s — up %.0f s%s\n"
+          (Addr.to_string addr) uptime
+          (match Json.member "shutting_down" stats with
+          | Some (Json.Bool true) -> "  [DRAINING]"
+          | _ -> "");
+        Printf.printf
+          "rps %8.1f   in-flight %d/%d   shed rate %5.2f%% (%d)\n" rps
+          (inum [ "queue"; "depth" ] stats)
+          (inum [ "queue"; "capacity" ] stats)
+          (100.0 *. shed_rate) overloaded;
+        Printf.printf
+          "requests: %d received, %d completed, %d failed, %d malformed\n"
+          received
+          (inum [ "requests"; "completed" ] stats)
+          (inum [ "requests"; "failed" ] stats)
+          (inum [ "requests"; "malformed" ] stats);
+        Printf.printf
+          "cache: %5.1f%% hit (%d hits, %d misses, %d evictions, %d/%d \
+           entries)\n"
+          (100.0 *. hit_ratio) hits misses
+          (inum [ "cache"; "evictions" ] stats)
+          (inum [ "cache"; "length" ] stats)
+          (inum [ "cache"; "capacity" ] stats);
+        Printf.printf "%-12s %10s %10s %10s %10s %8s\n" "latency(ms)" "p50"
+          "p95" "p99" "p999" "count";
+        List.iter
+          (fun key ->
+            let p q = num [ "latency"; key; q ] stats in
+            Printf.printf "%-12s %10.3f %10.3f %10.3f %10.3f %8d\n" key
+              (p "p50_ms") (p "p95_ms") (p "p99_ms") (p "p999_ms")
+              (inum [ "latency"; key; "count" ] stats))
+          [ "hit"; "miss"; "queue_wait"; "solve" ];
+        (match Json.member "race_wins" stats with
+        | Some (Json.Obj []) | None -> ()
+        | Some (Json.Obj wins) ->
+            Printf.printf "race wins:";
+            List.iter
+              (fun (engine, n) ->
+                match n with
+                | Json.Num x ->
+                    Printf.printf "  %s %d" engine (int_of_float x)
+                | _ -> ())
+              wins;
+            print_newline ()
+        | Some _ -> ());
+        flush stdout
+      in
+      let rec loop () =
+        match
+          Client.rpc client (Protocol.json_of_request Protocol.Stats)
+        with
+        | exception End_of_file ->
+            Printf.eprintf "tamopt top: daemon hung up\n";
+            2
+        | Error msg ->
+            Printf.eprintf "tamopt top: %s\n" msg;
+            2
+        | Ok reply when not (reply_is_ok reply) ->
+            Printf.eprintf "tamopt top: stats request refused\n";
+            2
+        | Ok reply ->
+            let stats =
+              Option.value ~default:Json.Null (Json.member "result" reply)
+            in
+            if not once then print_string "\027[2J\027[H";
+            show stats;
+            if once then 0
+            else begin
+              Thread.delay interval;
+              loop ()
+            end
+      in
+      loop ()
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal dashboard for a running tamoptd: request rate, \
+          queue depth, shed rate, cache hit ratio, latency percentiles \
+          (p50/p99/p999) and per-engine race wins, refreshed every \
+          --interval seconds (--once for a single snapshot).")
+    Term.(const run $ connect_arg $ interval_arg $ once_arg)
 
 let fuzz_cmd =
   let seed_arg =
@@ -955,12 +1252,35 @@ let fuzz_cmd =
       let log = print_endline in
       if proto then
         Pool.with_pool ~num_domains:2 (fun pool ->
-            let service = Service.create ~pool () in
+            (* Capture the structured log in memory: the storm must not
+               be able to smuggle a second event onto one line. *)
+            let captured = ref [] in
+            let capture_mutex = Mutex.create () in
+            let request_log =
+              Soctam_obs.Log.create
+                (Soctam_obs.Log.Fn
+                   (fun line ->
+                     Mutex.lock capture_mutex;
+                     captured := line :: !captured;
+                     Mutex.unlock capture_mutex))
+            in
+            let service = Service.create ~log:request_log ~pool () in
             match
               Proto_fuzz.run ~log ~handle:(Service.handle_line service)
                 ~seed ~budget ()
             with
-            | Ok () -> 0
+            | Ok () -> (
+                match Proto_fuzz.check_log_lines (List.rev !captured) with
+                | Ok () ->
+                    log
+                      (Printf.sprintf
+                         "proto-fuzz: %d structured log lines all valid"
+                         (List.length !captured));
+                    0
+                | Error msg ->
+                    Printf.eprintf "proto-fuzz log contract FAILED: %s\n"
+                      msg;
+                    1)
             | Error msg ->
                 Printf.eprintf "proto-fuzz FAILED: %s\n" msg;
                 1)
@@ -1007,5 +1327,6 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default
           (Cmd.info "tamopt" ~version:"1.0.0" ~doc)
-          [ solve_cmd; sweep_cmd; info_cmd; plan_cmd; load_cmd; rpc_cmd;
+          [ solve_cmd; sweep_cmd; info_cmd; plan_cmd; load_cmd; top_cmd;
+            rpc_cmd;
             fuzz_cmd ]))

@@ -1,13 +1,17 @@
 (* tamoptd: the solver daemon. Binds a Unix-domain or TCP socket,
    speaks the NDJSON protocol of Soctam_service.Protocol, and serves
    solve/sweep requests from a pool of worker domains behind a result
-   cache and an admission queue. *)
+   cache and an admission queue. Optional side channels: a structured
+   NDJSON request log (--log) and a Prometheus /metrics + /health HTTP
+   listener (--metrics). *)
 
 module Pool = Soctam_engine.Pool
 module Json = Soctam_obs.Json
+module Log = Soctam_obs.Log
 module Addr = Soctam_service.Addr
 module Service = Soctam_service.Service
 module Server = Soctam_service.Server
+module Http = Soctam_service.Http
 
 open Cmdliner
 
@@ -42,12 +46,53 @@ let stats_json_arg =
   Arg.(
     value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE" ~doc)
 
-let run listen jobs cache queue stats_json =
-  match Addr.of_string listen with
+let log_arg =
+  let doc =
+    "Structured request log: one JSON event per request line, to \
+     $(docv) (size-rotated to $(docv).1) or to \"stderr\"."
+  in
+  Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE" ~doc)
+
+let log_max_bytes_arg =
+  let doc = "Rotate the request log after roughly $(docv) bytes." in
+  Arg.(
+    value
+    & opt int 67_108_864
+    & info [ "log-max-bytes" ] ~docv:"BYTES" ~doc)
+
+let log_trace_arg =
+  let doc =
+    "Only log events whose trace_id equals $(docv) — follow one \
+     request through a busy daemon."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "log-trace" ] ~docv:"ID" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Serve Prometheus text metrics on HTTP GET /metrics (and a \
+     /health probe) at $(docv) (same address grammar as --listen)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "metrics" ] ~docv:"ADDR" ~doc)
+
+let run listen jobs cache queue stats_json log_dest log_max_bytes log_trace
+    metrics =
+  let parsed =
+    let ( let* ) = Result.bind in
+    let* addr = Addr.of_string listen in
+    let* metrics_addr =
+      match metrics with
+      | None -> Ok None
+      | Some m -> Result.map Option.some (Addr.of_string m)
+    in
+    Ok (addr, metrics_addr)
+  in
+  match parsed with
   | Error msg ->
       Printf.eprintf "tamoptd: %s\n" msg;
       2
-  | Ok addr -> (
+  | Ok (addr, metrics_addr) -> (
       try
         let jobs =
           if jobs < 0 then
@@ -56,17 +101,45 @@ let run listen jobs cache queue stats_json =
           else if jobs = 0 then Domain.recommended_domain_count ()
           else jobs
         in
+        let log =
+          match log_dest with
+          | None -> None
+          | Some "stderr" -> Some (Log.create ?only_trace:log_trace Log.Stderr)
+          | Some path ->
+              Some
+                (Log.create ?only_trace:log_trace
+                   (Log.File { path; max_bytes = log_max_bytes }))
+        in
         Pool.with_pool ~num_domains:jobs (fun pool ->
             let service =
               Service.create ~cache_capacity:cache ~queue_capacity:queue
-                ~pool ()
+                ?log ~pool ()
+            in
+            (* The metrics listener shares the service's shutdown flag:
+               its accept loop exits when the daemon starts draining. *)
+            let metrics_thread =
+              Option.map
+                (fun maddr ->
+                  Thread.create
+                    (fun () ->
+                      try Http.serve ~service maddr
+                      with Unix.Unix_error (err, fn, arg) ->
+                        Printf.eprintf "tamoptd: metrics: %s: %s %s\n%!" fn
+                          (Unix.error_message err) arg)
+                    ())
+                metrics_addr
             in
             let on_bound () =
               Printf.printf
-                "tamoptd: listening on %s (jobs=%d cache=%d queue=%d)\n%!"
+                "tamoptd: listening on %s (jobs=%d cache=%d queue=%d%s)\n%!"
                 (Addr.to_string addr) jobs cache queue
+                (match metrics_addr with
+                | Some m -> Printf.sprintf " metrics=%s" (Addr.to_string m)
+                | None -> "")
             in
             Server.serve ~on_bound ~service addr;
+            Option.iter Thread.join metrics_thread;
+            Option.iter Log.close log;
             (match stats_json with
             | Some path ->
                 Out_channel.with_open_text path (fun oc ->
@@ -89,6 +162,7 @@ let () =
   let term =
     Term.(
       const run $ listen_arg $ jobs_arg $ cache_arg $ queue_arg
-      $ stats_json_arg)
+      $ stats_json_arg $ log_arg $ log_max_bytes_arg $ log_trace_arg
+      $ metrics_arg)
   in
   exit (Cmd.eval' (Cmd.v (Cmd.info "tamoptd" ~version:"1.0.0" ~doc) term))

@@ -13,6 +13,7 @@ type frame = {
   line : string;
   expect : expect;
   id : int option;  (** When set, the reply must echo it. *)
+  trace : string option;  (** When set, the reply must echo it too. *)
 }
 
 let with_id i fields = Printf.sprintf {|{"id":%d,%s}|} i fields
@@ -36,8 +37,23 @@ let garbage st =
 
 let pick st l = List.nth l (Random.State.int st (List.length l))
 
+(* Strings built to break naive log writers: newlines end an NDJSON
+   event early, quotes and backslashes escape out of a JSON string,
+   control bytes corrupt terminals. All are legal request content — the
+   daemon's Json escaping must neutralize them. *)
+let hostile_string st =
+  let pieces =
+    [| "\n"; "\r"; "\t"; "\""; "\\"; "\x01"; "{"; "}"; ","; ":"; "a"; "Z";
+       "0"; " "; "\xf0\x9f\x92\xa5" |]
+  in
+  let len = 1 + Random.State.int st 10 in
+  String.concat ""
+    (List.init len (fun _ -> pieces.(Random.State.int st (Array.length pieces))))
+
+let quoted s = Json.to_string (Json.Str s)
+
 let gen_frame st i =
-  match Random.State.int st 14 with
+  match Random.State.int st 17 with
   | 0 ->
       (* Raw garbage: almost never valid JSON, and when it accidentally
          is, it is not a valid request object. *)
@@ -53,35 +69,35 @@ let gen_frame st i =
         if String.length s >= 2 && String.contains s '"' then Any
         else Must_fail
       in
-      { line = s; expect; id = None }
+      { line = s; expect; id = None; trace = None }
   | 1 ->
       (* Strict prefix of a valid object: always unbalanced, so always
          a parse error. *)
       let full = with_id i valid_solve_fields in
       let len = Random.State.int st (String.length full) in
-      { line = String.sub full 0 len; expect = Must_fail; id = None }
+      { line = String.sub full 0 len; expect = Must_fail; id = None; trace = None }
   | 2 ->
       (* Valid JSON that is not an object. *)
       { line = pick st [ "null"; "true"; "42"; {|"solve"|}; "[]"; "[1,[2,[3]]]"; "-0.5" ];
         expect = Must_fail;
-        id = None }
+        id = None; trace = None }
   | 3 ->
       (* Objects with no (usable) op. *)
       { line = pick st [ "{}"; {|{"id":7}|}; {|{"id":null,"op":null}|} ];
         expect = Must_fail;
-        id = None }
+        id = None; trace = None }
   | 4 ->
       let op = random_word st in
       { line = with_id i (Printf.sprintf {|"op":"%s"|} op);
         expect = Must_fail;
-        id = Some i }
+        id = Some i; trace = None }
   | 5 ->
       (* Wrongly-typed op. *)
       { line =
           with_id i
             (pick st [ {|"op":123|}; {|"op":["solve"]|}; {|"op":{"x":1}|} ]);
         expect = Must_fail;
-        id = Some i }
+        id = Some i; trace = None }
   | 6 ->
       (* Solve with missing required fields. *)
       { line =
@@ -92,7 +108,7 @@ let gen_frame st i =
                  {|"op":"solve","num_buses":2,"total_width":8|};
                  {|"op":"sweep","soc":"s1","num_buses":2|} ]);
         expect = Must_fail;
-        id = Some i }
+        id = Some i; trace = None }
   | 7 ->
       (* Solve with malformed numeric fields. *)
       { line =
@@ -106,7 +122,7 @@ let gen_frame st i =
                  {|"op":"solve","soc":"s1","num_buses":2,"total_width":-1|};
                  {|"op":"solve","soc":"s1","num_buses":2,"total_width":1e308|} ]);
         expect = Must_fail;
-        id = Some i }
+        id = Some i; trace = None }
   | 8 ->
       (* Bogus SOC specs, named and inline. *)
       { line =
@@ -119,7 +135,7 @@ let gen_frame st i =
                  {|"op":"solve","soc":{"name":"x","cores":[{"name":"a","inputs":1,"outputs":1,"patterns":0}]},"num_buses":1,"total_width":2|};
                  {|"op":"solve","soc":{"name":"x","cores":[{"name":"a","inputs":1,"outputs":1,"patterns":5},{"name":"a","inputs":2,"outputs":2,"patterns":5}]},"num_buses":1,"total_width":2|} ]);
         expect = Must_fail;
-        id = Some i }
+        id = Some i; trace = None }
   | 9 ->
       (* Deep nesting: the parser must either accept or reject it
          cleanly, never blow the handler up. *)
@@ -131,7 +147,7 @@ let gen_frame st i =
       in
       { line = pick st [ deep; with_id i (Printf.sprintf {|"op":%s|} deep) ];
         expect = Any;
-        id = None }
+        id = None; trace = None }
   | 10 ->
       (* Oversized strings and unknown fields on a valid op. *)
       let pad = String.make (1000 + Random.State.int st 3000) 'x' in
@@ -141,7 +157,7 @@ let gen_frame st i =
                [ Printf.sprintf {|"op":"ping","%s":1|} pad;
                  Printf.sprintf {|"op":"ping","pad":"%s"|} pad ]);
         expect = Any;
-        id = None }
+        id = None; trace = None }
   | 11 ->
       (* Duplicate keys: whichever wins, the reply must be well
          formed. *)
@@ -150,7 +166,7 @@ let gen_frame st i =
             [ {|{"op":"ping","op":"zzz"}|};
               {|{"id":1,"id":2,"op":"ping"}|} ];
         expect = Any;
-        id = None }
+        id = None; trace = None }
   | 12 ->
       (* Sleep edge cases: negative, missing and non-numeric
          durations. Valid sleeps stay tiny. *)
@@ -162,7 +178,50 @@ let gen_frame st i =
                  {|"op":"sleep","ms":"x"|};
                  {|"op":"sleep","ms":1|} ]);
         expect = Any;
-        id = Some i }
+        id = Some i; trace = None }
+  | 13 ->
+      (* Malformed trace ids: wrong type or oversized. Must be refused
+         — an unbounded id would let a client bloat every log line. *)
+      let oversized = String.make (65 + Random.State.int st 200) 't' in
+      { line =
+          with_id i
+            (pick st
+               [ {|"op":"ping","trace_id":123|};
+                 {|"op":"ping","trace_id":["x"]|};
+                 {|"op":"ping","trace_id":{"a":1}|};
+                 {|"op":"ping","trace_id":true|};
+                 Printf.sprintf {|"op":"ping","trace_id":"%s"|} oversized;
+                 Printf.sprintf {|%s,"trace_id":"%s"|} valid_solve_fields
+                   oversized ]);
+        expect = Must_fail;
+        id = Some i;
+        trace = None }
+  | 14 ->
+      (* Hostile but legal trace ids: embedded newlines, quotes,
+         backslashes, control bytes. Valid requests; the id must come
+         back byte-identical and the log must stay one line. *)
+      let tid = hostile_string st in
+      { line =
+          with_id i
+            (Printf.sprintf {|%s,"trace_id":%s|}
+               (pick st [ {|"op":"ping"|}; valid_solve_fields ])
+               (quoted tid));
+        expect = Must_ok;
+        id = Some i;
+        trace = Some tid }
+  | 15 ->
+      (* Log injection through inline SOC core names. *)
+      let n1 = "a" ^ hostile_string st in
+      let n2 = "b" ^ hostile_string st in
+      { line =
+          with_id i
+            (Printf.sprintf
+               {|"op":"solve","soc":{"name":%s,"cores":[{"name":%s,"inputs":1,"outputs":1,"patterns":2},{"name":%s,"inputs":2,"outputs":1,"patterns":3}]},"num_buses":1,"total_width":2|}
+               (quoted ("soc" ^ hostile_string st))
+               (quoted n1) (quoted n2));
+        expect = Must_ok;
+        id = Some i;
+        trace = None }
   | _ ->
       (* Control group: valid requests must keep working mid-storm. *)
       { line =
@@ -170,7 +229,7 @@ let gen_frame st i =
             (pick st
                [ {|"op":"ping"|}; {|"op":"stats"|}; valid_solve_fields ]);
         expect = Must_ok;
-        id = Some i }
+        id = Some i; trace = None }
 
 let validate_reply frame reply =
   let err fmt =
@@ -196,9 +255,21 @@ let validate_reply frame reply =
                   | Some j -> Json.to_string j
                   | None -> "nothing"))
       in
-      match id_ok with
-      | Error _ as e -> e
-      | Ok () -> (
+      let trace_ok =
+        match frame.trace with
+        | None -> Ok ()
+        | Some s -> (
+            match Json.member "trace_id" r with
+            | Some (Json.Str s') when String.equal s s' -> Ok ()
+            | other ->
+                err "trace_id %s not echoed (got %s)" (Json.to_string (Json.Str s))
+                  (match other with
+                  | Some j -> Json.to_string j
+                  | None -> "nothing"))
+      in
+      match (id_ok, trace_ok) with
+      | (Error _ as e), _ | _, (Error _ as e) -> e
+      | Ok (), Ok () -> (
           match Json.member "ok" r, frame.expect with
           | Some (Json.Bool true), (Any | Must_ok) -> Ok ()
           | Some (Json.Bool true), Must_fail ->
@@ -217,6 +288,47 @@ let validate_reply frame reply =
           | _ -> err "reply has no boolean \"ok\""))
   | Ok _ -> err "reply is not a JSON object"
 
+(* The structured-log contract under fire: whatever bytes the frames
+   carried, every captured log line is exactly one parseable JSON
+   object with the core schema fields, and no line contains a raw
+   newline (one event per line). *)
+let check_log_lines lines =
+  let rec go n = function
+    | [] -> Ok ()
+    | line :: rest -> (
+        let fail fmt =
+          Printf.ksprintf
+            (fun msg ->
+              Error (Printf.sprintf "log line %d: %s\n  line: %S" n msg line))
+            fmt
+        in
+        if String.contains line '\n' then fail "contains a raw newline"
+        else
+          match Json.parse line with
+          | Error msg -> fail "not valid JSON (%s)" msg
+          | Ok (Json.Obj _ as j) -> (
+              let str k =
+                match Json.member k j with
+                | Some (Json.Str _) -> Ok ()
+                | _ -> fail "missing string field %S" k
+              in
+              let num k =
+                match Json.member k j with
+                | Some (Json.Num _) -> Ok ()
+                | _ -> fail "missing numeric field %S" k
+              in
+              match
+                List.find_map
+                  (fun check -> match check with Ok () -> None | Error e -> Some e)
+                  [ str "trace_id"; str "op"; str "verdict"; num "ts";
+                    num "duration_ms" ]
+              with
+              | Some e -> Error e
+              | None -> go (n + 1) rest)
+          | Ok _ -> fail "not a JSON object")
+  in
+  go 0 lines
+
 let run ?(log = fun _ -> ()) ~handle ~seed ~budget () =
   if budget < 0 then invalid_arg "Proto_fuzz.run: budget < 0";
   let st = Random.State.make [| seed; 0xbadf0 |] in
@@ -226,7 +338,8 @@ let run ?(log = fun _ -> ()) ~handle ~seed ~budget () =
       let frame =
         { line = {|{"id":424242,"op":"ping"}|};
           expect = Must_ok;
-          id = Some 424242 }
+          id = Some 424242;
+          trace = None }
       in
       match validate_reply frame (handle frame.line) with
       | Ok () ->

@@ -3,12 +3,14 @@
     Throws malformed and hostile request frames — raw garbage,
     truncated JSON, non-object values, unknown ops, wrongly-typed and
     missing fields, bogus SOC specs, deep nesting, oversized strings,
-    duplicate keys — at a request handler and asserts the daemon
-    contract: {b every} frame gets exactly one well-formed JSON object
-    reply with an [ok] boolean; [ok:false] replies carry a machine
-    error code from the published set; frames that are not a valid
-    request are answered, never crash the handler; [id]s are echoed;
-    and the service still answers [ping]/[stats] after the storm.
+    duplicate keys, malformed / oversized / log-injecting trace ids,
+    inline SOC names full of newlines and quotes — at a request handler
+    and asserts the daemon contract: {b every} frame gets exactly one
+    well-formed JSON object reply with an [ok] boolean; [ok:false]
+    replies carry a machine error code from the published set; frames
+    that are not a valid request are answered, never crash the handler;
+    [id]s and legal [trace_id]s are echoed byte-identically; and the
+    service still answers [ping]/[stats] after the storm.
 
     The handler is abstract ([string -> string]) so tests drive
     {!Soctam_service.Service.handle_line} in-process and [tamopt fuzz
@@ -29,3 +31,12 @@ val run :
   budget:int ->
   unit ->
   (unit, string) result
+
+(** [check_log_lines lines] asserts the structured-log contract over
+    lines captured (via an [Obs.Log.Fn] sink) while the storm ran:
+    each line is exactly one parseable JSON object carrying the core
+    event schema ([trace_id]/[op]/[verdict] strings, [ts]/
+    [duration_ms] numbers) and contains no raw newline — the
+    one-event-per-line property hostile trace ids and SOC names try to
+    break. *)
+val check_log_lines : string list -> (unit, string) result

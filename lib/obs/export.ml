@@ -1,0 +1,83 @@
+type labels = (string * string) list
+
+type family =
+  | Counter of { name : string; help : string; series : (labels * float) list }
+  | Gauge of { name : string; help : string; series : (labels * float) list }
+  | Histogram of { name : string; help : string; series : (labels * Hist.snapshot) list }
+
+let escape_label v =
+  let buf = Buffer.create (String.length v + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let add_labels buf labels =
+  match labels with
+  | [] -> ()
+  | _ ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf k;
+          Buffer.add_string buf "=\"";
+          Buffer.add_string buf (escape_label v);
+          Buffer.add_char buf '"')
+        labels;
+      Buffer.add_char buf '}'
+
+let fmt_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let add_sample buf name labels v =
+  Buffer.add_string buf name;
+  add_labels buf labels;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (fmt_value v);
+  Buffer.add_char buf '\n'
+
+let add_header buf name help kind =
+  Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+
+let render families =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun family ->
+      match family with
+      | Counter { name; help; series } ->
+          add_header buf name help "counter";
+          List.iter (fun (labels, v) -> add_sample buf name labels v) series
+      | Gauge { name; help; series } ->
+          add_header buf name help "gauge";
+          List.iter (fun (labels, v) -> add_sample buf name labels v) series
+      | Histogram { name; help; series } ->
+          add_header buf name help "histogram";
+          List.iter
+            (fun (labels, (s : Hist.snapshot)) ->
+              let cum = ref 0 in
+              for i = 0 to Hist.num_buckets - 1 do
+                let c = s.Hist.counts.(i) in
+                if c > 0 then begin
+                  cum := !cum + c;
+                  let _, hi = Hist.bounds i in
+                  add_sample buf (name ^ "_bucket")
+                    (labels @ [ ("le", fmt_value hi) ])
+                    (float_of_int !cum)
+                end
+              done;
+              add_sample buf (name ^ "_bucket")
+                (labels @ [ ("le", "+Inf") ])
+                (float_of_int s.Hist.count);
+              add_sample buf (name ^ "_sum") labels s.Hist.sum;
+              add_sample buf (name ^ "_count") labels (float_of_int s.Hist.count))
+            series)
+    families;
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** Prometheus text-exposition rendering (version 0.0.4).
+
+    Pure: turns metric families into the text format a Prometheus
+    scraper expects. The HTTP listener that serves the result lives in
+    [lib/service] (this library does not link [unix]); the golden test
+    in [test/test_telemetry.ml] pins the exact output format. *)
+
+type labels = (string * string) list
+
+type family =
+  | Counter of { name : string; help : string; series : (labels * float) list }
+  | Gauge of { name : string; help : string; series : (labels * float) list }
+  | Histogram of { name : string; help : string; series : (labels * Hist.snapshot) list }
+      (** Rendered as cumulative [_bucket{le="..."}] samples over the
+          non-empty {!Hist} buckets (each labelled with the bucket's
+          upper bound), a [le="+Inf"] bucket equal to [_count], plus
+          [_sum] and [_count]. *)
+
+(** [render families] produces the full exposition body: one [# HELP] /
+    [# TYPE] header per family followed by its samples, families in the
+    order given. Label values are escaped (backslash, double quote,
+    newline) per the
+    format spec. Numbers print integrally when integral, so counter
+    samples survive text round-trips exactly. *)
+val render : family list -> string

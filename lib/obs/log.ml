@@ -1,0 +1,76 @@
+type sink =
+  | Stderr
+  | File of { path : string; max_bytes : int }
+  | Fn of (string -> unit)
+
+type file_out = {
+  path : string;
+  max_bytes : int;
+  mutable oc : out_channel;
+  mutable bytes : int;
+}
+
+type out = O_stderr | O_file of file_out | O_fn of (string -> unit)
+
+type t = { mutex : Mutex.t; out : out; only_trace : string option }
+
+let open_file path = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path
+
+let create ?only_trace sink =
+  let out =
+    match sink with
+    | Stderr -> O_stderr
+    | Fn f -> O_fn f
+    | File { path; max_bytes } ->
+        let oc = open_file path in
+        O_file { path; max_bytes; oc; bytes = out_channel_length oc }
+  in
+  { mutex = Mutex.create (); out; only_trace }
+
+let rotate f =
+  close_out_noerr f.oc;
+  (match Sys.rename f.path (f.path ^ ".1") with
+  | () -> ()
+  | exception Sys_error _ -> ());
+  f.oc <- open_file f.path;
+  f.bytes <- 0
+
+let write t line =
+  match t.out with
+  | O_stderr ->
+      prerr_string line;
+      prerr_newline ()
+  | O_fn f -> f line
+  | O_file f ->
+      if f.bytes > f.max_bytes then rotate f;
+      output_string f.oc line;
+      output_char f.oc '\n';
+      flush f.oc;
+      f.bytes <- f.bytes + String.length line + 1
+
+let event t fields =
+  let keep =
+    match t.only_trace with
+    | None -> true
+    | Some id -> (
+        match List.assoc_opt "trace_id" fields with
+        | Some (Json.Str s) -> String.equal s id
+        | _ -> false)
+  in
+  if keep then begin
+    let fields =
+      if List.mem_assoc "ts" fields then fields
+      else ("ts", Json.Num (Unix.gettimeofday ())) :: fields
+    in
+    let line = Json.to_string (Json.Obj fields) in
+    Mutex.lock t.mutex;
+    (try write t line with Sys_error _ | Unix.Unix_error _ -> ());
+    Mutex.unlock t.mutex
+  end
+
+let close t =
+  Mutex.lock t.mutex;
+  (match t.out with
+  | O_file f -> close_out_noerr f.oc
+  | O_stderr | O_fn _ -> ());
+  Mutex.unlock t.mutex

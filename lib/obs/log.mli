@@ -1,0 +1,44 @@
+(** Structured request logging: one JSON event per line (NDJSON).
+
+    The daemon emits one event per request — trace id, op, canon key
+    digest, cache hit/miss, solver, verdict, shed reason, queue wait,
+    duration — so an overload incident leaves a record that outlives
+    the stats counters. Every event is rendered with {!Json.to_string},
+    whose string escaping ([\n] → [\\n], ["] → [\\"], control bytes →
+    [\\u00xx]) guarantees the one-event-per-line invariant even when a
+    client puts newlines in a trace id or an inline SOC core name —
+    the log-injection property [Proto_fuzz] hammers on.
+
+    Writers serialize on an internal mutex; an event is a single
+    buffered write + flush, so concurrent connection threads never
+    interleave bytes within a line. *)
+
+type t
+
+(** Where events go. *)
+type sink =
+  | Stderr
+  | File of { path : string; max_bytes : int }
+      (** Size-rotated: when the file exceeds [max_bytes] it is renamed
+          to [path ^ ".1"] (replacing any previous rotation) and a
+          fresh file is opened. Two generations bound disk use at
+          roughly [2 * max_bytes]. *)
+  | Fn of (string -> unit)
+      (** Receives each rendered line {e without} the trailing newline.
+          Used by tests and the proto-fuzzer to validate lines. *)
+
+(** [create ?only_trace sink] opens a logger. With [only_trace = Some
+    id], events whose ["trace_id"] field differs from [id] are dropped
+    — the [--log-trace] filter for following one request through a
+    busy daemon. *)
+val create : ?only_trace:string -> sink -> t
+
+(** [event t fields] renders [Obj fields] compactly and writes it as
+    one line. A ["ts"] field (wall-clock Unix seconds) is prepended
+    unless the caller already supplied one. Never raises: a sink write
+    failure (disk full, closed stderr) is swallowed — telemetry must
+    not take down the request path. *)
+val event : t -> (string * Json.t) list -> unit
+
+(** Flush and close file handles. The logger must not be used after. *)
+val close : t -> unit

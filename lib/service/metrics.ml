@@ -5,45 +5,11 @@ let percentile samples q =
     let sorted = Array.copy samples in
     Array.sort compare sorted;
     (* Nearest rank: smallest sample with at least a [q] fraction of
-       the distribution at or below it. *)
+       the distribution at or below it. Never interpolates — for
+       n < 1/(1-q) the rank clamps to n and the answer is the max. *)
     let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
     sorted.(max 0 (min (n - 1) (rank - 1)))
   end
 
 let percentiles samples =
   (percentile samples 0.50, percentile samples 0.95, percentile samples 0.99)
-
-module Ring = struct
-  type t = {
-    mutex : Mutex.t;
-    buf : float array;
-    mutable total : int;  (* samples ever recorded *)
-  }
-
-  let create ~capacity =
-    if capacity < 1 then invalid_arg "Metrics.Ring.create: capacity < 1";
-    { mutex = Mutex.create (); buf = Array.make capacity Float.nan; total = 0 }
-
-  let record t x =
-    Mutex.lock t.mutex;
-    t.buf.(t.total mod Array.length t.buf) <- x;
-    t.total <- t.total + 1;
-    Mutex.unlock t.mutex
-
-  let count t =
-    Mutex.lock t.mutex;
-    let n = t.total in
-    Mutex.unlock t.mutex;
-    n
-
-  let samples t =
-    Mutex.lock t.mutex;
-    let cap = Array.length t.buf in
-    let resident = min t.total cap in
-    let start = if t.total <= cap then 0 else t.total mod cap in
-    let out =
-      Array.init resident (fun i -> t.buf.((start + i) mod cap))
-    in
-    Mutex.unlock t.mutex;
-    out
-end

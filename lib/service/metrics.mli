@@ -1,31 +1,24 @@
-(** Latency bookkeeping for the daemon and the load generator.
+(** Exact-sort percentiles for offline sample arrays.
 
-    {!Ring} keeps the last [capacity] samples (a sliding window, O(1)
-    per record) so the daemon's [stats] reply reports {e recent}
-    latency percentiles without unbounded memory; the load generator
-    uses plain arrays of every sample. Both report through
-    {!percentiles}. *)
+    The daemon's live latency telemetry lives in [Obs.Hist]
+    (log-bucketed, windowless, lock-free — see DESIGN.md §2.7); this
+    module remains for tools that hold {e every} sample in memory — the
+    load generator and the bench — where an exact sort is affordable
+    and serves as the ground truth the histogram is tested against. *)
 
-(** [percentile samples q] is the nearest-rank [q]-quantile
-    ([0 <= q <= 1]) of [samples] (need not be sorted; not modified).
-    [nan] on an empty array. *)
+(** [percentile samples q] is the {b nearest-rank} [q]-quantile
+    ([0 <= q <= 1]) of [samples] (need not be sorted; not modified):
+    the smallest sample with at least a [q] fraction of the
+    distribution at or below it, i.e. the sample of rank
+    [ceil (q * n)] (1-based, clamped into [[1, n]]). [nan] on an empty
+    array.
+
+    Convention caveat: nearest-rank never interpolates, so whenever
+    [n < 1 / (1 - q)] the answer collapses to the maximum — p99 of 10
+    samples {e is} the max, by definition, not by accident. Callers
+    reporting tail quantiles of small sample sets should say so (or
+    collect more samples); [test_service] pins this behaviour. *)
 val percentile : float array -> float -> float
 
 (** [(p50, p95, p99)] of [samples]; [nan]s when empty. *)
 val percentiles : float array -> float * float * float
-
-module Ring : sig
-  type t
-
-  (** Raises [Invalid_argument] when [capacity < 1]. *)
-  val create : capacity:int -> t
-
-  (** Thread-safe append; overwrites the oldest sample when full. *)
-  val record : t -> float -> unit
-
-  (** Total samples ever recorded (not just resident). *)
-  val count : t -> int
-
-  (** Snapshot of the resident window, oldest first. *)
-  val samples : t -> float array
-end

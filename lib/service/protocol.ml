@@ -33,6 +33,7 @@ type request =
     }
   | Stats
   | Ping
+  | Health
   | Sleep of { ms : float }
   | Shutdown
 
@@ -44,6 +45,22 @@ let solver_name = function
 
 let id_of json =
   match Json.member "id" json with Some v -> v | None -> Json.Null
+
+(* Trace ids are opaque client strings, bounded so a log line cannot be
+   blown up by a megabyte id. Content is unrestricted — Json escaping
+   keeps log lines one-per-line regardless of embedded newlines or
+   quotes. *)
+let max_trace_id_len = 64
+
+let trace_id_of json =
+  match Json.member "trace_id" json with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Str s) ->
+      if String.length s > max_trace_id_len then
+        Error
+          (Printf.sprintf "trace_id exceeds %d bytes" max_trace_id_len)
+      else Ok (Some s)
+  | Some _ -> Error "trace_id must be a string"
 
 (* ---- field accessors with typed errors ---- *)
 
@@ -236,6 +253,7 @@ let parse_request json =
       match op with
       | "ping" -> Ok Ping
       | "stats" -> Ok Stats
+      | "health" -> Ok Health
       | "shutdown" -> Ok Shutdown
       | "sleep" ->
           let* ms =
@@ -342,12 +360,16 @@ let stream_fields = function
   | true -> [ ("stream", Json.Bool true) ]
   | false -> []
 
-let json_of_request ?id req =
+let json_of_request ?id ?trace_id req =
   let id = match id with Some v -> [ ("id", v) ] | None -> [] in
+  let trace =
+    match trace_id with Some s -> [ ("trace_id", Json.Str s) ] | None -> []
+  in
   let fields =
     match req with
     | Ping -> [ ("op", Json.Str "ping") ]
     | Stats -> [ ("op", Json.Str "stats") ]
+    | Health -> [ ("op", Json.Str "health") ]
     | Shutdown -> [ ("op", Json.Str "shutdown") ]
     | Sleep { ms } -> [ ("op", Json.Str "sleep"); ("ms", Json.Num ms) ]
     | Solve { instance; deadline_ms; stream } ->
@@ -361,11 +383,16 @@ let json_of_request ?id req =
         @ deadline_fields deadline_ms
         @ stream_fields stream
   in
-  Json.Obj (id @ fields)
+  Json.Obj (id @ trace @ fields)
 
-let ok_reply ~id ?cached ?elapsed_ms result =
+let trace_fields = function
+  | Some s -> [ ("trace_id", Json.Str s) ]
+  | None -> []
+
+let ok_reply ~id ?trace_id ?cached ?elapsed_ms result =
   Json.Obj
-    ([ ("id", id); ("ok", Json.Bool true) ]
+    (("id", id) :: trace_fields trace_id
+    @ [ ("ok", Json.Bool true) ]
     @ (match cached with
       | Some c -> [ ("cached", Json.Bool c) ]
       | None -> [])
@@ -374,23 +401,23 @@ let ok_reply ~id ?cached ?elapsed_ms result =
       | None -> [])
     @ [ ("result", result) ])
 
-let error_reply ~id ~code message =
+let error_reply ~id ?trace_id ~code message =
   Json.Obj
-    [ ("id", id);
-      ("ok", Json.Bool false);
-      ( "error",
-        Json.Obj
-          [ ("code", Json.Str code); ("message", Json.Str message) ] ) ]
+    (("id", id) :: trace_fields trace_id
+    @ [ ("ok", Json.Bool false);
+        ( "error",
+          Json.Obj
+            [ ("code", Json.Str code); ("message", Json.Str message) ] ) ])
 
 (* An event line carries "event" but never "ok": readers detect the
    final reply of a streamed exchange by the presence of "ok". *)
-let incumbent_event ~id ~test_time ~engine ~elapsed_ms =
+let incumbent_event ~id ?trace_id ~test_time ~engine ~elapsed_ms () =
   Json.Obj
-    [ ("id", id);
-      ("event", Json.Str "incumbent");
-      ("test_time", Json.int test_time);
-      ("engine", Json.Str engine);
-      ("elapsed_ms", Json.Num elapsed_ms) ]
+    (("id", id) :: trace_fields trace_id
+    @ [ ("event", Json.Str "incumbent");
+        ("test_time", Json.int test_time);
+        ("engine", Json.Str engine);
+        ("elapsed_ms", Json.Num elapsed_ms) ])
 
 let is_final_reply json =
   match json with Json.Obj _ -> Json.member "ok" json <> None | _ -> true

@@ -7,7 +7,11 @@
 
     Requests carry an [op] plus op-specific fields. An optional [id]
     (any JSON value) is echoed verbatim in the reply so pipelining
-    clients can match responses.
+    clients can match responses. An optional [trace_id] (a string of at
+    most {!max_trace_id_len} bytes) is echoed in the reply {e and}
+    stamped on the server's structured log event for the request, so a
+    client can correlate its observed latency with the server-side
+    record; when absent the server generates one and returns it.
 
     {v
     {"id":1,"op":"solve","soc":"s1","solver":"ilp","num_buses":2,
@@ -15,8 +19,8 @@
      "p_max":900,"deadline_ms":500}
     {"id":2,"op":"sweep","soc":"rnd:7:6","solver":"exact",
      "num_buses":2,"widths":[8,16,24]}
-    {"id":3,"op":"stats"}   {"op":"ping"}   {"op":"shutdown"}
-    {"op":"sleep","ms":50}
+    {"id":3,"op":"stats"}   {"op":"ping"}   {"op":"health"}
+    {"op":"shutdown"}   {"op":"sleep","ms":50}
     v}
 
     [soc] is a benchmark spec string (["s1"], ["rnd:<seed>:<n>"],
@@ -29,6 +33,11 @@
 
     [sleep] exists for load and admission-control testing: it occupies
     a worker for [ms] milliseconds and returns [{"slept_ms":…}].
+
+    [health] is for load balancers: it bypasses admission control (like
+    [ping] and [stats]) and returns
+    [{"status":"ok"|"stopping","uptime_s":…,"inflight":…}] so a probe
+    can distinguish a draining daemon from a dead one.
 
     Replies: [{"id":…,"ok":true,"cached":…,"elapsed_ms":…,"result":…}]
     where solve/sweep results use the row schema of
@@ -80,10 +89,23 @@ type request =
     }
   | Stats
   | Ping
+  | Health
   | Sleep of { ms : float }
   | Shutdown
 
 val solver_name : solver -> string
+
+(** Upper bound on the byte length of a wire [trace_id] ([64]).
+    Longer ids are a [bad_request]. *)
+val max_trace_id_len : int
+
+(** [trace_id_of json] extracts and validates the optional [trace_id]
+    field of a request object: [Ok None] when absent or [null],
+    [Ok (Some s)] for a string within {!max_trace_id_len} bytes,
+    [Error _] for any other type or an oversized string. Content is
+    {e not} restricted — JSON escaping makes any byte sequence safe to
+    echo and log. *)
+val trace_id_of : Soctam_obs.Json.t -> (string option, string) result
 
 (** [id_of json] is the request's [id] field, [Null] when absent or the
     line was not an object. *)
@@ -104,26 +126,34 @@ val resolve_soc : soc_spec -> (Soctam_soc.Soc.t, string) result
 (** [json_of_request ?id req] renders a request the daemon parses back
     — the client half of the protocol, used by [tamopt load]/[rpc] and
     the tests. *)
-val json_of_request : ?id:Soctam_obs.Json.t -> request -> Soctam_obs.Json.t
+val json_of_request :
+  ?id:Soctam_obs.Json.t -> ?trace_id:string -> request -> Soctam_obs.Json.t
 
 (** Reply constructors (one line each, compact rendering). *)
 
 val ok_reply :
   id:Soctam_obs.Json.t ->
+  ?trace_id:string ->
   ?cached:bool ->
   ?elapsed_ms:float ->
   Soctam_obs.Json.t ->
   Soctam_obs.Json.t
 
 val error_reply :
-  id:Soctam_obs.Json.t -> code:string -> string -> Soctam_obs.Json.t
+  id:Soctam_obs.Json.t ->
+  ?trace_id:string ->
+  code:string ->
+  string ->
+  Soctam_obs.Json.t
 
 (** One streamed incumbent event line (see {e Streaming} above). *)
 val incumbent_event :
   id:Soctam_obs.Json.t ->
+  ?trace_id:string ->
   test_time:int ->
   engine:string ->
   elapsed_ms:float ->
+  unit ->
   Soctam_obs.Json.t
 
 (** [is_final_reply json] — [true] for a reply (it has an ["ok"]

@@ -1,5 +1,8 @@
 module Json = Soctam_obs.Json
 module Obs = Soctam_obs.Obs
+module Hist = Soctam_obs.Hist
+module Log = Soctam_obs.Log
+module Export = Soctam_obs.Export
 module Clock = Soctam_obs.Clock
 module Soc = Soctam_soc.Soc
 module Problem = Soctam_core.Problem
@@ -15,6 +18,7 @@ type t = {
   pool : Pool.t;
   cache : Sweep.row list Lru.t;
   queue_capacity : int;
+  log : Log.t option;
   mutex : Mutex.t;
   idle : Condition.t;  (* signalled when [active] drops to 0 *)
   mutable active : int;  (* admitted work requests not yet completed *)
@@ -24,18 +28,25 @@ type t = {
   mutable shed : int;
   mutable completed : int;
   mutable failed : int;
+  mutable trace_seq : int;  (* server-generated trace-id counter *)
+  race_wins : (string, int) Hashtbl.t;  (* engine -> race rows won *)
   started_s : float;
-  hit_lat_ms : Metrics.Ring.t;
-  miss_lat_ms : Metrics.Ring.t;
+  (* Log-bucketed, windowless, lock-free on the record path — every
+     sample since startup contributes to the tail quantiles. *)
+  hit_lat_ms : Hist.t;
+  miss_lat_ms : Hist.t;
+  queue_wait_ms : Hist.t;
+  solve_ms : Hist.t;
 }
 
-let create ?(cache_capacity = 256) ?(queue_capacity = 64) ~pool () =
+let create ?(cache_capacity = 256) ?(queue_capacity = 64) ?log ~pool () =
   if queue_capacity < 1 then
     invalid_arg "Service.create: queue_capacity < 1";
   {
     pool;
     cache = Lru.create ~capacity:cache_capacity ();
     queue_capacity;
+    log;
     mutex = Mutex.create ();
     idle = Condition.create ();
     active = 0;
@@ -45,9 +56,13 @@ let create ?(cache_capacity = 256) ?(queue_capacity = 64) ~pool () =
     shed = 0;
     completed = 0;
     failed = 0;
+    trace_seq = 0;
+    race_wins = Hashtbl.create 8;
     started_s = Clock.now_s ();
-    hit_lat_ms = Metrics.Ring.create ~capacity:1024;
-    miss_lat_ms = Metrics.Ring.create ~capacity:1024;
+    hit_lat_ms = Hist.create ();
+    miss_lat_ms = Hist.create ();
+    queue_wait_ms = Hist.create ();
+    solve_ms = Hist.create ();
   }
 
 let shutdown_requested t =
@@ -87,6 +102,44 @@ let release t ~ok =
   if ok then t.completed <- t.completed + 1 else t.failed <- t.failed + 1;
   if t.active = 0 then Condition.broadcast t.idle;
   Mutex.unlock t.mutex
+
+(* ---- per-request log note ----
+
+   [work] runs on a pool worker domain while the reply is assembled in
+   pieces; the note collects what the structured log event needs and is
+   read only after the reply is complete, on the connection thread. *)
+
+type note = {
+  mutable n_soc : string option;
+  mutable n_solver : string option;
+  mutable n_digest : string option;  (* canon key hash *)
+  mutable n_cached : bool option;
+  mutable n_optimal : bool option;
+  mutable n_deadline_ms : float option;
+  mutable n_queue_wait_ms : float option;
+  mutable n_shed : string option;  (* admission verdict when not admitted *)
+}
+
+let fresh_note () =
+  { n_soc = None;
+    n_solver = None;
+    n_digest = None;
+    n_cached = None;
+    n_optimal = None;
+    n_deadline_ms = None;
+    n_queue_wait_ms = None;
+    n_shed = None }
+
+let fresh_trace_id t =
+  Mutex.lock t.mutex;
+  let n = t.trace_seq in
+  t.trace_seq <- n + 1;
+  Mutex.unlock t.mutex;
+  (* Startup-stamped so ids from successive daemon runs do not collide
+     in one log file. *)
+  Printf.sprintf "t%06x-%d"
+    (int_of_float (t.started_s *. 1e3) land 0xFFFFFF)
+    n
 
 (* ---- instance assembly ---- *)
 
@@ -140,15 +193,32 @@ let result_json ~soc ~(inst : Protocol.instance) rows =
       ("rows", Json.Arr (List.map Sweep.json_of_row rows));
       ("totals", Sweep.json_of_totals (Sweep.totals rows)) ]
 
+let count_race_wins t rows =
+  let any = ref false in
+  List.iter
+    (fun (row : Sweep.row) ->
+      match row.Sweep.winner with
+      | None -> ()
+      | Some engine ->
+          any := true;
+          Mutex.lock t.mutex;
+          Hashtbl.replace t.race_wins engine
+            (1 + Option.value ~default:0 (Hashtbl.find_opt t.race_wins engine));
+          Mutex.unlock t.mutex)
+    rows;
+  !any
+
 (* ---- request execution (runs on a pool worker domain) ---- *)
 
 let elapsed_ms ~arrival = (Clock.now_s () -. arrival) *. 1000.0
 
-let work t ~id ~arrival ~(instance : Protocol.instance) ~widths ~deadline_ms
-    ~op ~stream ~emit =
+let work t ~id ~trace_id ~note ~arrival ~(instance : Protocol.instance)
+    ~widths ~deadline_ms ~op ~stream ~emit =
   let deadline_s =
     Option.map (fun ms -> arrival +. (ms /. 1000.0)) deadline_ms
   in
+  note.n_solver <- Some (Protocol.solver_name instance.Protocol.solver);
+  note.n_deadline_ms <- deadline_ms;
   (* Incumbent events only flow for a streamed race solve; the emit
      callback runs on the pool worker domain while the connection
      thread is parked in [run_on_pool], so writing to the connection
@@ -161,13 +231,15 @@ let work t ~id ~arrival ~(instance : Protocol.instance) ~widths ~deadline_ms
             Obs.incr "svc.incumbent_event";
             emit
               (Json.to_string
-                 (Protocol.incumbent_event ~id ~test_time:ev.Race.test_time
-                    ~engine:ev.Race.engine ~elapsed_ms:ev.Race.elapsed_ms)))
+                 (Protocol.incumbent_event ~id ?trace_id
+                    ~test_time:ev.Race.test_time ~engine:ev.Race.engine
+                    ~elapsed_ms:ev.Race.elapsed_ms ())))
     | _ -> None
   in
   match Protocol.resolve_soc instance.soc_spec with
-  | Error msg -> Protocol.error_reply ~id ~code:"bad_request" msg
+  | Error msg -> Protocol.error_reply ~id ?trace_id ~code:"bad_request" msg
   | Ok soc -> (
+      note.n_soc <- Some (Soc.name soc);
       match
         let constraints = constraints_of ~soc instance in
         let solver = sweep_solver instance.solver in
@@ -192,27 +264,33 @@ let work t ~id ~arrival ~(instance : Protocol.instance) ~widths ~deadline_ms
         (cells, canon)
       with
       | exception Invalid_argument msg ->
-          Protocol.error_reply ~id ~code:"bad_request" msg
+          Protocol.error_reply ~id ?trace_id ~code:"bad_request" msg
       | cells, canon -> (
+          note.n_digest <- Some canon.Canon.digest;
           match Lru.find t.cache canon.Canon.key with
           | Some rows ->
               Obs.incr "svc.cache_hit";
+              note.n_cached <- Some true;
+              note.n_optimal <-
+                Some (List.for_all (fun r -> r.Sweep.optimal) rows);
               let rows = remap_rows canon `Serve rows in
               let el = elapsed_ms ~arrival in
-              Metrics.Ring.record t.hit_lat_ms el;
-              Protocol.ok_reply ~id ~cached:true ~elapsed_ms:el
+              Hist.record t.hit_lat_ms el;
+              Protocol.ok_reply ~id ?trace_id ~cached:true ~elapsed_ms:el
                 (result_json ~soc ~inst:instance rows)
           | None -> (
               Obs.incr "svc.cache_miss";
+              note.n_cached <- Some false;
               let expired =
                 match deadline_s with
                 | Some d -> Clock.now_s () >= d
                 | None -> false
               in
               if expired then
-                Protocol.error_reply ~id ~code:"deadline_exceeded"
+                Protocol.error_reply ~id ?trace_id ~code:"deadline_exceeded"
                   "deadline expired before the solver started"
               else
+                let solve_t0 = Clock.now_s () in
                 match
                   Obs.span "svc.solve"
                     ~args:
@@ -222,8 +300,14 @@ let work t ~id ~arrival ~(instance : Protocol.instance) ~widths ~deadline_ms
                     (fun () -> Sweep.run ?deadline_s ?on_event cells)
                 with
                 | exception Invalid_argument msg ->
-                    Protocol.error_reply ~id ~code:"bad_request" msg
+                    Protocol.error_reply ~id ?trace_id ~code:"bad_request"
+                      msg
                 | rows ->
+                    Hist.record t.solve_ms
+                      ((Clock.now_s () -. solve_t0) *. 1000.0);
+                    ignore (count_race_wins t rows : bool);
+                    note.n_optimal <-
+                      Some (List.for_all (fun r -> r.Sweep.optimal) rows);
                     (* Only complete verdicts are cacheable: an ILP row
                        that gave up on a deadline must not satisfy a
                        later, more patient request. *)
@@ -231,24 +315,26 @@ let work t ~id ~arrival ~(instance : Protocol.instance) ~widths ~deadline_ms
                       Lru.put t.cache canon.Canon.key
                         (remap_rows canon `Store rows);
                     let el = elapsed_ms ~arrival in
-                    Metrics.Ring.record t.miss_lat_ms el;
-                    Protocol.ok_reply ~id ~cached:false ~elapsed_ms:el
+                    Hist.record t.miss_lat_ms el;
+                    Protocol.ok_reply ~id ?trace_id ~cached:false
+                      ~elapsed_ms:el
                       (result_json ~soc ~inst:instance rows))))
 
-let execute t ~id ~arrival ~emit request =
+let execute t ~id ~trace_id ~note ~arrival ~emit request =
   match request with
   | Protocol.Sleep { ms } ->
       Unix.sleepf (ms /. 1000.0);
-      Protocol.ok_reply ~id
+      Protocol.ok_reply ~id ?trace_id
         ~elapsed_ms:(elapsed_ms ~arrival)
         (Json.Obj [ ("slept_ms", Json.Num ms) ])
   | Protocol.Solve { instance; deadline_ms; stream } ->
-      work t ~id ~arrival ~instance ~widths:[ instance.total_width ]
-        ~deadline_ms ~op:`Solve ~stream ~emit
-  | Protocol.Sweep { instance; widths; deadline_ms; stream } ->
-      work t ~id ~arrival ~instance ~widths ~deadline_ms ~op:`Sweep ~stream
+      work t ~id ~trace_id ~note ~arrival ~instance
+        ~widths:[ instance.total_width ] ~deadline_ms ~op:`Solve ~stream
         ~emit
-  | Protocol.Ping | Protocol.Stats | Protocol.Shutdown ->
+  | Protocol.Sweep { instance; widths; deadline_ms; stream } ->
+      work t ~id ~trace_id ~note ~arrival ~instance ~widths ~deadline_ms
+        ~op:`Sweep ~stream ~emit
+  | Protocol.Ping | Protocol.Stats | Protocol.Health | Protocol.Shutdown ->
       (* Protocol ops never reach the pool. *)
       assert false
 
@@ -256,15 +342,21 @@ let execute t ~id ~arrival ~emit request =
    reply is ready. The task is total — any escaping exception becomes an
    "internal" reply — because [Pool.submit] swallows exceptions and a
    lost signal would strand the connection thread forever. *)
-let run_on_pool t ~id f =
+let run_on_pool t ~id ~trace_id ~note ~arrival f =
   let m = Mutex.create () in
   let c = Condition.create () in
   let result = ref None in
   Pool.submit t.pool (fun () ->
+      (* Time from arrival to a worker picking the task up: the
+         admission queue's contribution to latency. *)
+      let wait_ms = elapsed_ms ~arrival in
+      Hist.record t.queue_wait_ms wait_ms;
+      note.n_queue_wait_ms <- Some wait_ms;
       let reply =
         try f ()
         with e ->
-          Protocol.error_reply ~id ~code:"internal" (Printexc.to_string e)
+          Protocol.error_reply ~id ?trace_id ~code:"internal"
+            (Printexc.to_string e)
       in
       Mutex.lock m;
       result := Some reply;
@@ -284,6 +376,20 @@ let run_on_pool t ~id f =
 
 (* ---- stats ---- *)
 
+let latency_json snap =
+  Json.Obj
+    [ ("count", Json.int snap.Hist.count);
+      ("p50_ms", Json.Num (Hist.quantile snap 0.50));
+      ("p95_ms", Json.Num (Hist.quantile snap 0.95));
+      ("p99_ms", Json.Num (Hist.quantile snap 0.99));
+      ("p999_ms", Json.Num (Hist.quantile snap 0.999)) ]
+
+let race_wins_alist t =
+  Mutex.lock t.mutex;
+  let wins = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.race_wins [] in
+  Mutex.unlock t.mutex;
+  List.sort compare wins
+
 let stats_json t =
   Mutex.lock t.mutex;
   let received = t.received
@@ -295,15 +401,6 @@ let stats_json t =
   and shutting_down = t.shutting_down in
   Mutex.unlock t.mutex;
   let cache = Lru.stats t.cache in
-  let latency ring =
-    let samples = Metrics.Ring.samples ring in
-    let p50, p95, p99 = Metrics.percentiles samples in
-    Json.Obj
-      [ ("count", Json.int (Metrics.Ring.count ring));
-        ("p50_ms", Json.Num p50);
-        ("p95_ms", Json.Num p95);
-        ("p99_ms", Json.Num p99) ]
-  in
   Json.Obj
     [ ("uptime_s", Json.Num (Clock.now_s () -. t.started_s));
       ("shutting_down", Json.Bool shutting_down);
@@ -327,8 +424,100 @@ let stats_json t =
             ("capacity", Json.int cache.Lru.capacity) ] );
       ( "latency",
         Json.Obj
-          [ ("hit", latency t.hit_lat_ms); ("miss", latency t.miss_lat_ms) ]
-      ) ]
+          [ ("hit", latency_json (Hist.snapshot t.hit_lat_ms));
+            ("miss", latency_json (Hist.snapshot t.miss_lat_ms));
+            ("queue_wait", latency_json (Hist.snapshot t.queue_wait_ms));
+            ("solve", latency_json (Hist.snapshot t.solve_ms)) ] );
+      ( "race_wins",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Json.int v)) (race_wins_alist t)) )
+    ]
+
+let health_json t =
+  Mutex.lock t.mutex;
+  let active = t.active and shutting_down = t.shutting_down in
+  Mutex.unlock t.mutex;
+  Json.Obj
+    [ ("status", Json.Str (if shutting_down then "stopping" else "ok"));
+      ("uptime_s", Json.Num (Clock.now_s () -. t.started_s));
+      ("inflight", Json.int active);
+      ("queue_capacity", Json.int t.queue_capacity) ]
+
+(* ---- Prometheus exposition ---- *)
+
+let metrics_text t =
+  Mutex.lock t.mutex;
+  let received = t.received
+  and malformed = t.malformed
+  and shed = t.shed
+  and completed = t.completed
+  and failed = t.failed
+  and active = t.active
+  and shutting_down = t.shutting_down in
+  Mutex.unlock t.mutex;
+  let cache = Lru.stats t.cache in
+  let f = float_of_int in
+  Export.render
+    [ Export.Counter
+        { name = "tamoptd_requests_total";
+          help = "Requests by final disposition.";
+          series =
+            [ ([ ("result", "completed") ], f completed);
+              ([ ("result", "failed") ], f failed);
+              ([ ("result", "malformed") ], f malformed);
+              ([ ("result", "shed") ], f shed) ] };
+      Export.Counter
+        { name = "tamoptd_requests_received_total";
+          help = "Request lines received (including malformed).";
+          series = [ ([], f received) ] };
+      Export.Gauge
+        { name = "tamoptd_inflight";
+          help = "Admitted requests not yet completed.";
+          series = [ ([], f active) ] };
+      Export.Gauge
+        { name = "tamoptd_queue_capacity";
+          help = "Admission queue capacity.";
+          series = [ ([], f t.queue_capacity) ] };
+      Export.Gauge
+        { name = "tamoptd_shutting_down";
+          help = "1 while draining for shutdown.";
+          series = [ ([], if shutting_down then 1.0 else 0.0) ] };
+      Export.Gauge
+        { name = "tamoptd_uptime_seconds";
+          help = "Seconds since service start.";
+          series = [ ([], Clock.now_s () -. t.started_s) ] };
+      Export.Counter
+        { name = "tamoptd_cache_events_total";
+          help = "Result cache events.";
+          series =
+            [ ([ ("event", "hit") ], f cache.Lru.hits);
+              ([ ("event", "miss") ], f cache.Lru.misses);
+              ([ ("event", "eviction") ], f cache.Lru.evictions) ] };
+      Export.Gauge
+        { name = "tamoptd_cache_entries";
+          help = "Resident result cache entries.";
+          series = [ ([], f cache.Lru.length) ] };
+      Export.Counter
+        { name = "tamoptd_race_wins_total";
+          help = "Race-solver rows won, by engine.";
+          series =
+            List.map
+              (fun (engine, wins) -> ([ ("engine", engine) ], f wins))
+              (race_wins_alist t) };
+      Export.Histogram
+        { name = "tamoptd_request_latency_ms";
+          help = "End-to-end work-request latency, by cache disposition.";
+          series =
+            [ ([ ("cache", "hit") ], Hist.snapshot t.hit_lat_ms);
+              ([ ("cache", "miss") ], Hist.snapshot t.miss_lat_ms) ] };
+      Export.Histogram
+        { name = "tamoptd_queue_wait_ms";
+          help = "Arrival-to-worker-pickup wait.";
+          series = [ ([], Hist.snapshot t.queue_wait_ms) ] };
+      Export.Histogram
+        { name = "tamoptd_solve_ms";
+          help = "Solver wall time (cache misses only).";
+          series = [ ([], Hist.snapshot t.solve_ms) ] } ]
 
 (* ---- the line handler ---- *)
 
@@ -339,16 +528,67 @@ let reply_is_ok = function
       | _ -> false)
   | _ -> false
 
+let reply_verdict reply =
+  if reply_is_ok reply then "ok"
+  else
+    match Json.member "error" reply with
+    | Some err -> (
+        match Json.member "code" err with
+        | Some (Json.Str code) -> code
+        | _ -> "internal")
+    | None -> "internal"
+
 let count_malformed t =
   Mutex.lock t.mutex;
   t.malformed <- t.malformed + 1;
   Mutex.unlock t.mutex
+
+let opt_field name conv = function
+  | None -> []
+  | Some v -> [ (name, conv v) ]
+
+(* One NDJSON event per request line. Json escaping keeps the event on
+   one line whatever bytes the client put in trace ids or SOC names. *)
+let log_event t ~note ~trace_id ~op ~id ~deadline_slack reply ~duration_ms =
+  match t.log with
+  | None -> ()
+  | Some log ->
+      Log.event log
+        ([ ("trace_id", Json.Str trace_id); ("op", Json.Str op) ]
+        @ (match id with Json.Null -> [] | id -> [ ("id", id) ])
+        @ opt_field "soc" (fun s -> Json.Str s) note.n_soc
+        @ opt_field "solver" (fun s -> Json.Str s) note.n_solver
+        @ opt_field "digest" (fun s -> Json.Str s) note.n_digest
+        @ opt_field "cached" (fun b -> Json.Bool b) note.n_cached
+        @ opt_field "optimal" (fun b -> Json.Bool b) note.n_optimal
+        @ opt_field "deadline_ms" (fun x -> Json.Num x) note.n_deadline_ms
+        @ opt_field "slack_ms" (fun x -> Json.Num x) deadline_slack
+        @ opt_field "queue_wait_ms"
+            (fun x -> Json.Num x)
+            note.n_queue_wait_ms
+        @ opt_field "shed" (fun s -> Json.Str s) note.n_shed
+        @ [ ("verdict", Json.Str (reply_verdict reply));
+            ("duration_ms", Json.Num duration_ms) ])
+
+let op_name = function
+  | Protocol.Ping -> "ping"
+  | Protocol.Stats -> "stats"
+  | Protocol.Health -> "health"
+  | Protocol.Shutdown -> "shutdown"
+  | Protocol.Sleep _ -> "sleep"
+  | Protocol.Solve _ -> "solve"
+  | Protocol.Sweep _ -> "sweep"
 
 let handle_line ?emit t line =
   let arrival = Clock.now_s () in
   Mutex.lock t.mutex;
   t.received <- t.received + 1;
   Mutex.unlock t.mutex;
+  let note = fresh_note () in
+  (* op/trace for the log event; filled in once parsing succeeds. *)
+  let logged_op = ref "invalid" in
+  let logged_trace = ref None in
+  let logged_id = ref Json.Null in
   let reply =
     match Json.parse line with
     | Error msg ->
@@ -357,35 +597,70 @@ let handle_line ?emit t line =
           ("invalid JSON: " ^ msg)
     | Ok json -> (
         let id = Protocol.id_of json in
-        match Protocol.parse_request json with
+        logged_id := id;
+        match Protocol.trace_id_of json with
         | Error msg ->
             count_malformed t;
             Protocol.error_reply ~id ~code:"bad_request" msg
-        | Ok Protocol.Ping ->
-            Protocol.ok_reply ~id (Json.Obj [ ("pong", Json.Bool true) ])
-        | Ok Protocol.Stats -> Protocol.ok_reply ~id (stats_json t)
-        | Ok Protocol.Shutdown ->
-            Mutex.lock t.mutex;
-            t.shutting_down <- true;
-            Mutex.unlock t.mutex;
-            Protocol.ok_reply ~id
-              (Json.Obj [ ("stopping", Json.Bool true) ])
-        | Ok work -> (
-            match try_admit t with
-            | `Shutting_down ->
-                Protocol.error_reply ~id ~code:"shutting_down"
-                  "daemon is stopping"
-            | `Overloaded ->
-                Protocol.error_reply ~id ~code:"overloaded"
-                  (Printf.sprintf
-                     "admission queue full (%d requests in flight)"
-                     t.queue_capacity)
-            | `Admitted ->
-                let reply =
-                  run_on_pool t ~id (fun () ->
-                      execute t ~id ~arrival ~emit work)
-                in
-                release t ~ok:(reply_is_ok reply);
-                reply))
+        | Ok client_trace -> (
+            let trace_id =
+              match client_trace with
+              | Some s -> s
+              | None -> fresh_trace_id t
+            in
+            logged_trace := Some trace_id;
+            match Protocol.parse_request json with
+            | Error msg ->
+                count_malformed t;
+                Protocol.error_reply ~id ~trace_id ~code:"bad_request" msg
+            | Ok req -> (
+                logged_op := op_name req;
+                match req with
+                | Protocol.Ping ->
+                    Protocol.ok_reply ~id ~trace_id
+                      (Json.Obj [ ("pong", Json.Bool true) ])
+                | Protocol.Stats ->
+                    Protocol.ok_reply ~id ~trace_id (stats_json t)
+                | Protocol.Health ->
+                    Protocol.ok_reply ~id ~trace_id (health_json t)
+                | Protocol.Shutdown ->
+                    Mutex.lock t.mutex;
+                    t.shutting_down <- true;
+                    Mutex.unlock t.mutex;
+                    Protocol.ok_reply ~id ~trace_id
+                      (Json.Obj [ ("stopping", Json.Bool true) ])
+                | work -> (
+                    match try_admit t with
+                    | `Shutting_down ->
+                        note.n_shed <- Some "shutting_down";
+                        Protocol.error_reply ~id ~trace_id
+                          ~code:"shutting_down" "daemon is stopping"
+                    | `Overloaded ->
+                        note.n_shed <- Some "queue_full";
+                        Protocol.error_reply ~id ~trace_id
+                          ~code:"overloaded"
+                          (Printf.sprintf
+                             "admission queue full (%d requests in flight)"
+                             t.queue_capacity)
+                    | `Admitted ->
+                        let trace_id = Some trace_id in
+                        let reply =
+                          run_on_pool t ~id ~trace_id ~note ~arrival
+                            (fun () ->
+                              execute t ~id ~trace_id ~note ~arrival ~emit
+                                work)
+                        in
+                        release t ~ok:(reply_is_ok reply);
+                        reply))))
   in
+  let duration_ms = elapsed_ms ~arrival in
+  (match t.log with
+  | None -> ()
+  | Some _ ->
+      let trace_id = Option.value ~default:"-" !logged_trace in
+      let deadline_slack =
+        Option.map (fun d -> d -. duration_ms) note.n_deadline_ms
+      in
+      log_event t ~note ~trace_id ~op:!logged_op ~id:!logged_id
+        ~deadline_slack reply ~duration_ms);
   Json.to_string reply

@@ -33,15 +33,27 @@
     way: every portfolio engine observes the deadline cooperatively
     and the reply carries the best incumbent found so far with the
     partial verdict [optimal = false] — anytime behavior over the same
-    wire. *)
+    wire.
+
+    {b Telemetry.} Latencies (hit / miss end-to-end, queue wait, solver
+    wall time) land in windowless {!Soctam_obs.Hist} histograms — the
+    [stats] reply and {!metrics_text} report p50/p95/p99/p999 over
+    {e every} sample since startup, not a recent window. With a logger
+    attached, every request line produces one structured NDJSON event
+    carrying its trace id: client-supplied (validated by
+    {!Protocol.trace_id_of}) or server-generated, echoed in the reply
+    either way. Race-solver row wins are counted per engine. *)
 
 type t
 
-(** [create ?cache_capacity ?queue_capacity ~pool ()] — defaults:
-    cache 256 entries, queue 64 requests. The pool is borrowed, not
-    owned: the caller shuts it down after {!drain}. *)
+(** [create ?cache_capacity ?queue_capacity ?log ~pool ()] — defaults:
+    cache 256 entries, queue 64 requests, no request log. The pool is
+    borrowed, not owned: the caller shuts it down after {!drain}. *)
 val create :
-  ?cache_capacity:int -> ?queue_capacity:int -> pool:Soctam_engine.Pool.t ->
+  ?cache_capacity:int ->
+  ?queue_capacity:int ->
+  ?log:Soctam_obs.Log.t ->
+  pool:Soctam_engine.Pool.t ->
   unit -> t
 
 (** Process one request line; returns the response line. Never raises:
@@ -65,5 +77,16 @@ val shutdown_requested : t -> bool
 val drain : t -> unit
 
 (** The [stats] reply body: uptime, queue depth, request counters,
-    cache counters, recent latency percentiles (ms). *)
+    cache counters, latency percentiles (ms, including p999) and
+    per-engine race wins. *)
 val stats_json : t -> Soctam_obs.Json.t
+
+(** The [health] reply body: [status] (["ok"] / ["stopping"]),
+    uptime, in-flight count, queue capacity. Cheap — safe for a load
+    balancer probing every second. *)
+val health_json : t -> Soctam_obs.Json.t
+
+(** Prometheus text exposition (version 0.0.4) of the service's
+    counters, gauges and latency histograms — the body {!Http} serves
+    on [GET /metrics]. *)
+val metrics_text : t -> string

@@ -34,4 +34,5 @@ let () =
       ("engine_race", Test_race.suite);
       ("obs", Test_obs.suite);
       ("service", Test_service.suite);
+      ("telemetry", Test_telemetry.suite);
       ("check", Test_check.suite) ]

@@ -204,12 +204,33 @@ let test_percentiles () =
   Alcotest.(check bool) "empty is nan" true
     (Float.is_nan (Metrics.percentile [||] 0.5))
 
-let test_ring_window () =
-  let r = Metrics.Ring.create ~capacity:3 in
-  List.iter (Metrics.Ring.record r) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
-  Alcotest.(check int) "count is total" 5 (Metrics.Ring.count r);
-  Alcotest.(check (array (float 0.0))) "window keeps newest"
-    [| 3.0; 4.0; 5.0 |] (Metrics.Ring.samples r)
+(* Nearest-rank never interpolates: whenever n < 1/(1-q), the rank
+   ceil(q*n) clamps to n and the tail quantile IS the maximum. This is
+   the documented convention, pinned here so nobody "fixes" it into a
+   silent behavior change — and so callers know p99 of 10 samples says
+   nothing a max would not. *)
+let test_percentile_small_sample_convention () =
+  let ten = Array.init 10 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 0.0)) "p99 of 10 samples is the max" 10.0
+    (Metrics.percentile ten 0.99);
+  Alcotest.(check (float 0.0)) "p95 of 10 samples is the max" 10.0
+    (Metrics.percentile ten 0.95);
+  Alcotest.(check (float 0.0)) "p90 of 10 samples is rank 9" 9.0
+    (Metrics.percentile ten 0.90);
+  Alcotest.(check (float 0.0)) "p50 of 10 samples is rank 5" 5.0
+    (Metrics.percentile ten 0.50);
+  let one = [| 42.0 |] in
+  Alcotest.(check (float 0.0)) "every quantile of n=1 is the sample"
+    42.0
+    (Metrics.percentile one 0.999);
+  Alcotest.(check (float 0.0)) "q=0 is the min" 1.0
+    (Metrics.percentile ten 0.0);
+  (* The histogram follows the same convention, so daemon-side and
+     load-generator percentiles agree on small counts too. *)
+  let snap = Soctam_obs.Hist.of_samples ten in
+  Alcotest.(check (float 0.5)) "hist p99 of 10 also collapses to max"
+    10.0
+    (Soctam_obs.Hist.quantile snap 0.99)
 
 (* ---- protocol ---- *)
 
@@ -578,6 +599,43 @@ let test_service_race_stream () =
   | Error msg -> Alcotest.failf "second reply is not JSON: %s" msg);
   Alcotest.(check bool) "cached hit streams nothing" true (!stream2 = [])
 
+(* Trace-id propagation and the health probe, driven in-process: legal
+   ids echo byte-identically on ok AND error replies, the server mints
+   one when the client sends none, oversized or non-string ids are a
+   bad_request, and health answers without touching admission. *)
+let test_service_trace_and_health () =
+  with_service @@ fun svc ->
+  let health = reply_of_line svc {|{"op":"health"}|} in
+  Alcotest.(check bool) "health ok" true (reply_ok health);
+  (match Json.member "result" health with
+  | Some r ->
+      Alcotest.(check bool) "health status" true
+        (Json.member "status" r = Some (Json.Str "ok"));
+      Alcotest.(check bool) "health has inflight" true
+        (Json.member "inflight" r <> None)
+  | None -> Alcotest.fail "health reply has no result");
+  let ping = reply_of_line svc {|{"id":1,"op":"ping","trace_id":"abc-123"}|} in
+  Alcotest.(check bool) "ping ok" true (reply_ok ping);
+  Alcotest.(check bool) "trace echoed on ok" true
+    (Json.member "trace_id" ping = Some (Json.Str "abc-123"));
+  let err = reply_of_line svc {|{"op":"nonsense","trace_id":"xyz"}|} in
+  Alcotest.(check bool) "unknown op fails" false (reply_ok err);
+  Alcotest.(check bool) "trace echoed on error" true
+    (Json.member "trace_id" err = Some (Json.Str "xyz"));
+  (match Json.member "trace_id" (reply_of_line svc {|{"op":"ping"}|}) with
+  | Some (Json.Str s) ->
+      Alcotest.(check bool) "server mints a trace id" true
+        (String.length s > 0 && String.length s <= Protocol.max_trace_id_len)
+  | _ -> Alcotest.fail "no server-minted trace_id");
+  let oversized =
+    Printf.sprintf {|{"op":"ping","trace_id":"%s"}|}
+      (String.make (Protocol.max_trace_id_len + 1) 'x')
+  in
+  Alcotest.(check string) "oversized trace refused" "bad_request"
+    (error_code (reply_of_line svc oversized));
+  Alcotest.(check string) "non-string trace refused" "bad_request"
+    (error_code (reply_of_line svc {|{"op":"ping","trace_id":42}|}))
+
 (* Deadline plumbing below the service: a sweep started after its
    deadline returns best-found rows instead of stalling. *)
 let test_sweep_deadline_expired () =
@@ -599,7 +657,8 @@ let suite =
     Alcotest.test_case "lru replace" `Quick test_lru_replace;
     Alcotest.test_case "lru capacity 0" `Quick test_lru_disabled;
     Alcotest.test_case "percentiles" `Quick test_percentiles;
-    Alcotest.test_case "ring window" `Quick test_ring_window;
+    Alcotest.test_case "percentile small-sample convention" `Quick
+      test_percentile_small_sample_convention;
     Alcotest.test_case "protocol parse" `Quick test_protocol_parse;
     Alcotest.test_case "protocol rejects" `Quick test_protocol_rejects;
     Alcotest.test_case "protocol roundtrip" `Quick test_protocol_roundtrip;
@@ -614,5 +673,7 @@ let suite =
     Alcotest.test_case "shutdown" `Quick test_service_shutdown;
     Alcotest.test_case "race solve streams incumbents" `Quick
       test_service_race_stream;
+    Alcotest.test_case "trace ids and health probe" `Quick
+      test_service_trace_and_health;
     Alcotest.test_case "sweep deadline expiry" `Quick
       test_sweep_deadline_expired ]
