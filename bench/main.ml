@@ -35,6 +35,8 @@ module Schedule = Soctam_sched.Schedule
 module Profile = Soctam_sched.Profile
 module Power_sched = Soctam_sched.Power_sched
 module Gantt = Soctam_sched.Gantt
+module Rect_sched = Soctam_sched.Rect_sched
+module Pack = Soctam_pack.Pack
 module Table = Soctam_report.Table
 module Pool = Soctam_engine.Pool
 module Sweep = Soctam_engine.Sweep
@@ -1619,6 +1621,169 @@ let table_e12 () =
      1/128 = 0.78%%\n"
     n
 
+(* ------------------------------------------------------------------ *)
+(* E13: rectangle packing vs the fixed-bus partition model — the       *)
+(* makespan the flexible-wire formulation saves, the exact packer's    *)
+(* certification effort, and the pack race's jobs-independence.        *)
+
+type pack_measurement = {
+  pm_soc : string;
+  pm_num_buses : int;
+  pm_width : int;
+  pm_p_max : float option;
+  pm_partition_t : int option;
+  pm_pack_t : int option;
+  pm_lb : int;
+  pm_winner : string;
+  pm_certificate : string;
+  pm_incumbents : int;
+  pm_nodes : int;
+  pm_bound_applies : bool;
+  pm_pack_le_partition : bool;
+  pm_jobs_identical : bool;
+  pm_exact_s : float;
+  pm_pack_s : float;
+}
+
+let e13_measurements : pack_measurement list ref = ref []
+
+let table_e13 () =
+  section "E13"
+    "rectangle packing vs partition: makespan, certificates, node counts";
+  (* Instances sized for the exact packer to run to exhaustion, so the
+     recorded node counts — like E11's B&B counts — are deterministic
+     and diffable in CI. One cell adds an instantaneous power envelope
+     (1.3x the hungriest core); on such a cell the partition optimum
+     only bounds the packing when its own schedule happens to respect
+     the envelope the partition solvers never see, which
+     [bound_applies] records. *)
+  let workloads =
+    pick
+      [ (Benchmarks.random ~seed:5 ~num_cores:4 (), 2, [ 6; 8 ], false);
+        (Benchmarks.random ~seed:9 ~num_cores:4 (), 2, [ 6 ], false);
+        (Benchmarks.random ~seed:5 ~num_cores:4 (), 2, [ 6 ], true) ]
+      [ (Benchmarks.random ~seed:5 ~num_cores:4 (), 2, [ 6 ], false);
+        (Benchmarks.random ~seed:5 ~num_cores:4 (), 2, [ 6 ], true) ]
+  in
+  let measurements =
+    Pool.with_pool ~num_domains:jobs (fun pool ->
+        List.concat_map
+          (fun (soc, num_buses, widths, envelope) ->
+            List.map
+              (fun w ->
+                let problem = Problem.make soc ~num_buses ~total_width:w in
+                let p_max_mw =
+                  if envelope then
+                    Some (Pack.effective_budget problem ~p_max_mw:0.0 *. 1.3)
+                  else None
+                in
+                let t0 = Clock.now_s () in
+                let exact_row =
+                  Sweep.solve_one
+                    (List.hd
+                       (Sweep.cells soc ~num_buses ~widths:[ w ]))
+                in
+                let exact_s = Clock.elapsed_s ~since:t0 in
+                let partition_t =
+                  Option.map snd exact_row.Sweep.solution
+                in
+                let incumbents = ref 0 in
+                let t1 = Clock.now_s () in
+                let seq =
+                  Race.solve_pack ?p_max_mw
+                    ~on_event:(fun _ -> incr incumbents)
+                    problem
+                in
+                let pack_s = Clock.elapsed_s ~since:t1 in
+                let par = Race.solve_pack ?p_max_mw ~pool problem in
+                let t_of (r : Race.pack_result) =
+                  Option.map
+                    (fun (p : Rect_sched.t) -> p.Rect_sched.makespan)
+                    r.Race.packing
+                in
+                let bound_applies =
+                  match exact_row.Sweep.solution with
+                  | None -> false
+                  | Some (arch, _) -> (
+                      match
+                        Pack.validate ?p_max_mw problem
+                          (Rect_sched.of_architecture problem arch)
+                      with
+                      | Ok () -> true
+                      | Error _ -> false)
+                in
+                let pack_le_partition =
+                  match (t_of seq, partition_t) with
+                  | Some p, Some t -> (not bound_applies) || p <= t
+                  | _ -> false
+                in
+                { pm_soc = Soc.name soc;
+                  pm_num_buses = num_buses;
+                  pm_width = w;
+                  pm_p_max = p_max_mw;
+                  pm_partition_t = partition_t;
+                  pm_pack_t = t_of seq;
+                  pm_lb = seq.Race.lower_bound;
+                  pm_winner = Option.value ~default:"-" seq.Race.winner;
+                  pm_certificate =
+                    Option.value ~default:"-" seq.Race.certificate;
+                  pm_incumbents = !incumbents;
+                  pm_nodes = seq.Race.nodes;
+                  pm_bound_applies = bound_applies;
+                  pm_pack_le_partition = pack_le_partition;
+                  pm_jobs_identical =
+                    t_of seq = t_of par
+                    && seq.Race.optimal = par.Race.optimal;
+                  pm_exact_s = exact_s;
+                  pm_pack_s = pack_s })
+              widths)
+          workloads)
+  in
+  e13_measurements := measurements;
+  let rows =
+    List.map
+      (fun m ->
+        [ m.pm_soc;
+          string_of_int m.pm_num_buses;
+          string_of_int m.pm_width;
+          (match m.pm_p_max with
+          | Some p -> Printf.sprintf "%.0f" p
+          | None -> "-");
+          fmt_time_opt m.pm_partition_t;
+          fmt_time_opt m.pm_pack_t;
+          string_of_int m.pm_lb;
+          m.pm_winner;
+          m.pm_certificate;
+          string_of_int m.pm_incumbents;
+          string_of_int m.pm_nodes;
+          (if m.pm_pack_le_partition then "yes" else "NO");
+          (if m.pm_jobs_identical then "yes" else "NO") ])
+      measurements
+  in
+  print_string
+    (Table.render
+       ~headers:
+         [ "soc"; "nb"; "W"; "p_max"; "T_part"; "T_pack"; "lb"; "winner";
+           "cert"; "incumb"; "nodes"; "pack<=part"; "jobs=" ]
+       rows);
+  let saved =
+    List.fold_left
+      (fun a m ->
+        match (m.pm_partition_t, m.pm_pack_t) with
+        | Some t, Some p when m.pm_bound_applies -> a + (t - p)
+        | _ -> a)
+      0 measurements
+  in
+  Printf.printf
+    "\npack summary: %d cycles saved vs the partition optimum across %d \
+     cell(s); %d exact-packer nodes total\n"
+    saved (List.length measurements)
+    (List.fold_left (fun a m -> a + m.pm_nodes) 0 measurements);
+  if List.exists (fun m -> not m.pm_pack_le_partition) measurements then
+    print_endline "!! a packing lost to the partition optimum it subsumes";
+  if List.exists (fun m -> not m.pm_jobs_identical) measurements then
+    print_endline "!! pack race verdict depends on the job count"
+
 let service_json_path = flag_value "--service-json"
 
 let write_service_json path =
@@ -1783,6 +1948,60 @@ let write_json path =
                 ("probe_ns", Json.Num o.ov_probe_ns);
                 ("disabled_overhead_pct", Json.Num o.ov_disabled_pct) ] ) ]
   in
+  let pack =
+    match !e13_measurements with
+    | [] -> []
+    | ms ->
+        [ ( "pack",
+            Json.Obj
+              [ ( "workloads",
+                  Json.Arr
+                    (List.map
+                       (fun m ->
+                         Json.Obj
+                           [ ("soc", Json.Str m.pm_soc);
+                             ("num_buses", Json.int m.pm_num_buses);
+                             ("total_width", Json.int m.pm_width);
+                             ( "p_max_mw",
+                               match m.pm_p_max with
+                               | Some p -> Json.Num p
+                               | None -> Json.Null );
+                             ( "partition_t",
+                               match m.pm_partition_t with
+                               | Some t -> Json.int t
+                               | None -> Json.Null );
+                             ( "pack_t",
+                               match m.pm_pack_t with
+                               | Some t -> Json.int t
+                               | None -> Json.Null );
+                             ("lower_bound", Json.int m.pm_lb);
+                             ("winner", Json.Str m.pm_winner);
+                             ("certificate", Json.Str m.pm_certificate);
+                             ("incumbents", Json.int m.pm_incumbents);
+                             ("nodes", Json.int m.pm_nodes);
+                             ("bound_applies", Json.Bool m.pm_bound_applies);
+                             ( "pack_le_partition",
+                               Json.Bool m.pm_pack_le_partition );
+                             ("jobs_identical", Json.Bool m.pm_jobs_identical);
+                             ("exact_s", Json.Num m.pm_exact_s);
+                             ("pack_s", Json.Num m.pm_pack_s) ])
+                       ms) );
+                ( "pack_le_partition_all",
+                  Json.Bool (List.for_all (fun m -> m.pm_pack_le_partition) ms)
+                );
+                ( "jobs_identical_all",
+                  Json.Bool (List.for_all (fun m -> m.pm_jobs_identical) ms) );
+                ( "certified",
+                  Json.int
+                    (List.length
+                       (List.filter
+                          (fun m -> m.pm_certificate = "exact")
+                          ms)) );
+                ( "exact_nodes",
+                  Json.int (List.fold_left (fun a m -> a + m.pm_nodes) 0 ms) )
+              ] )
+        ]
+  in
   let telemetry =
     match !e12_telemetry with
     | None -> []
@@ -1824,7 +2043,7 @@ let write_json path =
            Json.int (List.fold_left (fun a m -> a + m.sm_cuts) 0 measurements) );
          ( "total_presolve_fixed",
            Json.int (List.fold_left (fun a m -> a + m.sm_fixed) 0 measurements) ) ]
-      @ race @ obs @ telemetry)
+      @ race @ pack @ obs @ telemetry)
   in
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (Json.to_string_pretty doc));
@@ -1908,6 +2127,7 @@ let () =
   if sweep_only then begin
     table_e8 ();
     table_e11 ();
+    table_e13 ();
     table_e9 ();
     table_e10 ();
     table_e12 ()
@@ -1919,6 +2139,7 @@ let () =
     table_a3 ();
     table_e8 ();
     table_e11 ();
+    table_e13 ();
     table_e9 ();
     table_e10 ();
     table_e12 ()
@@ -1947,6 +2168,7 @@ let () =
     table_a6 ();
     table_e8 ();
     table_e11 ();
+    table_e13 ();
     table_e9 ();
     table_e10 ();
     table_e12 ();

@@ -18,7 +18,10 @@ module Layout_conflicts = Soctam_layout.Conflicts
 module Power_conflicts = Soctam_power.Power_conflicts
 module Power_model = Soctam_power.Power_model
 module Schedule = Soctam_sched.Schedule
+module Rect_sched = Soctam_sched.Rect_sched
+module Profile = Soctam_sched.Profile
 module Gantt = Soctam_sched.Gantt
+module Pack_solver = Soctam_pack.Pack
 module Table = Soctam_report.Table
 module Pool = Soctam_engine.Pool
 module Sweep = Soctam_engine.Sweep
@@ -127,6 +130,48 @@ let print_solution problem soc solution ~show_gantt =
       end;
       0
 
+(* Pack rows carry a packed schedule, not an architecture: print the
+   placements (one rectangle per core), the Gantt of the track-lowered
+   schedule, and — when an envelope is in force — the power profile. *)
+let print_packing ?p_max_mw problem soc packing ~show_gantt =
+  (match Pack_solver.validate ?p_max_mw problem packing with
+  | Ok () -> ()
+  | Error msg -> Printf.printf "WARNING: packing verifier complaint: %s\n" msg);
+  Printf.printf "Test time: %d cycles (rectangle packing)\n"
+    packing.Rect_sched.makespan;
+  let rows =
+    List.map
+      (fun (p : Rect_sched.placement) ->
+        [ (Soc.core soc p.core).Core_def.name;
+          string_of_int p.width;
+          Printf.sprintf "%d..%d" p.wire_lo (p.wire_lo + p.width - 1);
+          string_of_int p.start;
+          string_of_int p.finish ])
+      packing.Rect_sched.placements
+  in
+  print_string
+    (Table.render
+       ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+       ~headers:[ "core"; "width"; "wires"; "start"; "finish" ]
+       rows);
+  let schedule = Pack_solver.to_schedule packing in
+  if show_gantt then begin
+    print_newline ();
+    print_string (Gantt.render problem schedule)
+  end;
+  (match p_max_mw with
+  | Some p ->
+      let profile = Profile.of_schedule problem schedule in
+      Printf.printf "Peak power: %.1f mW (budget %.1f mW)\n"
+        (Profile.peak profile)
+        (Pack_solver.effective_budget problem ~p_max_mw:p);
+      if show_gantt then begin
+        print_newline ();
+        print_string (Gantt.render_profile profile)
+      end
+  | None -> ());
+  0
+
 (* Tracing wrapper shared by solve and sweep: when [--trace] or
    [--profile] asked for observability, record [f], then export the
    Chrome trace and/or print the profile tables after [f]'s own
@@ -193,8 +238,11 @@ let p_max_arg =
 
 let solver_arg =
   let doc =
-    "Solver: exact (enumeration+DP), ilp, heuristic, or race (anytime \
-     portfolio of all of them against a shared incumbent)."
+    "Solver: exact (enumeration+DP), ilp, heuristic, race (anytime \
+     portfolio of all of them against a shared incumbent), or pack \
+     (rectangle packing: every core picks its own width, tests are \
+     scheduled on the wire strip; --p-max additionally bounds the \
+     instantaneous power of the packed schedule)."
   in
   Arg.(value & opt string "exact" & info [ "solver" ] ~docv:"SOLVER" ~doc)
 
@@ -241,7 +289,7 @@ let no_seed_arg =
   Arg.(value & flag & info [ "no-seed" ] ~doc)
 
 let sweep_solver_of_string ?ilp_time_limit ?(no_presolve = false)
-    ?(no_cuts = false) ?(no_seed = false) solver =
+    ?(no_cuts = false) ?(no_seed = false) ?p_max solver =
   match solver with
   | "exact" -> Sweep.Exact
   | "ilp" ->
@@ -252,6 +300,7 @@ let sweep_solver_of_string ?ilp_time_limit ?(no_presolve = false)
           seed = not no_seed }
   | "heuristic" -> Sweep.Heuristic
   | "race" -> Sweep.Race
+  | "pack" -> Sweep.Pack { p_max_mw = p_max }
   | other ->
       raise (Invalid_argument (Printf.sprintf "unknown solver %S" other))
 
@@ -301,7 +350,7 @@ let solve_cmd =
       in
       let solver =
         sweep_solver_of_string ~ilp_time_limit:time_limit ~no_presolve
-          ~no_cuts ~no_seed solver
+          ~no_cuts ~no_seed ?p_max solver
       in
       let cell =
         match
@@ -316,7 +365,7 @@ let solve_cmd =
       with_observability ~trace ~profile @@ fun () ->
       let row =
         match solver with
-        | Sweep.Race ->
+        | Sweep.Race | Sweep.Pack _ ->
             let deadline_s = Clock.now_s () +. time_limit in
             let jobs = resolve_jobs jobs in
             if jobs > 1 then
@@ -351,12 +400,28 @@ let solve_cmd =
             (match row.Sweep.winner with Some w -> w | None -> "none")
             row.Sweep.nodes row.Sweep.lp_pivots row.Sweep.cancelled_nodes
             row.Sweep.elapsed_s
+      | Sweep.Pack _ ->
+          if not row.Sweep.optimal then
+            print_endline
+              "note: pack race uncertified; best packing shown";
+          Printf.printf "Pack race: winner %s, %d exact-packer nodes, %.3f s\n"
+            (match row.Sweep.winner with Some w -> w | None -> "none")
+            row.Sweep.nodes row.Sweep.elapsed_s
       | Sweep.Exact | Sweep.Heuristic -> ());
       (match json_path with
       | Some path ->
           write_json path (rows_json ~soc ~num_buses ~solver [ row ])
       | None -> ());
-      print_solution problem soc row.Sweep.solution ~show_gantt:gantt
+      (match solver with
+      | Sweep.Pack _ -> (
+          match row.Sweep.packing with
+          | Some packing ->
+              print_packing ?p_max_mw:p_max problem soc packing
+                ~show_gantt:gantt
+          | None ->
+              print_endline "No packing found before the deadline.";
+              1)
+      | _ -> print_solution problem soc row.Sweep.solution ~show_gantt:gantt)
     with Invalid_argument msg ->
       Printf.eprintf "error: %s\n" msg;
       2
@@ -405,7 +470,7 @@ let sweep_cmd =
           ~model ~d_max ~p_max
       in
       let solver =
-        sweep_solver_of_string ~no_presolve ~no_cuts ~no_seed solver
+        sweep_solver_of_string ~no_presolve ~no_cuts ~no_seed ?p_max solver
       in
       let cells =
         Sweep.cells
@@ -428,9 +493,10 @@ let sweep_cmd =
         List.map
           (fun row ->
             [ string_of_int row.Sweep.total_width;
-              (match row.Sweep.solution with
-              | Some (_, t) -> string_of_int t
-              | None -> "infeasible");
+              (match (row.Sweep.solution, row.Sweep.packing) with
+              | Some (_, t), _ -> string_of_int t
+              | None, Some p -> string_of_int p.Rect_sched.makespan
+              | None, None -> "infeasible");
               string_of_int row.Sweep.nodes;
               string_of_int row.Sweep.lp_pivots;
               Table.fmt_float ~decimals:3 row.Sweep.elapsed_s ])
@@ -706,6 +772,7 @@ let load_cmd =
         | "ilp" -> Protocol.Ilp
         | "heuristic" -> Protocol.Heuristic
         | "race" -> Protocol.Race
+        | "pack" -> Protocol.Pack
         | other ->
             raise
               (Invalid_argument (Printf.sprintf "unknown solver %S" other))
@@ -1208,6 +1275,14 @@ let fuzz_cmd =
     let doc = "Upper bound on generated SOC core counts (default 6)." in
     Arg.(value & opt (some int) None & info [ "max-cores" ] ~docv:"N" ~doc)
   in
+  let pack_arg =
+    let doc =
+      "Bias generated instances toward the rectangle-packing family: \
+       wider width budgets, extra co-assignment pairs and an \
+       instantaneous power envelope on every instance."
+    in
+    Arg.(value & flag & info [ "pack" ] ~doc)
+  in
   let replay_path path =
     let entries =
       if Sys.is_directory path then
@@ -1237,7 +1312,7 @@ let fuzz_cmd =
       (List.length failed);
     if failed = [] then 0 else 1
   in
-  let run seed budget shrink corpus_dir brk proto replay max_cores
+  let run seed budget shrink corpus_dir brk proto replay max_cores pack
       no_presolve no_cuts =
     try
       if budget < 0 then raise (Invalid_argument "--budget < 0");
@@ -1290,8 +1365,8 @@ let fuzz_cmd =
         | None ->
             let outcome =
               Fuzz.run ~log ~fault ~shrink ?corpus_dir ?max_cores
-                ~presolve:(not no_presolve) ~cuts:(not no_cuts) ~seed
-                ~budget ()
+                ~pack_bias:pack ~presolve:(not no_presolve)
+                ~cuts:(not no_cuts) ~seed ~budget ()
             in
             if Option.is_none outcome.Fuzz.failure then 0 else 1
     with Invalid_argument msg ->
@@ -1301,7 +1376,7 @@ let fuzz_cmd =
   let term =
     Term.(
       const run $ seed_arg $ budget_arg $ shrink_arg $ corpus_arg
-      $ break_arg $ proto_arg $ replay_arg $ max_cores_arg
+      $ break_arg $ proto_arg $ replay_arg $ max_cores_arg $ pack_arg
       $ no_presolve_arg $ no_cuts_arg)
   in
   Cmd.v

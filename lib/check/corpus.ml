@@ -17,6 +17,9 @@ let body (e : entry) =
   List.iter
     (fun (i, j) -> Buffer.add_string b (Printf.sprintf "co %d %d\n" i j))
     e.instance.Gen.co;
+  (match e.instance.Gen.p_max with
+  | None -> ()
+  | Some p -> Buffer.add_string b (Printf.sprintf "pmax %.17g\n" p));
   Buffer.add_string b (Soc_file.to_string e.instance.Gen.soc);
   Buffer.contents b
 
@@ -78,6 +81,8 @@ let of_string text =
             header (lineno + 1) (("excl", (lineno, i ^ " " ^ j)) :: acc) rest
         | [ "co"; i; j ] ->
             header (lineno + 1) (("co", (lineno, i ^ " " ^ j)) :: acc) rest
+        | [ "pmax"; p ] ->
+            header (lineno + 1) (("pmax", (lineno, p)) :: acc) rest
         | keyword :: _ -> fail lineno "unknown directive %S" keyword)
   in
   let* directives, soc_text = header 1 [] lines in
@@ -104,6 +109,12 @@ let of_string text =
          (Ok [])
     |> Result.map List.rev
   in
+  let at_most_one key =
+    match List.filter (fun (k, _) -> k = key) directives with
+    | [] -> Ok None
+    | [ (_, v) ] -> Ok (Some v)
+    | _ -> Error (Printf.sprintf "duplicate \"%s\" directive" key)
+  in
   let* _, property = one "property" in
   let* bline, buses = one "buses" in
   let* buses = int_word bline buses in
@@ -111,12 +122,22 @@ let of_string text =
   let* width = int_word wline width in
   let* excl = pairs "excl" in
   let* co = pairs "co" in
+  let* p_max =
+    (* Optional — entries predating the pack family have no pmax. *)
+    let* pm = at_most_one "pmax" in
+    match pm with
+    | None -> Ok None
+    | Some (line, v) -> (
+        match float_of_string_opt v with
+        | Some p -> Ok (Some p)
+        | None -> fail line "%S is not a number" v)
+  in
   let* soc = Soc_file.of_string soc_text in
   Ok
     { property;
       note = None;
       instance =
-        { Gen.soc; num_buses = buses; total_width = width; excl; co } }
+        { Gen.soc; num_buses = buses; total_width = width; excl; co; p_max } }
 
 let filename (e : entry) =
   Printf.sprintf "%s-%s.soc" e.property

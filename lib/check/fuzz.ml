@@ -13,8 +13,8 @@ type outcome = {
 }
 
 let run ?(log = fun _ -> ()) ?(fault = Oracle.No_fault) ?(shrink = false)
-    ?corpus_dir ?min_cores ?max_cores ?(presolve = true) ?(cuts = true)
-    ~seed ~budget () =
+    ?corpus_dir ?min_cores ?max_cores ?pack_bias ?(presolve = true)
+    ?(cuts = true) ~seed ~budget () =
   if budget < 0 then invalid_arg "Fuzz.run: budget < 0";
   let check = Oracle.check ~fault ~presolve ~cuts in
   let rec loop i =
@@ -26,7 +26,9 @@ let run ?(log = fun _ -> ()) ?(fault = Oracle.No_fault) ?(shrink = false)
       if i > 0 && i mod 50 = 0 then
         log (Printf.sprintf "fuzz: %d/%d clean" i budget);
       let fuzz_seed = seed + i in
-      let spec = Gen.spec_of_seed ?min_cores ?max_cores ~seed:fuzz_seed () in
+      let spec =
+        Gen.spec_of_seed ?min_cores ?max_cores ?pack_bias ~seed:fuzz_seed ()
+      in
       let instance = Gen.instance_of_spec spec in
       match check instance with
       | Ok () -> loop (i + 1)

@@ -27,7 +27,9 @@ type outcome = {
     [log] (default: silent). [fault] injects an artificial solver bug
     (harness self-test); [shrink] (default [false]) minimizes a
     failure before reporting; [corpus_dir] persists the (possibly
-    shrunk) repro. [min_cores]/[max_cores] bound the generated SOCs
+    shrunk) repro. [min_cores]/[max_cores] bound the generated SOCs,
+    and [pack_bias] stresses the rectangle-packing family with wider
+    budgets, extra co-pairs and power envelopes
     (defaults as {!Gen.spec_of_seed}). [presolve]/[cuts] (default
     [true]) are forwarded to {!Oracle.check}: a batch with them off
     fuzzes the unstrengthened MILP pipeline. *)
@@ -38,6 +40,7 @@ val run :
   ?corpus_dir:string ->
   ?min_cores:int ->
   ?max_cores:int ->
+  ?pack_bias:bool ->
   ?presolve:bool ->
   ?cuts:bool ->
   seed:int ->

@@ -12,6 +12,7 @@ type instance = {
   total_width : int;
   excl : (int * int) list;
   co : (int * int) list;
+  p_max : float option;
 }
 
 type spec = {
@@ -21,13 +22,15 @@ type spec = {
   total_width : int;
   raw_excl : (int * int) list;
   raw_co : (int * int) list;
+  p_max_pct : int option;
 }
 
 (* All structure flows from one salted [Random.State] stream, with
    explicit recursion (never [List.init]) so the draw order — and hence
    the spec — is pinned down exactly, independent of stdlib evaluation
    order. *)
-let spec_of_seed ?(min_cores = 2) ?(max_cores = 6) ~seed () =
+let spec_of_seed ?(min_cores = 2) ?(max_cores = 6) ?(pack_bias = false)
+    ~seed () =
   if min_cores < 1 then invalid_arg "Gen.spec_of_seed: min_cores < 1";
   if max_cores < min_cores then
     invalid_arg "Gen.spec_of_seed: max_cores < min_cores";
@@ -47,19 +50,44 @@ let spec_of_seed ?(min_cores = 2) ?(max_cores = 6) ~seed () =
   let clean = List.filter (fun (a, b) -> a <> b) in
   let raw_excl = clean (draw_pairs (int_in 0 3) []) in
   let raw_co = clean (draw_pairs (int_in 0 2) []) in
-  { seed = soc_seed; num_cores; num_buses; total_width; raw_excl; raw_co }
+  (* The biased draws come last so the unbiased prefix — and hence every
+     historical seed -> spec mapping — is untouched. *)
+  let total_width, raw_co, p_max_pct =
+    if not pack_bias then (total_width, raw_co, None)
+    else
+      let total_width = total_width + int_in 0 8 in
+      let raw_co = raw_co @ clean (draw_pairs (int_in 0 2) []) in
+      (total_width, raw_co, Some (int_in 10 90))
+  in
+  { seed = soc_seed; num_cores; num_buses; total_width; raw_excl; raw_co;
+    p_max_pct }
 
 let pairs_print pairs =
   String.concat ";"
     (List.map (fun (a, b) -> Printf.sprintf "%d,%d" a b) pairs)
 
 let spec_print spec =
-  Printf.sprintf "{seed=%d n=%d nb=%d W=%d excl=[%s] co=[%s]}" spec.seed
+  Printf.sprintf "{seed=%d n=%d nb=%d W=%d excl=[%s] co=[%s]%s}" spec.seed
     spec.num_cores spec.num_buses spec.total_width
     (pairs_print spec.raw_excl) (pairs_print spec.raw_co)
+    (match spec.p_max_pct with
+    | None -> ""
+    | Some pct -> Printf.sprintf " pmax=%d%%" pct)
 
 let soc_of_spec spec =
   Benchmarks.random ~seed:spec.seed ~num_cores:spec.num_cores ()
+
+(* [pct] interpolates between the tightest satisfiable envelope (the
+   hungriest single core — anything lower forbids that core outright)
+   and the never-binding one (every core at once). *)
+let p_max_of_pct soc pct =
+  let max_p = ref 0.0 and sum_p = ref 0.0 in
+  for i = 0 to Soc.num_cores soc - 1 do
+    let p = (Soc.core soc i).Soctam_soc.Core_def.power_mw in
+    max_p := Float.max !max_p p;
+    sum_p := !sum_p +. p
+  done;
+  !max_p +. (float_of_int pct /. 100.0 *. (!sum_p -. !max_p))
 
 let problem_of_spec ?(constrained = true) spec =
   let constraints =
@@ -71,11 +99,13 @@ let problem_of_spec ?(constrained = true) spec =
     ~total_width:spec.total_width
 
 let instance_of_spec spec =
-  { soc = soc_of_spec spec;
+  let soc = soc_of_spec spec in
+  { soc;
     num_buses = spec.num_buses;
     total_width = spec.total_width;
     excl = spec.raw_excl;
-    co = spec.raw_co }
+    co = spec.raw_co;
+    p_max = Option.map (p_max_of_pct soc) spec.p_max_pct }
 
 let problem_of_instance inst =
   Problem.make inst.soc
@@ -83,6 +113,9 @@ let problem_of_instance inst =
     ~num_buses:inst.num_buses ~total_width:inst.total_width
 
 let instance_print inst =
-  Printf.sprintf "{soc=%s n=%d nb=%d W=%d excl=[%s] co=[%s]}"
+  Printf.sprintf "{soc=%s n=%d nb=%d W=%d excl=[%s] co=[%s]%s}"
     (Soc.name inst.soc) (Soc.num_cores inst.soc) inst.num_buses
     inst.total_width (pairs_print inst.excl) (pairs_print inst.co)
+    (match inst.p_max with
+    | None -> ""
+    | Some p -> Printf.sprintf " pmax=%.3f" p)

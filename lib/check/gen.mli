@@ -24,6 +24,9 @@ type instance = {
   total_width : int;
   excl : (int * int) list;  (** Exclusion pairs (raw, in core-index range). *)
   co : (int * int) list;  (** Co-assignment pairs (raw). *)
+  p_max : float option;
+      (** Instantaneous power envelope in mW, for the pack-family
+          oracle property; [None] leaves packing unconstrained. *)
 }
 
 (** A reproducible instance description. [seed] is the
@@ -37,6 +40,10 @@ type spec = {
   total_width : int;
   raw_excl : (int * int) list;
   raw_co : (int * int) list;
+  p_max_pct : int option;
+      (** Power envelope as a percentage between the hungriest single
+          core (0) and the whole-SOC sum (100); materialized to mW by
+          {!instance_of_spec}. Only [Some] under [~pack_bias:true]. *)
 }
 
 (** [spec_of_seed ~seed ()] derives a spec deterministically: equal
@@ -44,9 +51,16 @@ type spec = {
     default to the \[2, 6\] range of the historical qcheck generator
     (brute-force cross-checks stay cheap); widen with [max_cores] for
     deeper fuzzing. Buses are drawn from \[1, 3\] and the width budget
-    from \[buses, buses + 8\]. Raises [Invalid_argument] when
-    [min_cores < 1] or [max_cores < min_cores]. *)
-val spec_of_seed : ?min_cores:int -> ?max_cores:int -> seed:int -> unit -> spec
+    from \[buses, buses + 8\]. [~pack_bias:true] stresses the
+    rectangle-packing family: up to 8 extra wires of width budget, up
+    to 2 extra co-assignment pairs and an instantaneous power envelope
+    ([p_max_pct] in \[10, 90\]); the unbiased draws are unchanged, so
+    seed -> spec under the default is byte-identical to before the knob
+    existed. Raises [Invalid_argument] when [min_cores < 1] or
+    [max_cores < min_cores]. *)
+val spec_of_seed :
+  ?min_cores:int -> ?max_cores:int -> ?pack_bias:bool -> seed:int -> unit ->
+  spec
 
 (** One-line rendering, e.g. [{seed=17 n=4 nb=2 W=6 excl=[0,3] co=[]}]. *)
 val spec_print : spec -> string

@@ -9,6 +9,9 @@ module Soc = Soctam_soc.Soc
 module Test_time = Soctam_soc.Test_time
 module Canon = Soctam_service.Canon
 module Race = Soctam_engine.Race
+module Rect_sched = Soctam_sched.Rect_sched
+module Profile = Soctam_sched.Profile
+module Pack = Soctam_pack.Pack
 
 type fault =
   | No_fault
@@ -49,9 +52,15 @@ let properties =
     "relaxation_monotone";
     "warm_equals_cold";
     "presolve_equivalence";
-    "race_matches_exact" ]
+    "race_matches_exact";
+    "pack_bounds" ]
 
 let ilp_width_cap = 8
+
+(* The exact packer branches over permutations; past this many cores the
+   oracle's per-instance cost stops being fuzz-friendly. *)
+let pack_exact_core_cap = 6
+let pack_exact_node_budget = 200_000
 
 let fail property fmt =
   Printf.ksprintf (fun detail -> Error { property; detail }) fmt
@@ -303,26 +312,118 @@ let check ?(fault = No_fault) ?(presolve = true) ?(cuts = true)
      exact optimum and return a verified architecture. Width is capped
      like the other MILP properties — the portfolio includes the ILP
      engine. *)
-  if Problem.total_width problem > ilp_width_cap then Ok ()
+  let* () =
+    if Problem.total_width problem > ilp_width_cap then Ok ()
+    else begin
+      let race = Race.solve problem in
+      if not race.Race.optimal then
+        fail "race_matches_exact" "race returned without a certificate"
+      else
+        match exact_time, race.Race.solution with
+        | None, None -> Ok ()
+        | Some t, None ->
+            fail "race_matches_exact" "race infeasible but exact found T=%d" t
+        | None, Some (_, t') ->
+            fail "race_matches_exact"
+              "race found T=%d on an exact-infeasible instance" t'
+        | Some t, Some (arch, t') ->
+            if t' <> t then
+              fail "race_matches_exact" "race T=%d but exact T=%d" t' t
+            else (
+              match Verify.check problem arch ~claimed_time:t' with
+              | Ok () -> Ok ()
+              | Error msg ->
+                  fail "race_matches_exact" "race architecture rejected: %s"
+                    msg)
+    end
+  in
+  (* pack_bounds *)
+  (* The rectangle-packing family against the partition optimum. The
+     partition optimum bounds the packing family only when its own
+     schedule, converted to a packing, is feasible under the envelope
+     (partition solvers never see [p_max]) — that converted schedule
+     also seeds the greedy portfolio, making "seeded greedy <= partition
+     optimum" a real claim rather than a coincidence of the heuristics.
+     The exact packer runs unseeded; its claims only apply when the
+     search exhausted within the node budget (the certificate). *)
+  let p_max_mw = inst.Gen.p_max in
+  let pack_lb = Pack.lower_bound ?p_max_mw problem in
+  let seed_archs =
+    match exact with Some (arch, _) -> [ arch ] | None -> []
+  in
+  let partition_bound =
+    match exact with
+    | None -> None
+    | Some (arch, t) -> (
+        match
+          Pack.validate ?p_max_mw problem
+            (Rect_sched.of_architecture problem arch)
+        with
+        | Ok () -> Some t
+        | Error _ -> None)
+  in
+  let greedy = Pack.greedy ?p_max_mw ~seed_archs problem in
+  let* () =
+    match Pack.validate ?p_max_mw problem greedy with
+    | Ok () -> Ok ()
+    | Error msg -> fail "pack_bounds" "greedy packing rejected: %s" msg
+  in
+  let* () =
+    if greedy.Rect_sched.makespan < pack_lb then
+      fail "pack_bounds" "greedy makespan %d beats the lower bound %d"
+        greedy.Rect_sched.makespan pack_lb
+    else Ok ()
+  in
+  let* () =
+    match partition_bound with
+    | Some t when greedy.Rect_sched.makespan > t ->
+        fail "pack_bounds"
+          "seeded greedy makespan %d exceeds the partition optimum %d"
+          greedy.Rect_sched.makespan t
+    | _ -> Ok ()
+  in
+  let* () =
+    (* The schedule-emission path must respect the envelope too. *)
+    match p_max_mw with
+    | None -> Ok ()
+    | Some p ->
+        let budget = Pack.effective_budget problem ~p_max_mw:p in
+        let profile =
+          Profile.of_schedule problem (Pack.to_schedule greedy)
+        in
+        if Profile.respects ~p_max_mw:budget profile then Ok ()
+        else
+          fail "pack_bounds"
+            "emitted schedule violates the %.3f mW envelope" budget
+  in
+  if Soc.num_cores inst.Gen.soc > pack_exact_core_cap then Ok ()
   else begin
-    let race = Race.solve problem in
-    if not race.Race.optimal then
-      fail "race_matches_exact" "race returned without a certificate"
+    let r =
+      Pack.exact ?p_max_mw ~node_budget:pack_exact_node_budget problem
+    in
+    if not r.Pack.optimal then Ok () (* budget blown: no claim *)
     else
-      match exact_time, race.Race.solution with
-      | None, None -> Ok ()
-      | Some t, None ->
-          fail "race_matches_exact" "race infeasible but exact found T=%d" t
-      | None, Some (_, t') ->
-          fail "race_matches_exact"
-            "race found T=%d on an exact-infeasible instance" t'
-      | Some t, Some (arch, t') ->
-          if t' <> t then
-            fail "race_matches_exact" "race T=%d but exact T=%d" t' t
-          else (
-            match Verify.check problem arch ~claimed_time:t' with
+      match r.Pack.packing with
+      | None ->
+          fail "pack_bounds" "unseeded exact packer certified no packing"
+      | Some p ->
+          let* () =
+            match Pack.validate ?p_max_mw problem p with
             | Ok () -> Ok ()
             | Error msg ->
-                fail "race_matches_exact" "race architecture rejected: %s"
-                  msg)
+                fail "pack_bounds" "exact packing rejected: %s" msg
+          in
+          let t = p.Rect_sched.makespan in
+          if t < pack_lb then
+            fail "pack_bounds" "exact makespan %d beats the lower bound %d"
+              t pack_lb
+          else if t > greedy.Rect_sched.makespan then
+            fail "pack_bounds" "exact makespan %d exceeds greedy %d" t
+              greedy.Rect_sched.makespan
+          else (
+            match partition_bound with
+            | Some pt when t > pt ->
+                fail "pack_bounds"
+                  "exact packing %d exceeds the partition optimum %d" t pt
+            | _ -> Ok ())
   end

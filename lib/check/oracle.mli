@@ -44,7 +44,17 @@
     - [race_matches_exact] — the {!Soctam_engine.Race} portfolio,
       raced sequentially with no deadline, certifies the exact
       optimum and its re-derived architecture verifies (skipped above
-      {!ilp_width_cap}: the ILP engine is in the portfolio). *)
+      {!ilp_width_cap}: the ILP engine is in the portfolio);
+    - [pack_bounds] — the {!Soctam_pack.Pack} rectangle-packing family
+      sandwiches: every packing validates (no overlap, co-pairs
+      serialized, envelope respected, also through the
+      {!Soctam_sched.Profile} emission path), the greedy portfolio
+      seeded with the partition optimum never exceeds it (when that
+      schedule respects the [p_max] envelope the partition solvers
+      never see), and the unseeded exact packer, where its search
+      exhausts within the node budget, stays between the
+      area/energy/co-pair lower bound and both the greedy and
+      partition results (exact search skipped above 6 cores). *)
 
 (** Artificial solver bugs, injectable to prove the oracle and the
     shrinker work (CI runs one on every push). They emulate realistic

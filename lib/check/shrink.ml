@@ -86,6 +86,11 @@ let candidates (inst : Gen.instance) =
       (fun k _ -> { inst with Gen.co = drop_nth inst.Gen.co k })
       inst.Gen.co
   in
+  let drop_pmax =
+    match inst.Gen.p_max with
+    | Some _ -> [ { inst with Gen.p_max = None } ]
+    | None -> []
+  in
   let truncated =
     List.concat
       (List.init n (fun i ->
@@ -96,8 +101,8 @@ let candidates (inst : Gen.instance) =
       [ { inst with Gen.total_width = inst.Gen.total_width - 1 } ]
     else []
   in
-  drops @ collapse_width @ fewer_buses @ fewer_excl @ fewer_co @ truncated
-  @ narrower
+  drops @ collapse_width @ fewer_buses @ fewer_excl @ fewer_co @ drop_pmax
+  @ truncated @ narrower
 
 let shrink ?(max_oracle_calls = 400) ~check ~property inst0 =
   let calls = ref 0 and steps = ref 0 in

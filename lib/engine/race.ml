@@ -126,7 +126,11 @@ let run_pack ctx =
   in
   (* The rectangle model is a relaxation of fixed buses (every
      architecture converts to a rectangle schedule of equal makespan),
-     so its area bound is a sound lower bound here too. *)
+     so its area bound is a sound lower bound here too. It must stay
+     bound-only in THIS race: a packing's makespan can undercut the
+     partition optimum, and publishing it into the cell would make the
+     DP/ILP engines prune the true partition optimum away. The packing
+     family races for real in {!solve_pack}, against its own cell. *)
   raise_lb ctx Pack bound
 
 let run_greedy ctx =
@@ -338,4 +342,190 @@ let solve ?pool ?deadline_s ?(engines = default_engines)
         ("certificate", match cert with Some c -> c | None -> "none");
         ("incumbents", string_of_int result.incumbents) ]
     "race.solve" sp;
+  result
+
+(* ------------------------------------------------------------------ *)
+(* The rectangle-packing family race                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Pack_solver = Soctam_pack.Pack
+
+type pack_result = {
+  packing : Rect_sched.t option;
+  optimal : bool;
+  winner : string option;
+  certificate : string option;
+  incumbents : int;
+  nodes : int;
+  lower_bound : int;
+  elapsed_s : float;
+}
+
+(* Same protocol as the partition race, specialised to packings: the
+   cell holds the best feasible packing, the greedy portfolio seeds it
+   (streaming each improvement), and the exact packer prunes against it
+   and certifies on exhaustion. Kept separate from [solve]'s cell
+   because the two makespans live in different models — see
+   {!run_pack}. *)
+type pack_ctx = {
+  p_problem : Problem.t;
+  p_max_mw : float option;
+  p_start : float;
+  p_deadline_s : float option;
+  p_cell : (string * Rect_sched.t) option Atomic.t;
+  p_lb : int Atomic.t;
+  p_certificate : (string * string) option Atomic.t;
+  p_stop : bool Atomic.t;
+  p_token : Pool.Cancel.token;
+  p_published : int Atomic.t;
+  p_on_event : event -> unit;
+  p_mutex : Mutex.t;
+  mutable p_nodes : int;
+}
+
+let pack_should_stop ctx () =
+  Atomic.get ctx.p_stop
+  ||
+  match ctx.p_deadline_s with
+  | Some d -> Clock.now_s () > d
+  | None -> false
+
+let pack_certify ctx name cert =
+  if Atomic.compare_and_set ctx.p_certificate None (Some (name, cert))
+  then begin
+    Obs.incr (Printf.sprintf "race.winner.%s" name);
+    Atomic.set ctx.p_stop true;
+    Pool.Cancel.cancel ctx.p_token
+  end
+
+let pack_cell_time ctx =
+  match Atomic.get ctx.p_cell with
+  | Some (_, (p : Rect_sched.t)) -> Some p.makespan
+  | None -> None
+
+let rec pack_publish ctx name (packing : Rect_sched.t) =
+  let cur = Atomic.get ctx.p_cell in
+  match cur with
+  | Some (_, (inc : Rect_sched.t)) when inc.makespan <= packing.makespan -> ()
+  | _ ->
+      if Atomic.compare_and_set ctx.p_cell cur (Some (name, packing)) then begin
+        Atomic.incr ctx.p_published;
+        Obs.incr "race.incumbent";
+        Obs.incr (Printf.sprintf "race.incumbent.%s" name);
+        ctx.p_on_event
+          { test_time = packing.makespan;
+            engine = name;
+            elapsed_ms = 1000.0 *. Clock.elapsed_s ~since:ctx.p_start };
+        if packing.makespan <= Atomic.get ctx.p_lb then
+          pack_certify ctx name "bound"
+      end
+      else pack_publish ctx name packing
+
+let run_pack_greedy ctx =
+  (* Raise the shared bound first so an early bound-match can end the
+     race before the exact engine even starts. *)
+  let bound = Pack_solver.lower_bound ?p_max_mw:ctx.p_max_mw ctx.p_problem in
+  let cur = Atomic.get ctx.p_lb in
+  if bound > cur then ignore (Atomic.compare_and_set ctx.p_lb cur bound);
+  ignore
+    (Pack_solver.greedy ?p_max_mw:ctx.p_max_mw
+       ~should_stop:(pack_should_stop ctx)
+       ~report:(fun packing -> pack_publish ctx "pack-greedy" packing)
+       ctx.p_problem)
+
+let run_pack_exact ctx ~node_budget =
+  let r =
+    Pack_solver.exact ?p_max_mw:ctx.p_max_mw ~node_budget
+      ~upper_bound:(fun () -> pack_cell_time ctx)
+      ~on_incumbent:(fun packing -> pack_publish ctx "pack-exact" packing)
+      ~should_stop:(pack_should_stop ctx) ctx.p_problem
+  in
+  Mutex.lock ctx.p_mutex;
+  ctx.p_nodes <- ctx.p_nodes + r.Pack_solver.nodes;
+  Mutex.unlock ctx.p_mutex;
+  if r.Pack_solver.optimal then pack_certify ctx "pack-exact" "exact"
+
+(* Deterministic re-derivation, mirroring [canonical_architecture]: a
+   sequential exact search bounded just above the certified makespan.
+   The certified value is achievable, so the search must rediscover a
+   packing at it (the node budget is a pathology guard; on a blow we
+   fall back to the live incumbent, still correct, merely not
+   canonical). *)
+let canonical_packing ?p_max_mw ~node_budget problem t_star =
+  Obs.span "race.finalize" @@ fun () ->
+  let r =
+    Pack_solver.exact ?p_max_mw ~node_budget
+      ~upper_bound:(fun () -> Some (t_star + 1))
+      problem
+  in
+  match r.Pack_solver.packing with
+  | Some p when p.Rect_sched.makespan <= t_star -> Some p
+  | _ -> None
+
+let solve_pack ?pool ?deadline_s ?p_max_mw ?(node_budget = 2_000_000)
+    ?(on_event = fun _ -> ()) problem =
+  let sp = Obs.start () in
+  let ctx =
+    { p_problem = problem;
+      p_max_mw;
+      p_start = Clock.now_s ();
+      p_deadline_s = deadline_s;
+      p_cell = Atomic.make None;
+      p_lb = Atomic.make min_int;
+      p_certificate = Atomic.make None;
+      p_stop = Atomic.make false;
+      p_token = Pool.Cancel.create ();
+      p_published = Atomic.make 0;
+      p_on_event = on_event;
+      p_mutex = Mutex.create ();
+      p_nodes = 0 }
+  in
+  let engines =
+    [| (fun () -> run_pack_greedy ctx);
+       (fun () -> run_pack_exact ctx ~node_budget) |]
+  in
+  (match pool with
+  | Some pool when Pool.num_domains pool > 1 ->
+      ignore
+        (Pool.map_cancellable pool ~token:ctx.p_token
+           ~f:(fun run -> run ())
+           engines)
+  | Some _ | None ->
+      Array.iter
+        (fun run -> if not (pack_should_stop ctx ()) then run ())
+        engines);
+  let certificate = Atomic.get ctx.p_certificate in
+  let incumbent = Atomic.get ctx.p_cell in
+  let packing, optimal, winner, cert =
+    match certificate with
+    | Some (name, cert) -> (
+        match incumbent with
+        | None -> (None, true, Some name, Some cert)
+        | Some (_, (inc : Rect_sched.t)) -> (
+            match
+              canonical_packing ?p_max_mw ~node_budget problem inc.makespan
+            with
+            | Some p -> (Some p, true, Some name, Some cert)
+            | None -> (Some inc, true, Some name, Some cert)))
+    | None -> (
+        match incumbent with
+        | Some (source, inc) -> (Some inc, false, Some source, None)
+        | None -> (None, false, None, None))
+  in
+  let result =
+    { packing;
+      optimal;
+      winner;
+      certificate = cert;
+      incumbents = Atomic.get ctx.p_published;
+      nodes = ctx.p_nodes;
+      lower_bound = Atomic.get ctx.p_lb;
+      elapsed_s = Clock.elapsed_s ~since:ctx.p_start }
+  in
+  Obs.finish
+    ~args:
+      [ ("winner", match winner with Some w -> w | None -> "none");
+        ("certificate", match cert with Some c -> c | None -> "none");
+        ("incumbents", string_of_int result.incumbents) ]
+    "race.solve_pack" sp;
   result

@@ -28,7 +28,13 @@
       across which engine happened to win the wall-clock race. *)
 
 type engine =
-  | Pack  (** Publishes the rectangle/area lower bound, no solution. *)
+  | Pack
+      (** Publishes the rectangle/area lower bound, no solution. The
+          bound is sound for the partition model (packing relaxes it),
+          but a packing incumbent would not be — it can undercut the
+          partition optimum and poison the exact engines' pruning. The
+          packing family therefore races against its own cell in
+          {!solve_pack}. *)
   | Greedy  (** {!Soctam_core.Heuristics}, restarts + local search. *)
   | Anneal  (** {!Soctam_core.Annealing}, shortened schedule. *)
   | Dp  (** Width-partition enumeration over {!Soctam_core.Dp_assign}. *)
@@ -99,3 +105,44 @@ val solve :
   ?on_event:(event -> unit) ->
   Soctam_core.Problem.t ->
   result
+
+(** Outcome of the rectangle-packing race. Mirrors {!result} with a
+    packing in place of an architecture. *)
+type pack_result = {
+  packing : Soctam_sched.Rect_sched.t option;
+      (** Best packing found; a packing always exists, so [None] only
+          on an immediate deadline expiry. *)
+  optimal : bool;
+  winner : string option;  (** ["pack-greedy"] or ["pack-exact"]. *)
+  certificate : string option;  (** ["exact"] or ["bound"]. *)
+  incumbents : int;
+  nodes : int;  (** Exact-packer branch-and-bound nodes. *)
+  lower_bound : int;
+      (** The strengthened area/co-pair/energy bound the race pruned
+          against ({!Soctam_pack.Pack.lower_bound}). *)
+  elapsed_s : float;
+}
+
+(** [solve_pack problem] races the rectangle-packing family — the
+    greedy portfolio streaming improving packings into a shared cell,
+    and the exact branch-and-bound pruning against that cell and
+    certifying on exhaustion — with the same protocol as {!solve}:
+    strict-improvement publication, bound-match certificates,
+    first-certificate-wins cancellation, and a deterministic bounded
+    re-derivation of the certified packing so the answer is a pure
+    function of the instance across job counts.
+
+    @param p_max_mw instantaneous power envelope; enforced as
+      [Soctam_pack.Pack.effective_budget].
+    @param node_budget exact-packer node cap (default 2e6); on a blow
+      the race still returns the best incumbent, uncertified.
+    @param on_event improving packings, streamed as {!event}s with
+      engine ["pack-greedy"] / ["pack-exact"]. *)
+val solve_pack :
+  ?pool:Pool.t ->
+  ?deadline_s:float ->
+  ?p_max_mw:float ->
+  ?node_budget:int ->
+  ?on_event:(event -> unit) ->
+  Soctam_core.Problem.t ->
+  pack_result

@@ -6,6 +6,7 @@ module Heuristics = Soctam_core.Heuristics
 module Soc = Soctam_soc.Soc
 module Test_time = Soctam_soc.Test_time
 module Memo = Soctam_soc.Memo
+module Rect_sched = Soctam_sched.Rect_sched
 module Obs = Soctam_obs.Obs
 module Clock = Soctam_obs.Clock
 module Json = Soctam_obs.Json
@@ -20,6 +21,7 @@ type solver =
     }
   | Heuristic
   | Race
+  | Pack of { p_max_mw : float option }
 
 type cell = {
   soc : Soc.t;
@@ -34,6 +36,7 @@ type row = {
   total_width : int;
   num_buses : int;
   solution : (Architecture.t * int) option;
+  packing : Rect_sched.t option;
   optimal : bool;
   nodes : int;
   lp_pivots : int;
@@ -67,6 +70,7 @@ let solver_name = function
   | Ilp _ -> "ilp"
   | Heuristic -> "heuristic"
   | Race -> "race"
+  | Pack _ -> "pack"
 
 let cells ?(time_model = Test_time.Serialization)
     ?(constraints = Problem.no_constraints) ?(solver = Exact) soc ~num_buses
@@ -117,6 +121,7 @@ let solve_cell ?deadline_s ?race_pool ?on_event memos cell =
     { total_width = cell.total_width;
       num_buses = cell.num_buses;
       solution = None;
+      packing = None;
       optimal = true;
       nodes = 0;
       lp_pivots = 0;
@@ -178,6 +183,16 @@ let solve_cell ?deadline_s ?race_pool ?on_event memos cell =
           presolve_fixed = r.Race.presolve_fixed;
           winner = r.Race.winner;
           cancelled_nodes = r.Race.cancelled_nodes }
+    | Pack { p_max_mw } ->
+        let r =
+          Race.solve_pack ?pool:race_pool ?deadline_s ?p_max_mw ?on_event
+            problem
+        in
+        { blank with
+          packing = r.Race.packing;
+          optimal = r.Race.optimal;
+          nodes = r.Race.nodes;
+          winner = r.Race.winner }
   in
   if Obs.enabled () then
     Obs.finish
@@ -218,7 +233,9 @@ let totals rows =
   List.fold_left
     (fun acc r ->
       { cells = acc.cells + 1;
-        feasible = (acc.feasible + if r.solution = None then 0 else 1);
+        feasible =
+          (acc.feasible
+          + if r.solution = None && r.packing = None then 0 else 1);
         nodes = acc.nodes + r.nodes;
         lp_pivots = acc.lp_pivots + r.lp_pivots;
         warm_starts = acc.warm_starts + r.warm_starts;
@@ -246,9 +263,10 @@ let json_of_row r =
     [ ("total_width", Json.int r.total_width);
       ("num_buses", Json.int r.num_buses);
       ( "test_time",
-        match r.solution with
-        | Some (_, t) -> Json.int t
-        | None -> Json.Null );
+        match (r.solution, r.packing) with
+        | Some (_, t), _ -> Json.int t
+        | None, Some p -> Json.int p.Rect_sched.makespan
+        | None, None -> Json.Null );
       ( "widths",
         match r.solution with
         | Some (arch, _) ->
@@ -263,7 +281,21 @@ let json_of_row r =
               (Array.to_list
                  (Array.map Json.int arch.Architecture.assignment))
         | None -> Json.Null );
-      ("feasible", Json.Bool (r.solution <> None));
+      ( "placements",
+        match r.packing with
+        | Some p ->
+            Json.Arr
+              (List.map
+                 (fun (pl : Rect_sched.placement) ->
+                   Json.Obj
+                     [ ("core", Json.int pl.core);
+                       ("width", Json.int pl.width);
+                       ("wire_lo", Json.int pl.wire_lo);
+                       ("start", Json.int pl.start);
+                       ("finish", Json.int pl.finish) ])
+                 p.Rect_sched.placements)
+        | None -> Json.Null );
+      ("feasible", Json.Bool (r.solution <> None || r.packing <> None));
       ("optimal", Json.Bool r.optimal);
       ("nodes", Json.int r.nodes);
       ("lp_pivots", Json.int r.lp_pivots);
@@ -300,6 +332,7 @@ let equal_rows a b =
          x.total_width = y.total_width
          && x.num_buses = y.num_buses
          && x.solution = y.solution
+         && x.packing = y.packing
          && x.optimal = y.optimal
          && x.nodes = y.nodes
          && x.lp_pivots = y.lp_pivots

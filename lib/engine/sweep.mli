@@ -37,6 +37,12 @@ type solver =
           {e sequentially} per cell (the sweep already parallelizes
           across cells, and pool tasks must not submit to their own
           pool), so race rows are deterministic. *)
+  | Pack of { p_max_mw : float option }
+      (** The rectangle-packing family ({!Race.solve_pack}): greedy
+          skyline portfolio plus certifying exact packer. Produces a
+          [packing] (an explicit schedule), not an architecture;
+          [p_max_mw] additionally enforces the instantaneous power
+          envelope on the packed schedule. *)
 
 type cell = {
   soc : Soctam_soc.Soc.t;
@@ -51,6 +57,9 @@ type row = {
   total_width : int;
   num_buses : int;
   solution : (Soctam_core.Architecture.t * int) option;
+  packing : Soctam_sched.Rect_sched.t option;
+      (** [Pack] cells only: the packed schedule; its makespan is the
+          cell's test time. [solution] stays [None] on such rows. *)
   optimal : bool;  (** [false] only when an [Ilp] budget expired. *)
   nodes : int;
       (** Search nodes: assignment-DP/B&B nodes for [Exact], MILP
@@ -138,13 +147,16 @@ val run :
 val totals : row list -> totals
 
 (** Short stable solver tag: ["exact"], ["ilp"], ["heuristic"],
-    ["race"]. Used in trace args and JSON output. *)
+    ["race"], ["pack"]. Used in trace args and JSON output. *)
 val solver_name : solver -> string
 
 (** One row / the totals as JSON — the schema shared by
     [tamopt solve --json], [tamopt sweep --json], the [tamoptd]
     responses and the bench harness's [BENCH_sweep.json]. Feasible rows
-    carry both the bus [widths] and the per-core bus [assignment]. *)
+    carry both the bus [widths] and the per-core bus [assignment];
+    [Pack] rows carry the [placements] array instead (core, width,
+    wire_lo, start, finish per rectangle) with [test_time] equal to the
+    packing's makespan. *)
 val json_of_row : row -> Soctam_obs.Json.t
 
 val json_of_totals : totals -> Soctam_obs.Json.t

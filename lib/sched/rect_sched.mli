@@ -28,6 +28,18 @@ val lower_bound : Soctam_core.Problem.t -> int
     architecture's test time. *)
 val of_architecture : Soctam_core.Problem.t -> Soctam_core.Architecture.t -> t
 
+(** [place_skyline free ~width ~floor_time] finds, on a skyline
+    ([free.(x)] = first idle cycle of wire [x]), the wire offset at
+    which a [width]-wide rectangle starting no earlier than [floor_time]
+    can begin earliest, and returns [(wire_lo, start)]. Shared with the
+    {!Soctam_pack} packers. *)
+val place_skyline : int array -> width:int -> floor_time:int -> int * int
+
+(** [co_partners problem] is the adjacency of the power co-assignment
+    pairs: entry [i] lists the cores that must never overlap core [i]
+    in time. *)
+val co_partners : Soctam_core.Problem.t -> int list array
+
 (** [greedy problem] packs all cores with a skyline best-fit heuristic
     for a spread of width policies (fractions of the budget, plus each
     core's native width) and returns the best schedule found.

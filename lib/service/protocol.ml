@@ -5,7 +5,7 @@ module Test_time = Soctam_soc.Test_time
 module Benchmarks = Soctam_soc.Benchmarks
 module Soc_file = Soctam_soc.Soc_file
 
-type solver = Exact | Ilp | Heuristic | Race
+type solver = Exact | Ilp | Heuristic | Race | Pack
 
 type soc_spec = Named of string | Inline of Soc.t
 
@@ -42,6 +42,7 @@ let solver_name = function
   | Ilp -> "ilp"
   | Heuristic -> "heuristic"
   | Race -> "race"
+  | Pack -> "pack"
 
 let id_of json =
   match Json.member "id" json with Some v -> v | None -> Json.Null
@@ -181,9 +182,11 @@ let parse_solver ~what = function
   | Json.Str "ilp" -> Ok Ilp
   | Json.Str "heuristic" -> Ok Heuristic
   | Json.Str "race" -> Ok Race
+  | Json.Str "pack" -> Ok Pack
   | _ ->
       Error
-        (what ^ " must be \"exact\", \"ilp\", \"heuristic\" or \"race\"")
+        (what
+        ^ " must be \"exact\", \"ilp\", \"heuristic\", \"race\" or \"pack\"")
 
 let parse_model ~what = function
   | Json.Str "serialization" -> Ok Test_time.Serialization

@@ -47,8 +47,9 @@
     ["internal"].
 
     {b Streaming.} A solve/sweep request with ["stream": true] and the
-    ["race"] solver receives zero or more {e event} lines before its
-    final reply, one per improving incumbent the portfolio publishes:
+    ["race"] or ["pack"] solver receives zero or more {e event} lines
+    before its final reply, one per improving incumbent the portfolio
+    publishes:
     [{"id":…,"event":"incumbent","test_time":…,"engine":…,
     "elapsed_ms":…}]. Event lines never carry an ["ok"] member, so a
     reader takes lines until {!is_final_reply} — the response-per-line
@@ -57,7 +58,7 @@
     stream nothing: the incumbent trajectory is a property of a solve,
     not of its reused answer. *)
 
-type solver = Exact | Ilp | Heuristic | Race
+type solver = Exact | Ilp | Heuristic | Race | Pack
 
 type soc_spec =
   | Named of string  (** Benchmark spec string, resolved server-side. *)
@@ -72,14 +73,17 @@ type instance = {
   d_max_mm : float option;
       (** Layout budget: derive exclusion pairs from the floorplan. *)
   p_max_mw : float option;
-      (** Power budget: derive co-assignment pairs. *)
+      (** Power budget: derive co-assignment pairs; the [Pack] solver
+          additionally enforces it as an instantaneous envelope on the
+          packed schedule. *)
 }
 
 type request =
   | Solve of {
       instance : instance;
       deadline_ms : float option;
-      stream : bool;  (** Push incumbent events (race solver only). *)
+      stream : bool;
+          (** Push incumbent events (race and pack solvers only). *)
     }
   | Sweep of {
       instance : instance;  (** [total_width] is [max widths]. *)

@@ -10,6 +10,7 @@ module Architecture = Soctam_core.Architecture
 module Floorplan = Soctam_layout.Floorplan
 module Layout_conflicts = Soctam_layout.Conflicts
 module Power_conflicts = Soctam_power.Power_conflicts
+module Rect_sched = Soctam_sched.Rect_sched
 module Pool = Soctam_engine.Pool
 module Sweep = Soctam_engine.Sweep
 module Race = Soctam_engine.Race
@@ -143,11 +144,17 @@ let fresh_trace_id t =
 
 (* ---- instance assembly ---- *)
 
-let sweep_solver : Protocol.solver -> Sweep.solver = function
+(* [Pack] carries the instance's power budget along as the
+   instantaneous envelope (the same budget also derives co-pairs in
+   [constraints_of] — the pack solver serializes those AND bounds the
+   summed profile). *)
+let sweep_solver (inst : Protocol.instance) : Sweep.solver =
+  match inst.Protocol.solver with
   | Protocol.Exact -> Sweep.Exact
   | Protocol.Ilp -> Sweep.Ilp { time_limit_s = None; presolve = true; cuts = true; seed = true }
   | Protocol.Heuristic -> Sweep.Heuristic
   | Protocol.Race -> Sweep.Race
+  | Protocol.Pack -> Sweep.Pack { p_max_mw = inst.Protocol.p_max_mw }
 
 let constraints_of ~soc (inst : Protocol.instance) =
   let exclusion_pairs =
@@ -166,10 +173,44 @@ let constraints_of ~soc (inst : Protocol.instance) =
 (* Cached rows live in canonical core order; [`Store] maps a freshly
    solved request-order row in, [`Serve] maps a cached row out into the
    requester's own core order. Bus widths are bus-indexed, not
-   core-indexed, so only the assignment moves. *)
+   core-indexed, so only the assignment moves — and, on [Pack] rows,
+   the core id carried by each placement rectangle. *)
 let remap_rows canon dir rows =
+  (* [perm.(i)] = canonical position of request core [i]; a scalar core
+     id maps forward on [`Store] and through the inverse on [`Serve]. *)
+  let map_core =
+    let perm = canon.Canon.perm in
+    match dir with
+    | `Store -> fun c -> perm.(c)
+    | `Serve ->
+        let inv = Array.make (Array.length perm) 0 in
+        Array.iteri (fun i c -> inv.(c) <- i) perm;
+        fun c -> inv.(c)
+  in
+  let remap_packing (p : Rect_sched.t) =
+    let placements =
+      List.map
+        (fun (pl : Rect_sched.placement) ->
+          { pl with Rect_sched.core = map_core pl.Rect_sched.core })
+        p.Rect_sched.placements
+    in
+    let placements =
+      List.sort
+        (fun (a : Rect_sched.placement) (b : Rect_sched.placement) ->
+          compare
+            (a.Rect_sched.start, a.Rect_sched.wire_lo, a.Rect_sched.core)
+            (b.Rect_sched.start, b.Rect_sched.wire_lo, b.Rect_sched.core))
+        placements
+    in
+    { p with Rect_sched.placements }
+  in
   List.map
     (fun (row : Sweep.row) ->
+      let row =
+        match row.Sweep.packing with
+        | None -> row
+        | Some p -> { row with Sweep.packing = Some (remap_packing p) }
+      in
       match row.Sweep.solution with
       | None -> row
       | Some (arch, time) ->
@@ -219,13 +260,16 @@ let work t ~id ~trace_id ~note ~arrival ~(instance : Protocol.instance)
   in
   note.n_solver <- Some (Protocol.solver_name instance.Protocol.solver);
   note.n_deadline_ms <- deadline_ms;
-  (* Incumbent events only flow for a streamed race solve; the emit
-     callback runs on the pool worker domain while the connection
+  (* Incumbent events only flow for a streamed race or pack solve; the
+     emit callback runs on the pool worker domain while the connection
      thread is parked in [run_on_pool], so writing to the connection
      cannot race the final reply. *)
   let on_event =
     match emit with
-    | Some emit when stream && instance.Protocol.solver = Protocol.Race ->
+    | Some emit
+      when stream
+           && (instance.Protocol.solver = Protocol.Race
+              || instance.Protocol.solver = Protocol.Pack) ->
         Some
           (fun (ev : Race.event) ->
             Obs.incr "svc.incumbent_event";
@@ -242,7 +286,7 @@ let work t ~id ~trace_id ~note ~arrival ~(instance : Protocol.instance)
       note.n_soc <- Some (Soc.name soc);
       match
         let constraints = constraints_of ~soc instance in
-        let solver = sweep_solver instance.solver in
+        let solver = sweep_solver instance in
         let cells =
           Sweep.cells ~time_model:instance.time_model ~constraints ~solver
             soc ~num_buses:instance.num_buses ~widths
@@ -253,6 +297,15 @@ let work t ~id ~trace_id ~note ~arrival ~(instance : Protocol.instance)
           | `Sweep ->
               "widths="
               ^ String.concat "," (List.map string_of_int widths)
+        in
+        (* The pack envelope is a real input beyond the derived
+           co-pairs (two budgets can induce the same pairs but
+           different envelopes), so it must be part of the cache key. *)
+        let extra =
+          match (instance.Protocol.solver, instance.p_max_mw) with
+          | Protocol.Pack, Some p ->
+              Printf.sprintf "%s;pmax=%.17g" extra p
+          | _ -> extra
         in
         let canon =
           Canon.of_instance ~extra ~soc ~time_model:instance.time_model

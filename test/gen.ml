@@ -13,3 +13,12 @@ let spec_gen =
   QCheck.Gen.map (fun seed -> spec_of_seed ~seed ()) (QCheck.Gen.int_bound 1_000_000)
 
 let spec_arbitrary = QCheck.make ~print:spec_print spec_gen
+
+(* Pack-biased instances: wider width budgets, extra co-pairs and a
+   power envelope on every instance (see {!Soctam_check.Gen}). *)
+let pack_spec_gen =
+  QCheck.Gen.map
+    (fun seed -> spec_of_seed ~pack_bias:true ~seed ())
+    (QCheck.Gen.int_bound 1_000_000)
+
+let pack_spec_arbitrary = QCheck.make ~print:spec_print pack_spec_gen
