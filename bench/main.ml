@@ -49,6 +49,7 @@ module Service = Soctam_service.Service
 module Metrics = Soctam_service.Metrics
 module Hist = Soctam_obs.Hist
 module Log = Soctam_obs.Log
+module Store = Soctam_store.Store
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let sweep_only = Array.exists (( = ) "--sweep-only") Sys.argv
@@ -1364,6 +1365,137 @@ let table_e10 () =
   Printf.printf "hit p50 is %.1fx below miss p50\n" (miss_p50 /. hit_p50)
 
 (* ------------------------------------------------------------------ *)
+(* E14: persistent result store — cold recovery and the latency of a   *)
+(* store hit against the in-memory LRU hit and the full solve.         *)
+
+type store_measurement = {
+  stm_distinct : int;
+  stm_records : int;
+  stm_bytes : int;
+  stm_reopen_ms : float;
+  stm_miss_lat : float array;
+  stm_lru_lat : float array;
+  stm_store_lat : float array;
+}
+
+let e14_measurement : store_measurement option ref = ref None
+
+let table_e14 () =
+  section "E14"
+    "persistent result store: store-hit latency vs LRU hit vs solve";
+  let distinct = if quick then 24 else 48 in
+  let store_passes = 4 in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "soctam-bench-store-%d" (Unix.getpid ()))
+  in
+  let rec rm_rf path =
+    match (Unix.lstat path).Unix.st_kind with
+    | Unix.S_DIR ->
+        Array.iter
+          (fun name -> rm_rf (Filename.concat path name))
+          (Sys.readdir path);
+        Unix.rmdir path
+    | _ -> Sys.remove path
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let line i =
+    Printf.sprintf
+      {|{"id":%d,"op":"solve","soc":"s1","num_buses":2,"total_width":%d}|}
+      i
+      (16 + (i mod distinct))
+  in
+  let timed svc i =
+    let t0 = Clock.now_s () in
+    let reply = Service.handle_line svc (line i) in
+    let ms = (Clock.now_s () -. t0) *. 1000.0 in
+    (match Json.parse reply with
+    | Ok r when Json.member "ok" r = Some (Json.Bool true) -> ()
+    | _ -> failwith "E14: request failed");
+    ms
+  in
+  (* Phase 1: populate. The first pass over the distinct instances is
+     all misses (solve + fsynced store append); the second pass is all
+     in-memory LRU hits. Production fsync stays on — its cost lands on
+     the miss path, where a solve dwarfs it. *)
+  let miss_lat = Array.make distinct Float.nan in
+  let lru_lat = Array.make distinct Float.nan in
+  let store0 = Store.open_store dir in
+  Pool.with_pool ~num_domains:jobs (fun pool ->
+      let svc =
+        Service.create ~cache_capacity:(2 * distinct) ~queue_capacity:64
+          ~store:store0 ~pool ()
+      in
+      for i = 0 to distinct - 1 do
+        miss_lat.(i) <- timed svc i
+      done;
+      for i = 0 to distinct - 1 do
+        lru_lat.(i) <- timed svc i
+      done);
+  Store.close store0;
+  (* Phase 2: cold restart. Reopen the directory (timed: the recovery
+     scan) and serve every request through a service whose LRU is
+     disabled, so each one is a disk hit — decode, frame check, canon
+     remap, reply. *)
+  let t0 = Clock.now_s () in
+  let store = Store.open_store dir in
+  let reopen_ms = Clock.elapsed_s ~since:t0 *. 1000.0 in
+  let st = Store.stats store in
+  let store_lat = Array.make (store_passes * distinct) Float.nan in
+  Pool.with_pool ~num_domains:jobs (fun pool ->
+      let svc =
+        Service.create ~cache_capacity:0 ~queue_capacity:64 ~store ~pool
+          ()
+      in
+      for p = 0 to store_passes - 1 do
+        for i = 0 to distinct - 1 do
+          store_lat.((p * distinct) + i) <- timed svc i
+        done
+      done);
+  Store.close store;
+  e14_measurement :=
+    Some
+      {
+        stm_distinct = distinct;
+        stm_records = st.Store.live;
+        stm_bytes = st.Store.bytes;
+        stm_reopen_ms = reopen_ms;
+        stm_miss_lat = miss_lat;
+        stm_lru_lat = lru_lat;
+        stm_store_lat = store_lat;
+      };
+  let pct a q =
+    Table.fmt_float ~decimals:3 (Hist.quantile (Hist.of_samples a) q)
+  in
+  let row name a =
+    [ name; string_of_int (Array.length a);
+      pct a 0.50; pct a 0.95; pct a 0.99; pct a 0.999 ]
+  in
+  print_string
+    (Table.render
+       ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right;
+                 Table.Right; Table.Right ]
+       ~headers:[ "path"; "requests"; "p50 ms"; "p95 ms"; "p99 ms";
+                  "p999 ms" ]
+       [ row "miss (solve + store append)" miss_lat;
+         row "LRU hit (memory)" lru_lat;
+         row "store hit (disk, cold LRU)" store_lat ]);
+  Printf.printf
+    "cold open recovered %d records (%d bytes) in %.3f ms\n" st.Store.live
+    st.Store.bytes reopen_ms;
+  let lru_p50 = Metrics.percentile lru_lat 0.50 in
+  let store_p50 = Metrics.percentile store_lat 0.50 in
+  let miss_p50 = Metrics.percentile miss_lat 0.50 in
+  Printf.printf
+    "store hit p50 is %.1fx an LRU hit, %.1fx below a solve\n"
+    (store_p50 /. lru_p50) (miss_p50 /. store_p50)
+
+
+(* ------------------------------------------------------------------ *)
 (* E11: anytime portfolio racing — wall-clock vs the best single       *)
 (* certifying engine, and the B&B node savings from incumbent seeding. *)
 
@@ -1806,7 +1938,7 @@ let write_service_json path =
       in
       let doc =
         Json.Obj
-          [ ( "recorded_utc",
+          ([ ( "recorded_utc",
               Json.Str
                 (Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ"
                    (t.Unix.tm_year + 1900) (t.Unix.tm_mon + 1)
@@ -1827,8 +1959,12 @@ let write_service_json path =
                 /. float_of_int (max 1 m.sv_overload_requests)) );
             ( "latency",
               Json.Obj
-                [ ("hit", latency m.sv_hit_lat);
-                  ("miss", latency m.sv_miss_lat) ] );
+                ([ ("hit", latency m.sv_hit_lat);
+                   ("miss", latency m.sv_miss_lat) ]
+                @
+                match !e14_measurement with
+                | Some e -> [ ("store_hit", latency e.stm_store_lat) ]
+                | None -> []) );
             ( "overload",
               Json.Obj
                 [ ("requests", Json.int m.sv_overload_requests);
@@ -1839,6 +1975,22 @@ let write_service_json path =
                       (m.sv_overload_requests - m.sv_overload_completed
                      - m.sv_overload_shed) ) ] );
             ("service_stats", m.sv_stats) ]
+          @
+          match !e14_measurement with
+          | None -> []
+          | Some e ->
+              [ ( "store",
+                  Json.Obj
+                    [ ("distinct_instances", Json.int e.stm_distinct);
+                      ("records", Json.int e.stm_records);
+                      ("bytes", Json.int e.stm_bytes);
+                      ("cold_open_ms", Json.Num e.stm_reopen_ms);
+                      ( "latency",
+                        Json.Obj
+                          [ ("miss", latency e.stm_miss_lat);
+                            ("lru_hit", latency e.stm_lru_lat);
+                            ("store_hit", latency e.stm_store_lat) ] ) ]
+                ) ])
       in
       Out_channel.with_open_text path (fun oc ->
           Out_channel.output_string oc (Json.to_string_pretty doc))
@@ -2130,6 +2282,7 @@ let () =
     table_e13 ();
     table_e9 ();
     table_e10 ();
+    table_e14 ();
     table_e12 ()
   end
   else if quick then begin
@@ -2142,6 +2295,7 @@ let () =
     table_e13 ();
     table_e9 ();
     table_e10 ();
+    table_e14 ();
     table_e12 ()
   end
   else begin
@@ -2171,6 +2325,7 @@ let () =
     table_e13 ();
     table_e9 ();
     table_e10 ();
+    table_e14 ();
     table_e12 ();
     bechamel_section ()
   end;

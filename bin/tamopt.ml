@@ -41,6 +41,7 @@ module Oracle = Soctam_check.Oracle
 module Fuzz = Soctam_check.Fuzz
 module Proto_fuzz = Soctam_check.Proto_fuzz
 module Corpus = Soctam_check.Corpus
+module Store_torture = Soctam_check.Store_torture
 
 let lookup_soc = function
   | "s1" | "S1" -> Benchmarks.s1 ()
@@ -748,6 +749,17 @@ let load_cmd =
     let doc = "Send a shutdown request once the load completes." in
     Arg.(value & flag & info [ "shutdown" ] ~doc)
   in
+  let expect_store_hits_arg =
+    let doc =
+      "Fail (exit 1) unless the daemon's persistent result store \
+       reports at least $(docv) hits after the run — the assertion \
+       behind the restart-survival scenario: load a store-backed \
+       daemon, kill -9 it, restart on the same --store directory and \
+       re-run the mix with this flag."
+    in
+    Arg.(
+      value & opt int 0 & info [ "expect-store-hits" ] ~docv:"N" ~doc)
+  in
   let overload_arg =
     let doc =
       "After the main mix, fire $(docv) concurrent 100 ms sleep \
@@ -760,7 +772,7 @@ let load_cmd =
   in
   let run connect requests concurrency hit_ratio soc_name num_buses
       total_width model solver deadline_ms sleep_ms json_path shutdown
-      overload =
+      expect_store_hits overload =
     try
       if requests < 1 then raise (Invalid_argument "--requests < 1");
       if concurrency < 1 then raise (Invalid_argument "--concurrency < 1");
@@ -1043,6 +1055,34 @@ let load_cmd =
       if trace_echo_failures > 0 then
         Printf.printf "  WARNING: %d replies failed to echo trace_id\n"
           trace_echo_failures;
+      let store_hits =
+        match Json.member "store" daemon_stats with
+        | Some store -> (
+            match Json.member "hits" store with
+            | Some (Json.Num h) -> Some (int_of_float h)
+            | _ -> None)
+        | None -> None
+      in
+      (match store_hits with
+      | Some h -> Printf.printf "  store hits (daemon total): %d\n" h
+      | None -> ());
+      let store_hit_shortfall =
+        if expect_store_hits <= 0 then false
+        else
+          match store_hits with
+          | Some h when h >= expect_store_hits -> false
+          | Some h ->
+              Printf.printf
+                "  FAILED: expected >= %d store hits, daemon reports %d\n"
+                expect_store_hits h;
+              true
+          | None ->
+              Printf.printf
+                "  FAILED: --expect-store-hits %d but the daemon reports \
+                 no store\n"
+                expect_store_hits;
+              true
+      in
       (match overload_section with
       | [ (_, Json.Obj o) ] ->
           let geti k =
@@ -1063,7 +1103,9 @@ let load_cmd =
             | _ -> 0)
         | _ -> 0
       in
-      if errors > 0 || trace_echo_failures > 0 || overload_unaccounted > 0
+      if
+        errors > 0 || trace_echo_failures > 0 || overload_unaccounted > 0
+        || store_hit_shortfall
       then 1
       else 0
     with Invalid_argument msg ->
@@ -1075,7 +1117,7 @@ let load_cmd =
       const run $ connect_arg $ requests_arg $ concurrency_arg
       $ hit_ratio_arg $ soc_arg $ buses_arg $ width_arg $ model_arg
       $ solver_arg $ deadline_arg $ sleep_arg $ json_arg $ shutdown_arg
-      $ overload_arg)
+      $ expect_store_hits_arg $ overload_arg)
   in
   Cmd.v
     (Cmd.info "load"
@@ -1250,11 +1292,24 @@ let fuzz_cmd =
   let break_arg =
     let doc =
       Printf.sprintf
-        "Inject an artificial solver fault (harness self-test; the run \
-         $(i,should) fail). One of: %s."
+        "Inject an artificial fault (harness self-test; the run \
+         $(i,should) fail). Solver faults: %s. Store faults (with \
+         $(b,--store)): %s."
         (String.concat ", " Oracle.fault_names)
+        (String.concat ", "
+           (List.filter (fun n -> n <> "none") Store_torture.fault_names))
     in
     Arg.(value & opt (some string) None & info [ "break" ] ~docv:"FAULT" ~doc)
+  in
+  let store_arg =
+    let doc =
+      "Torture the persistent result store instead of the solvers: \
+       seeded schedules of appends, kill-at-byte torn writes, targeted \
+       bit flips, tail truncations, compactions, concurrent readers and \
+       crash-reopens, checked against a model oracle (never serve a \
+       frame that fails its check, never lose an acknowledged record)."
+    in
+    Arg.(value & flag & info [ "store" ] ~doc)
   in
   let proto_arg =
     let doc =
@@ -1266,8 +1321,8 @@ let fuzz_cmd =
   in
   let replay_arg =
     let doc =
-      "Replay a corpus entry (or every *.soc entry in a directory) \
-       through the oracle instead of fuzzing."
+      "Replay a corpus entry (or every *.soc / *.fault entry in a \
+       directory) through the oracle instead of fuzzing."
     in
     Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"PATH" ~doc)
   in
@@ -1312,10 +1367,78 @@ let fuzz_cmd =
       (List.length failed);
     if failed = [] then 0 else 1
   in
-  let run seed budget shrink corpus_dir brk proto replay max_cores pack
-      no_presolve no_cuts =
+  let replay_fault_path path =
+    let files =
+      if Sys.is_directory path then
+        Sys.readdir path |> Array.to_list |> List.sort compare
+        |> List.filter (fun n -> Filename.check_suffix n ".fault")
+        |> List.map (Filename.concat path)
+      else [ path ]
+    in
+    if files = [] then
+      raise (Invalid_argument (path ^ ": no .fault entries"));
+    let failed =
+      List.filter_map
+        (fun file ->
+          match Store_torture.load_file file with
+          | Error msg ->
+              Printf.printf "replay %-40s UNREADABLE: %s\n"
+                (Filename.basename file) msg;
+              Some file
+          | Ok sched -> (
+              match Store_torture.replay sched with
+              | Ok () ->
+                  Printf.printf "replay %-40s ok (healthy store)\n"
+                    (Filename.basename file);
+                  None
+              | Error f ->
+                  Printf.printf "replay %-40s FAILED at op %d: %s\n"
+                    (Filename.basename file) f.Store_torture.op_index
+                    f.Store_torture.message;
+                  Some file))
+        files
+    in
+    Printf.printf "replay: %d entries, %d failed\n" (List.length files)
+      (List.length failed);
+    if failed = [] then 0 else 1
+  in
+  let run seed budget shrink corpus_dir brk proto store replay max_cores
+      pack no_presolve no_cuts =
     try
       if budget < 0 then raise (Invalid_argument "--budget < 0");
+      let log = print_endline in
+      if store then begin
+        let fault =
+          match brk with
+          | None -> Store_torture.No_fault
+          | Some s -> (
+              match Store_torture.fault_of_string s with
+              | Ok f -> f
+              | Error msg -> raise (Invalid_argument msg))
+        in
+        match replay with
+        | Some path -> replay_fault_path path
+        | None ->
+            let outcome =
+              Store_torture.run ~log ~fault ~shrink ?corpus_dir ~seed
+                ~budget ()
+            in
+            (match outcome.Store_torture.failure with
+            | None ->
+                log
+                  (Printf.sprintf
+                     "store torture: %d schedules clean (seed %d)"
+                     outcome.Store_torture.executed seed)
+            | Some r ->
+                log
+                  (Printf.sprintf
+                     "store torture FAILED: seed %d, op %d: %s"
+                     r.Store_torture.case_seed
+                     r.Store_torture.failure.Store_torture.op_index
+                     r.Store_torture.failure.Store_torture.message));
+            if Option.is_none outcome.Store_torture.failure then 0 else 1
+      end
+      else
       let fault =
         match brk with
         | None -> Oracle.No_fault
@@ -1324,7 +1447,6 @@ let fuzz_cmd =
             | Ok f -> f
             | Error msg -> raise (Invalid_argument msg))
       in
-      let log = print_endline in
       if proto then
         Pool.with_pool ~num_domains:2 (fun pool ->
             (* Capture the structured log in memory: the storm must not
@@ -1376,8 +1498,8 @@ let fuzz_cmd =
   let term =
     Term.(
       const run $ seed_arg $ budget_arg $ shrink_arg $ corpus_arg
-      $ break_arg $ proto_arg $ replay_arg $ max_cores_arg $ pack_arg
-      $ no_presolve_arg $ no_cuts_arg)
+      $ break_arg $ proto_arg $ store_arg $ replay_arg $ max_cores_arg
+      $ pack_arg $ no_presolve_arg $ no_cuts_arg)
   in
   Cmd.v
     (Cmd.info "fuzz"

@@ -12,6 +12,7 @@ module Addr = Soctam_service.Addr
 module Service = Soctam_service.Service
 module Server = Soctam_service.Server
 module Http = Soctam_service.Http
+module Store = Soctam_store.Store
 
 open Cmdliner
 
@@ -68,6 +69,21 @@ let log_trace_arg =
   Arg.(
     value & opt (some string) None & info [ "log-trace" ] ~docv:"ID" ~doc)
 
+let store_arg =
+  let doc =
+    "Persistent result store directory (created if absent): a \
+     disk-backed second cache tier keyed like the in-memory LRU, \
+     recovered on startup and shareable between daemon processes."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let store_segment_bytes_arg =
+  let doc = "Rotate store segments at roughly $(docv) bytes." in
+  Arg.(
+    value
+    & opt int 8_388_608
+    & info [ "store-segment-bytes" ] ~docv:"BYTES" ~doc)
+
 let metrics_arg =
   let doc =
     "Serve Prometheus text metrics on HTTP GET /metrics (and a \
@@ -77,7 +93,7 @@ let metrics_arg =
     value & opt (some string) None & info [ "metrics" ] ~docv:"ADDR" ~doc)
 
 let run listen jobs cache queue stats_json log_dest log_max_bytes log_trace
-    metrics =
+    store_dir store_segment_bytes metrics =
   let parsed =
     let ( let* ) = Result.bind in
     let* addr = Addr.of_string listen in
@@ -110,10 +126,30 @@ let run listen jobs cache queue stats_json log_dest log_max_bytes log_trace
                 (Log.create ?only_trace:log_trace
                    (Log.File { path; max_bytes = log_max_bytes }))
         in
+        let store =
+          Option.map
+            (fun dir ->
+              let store =
+                Store.open_store ~segment_bytes:store_segment_bytes dir
+              in
+              let s = Store.stats store in
+              Printf.printf
+                "tamoptd: store %s recovered (%d records, %d segments%s%s)\n%!"
+                dir s.Store.live s.Store.segments
+                (if s.Store.torn_bytes > 0 then
+                   Printf.sprintf ", %d torn bytes dropped" s.Store.torn_bytes
+                 else "")
+                (if s.Store.corrupt_frames > 0 then
+                   Printf.sprintf ", %d corrupt frames skipped"
+                     s.Store.corrupt_frames
+                 else "");
+              store)
+            store_dir
+        in
         Pool.with_pool ~num_domains:jobs (fun pool ->
             let service =
               Service.create ~cache_capacity:cache ~queue_capacity:queue
-                ?log ~pool ()
+                ?log ?store ~pool ()
             in
             (* The metrics listener shares the service's shutdown flag:
                its accept loop exits when the daemon starts draining. *)
@@ -140,6 +176,7 @@ let run listen jobs cache queue stats_json log_dest log_max_bytes log_trace
             Server.serve ~on_bound ~service addr;
             Option.iter Thread.join metrics_thread;
             Option.iter Log.close log;
+            Option.iter Store.close store;
             (match stats_json with
             | Some path ->
                 Out_channel.with_open_text path (fun oc ->
@@ -163,6 +200,6 @@ let () =
     Term.(
       const run $ listen_arg $ jobs_arg $ cache_arg $ queue_arg
       $ stats_json_arg $ log_arg $ log_max_bytes_arg $ log_trace_arg
-      $ metrics_arg)
+      $ store_arg $ store_segment_bytes_arg $ metrics_arg)
   in
   exit (Cmd.eval' (Cmd.v (Cmd.info "tamoptd" ~version:"1.0.0" ~doc) term))

@@ -312,6 +312,140 @@ let json_of_row r =
       ("cancelled_nodes", Json.int r.cancelled_nodes);
       ("elapsed_s", Json.Num r.elapsed_s) ]
 
+(* Inverse of [json_of_row], for the persistent result store: a row
+   serialized, stored, re-parsed and re-serialized must print the same
+   bytes. Unknown fields are rejected loudly rather than defaulted so a
+   schema drift between store generations surfaces as a store miss, not
+   a silently wrong answer. *)
+let row_of_json json =
+  let ( let* ) = Result.bind in
+  let field name =
+    match Json.member name json with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "row_of_json: missing field %S" name)
+  in
+  let as_int name = function
+    | Json.Num f when Float.is_integer f -> Ok (int_of_float f)
+    | _ -> Error (Printf.sprintf "row_of_json: field %S is not an int" name)
+  in
+  let int_field name =
+    let* v = field name in
+    as_int name v
+  in
+  let int_opt_field name =
+    let* v = field name in
+    match v with
+    | Json.Null -> Ok None
+    | v ->
+        let* i = as_int name v in
+        Ok (Some i)
+  in
+  let int_array name = function
+    | Json.Arr items ->
+        let* ints =
+          List.fold_left
+            (fun acc v ->
+              let* acc = acc in
+              let* i = as_int name v in
+              Ok (i :: acc))
+            (Ok []) items
+        in
+        Ok (Array.of_list (List.rev ints))
+    | _ -> Error (Printf.sprintf "row_of_json: field %S is not an array" name)
+  in
+  let* total_width = int_field "total_width" in
+  let* num_buses = int_field "num_buses" in
+  let* test_time = int_opt_field "test_time" in
+  let* widths = field "widths" in
+  let* assignment = field "assignment" in
+  let* solution =
+    match (widths, assignment, test_time) with
+    | Json.Null, Json.Null, _ -> Ok None
+    | w, a, Some t -> (
+        let* widths = int_array "widths" w in
+        let* assignment = int_array "assignment" a in
+        match Architecture.make ~widths ~assignment with
+        | arch -> Ok (Some (arch, t))
+        | exception Invalid_argument msg ->
+            Error ("row_of_json: bad architecture: " ^ msg))
+    | _ -> Error "row_of_json: widths/assignment without test_time"
+  in
+  let* placements = field "placements" in
+  let* packing =
+    match (placements, test_time) with
+    | Json.Null, _ -> Ok None
+    | Json.Arr items, Some makespan ->
+        let* placements =
+          List.fold_left
+            (fun acc item ->
+              let* acc = acc in
+              let pl_field name =
+                match Json.member name item with
+                | Some v -> as_int name v
+                | None ->
+                    Error
+                      (Printf.sprintf "row_of_json: placement missing %S" name)
+              in
+              let* core = pl_field "core" in
+              let* width = pl_field "width" in
+              let* wire_lo = pl_field "wire_lo" in
+              let* start = pl_field "start" in
+              let* finish = pl_field "finish" in
+              Ok ({ Rect_sched.core; width; wire_lo; start; finish } :: acc))
+            (Ok []) items
+        in
+        Ok (Some { Rect_sched.placements = List.rev placements; makespan })
+    | Json.Arr _, None -> Error "row_of_json: placements without test_time"
+    | _, _ -> Error "row_of_json: field \"placements\" is not an array"
+  in
+  let* optimal =
+    let* v = field "optimal" in
+    match v with
+    | Json.Bool b -> Ok b
+    | _ -> Error "row_of_json: field \"optimal\" is not a bool"
+  in
+  let* nodes = int_field "nodes" in
+  let* lp_pivots = int_field "lp_pivots" in
+  let* max_depth = int_field "max_depth" in
+  let* warm_starts = int_field "warm_starts" in
+  let* cold_solves = int_field "cold_solves" in
+  let* refactorizations = int_field "refactorizations" in
+  let* cuts_added = int_field "cuts_added" in
+  let* presolve_fixed = int_field "presolve_fixed" in
+  let* seeded_bound = int_opt_field "seeded_bound" in
+  let* winner =
+    let* v = field "winner" in
+    match v with
+    | Json.Null -> Ok None
+    | Json.Str w -> Ok (Some w)
+    | _ -> Error "row_of_json: field \"winner\" is not a string"
+  in
+  let* cancelled_nodes = int_field "cancelled_nodes" in
+  let* elapsed_s =
+    let* v = field "elapsed_s" in
+    match v with
+    | Json.Num f -> Ok f
+    | _ -> Error "row_of_json: field \"elapsed_s\" is not a number"
+  in
+  Ok
+    { total_width;
+      num_buses;
+      solution;
+      packing;
+      optimal;
+      nodes;
+      lp_pivots;
+      max_depth;
+      warm_starts;
+      cold_solves;
+      refactorizations;
+      cuts_added;
+      presolve_fixed;
+      seeded_bound;
+      winner;
+      cancelled_nodes;
+      elapsed_s }
+
 let json_of_totals t =
   Json.Obj
     [ ("cells", Json.int t.cells);

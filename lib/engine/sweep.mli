@@ -159,6 +159,15 @@ val solver_name : solver -> string
     packing's makespan. *)
 val json_of_row : row -> Soctam_obs.Json.t
 
+(** Inverse of {!json_of_row}, used by the persistent result store to
+    rebuild rows from stored JSON. Strict: any missing or ill-typed
+    field is an [Error], so schema drift between store generations
+    degrades to a store miss rather than a wrong answer. Round-trip
+    law: [row_of_json (json_of_row r) = Ok r] for every row the sweep
+    produces, and re-serializing the parsed row prints byte-identical
+    JSON. *)
+val row_of_json : Soctam_obs.Json.t -> (row, string) result
+
 val json_of_totals : totals -> Soctam_obs.Json.t
 
 (** [equal_rows a b] compares two sweeps for result equality —

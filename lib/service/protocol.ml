@@ -392,12 +392,15 @@ let trace_fields = function
   | Some s -> [ ("trace_id", Json.Str s) ]
   | None -> []
 
-let ok_reply ~id ?trace_id ?cached ?elapsed_ms result =
+let ok_reply ~id ?trace_id ?cached ?source ?elapsed_ms result =
   Json.Obj
     (("id", id) :: trace_fields trace_id
     @ [ ("ok", Json.Bool true) ]
     @ (match cached with
       | Some c -> [ ("cached", Json.Bool c) ]
+      | None -> [])
+    @ (match source with
+      | Some s -> [ ("source", Json.Str s) ]
       | None -> [])
     @ (match elapsed_ms with
       | Some ms -> [ ("elapsed_ms", Json.Num ms) ]

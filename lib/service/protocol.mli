@@ -135,10 +135,14 @@ val json_of_request :
 
 (** Reply constructors (one line each, compact rendering). *)
 
+(** [source] names which tier produced a work reply —
+    ["lru"], ["store"] or ["solve"] — mirroring the request log's
+    provenance field. *)
 val ok_reply :
   id:Soctam_obs.Json.t ->
   ?trace_id:string ->
   ?cached:bool ->
+  ?source:string ->
   ?elapsed_ms:float ->
   Soctam_obs.Json.t ->
   Soctam_obs.Json.t

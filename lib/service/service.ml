@@ -14,10 +14,14 @@ module Rect_sched = Soctam_sched.Rect_sched
 module Pool = Soctam_engine.Pool
 module Sweep = Soctam_engine.Sweep
 module Race = Soctam_engine.Race
+module Store = Soctam_store.Store
 
 type t = {
   pool : Pool.t;
   cache : Sweep.row list Lru.t;
+  (* Second cache tier: disk-backed, content-addressed by the same
+     canon key, shared across daemon processes and restarts. *)
+  store : Store.t option;
   queue_capacity : int;
   log : Log.t option;
   mutex : Mutex.t;
@@ -36,16 +40,21 @@ type t = {
      sample since startup contributes to the tail quantiles. *)
   hit_lat_ms : Hist.t;
   miss_lat_ms : Hist.t;
+  store_hit_lat_ms : Hist.t;
   queue_wait_ms : Hist.t;
   solve_ms : Hist.t;
+  mutable store_bad_rows : int;
+      (* store docs that failed [Sweep.row_of_json]: served as misses *)
 }
 
-let create ?(cache_capacity = 256) ?(queue_capacity = 64) ?log ~pool () =
+let create ?(cache_capacity = 256) ?(queue_capacity = 64) ?log ?store ~pool
+    () =
   if queue_capacity < 1 then
     invalid_arg "Service.create: queue_capacity < 1";
   {
     pool;
     cache = Lru.create ~capacity:cache_capacity ();
+    store;
     queue_capacity;
     log;
     mutex = Mutex.create ();
@@ -62,8 +71,10 @@ let create ?(cache_capacity = 256) ?(queue_capacity = 64) ?log ~pool () =
     started_s = Clock.now_s ();
     hit_lat_ms = Hist.create ();
     miss_lat_ms = Hist.create ();
+    store_hit_lat_ms = Hist.create ();
     queue_wait_ms = Hist.create ();
     solve_ms = Hist.create ();
+    store_bad_rows = 0;
   }
 
 let shutdown_requested t =
@@ -115,6 +126,7 @@ type note = {
   mutable n_solver : string option;
   mutable n_digest : string option;  (* canon key hash *)
   mutable n_cached : bool option;
+  mutable n_source : string option;  (* "lru" | "store" | "solve" *)
   mutable n_optimal : bool option;
   mutable n_deadline_ms : float option;
   mutable n_queue_wait_ms : float option;
@@ -126,6 +138,7 @@ let fresh_note () =
     n_solver = None;
     n_digest = None;
     n_cached = None;
+    n_source = None;
     n_optimal = None;
     n_deadline_ms = None;
     n_queue_wait_ms = None;
@@ -249,6 +262,55 @@ let count_race_wins t rows =
     rows;
   !any
 
+(* ---- persistent store tier ----
+
+   Store documents hold rows in canonical core order — exactly what the
+   LRU holds — so a store hit promotes straight into the LRU and serves
+   through the same [`Serve] remap as a memory hit. Parsing is strict:
+   a doc any row of which fails [Sweep.row_of_json] (schema drift,
+   damage that slipped past the frame check under fault injection) is
+   counted and treated as a miss, never served. *)
+
+let store_doc_of_rows ~solver rows =
+  Json.Obj
+    [ ("solver", Json.Str solver);
+      ("optimal", Json.Bool true);
+      ("rows", Json.Arr (List.map Sweep.json_of_row rows)) ]
+
+let rows_of_store_doc doc =
+  match Json.member "rows" doc with
+  | Some (Json.Arr items) ->
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | item :: rest -> (
+            match Sweep.row_of_json item with
+            | Ok row -> go (row :: acc) rest
+            | Error _ -> None)
+      in
+      go [] items
+  | _ -> None
+
+let store_lookup t canon =
+  match t.store with
+  | None -> None
+  | Some store -> (
+      match Store.find store canon.Canon.key with
+      | None -> None
+      | Some doc -> (
+          match rows_of_store_doc doc with
+          | Some rows -> Some rows
+          | None ->
+              Mutex.lock t.mutex;
+              t.store_bad_rows <- t.store_bad_rows + 1;
+              Mutex.unlock t.mutex;
+              None))
+
+let store_append t canon ~solver rows =
+  match t.store with
+  | None -> ()
+  | Some store ->
+      Store.add store canon.Canon.key (store_doc_of_rows ~solver rows)
+
 (* ---- request execution (runs on a pool worker domain) ---- *)
 
 let elapsed_ms ~arrival = (Clock.now_s () -. arrival) *. 1000.0
@@ -320,20 +382,39 @@ let work t ~id ~trace_id ~note ~arrival ~(instance : Protocol.instance)
           Protocol.error_reply ~id ?trace_id ~code:"bad_request" msg
       | cells, canon -> (
           note.n_digest <- Some canon.Canon.digest;
+          (* [rows] arrive in canonical core order (LRU entry or parsed
+             store doc); the [`Serve] remap restores the requester's
+             order, so a store hit is byte-identical to the fresh solve
+             that populated it. *)
+          let serve ~source ~hist rows =
+            note.n_cached <- Some true;
+            note.n_source <- Some source;
+            note.n_optimal <-
+              Some (List.for_all (fun r -> r.Sweep.optimal) rows);
+            let rows = remap_rows canon `Serve rows in
+            let el = elapsed_ms ~arrival in
+            Hist.record hist el;
+            Protocol.ok_reply ~id ?trace_id ~cached:true ~source
+              ~elapsed_ms:el
+              (result_json ~soc ~inst:instance rows)
+          in
           match Lru.find t.cache canon.Canon.key with
           | Some rows ->
               Obs.incr "svc.cache_hit";
-              note.n_cached <- Some true;
-              note.n_optimal <-
-                Some (List.for_all (fun r -> r.Sweep.optimal) rows);
-              let rows = remap_rows canon `Serve rows in
-              let el = elapsed_ms ~arrival in
-              Hist.record t.hit_lat_ms el;
-              Protocol.ok_reply ~id ?trace_id ~cached:true ~elapsed_ms:el
-                (result_json ~soc ~inst:instance rows)
+              serve ~source:"lru" ~hist:t.hit_lat_ms rows
           | None -> (
+              match store_lookup t canon with
+              | Some rows ->
+                  Obs.incr "svc.store_hit";
+                  (* Promote: the next identical request is a memory
+                     hit. Store docs are optimal-only by the append
+                     policy below, matching the LRU's invariant. *)
+                  Lru.put t.cache canon.Canon.key rows;
+                  serve ~source:"store" ~hist:t.store_hit_lat_ms rows
+              | None -> (
               Obs.incr "svc.cache_miss";
               note.n_cached <- Some false;
+              note.n_source <- Some "solve";
               let expired =
                 match deadline_s with
                 | Some d -> Clock.now_s () >= d
@@ -363,15 +444,23 @@ let work t ~id ~trace_id ~note ~arrival ~(instance : Protocol.instance)
                       Some (List.for_all (fun r -> r.Sweep.optimal) rows);
                     (* Only complete verdicts are cacheable: an ILP row
                        that gave up on a deadline must not satisfy a
-                       later, more patient request. *)
-                    if List.for_all (fun r -> r.Sweep.optimal) rows then
-                      Lru.put t.cache canon.Canon.key
-                        (remap_rows canon `Store rows);
+                       later, more patient request. The store append
+                       comes FIRST: once the LRU holds the entry it can
+                       be evicted at any moment, so the record must
+                       already be durable — an LRU eviction then demotes
+                       the key to a store hit, never to a re-solve. *)
+                    (if List.for_all (fun r -> r.Sweep.optimal) rows then begin
+                       let canonical = remap_rows canon `Store rows in
+                       store_append t canon
+                         ~solver:(Protocol.solver_name instance.solver)
+                         canonical;
+                       Lru.put t.cache canon.Canon.key canonical
+                     end);
                     let el = elapsed_ms ~arrival in
                     Hist.record t.miss_lat_ms el;
                     Protocol.ok_reply ~id ?trace_id ~cached:false
-                      ~elapsed_ms:el
-                      (result_json ~soc ~inst:instance rows))))
+                      ~source:"solve" ~elapsed_ms:el
+                      (result_json ~soc ~inst:instance rows)))))
 
 let execute t ~id ~trace_id ~note ~arrival ~emit request =
   match request with
@@ -454,8 +543,29 @@ let stats_json t =
   and shutting_down = t.shutting_down in
   Mutex.unlock t.mutex;
   let cache = Lru.stats t.cache in
+  let store_fields =
+    match t.store with
+    | None -> []
+    | Some store ->
+        let s = Store.stats store in
+        [ ( "store",
+            Json.Obj
+              [ ("dir", Json.Str (Store.dir store));
+                ("hits", Json.int s.Store.hits);
+                ("misses", Json.int s.Store.misses);
+                ("appends", Json.int s.Store.appends);
+                ("recovered", Json.int s.Store.recovered);
+                ("corrupt_frames", Json.int s.Store.corrupt_frames);
+                ("torn_bytes", Json.int s.Store.torn_bytes);
+                ("rescans", Json.int s.Store.rescans);
+                ("compactions", Json.int s.Store.compactions);
+                ("segments", Json.int s.Store.segments);
+                ("live", Json.int s.Store.live);
+                ("bytes", Json.int s.Store.bytes);
+                ("bad_rows", Json.int t.store_bad_rows) ] ) ]
+  in
   Json.Obj
-    [ ("uptime_s", Json.Num (Clock.now_s () -. t.started_s));
+    ([ ("uptime_s", Json.Num (Clock.now_s () -. t.started_s));
       ("shutting_down", Json.Bool shutting_down);
       ( "queue",
         Json.Obj
@@ -478,6 +588,7 @@ let stats_json t =
       ( "latency",
         Json.Obj
           [ ("hit", latency_json (Hist.snapshot t.hit_lat_ms));
+            ("store_hit", latency_json (Hist.snapshot t.store_hit_lat_ms));
             ("miss", latency_json (Hist.snapshot t.miss_lat_ms));
             ("queue_wait", latency_json (Hist.snapshot t.queue_wait_ms));
             ("solve", latency_json (Hist.snapshot t.solve_ms)) ] );
@@ -485,6 +596,7 @@ let stats_json t =
         Json.Obj
           (List.map (fun (k, v) -> (k, Json.int v)) (race_wins_alist t)) )
     ]
+    @ store_fields)
 
 let health_json t =
   Mutex.lock t.mutex;
@@ -510,8 +622,38 @@ let metrics_text t =
   Mutex.unlock t.mutex;
   let cache = Lru.stats t.cache in
   let f = float_of_int in
+  let store_metrics =
+    match t.store with
+    | None -> []
+    | Some store ->
+        let s = Store.stats store in
+        [ Export.Counter
+            { name = "tamoptd_store_events_total";
+              help = "Persistent result store events.";
+              series =
+                [ ([ ("event", "hit") ], f s.Store.hits);
+                  ([ ("event", "miss") ], f s.Store.misses);
+                  ([ ("event", "append") ], f s.Store.appends);
+                  ([ ("event", "recovered") ], f s.Store.recovered);
+                  ([ ("event", "corrupt_frame") ], f s.Store.corrupt_frames);
+                  ([ ("event", "rescan") ], f s.Store.rescans);
+                  ([ ("event", "compaction") ], f s.Store.compactions);
+                  ([ ("event", "bad_rows") ], f t.store_bad_rows) ] };
+          Export.Gauge
+            { name = "tamoptd_store_segments";
+              help = "Segment files in the persistent store.";
+              series = [ ([], f s.Store.segments) ] };
+          Export.Gauge
+            { name = "tamoptd_store_live_records";
+              help = "Distinct keys indexed in the persistent store.";
+              series = [ ([], f s.Store.live) ] };
+          Export.Gauge
+            { name = "tamoptd_store_bytes";
+              help = "On-disk bytes across store segments.";
+              series = [ ([], f s.Store.bytes) ] } ]
+  in
   Export.render
-    [ Export.Counter
+    ([ Export.Counter
         { name = "tamoptd_requests_total";
           help = "Requests by final disposition.";
           series =
@@ -562,6 +704,7 @@ let metrics_text t =
           help = "End-to-end work-request latency, by cache disposition.";
           series =
             [ ([ ("cache", "hit") ], Hist.snapshot t.hit_lat_ms);
+              ([ ("cache", "store") ], Hist.snapshot t.store_hit_lat_ms);
               ([ ("cache", "miss") ], Hist.snapshot t.miss_lat_ms) ] };
       Export.Histogram
         { name = "tamoptd_queue_wait_ms";
@@ -571,6 +714,7 @@ let metrics_text t =
         { name = "tamoptd_solve_ms";
           help = "Solver wall time (cache misses only).";
           series = [ ([], Hist.snapshot t.solve_ms) ] } ]
+    @ store_metrics)
 
 (* ---- the line handler ---- *)
 
@@ -613,6 +757,7 @@ let log_event t ~note ~trace_id ~op ~id ~deadline_slack reply ~duration_ms =
         @ opt_field "solver" (fun s -> Json.Str s) note.n_solver
         @ opt_field "digest" (fun s -> Json.Str s) note.n_digest
         @ opt_field "cached" (fun b -> Json.Bool b) note.n_cached
+        @ opt_field "source" (fun s -> Json.Str s) note.n_source
         @ opt_field "optimal" (fun b -> Json.Bool b) note.n_optimal
         @ opt_field "deadline_ms" (fun x -> Json.Num x) note.n_deadline_ms
         @ opt_field "slack_ms" (fun x -> Json.Num x) deadline_slack

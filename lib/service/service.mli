@@ -46,13 +46,21 @@
 
 type t
 
-(** [create ?cache_capacity ?queue_capacity ?log ~pool ()] — defaults:
-    cache 256 entries, queue 64 requests, no request log. The pool is
-    borrowed, not owned: the caller shuts it down after {!drain}. *)
+(** [create ?cache_capacity ?queue_capacity ?log ?store ~pool ()] —
+    defaults: cache 256 entries, queue 64 requests, no request log, no
+    persistent store. The pool is borrowed, not owned: the caller
+    shuts it down after {!drain}. [store] attaches a
+    {!Soctam_store.Store} as a second cache tier under the LRU: lookup
+    order is LRU → store → solve, and a fresh optimal result is
+    appended to the store {e before} it enters the LRU, so an eviction
+    demotes a key to a store hit rather than a re-solve. The store is
+    likewise borrowed: close it after {!drain}. Replies and request-log
+    events carry the serving tier as [source:"lru"|"store"|"solve"]. *)
 val create :
   ?cache_capacity:int ->
   ?queue_capacity:int ->
   ?log:Soctam_obs.Log.t ->
+  ?store:Soctam_store.Store.t ->
   pool:Soctam_engine.Pool.t ->
   unit -> t
 

@@ -1,0 +1,125 @@
+(** Disk-backed, content-addressed result store.
+
+    A store is a directory of append-only segment files
+    ([seg-00000001.log], [seg-00000002.log], ...), each a sequence of
+    CRC32-framed records mapping an opaque key (the injective [Canon]
+    key in production) to a JSON document. The in-memory index is
+    rebuilt by scanning the segments at open and incrementally
+    refreshed when other writers grow the directory. Appends happen
+    under an [fcntl] lock on [dir/lock] so N processes can share one
+    store; readers never take the lock and self-heal from stale index
+    entries by rescanning.
+
+    Durability contract: once {!add} returns (with [fsync] enabled, the
+    default), the record survives process death and is recovered by the
+    next {!open_store}. A torn tail — a frame whose bytes were only
+    partially written before a crash — is detected by the frame check
+    and discarded without affecting earlier records. *)
+
+module Crc32 : sig
+  (** CRC-32 (IEEE 802.3, reflected, init/xorout [0xFFFFFFFF]).
+      [string "123456789" = 0xCBF43926]. *)
+
+  val bytes : Bytes.t -> pos:int -> len:int -> int
+  val string : string -> int
+end
+
+module Frame : sig
+  (** Record framing: ["SOCT"] magic, u32-LE payload length, u32-LE
+      CRC-32 of the payload, then the payload bytes. *)
+
+  val magic : string
+  val header_bytes : int
+
+  (** Frames longer than this are treated as corrupt, not torn: a
+      length field this large can only come from damaged bytes. *)
+  val max_payload : int
+
+  val encode : string -> string
+
+  type error =
+    | Torn  (** ran out of bytes mid-frame: a crashed append's tail *)
+    | Corrupt of string  (** bad magic, insane length or CRC mismatch *)
+
+  (** [decode buf ~pos ~avail] checks the frame starting at [pos] with
+      [avail] readable bytes and returns the payload and total frame
+      size. [verify] defaults to [true]; passing [false] skips the CRC
+      comparison (fault injection only). *)
+  val decode :
+    ?verify:bool ->
+    Bytes.t ->
+    pos:int ->
+    avail:int ->
+    (string * int, error) result
+end
+
+type t
+
+(** Injectable implementation bugs for the torture harness. A healthy
+    store runs with {!no_faults}; each flag re-introduces a realistic
+    defect the oracle must catch. *)
+type faults = {
+  skip_crc : bool;  (** serve frames without verifying their CRC *)
+  drop_writes : bool;
+      (** acknowledge {!add} from memory without writing to disk *)
+  compact_keeps_first : bool;
+      (** compaction keeps the oldest record per key, not the newest *)
+}
+
+val no_faults : faults
+
+type stats = {
+  hits : int;
+  misses : int;
+  appends : int;
+  recovered : int;  (** frames accepted during open/rescans *)
+  corrupt_frames : int;  (** frames rejected by the frame check *)
+  torn_bytes : int;  (** trailing bytes discarded as torn at scan time *)
+  rescans : int;  (** full index rebuilds triggered by stale reads *)
+  compactions : int;
+  segments : int;
+  live : int;  (** distinct keys currently indexed *)
+  bytes : int;  (** on-disk bytes across all segments *)
+}
+
+(** Opens (creating if needed) the store in [dir] and rebuilds the
+    index by scanning every segment. [segment_bytes] (default 8 MiB)
+    is the rotation threshold: an append that finds the active segment
+    at or past it starts a new segment. [fsync] (default [true])
+    controls whether {!add} flushes before acknowledging. *)
+val open_store :
+  ?segment_bytes:int -> ?fsync:bool -> ?faults:faults -> string -> t
+
+val close : t -> unit
+val dir : t -> string
+
+(** [find t key] returns the newest document stored under [key], or
+    [None]. Never takes the writer lock; a read that fails because a
+    concurrent compaction moved the record triggers a rescan and one
+    retry. Never returns a document whose frame fails its CRC check
+    (unless the [skip_crc] fault is injected). *)
+val find : t -> string -> Soctam_obs.Json.t option
+
+(** [add t key doc] appends a record under the writer lock and fsyncs
+    it (unless disabled). Last write wins on duplicate keys. *)
+val add : t -> string -> Soctam_obs.Json.t -> unit
+
+(** Rewrites all live records into a fresh segment (atomic tmp-file +
+    rename), unlinks the dead segments, and rebuilds the index. Safe
+    to run while other processes read: their stale index entries fail
+    the frame check on next read and trigger a rescan. *)
+val compact : t -> unit
+
+val stats : t -> stats
+
+(** [(path, off, len)] of the frame currently serving [key], for tests
+    and the torture harness (targeted corruption). *)
+val locate : t -> string -> (string * int * int) option
+
+val segment_paths : t -> string list
+
+(** Fault-injection only: writes the first [keep_bytes] bytes of the
+    frame for [(key, doc)] and stops, simulating a crash mid-append.
+    The record is not acknowledged and the index is not updated. *)
+val append_torn :
+  t -> key:string -> doc:Soctam_obs.Json.t -> keep_bytes:int -> unit
