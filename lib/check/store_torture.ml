@@ -1,22 +1,33 @@
 module Json = Soctam_obs.Json
 module Store = Soctam_store.Store
 
-type fault = No_fault | Skip_crc | Drop_writes | Stale_compact
+type fault =
+  | No_fault
+  | Skip_crc
+  | Drop_writes
+  | Stale_compact
+  | Append_past_torn
 
 let fault_names =
-  [ "none"; "store-skip-crc"; "store-drop-writes"; "store-stale-compact" ]
+  [ "none";
+    "store-skip-crc";
+    "store-drop-writes";
+    "store-stale-compact";
+    "store-append-past-torn" ]
 
 let fault_name = function
   | No_fault -> "none"
   | Skip_crc -> "store-skip-crc"
   | Drop_writes -> "store-drop-writes"
   | Stale_compact -> "store-stale-compact"
+  | Append_past_torn -> "store-append-past-torn"
 
 let fault_of_string = function
   | "none" -> Ok No_fault
   | "store-skip-crc" -> Ok Skip_crc
   | "store-drop-writes" -> Ok Drop_writes
   | "store-stale-compact" -> Ok Stale_compact
+  | "store-append-past-torn" -> Ok Append_past_torn
   | s ->
       Error
         (Printf.sprintf "unknown store fault %S (expected one of: %s)" s
@@ -27,6 +38,7 @@ let store_faults = function
   | Skip_crc -> { Store.no_faults with Store.skip_crc = true }
   | Drop_writes -> { Store.no_faults with Store.drop_writes = true }
   | Stale_compact -> { Store.no_faults with Store.compact_keeps_first = true }
+  | Append_past_torn -> { Store.no_faults with Store.append_past_torn = true }
 
 type op =
   | Append of { key : int; value : int }
@@ -67,8 +79,10 @@ let schedule_of_seed ?(ops = 28) ~fault seed =
         | r when r < 55 -> Find { key }
         | r when r < 63 ->
             incr value;
-            (* Frames for our documents are > 60 bytes, so any keep in
-               [0, 50) is genuinely torn. *)
+            (* Torn frames carry a ~2 KiB document, so any keep in
+               [0, 50) is genuinely torn — and a keep past the 12-byte
+               header leaves a fully-written length field claiming ~2 KiB
+               the segment does not hold. *)
             Torn_append { key; value = !value; keep_bytes = rand st 50 }
         | r when r < 72 -> Flip_bit { key; bit = rand st 2048 }
         | r when r < 77 -> Truncate_tail { bytes = 1 + rand st 48 }
@@ -94,6 +108,17 @@ let key_str k = Printf.sprintf "k%02d" k
 let doc_of_value v =
   Json.Obj
     [ ("fill", Json.Str (String.make 96 'x')); ("value", Json.int v) ]
+
+(* Torn appends use a much larger document than ordinary appends. The
+   partially-written header then claims far more bytes than any run of
+   subsequent ~140-byte frames supplies, so a store that appends past
+   the torn tail without repairing it keeps reporting the region as
+   torn at recovery and silently drops every acknowledged frame behind
+   it — the failure mode uniform payload sizes can never surface,
+   because any later append flips the region to corrupt instead. *)
+let torn_doc_of_value v =
+  Json.Obj
+    [ ("fill", Json.Str (String.make 2048 'x')); ("value", Json.int v) ]
 
 let rec rm_rf path =
   match Sys.is_directory path with
@@ -230,7 +255,7 @@ let run_schedule ?(fsync = false) ~fault ops =
     | Torn_append { key; value; keep_bytes } ->
         (* killed mid-write: bytes may land, the ack never happens *)
         Store.append_torn !store ~key:(key_str key)
-          ~doc:(doc_of_value value) ~keep_bytes;
+          ~doc:(torn_doc_of_value value) ~keep_bytes;
         Ok ()
     | Flip_bit { key; bit } ->
         (match Store.locate !store (key_str key) with

@@ -30,6 +30,9 @@ type fault =
   | Skip_crc  (** serve frames without CRC verification *)
   | Drop_writes  (** acknowledge appends that never hit disk *)
   | Stale_compact  (** compaction keeps the oldest record per key *)
+  | Append_past_torn
+      (** append past a crashed write's torn tail without repairing it,
+          losing the acknowledged frames behind its claimed length *)
 
 val fault_names : string list
 val fault_name : fault -> string

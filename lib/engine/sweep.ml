@@ -374,6 +374,13 @@ let row_of_json json =
   let* packing =
     match (placements, test_time) with
     | Json.Null, _ -> Ok None
+    (* A row never carries both a partition solution and a packing: the
+       serialized "test_time" field is shared between them (it holds the
+       solution's time when a solution is present), so a both-sided row
+       could not round-trip — packing.makespan would be silently replaced
+       by the solution's test_time. Reject it rather than guess. *)
+    | Json.Arr _, _ when solution <> None ->
+        Error "row_of_json: row has both widths/assignment and placements"
     | Json.Arr items, Some makespan ->
         let* placements =
           List.fold_left

@@ -75,9 +75,16 @@ type faults = {
   skip_crc : bool;
   drop_writes : bool;
   compact_keeps_first : bool;
+  append_past_torn : bool;
 }
 
-let no_faults = { skip_crc = false; drop_writes = false; compact_keeps_first = false }
+let no_faults =
+  {
+    skip_crc = false;
+    drop_writes = false;
+    compact_keeps_first = false;
+    append_past_torn = false;
+  }
 
 type stats = {
   hits : int;
@@ -97,7 +104,14 @@ type location =
   | Disk of { seg : int; off : int; len : int }
   | Mem of string  (* drop_writes fault: payload acked from memory *)
 
-type seg_scan = { mutable scanned_off : int; mutable size_seen : int }
+type seg_scan = {
+  mutable scanned_off : int;  (* where the next incremental scan resumes *)
+  mutable size_seen : int;  (* segment size at the last scan *)
+  mutable valid_off : int;
+      (* end of the last frame this handle accepted; everything in
+         [valid_off, size) is torn/corrupt garbage the moment a locked
+         scan stops short of end-of-file *)
+}
 
 type t = {
   dir : string;
@@ -144,10 +158,13 @@ let list_segments t =
   ids
 
 (* The writer lock: fcntl region lock on dir/lock, held across appends,
-   compactions and opening scans. fcntl locks are per-process, so this
-   excludes other daemons sharing the directory; threads within one
-   process are serialized by [t.mutex], which every public operation
-   holds around its critical section. *)
+   compactions and opening scans. It excludes other PROCESSES sharing
+   the directory only: POSIX record locks never conflict between file
+   descriptors of one process, and [t.mutex] is per-handle, so two
+   handles opened on the same directory within one process have no
+   mutual exclusion at all. Hence the contract in the .mli: at most one
+   handle that writes (add/compact) per directory per process;
+   read-only handles are safe anywhere because readers never lock. *)
 let with_file_lock t f =
   ignore (Unix.lseek t.lock_fd 0 Unix.SEEK_SET);
   Unix.lockf t.lock_fd Unix.F_LOCK 0;
@@ -187,12 +204,23 @@ let doc_of_payload payload =
   | _ -> None
 
 (* Scans [seg] from its last-scanned offset, indexing every valid
-   frame. A torn tail leaves [scanned_off] at the start of the torn
-   frame so a later rescan resumes there if the file grew (another
-   writer finishing the append). A corrupt frame is skipped by
-   resynchronizing on the next magic marker, so records appended after
-   a damaged region are still recovered. *)
-let scan_segment t seg =
+   frame. A corrupt frame is skipped by resynchronizing on the next
+   magic marker, so records appended after a damaged region are still
+   recovered. A torn frame — one whose claimed length runs past
+   end-of-file — depends on who is scanning:
+
+   - An unlocked reader ([resync_torn = false]) must stop there: the
+     bytes may be another writer's append still landing, so
+     [scanned_off] stays at the frame start and a later rescan resumes
+     once the file grows.
+   - A scan under the writer lock ([resync_torn = true]) knows no
+     append is in flight, so the torn frame is a dead crashed-append
+     tail that can never complete. If a magic marker follows inside
+     the claimed region, frames were appended past the dead tail (a
+     store written before tails were repaired on append) — resync on
+     it so those acknowledged records are not lost. *)
+let scan_segment ?(resync_torn = false) t seg =
+  let resync_torn = resync_torn && not t.faults.append_past_torn in
   let path = seg_path t seg in
   match read_file path with
   | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
@@ -203,11 +231,29 @@ let scan_segment t seg =
         match Hashtbl.find_opt t.scans seg with
         | Some s -> s
         | None ->
-            let s = { scanned_off = 0; size_seen = 0 } in
+            let s = { scanned_off = 0; size_seen = 0; valid_off = 0 } in
             Hashtbl.replace t.scans seg s;
             s
       in
-      if size > state.size_seen then begin
+      if size <> state.size_seen then begin
+        (* A segment shrinks only when a writer truncated trailing
+           garbage, at an offset no scan ever accepted a frame beyond.
+           If our resume cursor had drifted past that point (it was
+           sitting inside the garbage), or the bytes under it are not a
+           frame boundary any more (the writer truncated below it and
+           appended fresh frames across it), the cursor is meaningless:
+           rescan the segment from zero. A resume cursor on a healthy
+           file always points at end-of-file, a frame start, or a torn
+           frame start — never at bytes that fail the magic check. *)
+        if
+          size < state.scanned_off
+          || (state.scanned_off > 0
+             && state.scanned_off + 4 <= size
+             && Bytes.sub_string buf state.scanned_off 4 <> Frame.magic)
+        then begin
+          state.scanned_off <- 0;
+          state.valid_off <- 0
+        end;
         let find_magic from =
           let rec go i =
             if i + 4 > size then None
@@ -229,8 +275,16 @@ let scan_segment t seg =
                     Hashtbl.replace t.index key (Disk { seg; off; len = total });
                     t.recovered <- t.recovered + 1
                 | None -> t.corrupt_frames <- t.corrupt_frames + 1);
+                state.valid_off <- off + total;
                 go (off + total)
-            | Error Torn -> (off, size - off)
+            | Error Torn ->
+                if resync_torn then
+                  match find_magic (off + 1) with
+                  | Some next ->
+                      t.corrupt_frames <- t.corrupt_frames + 1;
+                      go next
+                  | None -> (off, size - off)
+                else (off, size - off)
             | Error (Corrupt _) -> (
                 t.corrupt_frames <- t.corrupt_frames + 1;
                 match find_magic (off + 1) with
@@ -244,8 +298,10 @@ let scan_segment t seg =
       end
 
 (* Incremental refresh: pick up new segments and bytes other writers
-   appended since we last looked. *)
-let refresh t =
+   appended since we last looked (or removed, by truncating a torn
+   tail — which is why a size *change*, not only growth, triggers a
+   rescan). *)
+let refresh ?(resync_torn = false) t =
   let ids = list_segments t in
   List.iter
     (fun seg ->
@@ -254,10 +310,10 @@ let refresh t =
         | None -> true
         | Some s -> (
             match (Unix.stat (seg_path t seg)).Unix.st_size with
-            | size -> size > s.size_seen
+            | size -> size <> s.size_seen
             | exception Unix.Unix_error (Unix.ENOENT, _, _) -> false)
       in
-      if needs_scan then scan_segment t seg)
+      if needs_scan then scan_segment ~resync_torn t seg)
     ids
 
 (* Full rebuild: drop everything and rescan from byte zero. Used when a
@@ -302,7 +358,7 @@ let open_store ?(segment_bytes = 8 * 1024 * 1024) ?(fsync = true)
       closed = false;
     }
   in
-  with_file_lock t (fun () -> refresh t);
+  with_file_lock t (fun () -> refresh ~resync_torn:true t);
   t
 
 let close t =
@@ -332,36 +388,47 @@ let read_frame t ~key = function
 
 let find t key =
   locked t (fun () ->
-      let serve loc =
-        match read_frame t ~key loc with
-        | Some doc ->
-            t.hits <- t.hits + 1;
-            Some doc
-        | None ->
-            Hashtbl.remove t.index key;
-            None
-      in
+      (* Set when an indexed location failed its read: the record was
+         moved out from under us (a compaction in another process), as
+         opposed to the key never having been stored. *)
+      let stale = ref false in
       let attempt () =
         match Hashtbl.find_opt t.index key with
-        | Some loc -> serve loc
         | None -> None
+        | Some loc -> (
+            match read_frame t ~key loc with
+            | Some doc -> Some doc
+            | None ->
+                Hashtbl.remove t.index key;
+                stale := true;
+                None)
+      in
+      let hit doc =
+        t.hits <- t.hits + 1;
+        Some doc
+      in
+      let miss () =
+        t.misses <- t.misses + 1;
+        None
       in
       match attempt () with
-      | Some doc -> Some doc
+      | Some doc -> hit doc
       | None -> (
           (* Either we have never seen this key or our index is stale
-             (another process appended or compacted). Refresh and retry
-             once; if the entry still fails its read, rebuild. *)
+             (another process appended or compacted). A cheap stat-based
+             refresh picks up new segments and appended bytes; only a
+             stale entry that still fails afterwards justifies the full
+             rebuild — a key simply absent from a fresh index is a
+             genuine miss, and rebuilding on every such miss would
+             re-read the whole store each time. *)
           refresh t;
           match attempt () with
-          | Some doc -> Some doc
-          | None -> (
-              rebuild t;
-              match attempt () with
-              | Some doc -> Some doc
-              | None ->
-                  t.misses <- t.misses + 1;
-                  None)))
+          | Some doc -> hit doc
+          | None ->
+              if not !stale then miss ()
+              else (
+                rebuild t;
+                match attempt () with Some doc -> hit doc | None -> miss ())))
 
 let write_all fd s =
   let len = String.length s in
@@ -398,12 +465,38 @@ let append_frame t ~seg ~off frame =
       if t.do_fsync then Unix.fsync fd);
   ignore off
 
+(* Under the writer lock only: after a locked [refresh], everything in
+   [valid_off, size) of the just-scanned segment is trailing garbage —
+   torn frames crashed appends left behind (never acknowledged) and any
+   corrupt bytes between them. Drop it before appending: a torn header's
+   claimed length (up to [Frame.max_payload]) would otherwise swallow
+   every smaller frame appended after it at recovery time, losing
+   acknowledged records. *)
+let truncate_torn_tail t seg =
+  match Hashtbl.find_opt t.scans seg with
+  | Some s when s.valid_off < s.size_seen && not t.faults.append_past_torn
+    -> (
+      match Unix.openfile (seg_path t seg) [ Unix.O_WRONLY ] 0 with
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+      | fd ->
+          Fun.protect
+            ~finally:(fun () -> Unix.close fd)
+            (fun () ->
+              Unix.ftruncate fd s.valid_off;
+              if t.do_fsync then Unix.fsync fd);
+          s.size_seen <- s.valid_off;
+          s.scanned_off <- s.valid_off)
+  | _ -> ()
+
 let add t key doc =
   locked t (fun () ->
       with_file_lock t (fun () ->
           (* Catch up on other writers first so updating this segment's
              scan cursor below cannot skip their frames. *)
-          refresh t;
+          refresh ~resync_torn:true t;
+          (match List.rev (list_segments t) with
+          | [] -> ()
+          | last :: _ -> truncate_torn_tail t last);
           let payload = payload_of ~key doc in
           if t.faults.drop_writes then
             Hashtbl.replace t.index key (Mem payload)
@@ -417,12 +510,13 @@ let add t key doc =
               match Hashtbl.find_opt t.scans seg with
               | Some s -> s
               | None ->
-                  let s = { scanned_off = 0; size_seen = 0 } in
+                  let s = { scanned_off = 0; size_seen = 0; valid_off = 0 } in
                   Hashtbl.replace t.scans seg s;
                   s
             in
             state.scanned_off <- off + len;
-            state.size_seen <- off + len
+            state.size_seen <- off + len;
+            state.valid_off <- off + len
           end;
           t.appends <- t.appends + 1))
 
@@ -484,7 +578,7 @@ let live_payloads t =
 let compact t =
   locked t (fun () ->
       with_file_lock t (fun () ->
-          refresh t;
+          refresh ~resync_torn:true t;
           let live = live_payloads t in
           let old = list_segments t in
           let new_id = (match List.rev old with [] -> 0 | i :: _ -> i) + 1 in
@@ -532,7 +626,7 @@ let compact t =
             | exception Unix.Unix_error _ -> 0
           in
           Hashtbl.replace t.scans new_id
-            { scanned_off = size; size_seen = size };
+            { scanned_off = size; size_seen = size; valid_off = size };
           t.compactions <- t.compactions + 1))
 
 let stats t =
@@ -563,7 +657,14 @@ let stats t =
 let locate t key =
   locked t (fun () ->
       match Hashtbl.find_opt t.index key with
-      | Some (Disk { seg; off; len }) -> Some (seg_path t seg, off, len)
+      | Some (Disk { seg; off; len } as loc) ->
+          (* Validate against the bytes on disk before handing out the
+             location: a truncate-and-append can reuse a stale entry's
+             offset for a different key's frame, and damage targeted
+             through a stale location would hit the wrong record. *)
+          if read_frame t ~key loc <> None then
+            Some (seg_path t seg, off, len)
+          else None
       | Some (Mem _) | None -> None)
 
 let segment_paths t =

@@ -14,7 +14,18 @@
     default), the record survives process death and is recovered by the
     next {!open_store}. A torn tail — a frame whose bytes were only
     partially written before a crash — is detected by the frame check
-    and discarded without affecting earlier records. *)
+    and discarded without affecting earlier records; the next {!add} to
+    that segment truncates it away (under the writer lock) so frames
+    never land behind a dead partial header, and lock-held recovery
+    scans additionally resynchronize past a mid-file torn frame rather
+    than abandoning the acknowledged records behind it.
+
+    Concurrency contract: the [fcntl] writer lock excludes other
+    {e processes} only — POSIX record locks never conflict between
+    descriptors of one process, and the internal mutex is per-handle.
+    Open at most one handle that writes ({!add}, {!compact}) per store
+    directory per process; any number of read-only handles (and reader
+    processes) are safe, because readers never take the lock. *)
 
 module Crc32 : sig
   (** CRC-32 (IEEE 802.3, reflected, init/xorout [0xFFFFFFFF]).
@@ -64,6 +75,11 @@ type faults = {
       (** acknowledge {!add} from memory without writing to disk *)
   compact_keeps_first : bool;
       (** compaction keeps the oldest record per key, not the newest *)
+  append_past_torn : bool;
+      (** writers neither truncate a torn tail before appending nor
+          resynchronize past one at recovery, so a crashed append whose
+          header claimed more bytes than later frames supply swallows
+          every acknowledged record appended after it *)
 }
 
 val no_faults : faults
@@ -94,10 +110,13 @@ val close : t -> unit
 val dir : t -> string
 
 (** [find t key] returns the newest document stored under [key], or
-    [None]. Never takes the writer lock; a read that fails because a
-    concurrent compaction moved the record triggers a rescan and one
-    retry. Never returns a document whose frame fails its CRC check
-    (unless the [skip_crc] fault is injected). *)
+    [None]. Never takes the writer lock. A key absent from the index
+    costs at most a stat-based refresh (new segments and freshly
+    appended bytes are scanned; unchanged ones are not); only a read
+    that fails through a live index entry — a concurrent compaction
+    moved the record — escalates to a full rebuild and one retry.
+    Never returns a document whose frame fails its CRC check (unless
+    the [skip_crc] fault is injected). *)
 val find : t -> string -> Soctam_obs.Json.t option
 
 (** [add t key doc] appends a record under the writer lock and fsyncs
@@ -113,7 +132,10 @@ val compact : t -> unit
 val stats : t -> stats
 
 (** [(path, off, len)] of the frame currently serving [key], for tests
-    and the torture harness (targeted corruption). *)
+    and the torture harness (targeted corruption). Validated against
+    the bytes on disk: a stale index entry whose offset was reused by a
+    later append (or whose frame no longer checks out) yields [None]
+    rather than a location that would mis-target another record. *)
 val locate : t -> string -> (string * int * int) option
 
 val segment_paths : t -> string list

@@ -209,6 +209,76 @@ let test_truncation_sweep () =
     Store.close st
   done
 
+(* ---- acknowledged appends behind a torn tail survive reopen ---- *)
+
+(* A crashed append can leave a fully-written header whose claimed
+   length exceeds everything appended afterwards (a large row array
+   torn early, then small records). Acknowledged frames behind that
+   region must survive reopen: the writer truncates the dead tail
+   under the lock before its next append, and lock-held recovery scans
+   resynchronize past a mid-file torn frame as a second line of
+   defence. *)
+let test_append_after_torn_tail_recovers () =
+  let big = Json.Obj [ ("fill", Json.Str (String.make 4096 'x')) ] in
+  let doc v = Json.Obj [ ("v", Json.int v) ] in
+  let got st key =
+    match Store.find st key with
+    | Some (Json.Obj [ ("v", Json.Num v) ]) -> Some (int_of_float v)
+    | Some _ -> Alcotest.failf "key %s served a garbage doc" key
+    | None -> None
+  in
+  (with_tmp_dir @@ fun dir ->
+   let st = Store.open_store ~fsync:false dir in
+   Store.add st "a" (doc 1);
+   (* Killed mid-append: the header claiming ~4 KiB lands, the payload
+      does not. Both later appends fit inside that claim. *)
+   Store.append_torn st ~key:"t" ~doc:big ~keep_bytes:20;
+   Store.add st "b" (doc 2);
+   Store.add st "a" (doc 3);
+   Store.close st;
+   let st = Store.open_store ~fsync:false dir in
+   Alcotest.(check (option int)) "a recovered" (Some 3) (got st "a");
+   Alcotest.(check (option int)) "b recovered" (Some 2) (got st "b");
+   Alcotest.(check (option int)) "torn record not served" None (got st "t");
+   Store.close st);
+  (* The injected fault reintroduces the bug — the same sequence loses
+     the acknowledged append across the crash boundary — proving the
+     torture oracle has a real defect to catch. *)
+  with_tmp_dir @@ fun dir ->
+  let faults = { Store.no_faults with Store.append_past_torn = true } in
+  let st = Store.open_store ~fsync:false ~faults dir in
+  Store.add st "a" (doc 1);
+  Store.append_torn st ~key:"t" ~doc:big ~keep_bytes:20;
+  Store.add st "b" (doc 2);
+  Store.close st;
+  let st = Store.open_store ~fsync:false ~faults dir in
+  Alcotest.(check (option int))
+    "faulty store loses the acked append" None (got st "b");
+  Store.close st
+
+(* ---- genuine misses are cheap ---- *)
+
+(* Under the service tiering every first-time instance is an LRU miss
+   followed by a store miss, so a find() on a genuinely absent key must
+   not escalate to a full index rebuild (an O(store bytes) re-read under
+   the store mutex). Only a stale index entry that fails its read — the
+   compaction-moved case — justifies the rebuild. *)
+let test_miss_does_not_rebuild () =
+  with_tmp_dir @@ fun dir ->
+  let st = Store.open_store ~fsync:false dir in
+  for i = 1 to 8 do
+    Store.add st (Printf.sprintf "k%d" i) (Json.Obj [ ("v", Json.int i) ])
+  done;
+  for i = 1 to 50 do
+    Alcotest.(check bool)
+      "absent key misses" true
+      (Store.find st (Printf.sprintf "absent%d" i) = None)
+  done;
+  let s = Store.stats st in
+  Alcotest.(check int) "misses counted" 50 s.Store.misses;
+  Alcotest.(check int) "no rebuilds on genuine misses" 0 s.Store.rescans;
+  Store.close st
+
 (* ---- compaction equivalence ---- *)
 
 let test_compaction_equivalence () =
@@ -436,7 +506,10 @@ let test_torture_catches_faults () =
           | Error f ->
               Alcotest.failf "healthy store fails %s repro: %s"
                 (Torture.fault_name fault) f.Torture.message))
-    [ Torture.Skip_crc; Torture.Drop_writes; Torture.Stale_compact ]
+    [ Torture.Skip_crc;
+      Torture.Drop_writes;
+      Torture.Stale_compact;
+      Torture.Append_past_torn ]
 
 (* ---- the committed .fault corpus ---- *)
 
@@ -487,6 +560,10 @@ let suite =
       test_frame_rejects_damage;
     Alcotest.test_case "recovery at every truncation point" `Quick
       test_truncation_sweep;
+    Alcotest.test_case "appends behind a torn tail survive reopen" `Quick
+      test_append_after_torn_tail_recovers;
+    Alcotest.test_case "genuine misses never trigger a rebuild" `Quick
+      test_miss_does_not_rebuild;
     Alcotest.test_case "compaction equivalence" `Quick
       test_compaction_equivalence;
     Alcotest.test_case "two processes share one directory" `Quick
